@@ -1,0 +1,90 @@
+//! Criterion benches over the framework pipeline itself: how long the
+//! build stage, the run stage and the collect/plot stages take — the
+//! framework's own overhead, which the paper argues should be negligible
+//! next to experiment runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fex_cc::{compile, BuildOptions};
+use fex_core::build::{BuildSystem, MakefileSet};
+use fex_core::collect::{stats, DataFrame};
+use fex_core::plot::{barplot_from_frame, normalize_against};
+use fex_suites::InputSize;
+use fex_vm::{Machine, MachineConfig};
+
+fn bench_build_stage(c: &mut Criterion) {
+    let histogram = fex_suites::phoenix().program("histogram").unwrap().clone();
+    c.bench_function("build/compile_histogram_gcc", |b| {
+        b.iter(|| compile(black_box(histogram.source), &BuildOptions::gcc()).unwrap())
+    });
+    c.bench_function("build/compile_histogram_gcc_asan", |b| {
+        b.iter(|| compile(black_box(histogram.source), &BuildOptions::gcc().with_asan()).unwrap())
+    });
+    c.bench_function("build/makefile_resolution", |b| {
+        let mk = MakefileSet::standard();
+        b.iter(|| mk.build_options(black_box("gcc_asan"), false).unwrap())
+    });
+    c.bench_function("build/full_rebuild_cycle", |b| {
+        let mut bs = BuildSystem::new(MakefileSet::standard());
+        b.iter(|| {
+            bs.clean();
+            bs.build("histogram", histogram.source, "gcc_native", false, false).unwrap()
+        })
+    });
+}
+
+fn bench_run_stage(c: &mut Criterion) {
+    let prog = fex_suites::micro().program("arrayread").unwrap().clone();
+    let bin = compile(prog.source, &BuildOptions::gcc()).unwrap();
+    let args: Vec<i64> = prog.args(InputSize::Test).to_vec();
+    c.bench_function("run/arrayread_test_input", |b| {
+        b.iter(|| {
+            Machine::new(MachineConfig::default()).run(black_box(&bin), &args).unwrap()
+        })
+    });
+    let asan_bin = compile(prog.source, &BuildOptions::gcc().with_asan()).unwrap();
+    c.bench_function("run/arrayread_test_input_asan", |b| {
+        b.iter(|| {
+            Machine::new(MachineConfig::default()).run(black_box(&asan_bin), &args).unwrap()
+        })
+    });
+}
+
+fn bench_collect_and_plot(c: &mut Criterion) {
+    // A realistic collected frame: 12 benchmarks × 2 types × 10 reps.
+    let mut df = DataFrame::new(vec!["benchmark", "type", "time"]);
+    for b in 0..12 {
+        for ty in ["gcc_native", "clang_native"] {
+            for rep in 0..10 {
+                df.push(vec![
+                    format!("bench{b}").into(),
+                    ty.into(),
+                    (1.0 + b as f64 * 0.1 + rep as f64 * 0.01).into(),
+                ]);
+            }
+        }
+    }
+    c.bench_function("collect/group_agg_mean", |b| {
+        b.iter(|| df.group_agg(&["benchmark", "type"], "time", stats::mean).unwrap())
+    });
+    c.bench_function("collect/csv_roundtrip", |b| {
+        b.iter(|| DataFrame::from_csv(&black_box(&df).to_csv()).unwrap())
+    });
+    c.bench_function("plot/normalize_and_render_svg", |b| {
+        b.iter(|| {
+            let norm =
+                normalize_against(&df, "benchmark", "type", "time", "gcc_native").unwrap();
+            let plot =
+                barplot_from_frame(&norm, "benchmark", "type", "normalized_time", "t").unwrap();
+            plot.to_svg()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_build_stage, bench_run_stage, bench_collect_and_plot
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion benches over the substrates: VM interpretation throughput,
+//! cache-simulator cost, the network simulation and the RIPE generator —
+//! the moving parts whose speed bounds how large the reproduced
+//! experiments can be.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fex_cc::{compile, BuildOptions};
+use fex_netsim::{ServerBuild, ServerKind, Simulation, Workload};
+use fex_ripe::{generate_program, run_attack, TestbedConfig};
+use fex_vm::{Cache, CacheConfig, Machine, MachineConfig};
+
+fn bench_vm(c: &mut Criterion) {
+    let fib = compile(
+        "fn fib(n) -> int { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }\n\
+         fn main(n) -> int { return fib(n); }",
+        &BuildOptions::gcc(),
+    )
+    .unwrap();
+    c.bench_function("vm/fib_16_call_heavy", |b| {
+        b.iter(|| Machine::new(MachineConfig::default()).run(black_box(&fib), &[16]).unwrap())
+    });
+
+    let fft = fex_suites::splash().program("fft").unwrap().clone();
+    let fft_bin = compile(fft.source, &BuildOptions::gcc()).unwrap();
+    c.bench_function("vm/fft_256_fp_heavy", |b| {
+        b.iter(|| {
+            Machine::new(MachineConfig::default()).run(black_box(&fft_bin), &[256]).unwrap()
+        })
+    });
+    c.bench_function("vm/fft_256_fp_heavy_4cores", |b| {
+        b.iter(|| {
+            Machine::new(MachineConfig::with_cores(4)).run(black_box(&fft_bin), &[256]).unwrap()
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/sequential_access_4k_lines", |b| {
+        b.iter(|| {
+            let mut cache =
+                Cache::new(CacheConfig { size: 32 * 1024, ways: 8, line: 64, latency: 4 });
+            for i in 0..4096u64 {
+                cache.access(black_box(i * 64));
+            }
+            cache.stats()
+        })
+    });
+}
+
+fn bench_netsim(c: &mut Criterion) {
+    let build = ServerBuild::compile(ServerKind::Nginx, &BuildOptions::gcc()).unwrap();
+    let workload = Workload { duration_s: 0.25, ..Workload::default() };
+    let sim = Simulation::new(&build, workload);
+    let load = sim.capacity() * 0.8;
+    c.bench_function("netsim/quarter_second_at_80pct", |b| {
+        b.iter(|| sim.run(black_box(load)))
+    });
+}
+
+fn bench_ripe(c: &mut Criterion) {
+    let spec = fex_ripe::all_attacks()[0];
+    c.bench_function("ripe/generate_one_attack_program", |b| {
+        b.iter(|| generate_program(black_box(&spec)))
+    });
+    c.bench_function("ripe/run_one_attack", |b| {
+        b.iter(|| run_attack(black_box(&spec), &BuildOptions::gcc(), &TestbedConfig::paper()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_vm, bench_cache, bench_netsim, bench_ripe
+}
+criterion_main!(benches);

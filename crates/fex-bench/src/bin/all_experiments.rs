@@ -1,0 +1,42 @@
+//! Runs every table/figure regenerator in sequence — the one-shot
+//! reproduction driver referenced by EXPERIMENTS.md.
+//!
+//! `cargo run --release -p fex-bench --bin all_experiments`
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "report_tables",
+        "case_study_loc",
+        "fig6_splash",
+        "fig7_nginx",
+        "table2_ripe",
+        "asan_overhead",
+        "thread_scaling",
+        "cache_stats",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for bin in bins {
+        println!("\n################################################################");
+        println!("### {bin}");
+        println!("################################################################\n");
+        let status = Command::new(exe_dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+        if !status.success() {
+            failures.push(bin);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall experiments regenerated; artifacts in target/fex-results/");
+    } else {
+        eprintln!("\nFAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

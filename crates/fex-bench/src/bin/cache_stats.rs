@@ -1,0 +1,49 @@
+//! X3: cache-miss statistics with the perf-stat(memory) tool and the
+//! stacked-grouped barplot — Table I's "stacked-grouped barplot (for
+//! complicated statistics such as cache misses at different levels)".
+
+use fex_bench::{fex_with_standard_setup, print_frame, write_artifact};
+use fex_core::collect::stats;
+use fex_core::{ExperimentConfig, PlotRequest};
+use fex_suites::InputSize;
+use fex_vm::MeasureTool;
+
+fn main() {
+    let mut fex = fex_with_standard_setup();
+    let config = ExperimentConfig::new("micro")
+        .types(vec!["gcc_native", "gcc_asan"])
+        .input(InputSize::Native)
+        .tool(MeasureTool::PerfStatMemory);
+    let frame = fex.run(&config).expect("micro cache experiment runs").clone();
+
+    println!("X3: cache misses per level (perf-stat memory tool)\n");
+    let agg = frame
+        .group_agg(&["benchmark", "type"], "l1_misses", stats::mean)
+        .expect("agg l1");
+    print_frame(&agg);
+
+    println!("\nmiss ratios:");
+    for bench in frame.distinct("benchmark").expect("benchmarks") {
+        for ty in frame.distinct("type").expect("types") {
+            let sub =
+                frame.filter_eq("benchmark", &bench).unwrap().filter_eq("type", &ty).unwrap();
+            let v = |c: &str| {
+                sub.column_values(c)
+                    .unwrap()
+                    .iter()
+                    .filter_map(|v| v.as_num())
+                    .next()
+                    .unwrap_or(0.0)
+            };
+            println!(
+                "  {bench:<12} {ty:<12} l1 {:>6.2}%  llc {:>6.2}%",
+                v("l1_miss_ratio") * 100.0,
+                v("llc_miss_ratio") * 100.0
+            );
+        }
+    }
+
+    let plot = fex.plot("micro", PlotRequest::CacheStats).expect("cache plot");
+    write_artifact("cache_stats.svg", &plot.to_svg());
+    write_artifact("cache_stats.csv", &fex.result_csv("micro").expect("csv"));
+}

@@ -1,0 +1,37 @@
+//! Fig 6: "Example of Clang-GCC comparison produced by FEX and tested on
+//! SPLASH-3" — normalized runtime of Clang builds w.r.t. native GCC, one
+//! bar per benchmark plus the `All` geometric mean.
+
+use fex_bench::{fex_with_standard_setup, print_frame, write_artifact};
+use fex_core::collect::stats;
+use fex_core::plot::normalize_against;
+use fex_core::{ExperimentConfig, PlotRequest};
+use fex_suites::InputSize;
+
+fn main() {
+    let mut fex = fex_with_standard_setup();
+    // `fex.py run -n splash -t gcc_native clang_native`
+    let config = ExperimentConfig::new("splash")
+        .types(vec!["gcc_native", "clang_native"])
+        .input(InputSize::Native)
+        .repetitions(3);
+    let frame = fex.run(&config).expect("splash experiment runs").clone();
+
+    println!("FIG 6: SPLASH-3 normalized runtime (w.r.t. native GCC)\n");
+    let norm = normalize_against(&frame, "benchmark", "type", "time", "gcc_native")
+        .expect("normalisation");
+    let clang = norm.filter_eq("type", "clang_native").expect("clang rows");
+    print_frame(&clang);
+    let ratios: Vec<f64> =
+        clang.iter().filter_map(|r| r[2].as_num()).collect();
+    println!(
+        "{:<16} {:>10.3}   <- the paper's `All` bar (geometric mean)",
+        "All",
+        stats::geomean(&ratios)
+    );
+
+    let plot = fex.plot("splash", PlotRequest::Perf).expect("perf plot");
+    println!("\n{}", plot.to_ascii());
+    write_artifact("fig6_splash.svg", &plot.to_svg());
+    write_artifact("fig6_splash.csv", &fex.result_csv("splash").expect("csv stored"));
+}

@@ -1,0 +1,38 @@
+//! Table II: "RIPE security benchmark results produced by FEX. Columns 2
+//! and 3 show the number of successful and failed attacks respectively."
+//!
+//! Paper values (on Ubuntu 16.04, ASLR off, canaries off, executable
+//! stack): GCC 64/786, Clang 38/812 of 850 attacks.
+
+use fex_bench::write_artifact;
+use fex_cc::BuildOptions;
+use fex_ripe::{run_testbed, TestbedConfig};
+
+fn main() {
+    println!("TABLE II: RIPE security benchmark results ({} attacks)\n", fex_ripe::all_attacks().len());
+    println!("{:<18} {:>12} {:>10}", "Compiler", "Successful", "Failed");
+    let mut csv = String::from("compiler,successful,failed,detected\n");
+    let mut rows = Vec::new();
+    for (label, opts) in
+        [("Native (GCC)", BuildOptions::gcc()), ("Native (Clang)", BuildOptions::clang())]
+    {
+        let s = run_testbed(&opts, &TestbedConfig::paper());
+        println!("{label:<18} {:>12} {:>10}", s.successful, s.failed);
+        csv.push_str(&format!("{label},{},{},{}\n", s.successful, s.failed, s.detected));
+        rows.push((label, s));
+    }
+
+    println!("\nsuccess breakdown by technique/location (the layout story):");
+    for (label, s) in &rows {
+        println!("  {label}:");
+        for (dim, count) in &s.by_dimension {
+            println!("    {dim:<18} {count}");
+        }
+    }
+    println!(
+        "\nNote: Clang's pointers-first data layout blocks every BSS/Data\n\
+         attack — \"Clang prevents indirect attacks via buffers in BSS and\n\
+         Data segments due to a smarter layout of objects\" (§IV-C)."
+    );
+    write_artifact("table2_ripe.csv", &csv);
+}

@@ -1,0 +1,87 @@
+//! AddressSanitizer-style instrumentation pass.
+//!
+//! Mirrors the parts of ASan that matter for the paper's overhead
+//! experiments:
+//!
+//! * a shadow check ([`Instr::AsanCheck`]) before every load and store,
+//! * redzones around global objects and stack arrays (the VM's allocator
+//!   adds heap redzones when the program's `asan` flag is set),
+//!
+//! The check and the redzone poisoning are *executed* work — the measured
+//! overhead is whatever the instrumented program actually does, not a
+//! constant factor.
+//!
+//! [`Instr::AsanCheck`]: fex_vm::Instr::AsanCheck
+
+use fex_vm::Instr;
+
+use crate::ir::{Ir, IrProgram};
+
+/// Redzone size applied to globals and stack arrays, in bytes.
+pub const REDZONE: u64 = 32;
+
+/// Instruments the whole program in place.
+pub fn instrument(p: &mut IrProgram) {
+    for g in &mut p.globals {
+        g.redzone = REDZONE;
+    }
+    for f in &mut p.functions {
+        let body = std::mem::take(&mut f.body);
+        let mut out = Vec::with_capacity(body.len() * 2);
+        for ir in body {
+            match &ir {
+                Ir::Op(Instr::Load { addr, off, width, .. }) => {
+                    out.push(Ir::Op(Instr::AsanCheck {
+                        addr: *addr,
+                        off: *off,
+                        width: *width,
+                        is_write: false,
+                    }));
+                    out.push(ir);
+                }
+                Ir::Op(Instr::Store { addr, off, width, .. }) => {
+                    out.push(Ir::Op(Instr::AsanCheck {
+                        addr: *addr,
+                        off: *off,
+                        width: *width,
+                        is_write: true,
+                    }));
+                    out.push(ir);
+                }
+                _ => out.push(ir),
+            }
+        }
+        f.body = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::parser::parse;
+
+    #[test]
+    fn every_memory_access_gets_a_check() {
+        let unit = parse(
+            "global a[4];\n\
+             fn main() { a[0] = 1; var x = a[0]; print_int(x); }",
+        )
+        .unwrap();
+        let mut p = lower(&unit).unwrap();
+        instrument(&mut p);
+        let loads_stores = p.functions[0]
+            .body
+            .iter()
+            .filter(|i| matches!(i, Ir::Op(Instr::Load { .. }) | Ir::Op(Instr::Store { .. })))
+            .count();
+        let checks = p.functions[0]
+            .body
+            .iter()
+            .filter(|i| matches!(i, Ir::Op(Instr::AsanCheck { .. })))
+            .count();
+        assert!(loads_stores > 0);
+        assert_eq!(checks, loads_stores);
+        assert!(p.globals.iter().all(|g| g.redzone == REDZONE));
+    }
+}

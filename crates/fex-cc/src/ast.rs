@@ -1,0 +1,307 @@
+//! Abstract syntax tree for Cmm.
+
+use crate::token::Pos;
+
+/// Value types. Pointers are plain `Int` addresses — the language is
+/// deliberately memory-unsafe, like the C programs the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// 64-bit signed integer (also used for addresses).
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+}
+
+impl std::fmt::Display for Ty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Ty::Int => f.write_str("int"),
+            Ty::Float => f.write_str("float"),
+        }
+    }
+}
+
+/// Binary operators (source level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Short-circuit logical and.
+    LAnd,
+    /// Short-circuit logical or.
+    LOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation (int or float).
+    Neg,
+    /// Logical not.
+    Not,
+    /// Bitwise not.
+    BitNot,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal; evaluates to the rodata address of its
+    /// NUL-terminated bytes.
+    Str(Vec<u8>),
+    /// Variable or global scalar reference.
+    Name(String, Pos),
+    /// `name[index]` — element of a global array, local array, or
+    /// pointer-typed variable.
+    Index {
+        /// Array or pointer name.
+        name: String,
+        /// Element index.
+        index: Box<Expr>,
+        /// Source position of the name.
+        pos: Pos,
+    },
+    /// `&name` — address of a global or local array (or global scalar).
+    AddrOf(String, Pos),
+    /// `@name` — code address of a function.
+    FnAddr(String, Pos),
+    /// Function or builtin call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source position of the callee.
+        pos: Pos,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Operator position.
+        pos: Pos,
+    },
+    /// Unary operation.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Operator position.
+        pos: Pos,
+    },
+}
+
+impl Expr {
+    /// Best-effort source position of this expression.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Name(_, p)
+            | Expr::Index { pos: p, .. }
+            | Expr::AddrOf(_, p)
+            | Expr::FnAddr(_, p)
+            | Expr::Call { pos: p, .. }
+            | Expr::Bin { pos: p, .. }
+            | Expr::Un { pos: p, .. } => *p,
+            _ => Pos::start(),
+        }
+    }
+}
+
+/// Assignment targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Scalar variable or global scalar.
+    Name(String, Pos),
+    /// Array / pointer element.
+    Index {
+        /// Array or pointer name.
+        name: String,
+        /// Element index.
+        index: Expr,
+        /// Name position.
+        pos: Pos,
+    },
+}
+
+/// Compound-assignment flavours (`=`, `+=`, `-=`, `*=`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    /// Plain assignment.
+    Set,
+    /// `+=`
+    Add,
+    /// `-=`
+    Sub,
+    /// `*=`
+    Mul,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var x (: ty)? (= expr)?;` — scalar local in a register.
+    Var {
+        /// Declared type; `None` means "infer from the initialiser"
+        /// (defaulting to `int` without one).
+        ty: Option<Ty>,
+        /// Variable name.
+        name: String,
+        /// Optional initialiser.
+        init: Option<Expr>,
+        /// Position.
+        pos: Pos,
+    },
+    /// `local buf[n] (: ty)?;` — stack array of 8-byte elements.
+    Local {
+        /// Array name.
+        name: String,
+        /// Element count.
+        len: u64,
+        /// Element type.
+        ty: Ty,
+        /// Position.
+        pos: Pos,
+    },
+    /// Assignment.
+    Assign {
+        /// Target.
+        target: LValue,
+        /// Operator flavour.
+        op: AssignOp,
+        /// Right-hand side.
+        value: Expr,
+        /// Position.
+        pos: Pos,
+    },
+    /// Expression statement (usually a call).
+    Expr(Expr),
+    /// Conditional.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch.
+        else_body: Vec<Stmt>,
+    },
+    /// While loop.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// For loop (desugared by the parser into init + while, kept for
+    /// source fidelity).
+    For {
+        /// Initialiser.
+        init: Option<Box<Stmt>>,
+        /// Condition (true if absent).
+        cond: Option<Expr>,
+        /// Step.
+        step: Option<Box<Stmt>>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `break;`
+    Break(Pos),
+    /// `continue;`
+    Continue(Pos),
+    /// `return expr?;`
+    Return(Option<Expr>, Pos),
+    /// `parfor worker(lo, hi, extra...);` — data-parallel loop calling
+    /// `worker(i, extra...)` for `i` in `[lo, hi)`.
+    ParFor {
+        /// Worker function name.
+        worker: String,
+        /// Lower bound.
+        lo: Expr,
+        /// Upper bound.
+        hi: Expr,
+        /// Extra arguments passed to every invocation.
+        args: Vec<Expr>,
+        /// Position.
+        pos: Pos,
+    },
+}
+
+/// Global initialiser forms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalInit {
+    /// Zero-initialised (BSS).
+    Zero,
+    /// Scalar integer.
+    Int(i64),
+    /// Scalar float.
+    Float(f64),
+    /// Element list.
+    List(Vec<Expr>),
+    /// NUL-terminated string bytes.
+    Str(Vec<u8>),
+    /// Address of a function (marks the global as code-pointer-bearing).
+    FnAddr(String),
+}
+
+/// A global declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    /// Name.
+    pub name: String,
+    /// Element type (`fnptr` globals are `Int` with `is_code_ptr`).
+    pub ty: Ty,
+    /// Element count (`None` = scalar).
+    pub len: Option<u64>,
+    /// Initialiser.
+    pub init: GlobalInit,
+    /// Whether this global holds code pointers.
+    pub is_code_ptr: bool,
+    /// Position.
+    pub pos: Pos,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Name.
+    pub name: String,
+    /// Parameters (name, type).
+    pub params: Vec<(String, Ty)>,
+    /// Return type (`None` = void, returns 0).
+    pub ret: Option<Ty>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Position.
+    pub pos: Pos,
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Unit {
+    /// Globals in declaration order.
+    pub globals: Vec<GlobalDecl>,
+    /// Functions in declaration order.
+    pub funcs: Vec<FuncDecl>,
+}

@@ -1,0 +1,148 @@
+//! IR → VM bytecode: label resolution and program assembly.
+
+use std::collections::HashMap;
+
+use fex_vm::{Function, Instr, Program, StackSlot};
+
+use crate::errors::CompileError;
+use crate::ir::{Ir, IrFunction, IrProgram};
+
+/// Assembles an IR program into executable bytecode.
+///
+/// `asan` controls stack-array redzones and the program's ASan flag;
+/// `build_info` is recorded for provenance.
+///
+/// # Errors
+///
+/// Returns an error if a jump references an undefined label (an internal
+/// compiler invariant; surfaced as an error rather than a panic so that
+/// the framework can report it).
+pub fn emit(
+    ir: IrProgram,
+    asan: bool,
+    build_info: String,
+) -> Result<Program, CompileError> {
+    let mut program = Program::new();
+    program.globals = ir.globals;
+    program.rodata = ir.rodata;
+    program.asan = asan;
+    program.build_info = build_info;
+    for f in ir.functions {
+        program.push_function(emit_fn(f, asan)?);
+    }
+    Ok(program)
+}
+
+fn emit_fn(ir: IrFunction, asan: bool) -> Result<Function, CompileError> {
+    // First pass: instruction indices for labels (labels occupy no slot).
+    let mut label_at: HashMap<u32, usize> = HashMap::new();
+    let mut idx = 0usize;
+    for item in &ir.body {
+        match item {
+            Ir::Label(l) => {
+                label_at.insert(l.0, idx);
+            }
+            Ir::Op(Instr::Nop) => {}
+            _ => idx += 1,
+        }
+    }
+    let resolve = |l: &crate::ir::Label| -> Result<usize, CompileError> {
+        label_at.get(&l.0).copied().ok_or_else(|| {
+            CompileError::general(format!("internal: undefined label L{} in `{}`", l.0, ir.name))
+        })
+    };
+
+    let mut f = Function::new(ir.name.clone(), ir.param_count);
+    f.reg_count = ir.reg_count.max(ir.param_count);
+    f.stack_slots = ir
+        .stack_slots
+        .iter()
+        .map(|size| StackSlot { size: *size, redzone: if asan { crate::asan::REDZONE } else { 0 } })
+        .collect();
+    for item in ir.body {
+        match item {
+            Ir::Label(_) => {}
+            Ir::Op(Instr::Nop) => {}
+            Ir::Op(i) => f.code.push(i),
+            Ir::Jmp(l) => f.code.push(Instr::Jmp { target: resolve(&l)? }),
+            Ir::BrZero(c, l) => f.code.push(Instr::BrZero { cond: c, target: resolve(&l)? }),
+            Ir::BrNonZero(c, l) => {
+                f.code.push(Instr::BrNonZero { cond: c, target: resolve(&l)? })
+            }
+        }
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Label;
+    use fex_vm::Reg;
+
+    #[test]
+    fn labels_resolve_to_instruction_indices() {
+        let ir = IrProgram {
+            functions: vec![IrFunction {
+                name: "main".into(),
+                param_count: 0,
+                ret: None,
+                reg_count: 1,
+                stack_slots: vec![],
+                body: vec![
+                    Ir::Op(Instr::Imm { dst: Reg(0), val: 1 }),
+                    Ir::Label(Label(0)),
+                    Ir::BrNonZero(Reg(0), Label(1)),
+                    Ir::Jmp(Label(0)),
+                    Ir::Label(Label(1)),
+                    Ir::Op(Instr::Ret { src: None }),
+                ],
+            }],
+            globals: vec![],
+            rodata: vec![],
+        };
+        let p = emit(ir, false, "test".into()).unwrap();
+        let code = &p.functions[0].code;
+        assert_eq!(code.len(), 4);
+        assert_eq!(code[1], Instr::BrNonZero { cond: Reg(0), target: 3 });
+        assert_eq!(code[2], Instr::Jmp { target: 1 });
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let ir = IrProgram {
+            functions: vec![IrFunction {
+                name: "main".into(),
+                param_count: 0,
+                ret: None,
+                reg_count: 0,
+                stack_slots: vec![],
+                body: vec![Ir::Jmp(Label(9))],
+            }],
+            globals: vec![],
+            rodata: vec![],
+        };
+        assert!(emit(ir, false, String::new()).is_err());
+    }
+
+    #[test]
+    fn asan_flag_adds_stack_redzones() {
+        let ir = IrProgram {
+            functions: vec![IrFunction {
+                name: "main".into(),
+                param_count: 0,
+                ret: None,
+                reg_count: 0,
+                stack_slots: vec![64],
+                body: vec![Ir::Op(Instr::Ret { src: None })],
+            }],
+            globals: vec![],
+            rodata: vec![],
+        };
+        let p = emit(ir.clone(), true, String::new()).unwrap();
+        assert_eq!(p.functions[0].stack_slots[0].redzone, crate::asan::REDZONE);
+        assert!(p.asan);
+        let p = emit(ir, false, String::new()).unwrap();
+        assert_eq!(p.functions[0].stack_slots[0].redzone, 0);
+    }
+}

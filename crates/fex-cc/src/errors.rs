@@ -1,0 +1,51 @@
+//! Compiler error type.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::token::Pos;
+
+/// A compilation failure with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Where the problem was detected, when known.
+    pub pos: Option<Pos>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Creates an error anchored at a position.
+    pub fn at(pos: Pos, message: String) -> Self {
+        CompileError { pos: Some(pos), message }
+    }
+
+    /// Creates an error with no position (e.g. link-stage problems).
+    pub fn general(message: impl Into<String>) -> Self {
+        CompileError { pos: None, message: message.into() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pos {
+            Some(p) => write!(f, "{p}: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = CompileError::at(Pos { line: 3, col: 7 }, "bad thing".into());
+        assert_eq!(e.to_string(), "3:7: bad thing");
+        let g = CompileError::general("no main");
+        assert_eq!(g.to_string(), "no main");
+    }
+}

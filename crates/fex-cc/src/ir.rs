@@ -1,0 +1,69 @@
+//! Linear IR: VM instructions plus symbolic labels.
+//!
+//! The IR reuses the VM's instruction type for all data operations and
+//! replaces control flow with label-based jumps; optimisation passes run
+//! here, and codegen resolves labels into instruction indices.
+
+use fex_vm::{Instr, Reg};
+
+use crate::ast::Ty;
+
+/// A branch target, resolved by codegen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(pub u32);
+
+/// One IR element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ir {
+    /// Any non-control-flow VM instruction (`Instr::Jmp`/`Br*`/`Nop` never
+    /// appear inside `Op`).
+    Op(Instr),
+    /// Label definition.
+    Label(Label),
+    /// Unconditional jump.
+    Jmp(Label),
+    /// Jump if zero.
+    BrZero(Reg, Label),
+    /// Jump if nonzero.
+    BrNonZero(Reg, Label),
+}
+
+/// A function in IR form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrFunction {
+    /// Name.
+    pub name: String,
+    /// Parameter count (parameters are `r0..`).
+    pub param_count: u16,
+    /// Declared return type (`None` = void).
+    pub ret: Option<Ty>,
+    /// Virtual register count.
+    pub reg_count: u16,
+    /// Stack array slot sizes in bytes (redzones added by the ASan pass).
+    pub stack_slots: Vec<u64>,
+    /// Body.
+    pub body: Vec<Ir>,
+}
+
+/// A whole program in IR form.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IrProgram {
+    /// Functions; `FuncId(i)` refers to `functions[i]`.
+    pub functions: Vec<IrFunction>,
+    /// Globals, in final layout order.
+    pub globals: Vec<fex_vm::GlobalDef>,
+    /// Read-only data pool.
+    pub rodata: Vec<u8>,
+}
+
+impl IrFunction {
+    /// Allocates a fresh virtual register.
+    pub fn fresh_reg(&mut self) -> Reg {
+        let r = Reg(self.reg_count);
+        self.reg_count = self
+            .reg_count
+            .checked_add(1)
+            .expect("function uses more than 65535 virtual registers");
+        r
+    }
+}

@@ -1,0 +1,60 @@
+//! Global data-segment layout policies.
+//!
+//! Runs on the AST *before* lowering so that global indices baked into the
+//! emitted code already reflect the final object order.
+
+use crate::ast::Unit;
+use crate::backend::LayoutPolicy;
+
+/// Reorders `unit.globals` in place according to `policy`.
+///
+/// `DeclarationOrder` leaves the list untouched. `PointersFirst` stably
+/// partitions it into (code-pointer globals, scalars, buffers), so that a
+/// buffer overflow walking upward in the data segment never reaches a code
+/// pointer.
+pub fn order_globals(unit: &mut Unit, policy: LayoutPolicy) {
+    match policy {
+        LayoutPolicy::DeclarationOrder => {}
+        LayoutPolicy::PointersFirst => {
+            let globals = std::mem::take(&mut unit.globals);
+            let (ptrs, rest): (Vec<_>, Vec<_>) =
+                globals.into_iter().partition(|g| g.is_code_ptr);
+            let (scalars, buffers): (Vec<_>, Vec<_>) =
+                rest.into_iter().partition(|g| g.len.is_none());
+            unit.globals = ptrs;
+            unit.globals.extend(scalars);
+            unit.globals.extend(buffers);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const SRC: &str = "\
+        global buf[8];\n\
+        global cb : fnptr;\n\
+        global n = 3;\n\
+        global buf2[4];\n\
+        fn main() {}";
+
+    fn names(unit: &Unit) -> Vec<&str> {
+        unit.globals.iter().map(|g| g.name.as_str()).collect()
+    }
+
+    #[test]
+    fn declaration_order_is_untouched() {
+        let mut u = parse(SRC).unwrap();
+        order_globals(&mut u, LayoutPolicy::DeclarationOrder);
+        assert_eq!(names(&u), ["buf", "cb", "n", "buf2"]);
+    }
+
+    #[test]
+    fn pointers_first_moves_buffers_last() {
+        let mut u = parse(SRC).unwrap();
+        order_globals(&mut u, LayoutPolicy::PointersFirst);
+        assert_eq!(names(&u), ["cb", "n", "buf", "buf2"]);
+    }
+}

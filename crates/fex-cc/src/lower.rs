@@ -1,0 +1,953 @@
+//! AST → IR lowering with name resolution and type checking.
+
+use std::collections::HashMap;
+
+use fex_vm::{code_addr, FuncId, Instr, Reg, SysCall, Width};
+
+use crate::ast::{self, AssignOp, Expr, FuncDecl, GlobalInit, LValue, Stmt, Ty, UnOp, Unit};
+use crate::errors::CompileError;
+use crate::ir::{Ir, IrFunction, IrProgram, Label};
+use crate::token::Pos;
+
+/// Lowers a parsed unit (whose globals are already in final layout order)
+/// into IR.
+///
+/// # Errors
+///
+/// Reports undefined names, type mismatches, arity errors and misuse of
+/// `break`/`continue`.
+pub fn lower(unit: &Unit) -> Result<IrProgram, CompileError> {
+    let mut rodata = Vec::new();
+
+    // Global symbol tables (two-pass: declarations first).
+    let mut globals = HashMap::new();
+    let mut global_defs = Vec::new();
+    for (i, g) in unit.globals.iter().enumerate() {
+        if globals.insert(g.name.clone(), (i, g.ty, g.len)).is_some() {
+            return Err(CompileError::at(g.pos, format!("duplicate global `{}`", g.name)));
+        }
+    }
+    let mut funcs = HashMap::new();
+    for (i, f) in unit.funcs.iter().enumerate() {
+        let sig = FuncSig {
+            id: FuncId(i as u32),
+            params: f.params.iter().map(|(_, t)| *t).collect(),
+            ret: f.ret,
+        };
+        if funcs.insert(f.name.clone(), sig).is_some() {
+            return Err(CompileError::at(f.pos, format!("duplicate function `{}`", f.name)));
+        }
+    }
+
+    // Materialise global definitions (needs the function table for `@f`).
+    for g in &unit.globals {
+        let elems = g.len.unwrap_or(1);
+        let size = elems * 8;
+        let mut init = Vec::new();
+        match &g.init {
+            GlobalInit::Zero => {}
+            GlobalInit::Int(v) => init.extend_from_slice(&v.to_le_bytes()),
+            GlobalInit::Float(v) => init.extend_from_slice(&v.to_bits().to_le_bytes()),
+            GlobalInit::Str(s) => {
+                init.extend_from_slice(s);
+                init.push(0);
+            }
+            GlobalInit::FnAddr(name) => {
+                let sig = funcs
+                    .get(name.as_str())
+                    .ok_or_else(|| CompileError::at(g.pos, format!("unknown function `{name}`")))?;
+                init.extend_from_slice(&code_addr(sig.id, 0).to_le_bytes());
+            }
+            GlobalInit::List(items) => {
+                if items.len() as u64 > elems {
+                    return Err(CompileError::at(
+                        g.pos,
+                        format!("initialiser for `{}` has {} elements but the array holds {}", g.name, items.len(), elems),
+                    ));
+                }
+                for item in items {
+                    match (g.ty, item) {
+                        (Ty::Int, Expr::Int(v)) => init.extend_from_slice(&v.to_le_bytes()),
+                        (Ty::Float, Expr::Float(v)) => {
+                            init.extend_from_slice(&v.to_bits().to_le_bytes())
+                        }
+                        (Ty::Float, Expr::Int(v)) => {
+                            init.extend_from_slice(&(*v as f64).to_bits().to_le_bytes())
+                        }
+                        _ => {
+                            return Err(CompileError::at(
+                                g.pos,
+                                format!("initialiser element for `{}` must be a literal of type {}", g.name, g.ty),
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+        let size = if matches!(&g.init, GlobalInit::Str(_)) && g.len.is_none() {
+            init.len().max(1) as u64
+        } else {
+            size
+        };
+        if init.len() as u64 > size {
+            return Err(CompileError::at(
+                g.pos,
+                format!("initialiser for `{}` is larger than the object", g.name),
+            ));
+        }
+        global_defs.push(fex_vm::GlobalDef {
+            name: g.name.clone(),
+            size,
+            init,
+            is_code_ptr: g.is_code_ptr,
+            redzone: 0,
+        });
+    }
+
+    let mut functions = Vec::new();
+    for f in &unit.funcs {
+        let ctx = FnCtx { globals: &globals, funcs: &funcs, rodata: &mut rodata };
+        functions.push(lower_fn(f, ctx)?);
+    }
+
+    Ok(IrProgram { functions, globals: global_defs, rodata })
+}
+
+struct FuncSig {
+    id: FuncId,
+    params: Vec<Ty>,
+    ret: Option<Ty>,
+}
+
+struct FnCtx<'a> {
+    globals: &'a HashMap<String, (usize, Ty, Option<u64>)>,
+    funcs: &'a HashMap<String, FuncSig>,
+    rodata: &'a mut Vec<u8>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Sym {
+    Scalar { reg: Reg, ty: Ty },
+    Array { slot: usize, ty: Ty },
+}
+
+struct Lowerer<'a> {
+    ctx: FnCtx<'a>,
+    f: IrFunction,
+    scopes: Vec<HashMap<String, Sym>>,
+    loop_stack: Vec<(Label, Label)>, // (continue target, break target)
+    next_label: u32,
+}
+
+fn lower_fn(decl: &FuncDecl, ctx: FnCtx<'_>) -> Result<IrFunction, CompileError> {
+    let mut f = IrFunction {
+        name: decl.name.clone(),
+        param_count: decl.params.len() as u16,
+        ret: decl.ret,
+        reg_count: 0,
+        stack_slots: Vec::new(),
+        body: Vec::new(),
+    };
+    let mut scope = HashMap::new();
+    for (name, ty) in &decl.params {
+        let reg = f.fresh_reg();
+        if scope.insert(name.clone(), Sym::Scalar { reg, ty: *ty }).is_some() {
+            return Err(CompileError::at(decl.pos, format!("duplicate parameter `{name}`")));
+        }
+    }
+    let mut l = Lowerer { ctx, f, scopes: vec![scope], loop_stack: Vec::new(), next_label: 0 };
+    l.block(&decl.body)?;
+    l.f.body.push(Ir::Op(Instr::Ret { src: None }));
+    Ok(l.f)
+}
+
+impl<'a> Lowerer<'a> {
+    fn fresh_label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    fn emit(&mut self, i: Instr) {
+        self.f.body.push(Ir::Op(i));
+    }
+
+    fn lookup(&self, name: &str) -> Option<Sym> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(s) = scope.get(name) {
+                return Some(*s);
+            }
+        }
+        None
+    }
+
+    fn declare(&mut self, name: &str, sym: Sym, pos: Pos) -> Result<(), CompileError> {
+        let scope = self.scopes.last_mut().expect("at least one scope");
+        if scope.insert(name.to_string(), sym).is_some() {
+            return Err(CompileError::at(pos, format!("`{name}` is already defined in this scope")));
+        }
+        Ok(())
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        self.scopes.push(HashMap::new());
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
+        match stmt {
+            Stmt::Var { name, ty, init, pos } => {
+                let reg = self.f.fresh_reg();
+                match init {
+                    Some(e) => {
+                        let (r, ety) = self.expr(e)?;
+                        // Unannotated declarations infer their type from
+                        // the initialiser.
+                        let ty = ty.unwrap_or(ety);
+                        self.expect_ty(ty, ety, e.pos())?;
+                        self.declare(name, Sym::Scalar { reg, ty }, *pos)?;
+                        self.emit(Instr::Mov { dst: reg, src: r });
+                    }
+                    None => {
+                        self.declare(
+                            name,
+                            Sym::Scalar { reg, ty: ty.unwrap_or(Ty::Int) },
+                            *pos,
+                        )?;
+                        self.emit(Instr::Imm { dst: reg, val: 0 });
+                    }
+                }
+            }
+            Stmt::Local { name, len, ty, pos } => {
+                let slot = self.f.stack_slots.len();
+                self.f.stack_slots.push(len * 8);
+                self.declare(name, Sym::Array { slot, ty: *ty }, *pos)?;
+            }
+            Stmt::Assign { target, op, value, pos } => self.assign(target, *op, value, *pos)?,
+            Stmt::Expr(e) => {
+                self.expr(e)?;
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                let (c, ty) = self.expr(cond)?;
+                self.expect_ty(Ty::Int, ty, cond.pos())?;
+                let l_else = self.fresh_label();
+                let l_end = self.fresh_label();
+                self.f.body.push(Ir::BrZero(c, l_else));
+                self.block(then_body)?;
+                if else_body.is_empty() {
+                    self.f.body.push(Ir::Label(l_else));
+                } else {
+                    self.f.body.push(Ir::Jmp(l_end));
+                    self.f.body.push(Ir::Label(l_else));
+                    self.block(else_body)?;
+                    self.f.body.push(Ir::Label(l_end));
+                }
+            }
+            Stmt::While { cond, body } => {
+                let l_head = self.fresh_label();
+                let l_end = self.fresh_label();
+                self.f.body.push(Ir::Label(l_head));
+                let (c, ty) = self.expr(cond)?;
+                self.expect_ty(Ty::Int, ty, cond.pos())?;
+                self.f.body.push(Ir::BrZero(c, l_end));
+                self.loop_stack.push((l_head, l_end));
+                self.block(body)?;
+                self.loop_stack.pop();
+                self.f.body.push(Ir::Jmp(l_head));
+                self.f.body.push(Ir::Label(l_end));
+            }
+            Stmt::For { init, cond, step, body } => {
+                // Scope covers the induction variable.
+                self.scopes.push(HashMap::new());
+                if let Some(s) = init {
+                    self.for_init(s)?;
+                }
+                let l_head = self.fresh_label();
+                let l_step = self.fresh_label();
+                let l_end = self.fresh_label();
+                self.f.body.push(Ir::Label(l_head));
+                if let Some(c) = cond {
+                    let (r, ty) = self.expr(c)?;
+                    self.expect_ty(Ty::Int, ty, c.pos())?;
+                    self.f.body.push(Ir::BrZero(r, l_end));
+                }
+                self.loop_stack.push((l_step, l_end));
+                self.block(body)?;
+                self.loop_stack.pop();
+                self.f.body.push(Ir::Label(l_step));
+                if let Some(s) = step {
+                    self.stmt(s)?;
+                }
+                self.f.body.push(Ir::Jmp(l_head));
+                self.f.body.push(Ir::Label(l_end));
+                self.scopes.pop();
+            }
+            Stmt::Break(pos) => {
+                let (_, l_end) = *self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| CompileError::at(*pos, "`break` outside a loop".into()))?;
+                self.f.body.push(Ir::Jmp(l_end));
+            }
+            Stmt::Continue(pos) => {
+                let (l_cont, _) = *self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| CompileError::at(*pos, "`continue` outside a loop".into()))?;
+                self.f.body.push(Ir::Jmp(l_cont));
+            }
+            Stmt::Return(e, pos) => {
+                match (e, self.f.ret) {
+                    (Some(e), Some(rt)) => {
+                        let (r, ty) = self.expr(e)?;
+                        self.expect_ty(rt, ty, e.pos())?;
+                        self.emit(Instr::Ret { src: Some(r) });
+                    }
+                    (None, None) => self.emit(Instr::Ret { src: None }),
+                    (None, Some(_)) => {
+                        return Err(CompileError::at(*pos, format!("`{}` must return a value", self.f.name)))
+                    }
+                    (Some(_), None) => {
+                        return Err(CompileError::at(*pos, format!("`{}` has no return type", self.f.name)))
+                    }
+                }
+            }
+            Stmt::ParFor { worker, lo, hi, args, pos } => {
+                let sig = self
+                    .ctx
+                    .funcs
+                    .get(worker.as_str())
+                    .ok_or_else(|| CompileError::at(*pos, format!("unknown worker function `{worker}`")))?;
+                let expected = sig.params.len();
+                let id = sig.id;
+                if expected != args.len() + 1 {
+                    return Err(CompileError::at(
+                        *pos,
+                        format!("worker `{worker}` takes {expected} parameters; parfor supplies {} (index + {} extra)", args.len() + 1, args.len()),
+                    ));
+                }
+                let (lo_r, lo_t) = self.expr(lo)?;
+                self.expect_ty(Ty::Int, lo_t, lo.pos())?;
+                let (hi_r, hi_t) = self.expr(hi)?;
+                self.expect_ty(Ty::Int, hi_t, hi.pos())?;
+                let mut arg_regs = Vec::new();
+                for a in args {
+                    let (r, _) = self.expr(a)?;
+                    arg_regs.push(r);
+                }
+                self.emit(Instr::ParFor { func: id, lo: lo_r, hi: hi_r, args: arg_regs });
+            }
+        }
+        Ok(())
+    }
+
+    /// `for` initialisers may declare their induction variable without
+    /// `var` (`for (i = 0; ...)`), C-style-lite.
+    fn for_init(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        if let Stmt::Assign { target: LValue::Name(name, pos), op: AssignOp::Set, value, .. } = s {
+            if self.lookup(name).is_none() && !self.ctx.globals.contains_key(name.as_str()) {
+                let reg = self.f.fresh_reg();
+                let (r, ty) = self.expr(value)?;
+                self.declare(name, Sym::Scalar { reg, ty }, *pos)?;
+                self.emit(Instr::Mov { dst: reg, src: r });
+                return Ok(());
+            }
+        }
+        self.stmt(s)
+    }
+
+    fn assign(
+        &mut self,
+        target: &LValue,
+        op: AssignOp,
+        value: &Expr,
+        pos: Pos,
+    ) -> Result<(), CompileError> {
+        match target {
+            LValue::Name(name, npos) => {
+                if let Some(Sym::Scalar { reg, ty }) = self.lookup(name) {
+                    let (rhs, vty) = self.expr(value)?;
+                    self.expect_ty(ty, vty, value.pos())?;
+                    match op {
+                        AssignOp::Set => self.emit(Instr::Mov { dst: reg, src: rhs }),
+                        _ => {
+                            let out = self.f.fresh_reg();
+                            self.emit_arith(op_to_bin(op), ty, out, reg, rhs, pos)?;
+                            self.emit(Instr::Mov { dst: reg, src: out });
+                        }
+                    }
+                    Ok(())
+                } else if let Some((gi, ty, len)) = self.ctx.globals.get(name.as_str()).copied() {
+                    if len.is_some() {
+                        return Err(CompileError::at(*npos, format!("`{name}` is an array; index it")));
+                    }
+                    let addr = self.f.fresh_reg();
+                    self.emit(Instr::GlobalAddr { dst: addr, index: gi });
+                    let (rhs, vty) = self.expr(value)?;
+                    self.expect_ty(ty, vty, value.pos())?;
+                    let src = if op == AssignOp::Set {
+                        rhs
+                    } else {
+                        let cur = self.f.fresh_reg();
+                        self.emit(Instr::Load { dst: cur, addr, off: 0, width: Width::B8 });
+                        let out = self.f.fresh_reg();
+                        self.emit_arith(op_to_bin(op), ty, out, cur, rhs, pos)?;
+                        out
+                    };
+                    self.emit(Instr::Store { src, addr, off: 0, width: Width::B8 });
+                    Ok(())
+                } else {
+                    Err(CompileError::at(*npos, format!("undefined variable `{name}`")))
+                }
+            }
+            LValue::Index { name, index, pos: npos } => {
+                let (base, ty) = self.array_base(name, *npos)?;
+                let (idx, ity) = self.expr(index)?;
+                self.expect_ty(Ty::Int, ity, index.pos())?;
+                let addr = self.elem_addr(base, idx);
+                let (rhs, vty) = self.expr(value)?;
+                self.expect_ty(ty, vty, value.pos())?;
+                let src = if op == AssignOp::Set {
+                    rhs
+                } else {
+                    let cur = self.f.fresh_reg();
+                    self.emit(Instr::Load { dst: cur, addr, off: 0, width: Width::B8 });
+                    let out = self.f.fresh_reg();
+                    self.emit_arith(op_to_bin(op), ty, out, cur, rhs, pos)?;
+                    out
+                };
+                self.emit(Instr::Store { src, addr, off: 0, width: Width::B8 });
+                Ok(())
+            }
+        }
+    }
+
+    /// Base address register and element type for `name[...]`.
+    fn array_base(&mut self, name: &str, pos: Pos) -> Result<(Reg, Ty), CompileError> {
+        if let Some(sym) = self.lookup(name) {
+            match sym {
+                Sym::Array { slot, ty } => {
+                    let r = self.f.fresh_reg();
+                    self.emit(Instr::FrameAddr { dst: r, index: slot });
+                    Ok((r, ty))
+                }
+                // Pointer-typed scalar: indexing dereferences 8-byte cells.
+                Sym::Scalar { reg, ty: Ty::Int } => Ok((reg, Ty::Int)),
+                Sym::Scalar { ty: Ty::Float, .. } => {
+                    Err(CompileError::at(pos, format!("cannot index float variable `{name}`")))
+                }
+            }
+        } else if let Some((gi, ty, len)) = self.ctx.globals.get(name).copied() {
+            let r = self.f.fresh_reg();
+            self.emit(Instr::GlobalAddr { dst: r, index: gi });
+            if len.is_some() {
+                // Global array: its address is the base.
+                Ok((r, ty))
+            } else {
+                // Scalar global used as a pointer: index its *value*.
+                let v = self.f.fresh_reg();
+                self.emit(Instr::Load { dst: v, addr: r, off: 0, width: Width::B8 });
+                Ok((v, ty))
+            }
+        } else {
+            Err(CompileError::at(pos, format!("undefined array `{name}`")))
+        }
+    }
+
+    fn elem_addr(&mut self, base: Reg, idx: Reg) -> Reg {
+        let eight = self.f.fresh_reg();
+        self.emit(Instr::Imm { dst: eight, val: 8 });
+        let off = self.f.fresh_reg();
+        self.emit(Instr::Bin { op: fex_vm::BinOp::Mul, dst: off, a: idx, b: eight });
+        let addr = self.f.fresh_reg();
+        self.emit(Instr::Bin { op: fex_vm::BinOp::Add, dst: addr, a: base, b: off });
+        addr
+    }
+
+    fn expect_ty(&self, want: Ty, got: Ty, pos: Pos) -> Result<(), CompileError> {
+        if want == got {
+            Ok(())
+        } else {
+            Err(CompileError::at(pos, format!("type mismatch: expected {want}, found {got}")))
+        }
+    }
+
+    fn emit_arith(
+        &mut self,
+        op: ast::BinOp,
+        ty: Ty,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+        pos: Pos,
+    ) -> Result<(), CompileError> {
+        use ast::BinOp as B;
+        match ty {
+            Ty::Int => {
+                let vop = match op {
+                    B::Add => fex_vm::BinOp::Add,
+                    B::Sub => fex_vm::BinOp::Sub,
+                    B::Mul => fex_vm::BinOp::Mul,
+                    B::Div => fex_vm::BinOp::Div,
+                    B::Rem => fex_vm::BinOp::Rem,
+                    B::And => fex_vm::BinOp::And,
+                    B::Or => fex_vm::BinOp::Or,
+                    B::Xor => fex_vm::BinOp::Xor,
+                    B::Shl => fex_vm::BinOp::Shl,
+                    B::Shr => fex_vm::BinOp::Shr,
+                    _ => unreachable!("comparisons handled separately"),
+                };
+                self.emit(Instr::Bin { op: vop, dst, a, b });
+                Ok(())
+            }
+            Ty::Float => {
+                let vop = match op {
+                    B::Add => fex_vm::FBinOp::Add,
+                    B::Sub => fex_vm::FBinOp::Sub,
+                    B::Mul => fex_vm::FBinOp::Mul,
+                    B::Div => fex_vm::FBinOp::Div,
+                    _ => {
+                        return Err(CompileError::at(pos, format!("operator not defined for float")))
+                    }
+                };
+                self.emit(Instr::FBin { op: vop, dst, a, b });
+                Ok(())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self, e: &Expr) -> Result<(Reg, Ty), CompileError> {
+        use ast::BinOp as B;
+        match e {
+            Expr::Int(v) => {
+                let r = self.f.fresh_reg();
+                self.emit(Instr::Imm { dst: r, val: *v });
+                Ok((r, Ty::Int))
+            }
+            Expr::Float(v) => {
+                let r = self.f.fresh_reg();
+                self.emit(Instr::FImm { dst: r, val: *v });
+                Ok((r, Ty::Float))
+            }
+            Expr::Str(s) => {
+                let off = self.ctx.rodata.len() as u64;
+                self.ctx.rodata.extend_from_slice(s);
+                self.ctx.rodata.push(0);
+                let r = self.f.fresh_reg();
+                self.emit(Instr::RodataAddr { dst: r, offset: off });
+                Ok((r, Ty::Int))
+            }
+            Expr::Name(name, pos) => {
+                if let Some(Sym::Scalar { reg, ty }) = self.lookup(name) {
+                    Ok((reg, ty))
+                } else if let Some(Sym::Array { slot, .. }) = self.lookup(name) {
+                    // A bare array name decays to its address.
+                    let r = self.f.fresh_reg();
+                    self.emit(Instr::FrameAddr { dst: r, index: slot });
+                    Ok((r, Ty::Int))
+                } else if let Some((gi, ty, len)) = self.ctx.globals.get(name.as_str()).copied() {
+                    let addr = self.f.fresh_reg();
+                    self.emit(Instr::GlobalAddr { dst: addr, index: gi });
+                    if len.is_some() {
+                        Ok((addr, Ty::Int)) // arrays decay to addresses
+                    } else {
+                        let r = self.f.fresh_reg();
+                        self.emit(Instr::Load { dst: r, addr, off: 0, width: Width::B8 });
+                        Ok((r, ty))
+                    }
+                } else {
+                    Err(CompileError::at(*pos, format!("undefined name `{name}`")))
+                }
+            }
+            Expr::Index { name, index, pos } => {
+                let (base, ty) = self.array_base(name, *pos)?;
+                let (idx, ity) = self.expr(index)?;
+                self.expect_ty(Ty::Int, ity, index.pos())?;
+                let addr = self.elem_addr(base, idx);
+                let r = self.f.fresh_reg();
+                self.emit(Instr::Load { dst: r, addr, off: 0, width: Width::B8 });
+                Ok((r, ty))
+            }
+            Expr::AddrOf(name, pos) => {
+                if let Some(Sym::Array { slot, .. }) = self.lookup(name) {
+                    let r = self.f.fresh_reg();
+                    self.emit(Instr::FrameAddr { dst: r, index: slot });
+                    Ok((r, Ty::Int))
+                } else if let Some(Sym::Scalar { .. }) = self.lookup(name) {
+                    Err(CompileError::at(*pos, format!("cannot take the address of register variable `{name}`")))
+                } else if let Some((gi, _, _)) = self.ctx.globals.get(name.as_str()).copied() {
+                    let r = self.f.fresh_reg();
+                    self.emit(Instr::GlobalAddr { dst: r, index: gi });
+                    Ok((r, Ty::Int))
+                } else {
+                    Err(CompileError::at(*pos, format!("undefined name `{name}`")))
+                }
+            }
+            Expr::FnAddr(name, pos) => {
+                let sig = self
+                    .ctx
+                    .funcs
+                    .get(name.as_str())
+                    .ok_or_else(|| CompileError::at(*pos, format!("unknown function `{name}`")))?;
+                let r = self.f.fresh_reg();
+                self.emit(Instr::Imm { dst: r, val: code_addr(sig.id, 0) });
+                Ok((r, Ty::Int))
+            }
+            Expr::Call { name, args, pos } => self.call(name, args, *pos),
+            Expr::Un { op, expr, pos } => {
+                let (a, ty) = self.expr(expr)?;
+                let r = self.f.fresh_reg();
+                match (op, ty) {
+                    (UnOp::Neg, Ty::Int) => self.emit(Instr::Un { op: fex_vm::UnOp::Neg, dst: r, a }),
+                    (UnOp::Neg, Ty::Float) => {
+                        self.emit(Instr::Un { op: fex_vm::UnOp::FNeg, dst: r, a })
+                    }
+                    (UnOp::Not, Ty::Int) => self.emit(Instr::Un { op: fex_vm::UnOp::Not, dst: r, a }),
+                    (UnOp::BitNot, Ty::Int) => {
+                        self.emit(Instr::Un { op: fex_vm::UnOp::BitNot, dst: r, a })
+                    }
+                    _ => return Err(CompileError::at(*pos, format!("operator not defined for {ty}"))),
+                }
+                Ok((r, ty))
+            }
+            Expr::Bin { op: B::LAnd, lhs, rhs, pos } => self.short_circuit(true, lhs, rhs, *pos),
+            Expr::Bin { op: B::LOr, lhs, rhs, pos } => self.short_circuit(false, lhs, rhs, *pos),
+            Expr::Bin { op, lhs, rhs, pos } => {
+                let (a, lty) = self.expr(lhs)?;
+                let (b, rty) = self.expr(rhs)?;
+                self.expect_ty(lty, rty, *pos)?;
+                let r = self.f.fresh_reg();
+                if let Some(cmp) = cmp_op(*op) {
+                    match lty {
+                        Ty::Int => self.emit(Instr::Bin { op: cmp.0, dst: r, a, b }),
+                        Ty::Float => self.emit(Instr::FCmp { op: cmp.1, dst: r, a, b }),
+                    }
+                    return Ok((r, Ty::Int));
+                }
+                self.emit_arith(*op, lty, r, a, b, *pos)?;
+                Ok((r, lty))
+            }
+        }
+    }
+
+    fn short_circuit(
+        &mut self,
+        is_and: bool,
+        lhs: &Expr,
+        rhs: &Expr,
+        pos: Pos,
+    ) -> Result<(Reg, Ty), CompileError> {
+        let out = self.f.fresh_reg();
+        let l_short = self.fresh_label();
+        let l_end = self.fresh_label();
+        let (a, lty) = self.expr(lhs)?;
+        self.expect_ty(Ty::Int, lty, pos)?;
+        if is_and {
+            self.f.body.push(Ir::BrZero(a, l_short));
+        } else {
+            self.f.body.push(Ir::BrNonZero(a, l_short));
+        }
+        let (b, rty) = self.expr(rhs)?;
+        self.expect_ty(Ty::Int, rty, pos)?;
+        // Normalise to 0/1.
+        let zero = self.f.fresh_reg();
+        self.emit(Instr::Imm { dst: zero, val: 0 });
+        self.emit(Instr::Bin { op: fex_vm::BinOp::Ne, dst: out, a: b, b: zero });
+        self.f.body.push(Ir::Jmp(l_end));
+        self.f.body.push(Ir::Label(l_short));
+        self.emit(Instr::Imm { dst: out, val: if is_and { 0 } else { 1 } });
+        self.f.body.push(Ir::Label(l_end));
+        Ok((out, Ty::Int))
+    }
+
+    fn call(&mut self, name: &str, args: &[Expr], pos: Pos) -> Result<(Reg, Ty), CompileError> {
+        // Builtins first.
+        if let Some(result) = self.builtin(name, args, pos)? {
+            return Ok(result);
+        }
+        let Some(sig) = self.ctx.funcs.get(name) else {
+            return Err(CompileError::at(pos, format!("unknown function `{name}`")));
+        };
+        let id = sig.id;
+        let ret = sig.ret;
+        let params: Vec<Ty> = sig.params.clone();
+        if params.len() != args.len() {
+            return Err(CompileError::at(
+                pos,
+                format!("`{name}` takes {} arguments, {} given", params.len(), args.len()),
+            ));
+        }
+        let mut regs = Vec::new();
+        for (a, want) in args.iter().zip(&params) {
+            let (r, ty) = self.expr(a)?;
+            self.expect_ty(*want, ty, a.pos())?;
+            regs.push(r);
+        }
+        let dst = self.f.fresh_reg();
+        self.emit(Instr::Call { func: id, args: regs, dst: Some(dst) });
+        Ok((dst, ret.unwrap_or(Ty::Int)))
+    }
+
+    /// Lowers builtin calls; returns `Ok(None)` when `name` is not a
+    /// builtin.
+    fn builtin(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        pos: Pos,
+    ) -> Result<Option<(Reg, Ty)>, CompileError> {
+        use fex_vm::UnOp as V;
+        // (name, arg types, has result, result ty)
+        let fixed: Option<(SysCall, &[Ty], bool)> = match name {
+            "print_int" => Some((SysCall::PrintI64, &[Ty::Int], false)),
+            "print_float" => Some((SysCall::PrintF64, &[Ty::Float], false)),
+            "print_str" => Some((SysCall::PrintStr, &[Ty::Int], false)),
+            "alloc" => Some((SysCall::Alloc, &[Ty::Int], true)),
+            "free" => Some((SysCall::Free, &[Ty::Int], false)),
+            "memcpy" => Some((SysCall::MemCpy, &[Ty::Int, Ty::Int, Ty::Int], true)),
+            "memset" => Some((SysCall::MemSet, &[Ty::Int, Ty::Int, Ty::Int], true)),
+            "strcpy" => Some((SysCall::StrCpy, &[Ty::Int, Ty::Int], true)),
+            "strlen" => Some((SysCall::StrLen, &[Ty::Int], true)),
+            "rand" => Some((SysCall::Rand, &[Ty::Int], true)),
+            "attack_success" => Some((SysCall::AttackSuccess, &[], false)),
+            "creat_file" => Some((SysCall::CreatFile, &[Ty::Int], true)),
+            "abort" => Some((SysCall::Abort, &[Ty::Int], false)),
+            "cycles" => Some((SysCall::Cycles, &[], true)),
+            "num_cores" => Some((SysCall::NumCores, &[], true)),
+            _ => None,
+        };
+        if let Some((code, tys, has_result)) = fixed {
+            let regs = self.check_args(name, args, tys, pos)?;
+            let dst = if has_result { Some(self.f.fresh_reg()) } else { None };
+            self.emit(Instr::Syscall { code, args: regs, dst });
+            let r = match dst {
+                Some(d) => d,
+                None => {
+                    let z = self.f.fresh_reg();
+                    self.emit(Instr::Imm { dst: z, val: 0 });
+                    z
+                }
+            };
+            return Ok(Some((r, Ty::Int)));
+        }
+        let float_un: Option<V> = match name {
+            "sqrt" => Some(V::FSqrt),
+            "exp" => Some(V::FExp),
+            "log" => Some(V::FLog),
+            "sin" => Some(V::FSin),
+            "cos" => Some(V::FCos),
+            "fabs" => Some(V::FAbs),
+            _ => None,
+        };
+        if let Some(op) = float_un {
+            let regs = self.check_args(name, args, &[Ty::Float], pos)?;
+            let dst = self.f.fresh_reg();
+            self.emit(Instr::Un { op, dst, a: regs[0] });
+            return Ok(Some((dst, Ty::Float)));
+        }
+        match name {
+            "float" => {
+                let regs = self.check_args(name, args, &[Ty::Int], pos)?;
+                let dst = self.f.fresh_reg();
+                self.emit(Instr::Un { op: V::I2F, dst, a: regs[0] });
+                Ok(Some((dst, Ty::Float)))
+            }
+            "int" => {
+                let regs = self.check_args(name, args, &[Ty::Float], pos)?;
+                let dst = self.f.fresh_reg();
+                self.emit(Instr::Un { op: V::F2I, dst, a: regs[0] });
+                Ok(Some((dst, Ty::Int)))
+            }
+            "load" | "loadf" => {
+                let regs = self.check_args(name, args, &[Ty::Int], pos)?;
+                let dst = self.f.fresh_reg();
+                self.emit(Instr::Load { dst, addr: regs[0], off: 0, width: Width::B8 });
+                Ok(Some((dst, if name == "loadf" { Ty::Float } else { Ty::Int })))
+            }
+            "loadb" => {
+                let regs = self.check_args(name, args, &[Ty::Int], pos)?;
+                let dst = self.f.fresh_reg();
+                self.emit(Instr::Load { dst, addr: regs[0], off: 0, width: Width::B1 });
+                Ok(Some((dst, Ty::Int)))
+            }
+            "store" | "storef" => {
+                let want: &[Ty] =
+                    if name == "storef" { &[Ty::Int, Ty::Float] } else { &[Ty::Int, Ty::Int] };
+                let regs = self.check_args(name, args, want, pos)?;
+                self.emit(Instr::Store { src: regs[1], addr: regs[0], off: 0, width: Width::B8 });
+                let z = self.f.fresh_reg();
+                self.emit(Instr::Imm { dst: z, val: 0 });
+                Ok(Some((z, Ty::Int)))
+            }
+            "storeb" => {
+                let regs = self.check_args(name, args, &[Ty::Int, Ty::Int], pos)?;
+                self.emit(Instr::Store { src: regs[1], addr: regs[0], off: 0, width: Width::B1 });
+                let z = self.f.fresh_reg();
+                self.emit(Instr::Imm { dst: z, val: 0 });
+                Ok(Some((z, Ty::Int)))
+            }
+            "icall" => {
+                if args.is_empty() {
+                    return Err(CompileError::at(pos, "`icall` needs a target".into()));
+                }
+                let (target, tty) = self.expr(&args[0])?;
+                self.expect_ty(Ty::Int, tty, args[0].pos())?;
+                let mut regs = Vec::new();
+                for a in &args[1..] {
+                    let (r, _) = self.expr(a)?;
+                    regs.push(r);
+                }
+                let dst = self.f.fresh_reg();
+                self.emit(Instr::CallInd { addr: target, args: regs, dst: Some(dst) });
+                Ok(Some((dst, Ty::Int)))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    fn check_args(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        want: &[Ty],
+        pos: Pos,
+    ) -> Result<Vec<Reg>, CompileError> {
+        if args.len() != want.len() {
+            return Err(CompileError::at(
+                pos,
+                format!("`{name}` takes {} arguments, {} given", want.len(), args.len()),
+            ));
+        }
+        let mut regs = Vec::new();
+        for (a, w) in args.iter().zip(want) {
+            let (r, ty) = self.expr(a)?;
+            self.expect_ty(*w, ty, a.pos())?;
+            regs.push(r);
+        }
+        Ok(regs)
+    }
+}
+
+fn op_to_bin(op: AssignOp) -> ast::BinOp {
+    match op {
+        AssignOp::Add => ast::BinOp::Add,
+        AssignOp::Sub => ast::BinOp::Sub,
+        AssignOp::Mul => ast::BinOp::Mul,
+        AssignOp::Set => unreachable!("plain assignment has no operator"),
+    }
+}
+
+fn cmp_op(op: ast::BinOp) -> Option<(fex_vm::BinOp, fex_vm::FCmpOp)> {
+    use ast::BinOp as B;
+    Some(match op {
+        B::Eq => (fex_vm::BinOp::Eq, fex_vm::FCmpOp::Eq),
+        B::Ne => (fex_vm::BinOp::Ne, fex_vm::FCmpOp::Ne),
+        B::Lt => (fex_vm::BinOp::Lt, fex_vm::FCmpOp::Lt),
+        B::Le => (fex_vm::BinOp::Le, fex_vm::FCmpOp::Le),
+        B::Gt => (fex_vm::BinOp::Gt, fex_vm::FCmpOp::Gt),
+        B::Ge => (fex_vm::BinOp::Ge, fex_vm::FCmpOp::Ge),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn lower_src(src: &str) -> Result<IrProgram, CompileError> {
+        lower(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn lowers_simple_function() {
+        let p = lower_src("fn main() -> int { return 1 + 2; }").unwrap();
+        assert_eq!(p.functions.len(), 1);
+        assert!(p.functions[0].body.iter().any(|i| matches!(
+            i,
+            Ir::Op(Instr::Bin { op: fex_vm::BinOp::Add, .. })
+        )));
+    }
+
+    #[test]
+    fn rejects_type_mismatches() {
+        assert!(lower_src("fn main() { var x = 1; var y = 2.0; var z = x + y; }").is_err());
+        assert!(lower_src("fn main() -> float { return 1; }").is_err());
+        assert!(lower_src("fn main() { print_float(1); }").is_err());
+    }
+
+    #[test]
+    fn rejects_undefined_names() {
+        assert!(lower_src("fn main() { x = 1; }").is_err());
+        assert!(lower_src("fn main() { y(); }").is_err());
+        assert!(lower_src("fn main() { parfor nope(0, 1); }").is_err());
+    }
+
+    #[test]
+    fn rejects_break_outside_loop() {
+        assert!(lower_src("fn main() { break; }").is_err());
+        assert!(lower_src("fn main() { continue; }").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_definitions() {
+        assert!(lower_src("global x; global x; fn main() {}").is_err());
+        assert!(lower_src("fn f() {} fn f() {} fn main() {}").is_err());
+        assert!(lower_src("fn main() { var a; var a; }").is_err());
+    }
+
+    #[test]
+    fn global_initialisers_are_encoded() {
+        let p = lower_src(
+            "global a = 5; global b : float = 1.5; global s = \"hi\"; global arr[3] = {1,2,3}; fn main() {}",
+        )
+        .unwrap();
+        assert_eq!(p.globals[0].init, 5i64.to_le_bytes().to_vec());
+        assert_eq!(p.globals[1].init, 1.5f64.to_bits().to_le_bytes().to_vec());
+        assert_eq!(p.globals[2].init, b"hi\0".to_vec());
+        assert_eq!(p.globals[2].size, 3);
+        assert_eq!(p.globals[3].size, 24);
+    }
+
+    #[test]
+    fn fnptr_global_holds_code_address() {
+        let p = lower_src("fn handler() {} global cb = @handler; fn main() {}").unwrap();
+        let bytes: [u8; 8] = p.globals[0].init.clone().try_into().unwrap();
+        assert_eq!(i64::from_le_bytes(bytes), code_addr(FuncId(0), 0));
+        assert!(p.globals[0].is_code_ptr);
+    }
+
+    #[test]
+    fn oversized_initialiser_rejected() {
+        assert!(lower_src("global a[2] = {1, 2, 3}; fn main() {}").is_err());
+    }
+
+    #[test]
+    fn parfor_arity_checked() {
+        assert!(lower_src("fn w(i) {} fn main() { parfor w(0, 4, 1); }").is_err());
+        assert!(lower_src("fn w(i, x) {} fn main() { parfor w(0, 4, 1); }").is_ok());
+    }
+
+    #[test]
+    fn string_literals_pool_into_rodata() {
+        let p = lower_src("fn main() { print_str(\"ab\"); print_str(\"cd\"); }").unwrap();
+        assert_eq!(p.rodata, b"ab\0cd\0".to_vec());
+    }
+
+    #[test]
+    fn for_loop_declares_induction_variable() {
+        assert!(lower_src("fn main() { for (i = 0; i < 4; i += 1) { print_int(i); } }").is_ok());
+    }
+}

@@ -1,0 +1,599 @@
+//! Recursive-descent parser for Cmm.
+
+use crate::ast::*;
+use crate::errors::CompileError;
+use crate::token::{lex, Pos, Tok, Token};
+
+/// Parses a complete source file.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse(src: &str) -> Result<Unit, CompileError> {
+    let tokens = lex(src)?;
+    Parser { tokens, i: 0 }.unit()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.i].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.i].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.i].tok.clone();
+        if self.i + 1 < self.tokens.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, want: &Tok) -> bool {
+        if self.peek() == want {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), CompileError> {
+        if self.peek() == &want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(CompileError::at(
+                self.pos(),
+                format!("expected {want}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(CompileError::at(self.pos(), format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn unit(&mut self) -> Result<Unit, CompileError> {
+        let mut unit = Unit::default();
+        loop {
+            match self.peek() {
+                Tok::Eof => return Ok(unit),
+                Tok::KwGlobal => unit.globals.push(self.global()?),
+                Tok::KwFn => unit.funcs.push(self.func()?),
+                other => {
+                    return Err(CompileError::at(
+                        self.pos(),
+                        format!("expected `fn` or `global`, found {other}"),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn global(&mut self) -> Result<GlobalDecl, CompileError> {
+        let pos = self.pos();
+        self.expect(Tok::KwGlobal)?;
+        let name = self.ident()?;
+        let len = if self.eat(&Tok::LBracket) {
+            let n = match self.bump() {
+                Tok::Int(v) if v >= 0 => v as u64,
+                other => {
+                    return Err(CompileError::at(pos, format!("expected array length, found {other}")))
+                }
+            };
+            self.expect(Tok::RBracket)?;
+            Some(n)
+        } else {
+            None
+        };
+        let mut is_code_ptr = false;
+        let ty = if self.eat(&Tok::Colon) {
+            match self.bump() {
+                Tok::KwInt => Ty::Int,
+                Tok::KwFloat => Ty::Float,
+                Tok::KwFnPtr => {
+                    is_code_ptr = true;
+                    Ty::Int
+                }
+                other => return Err(CompileError::at(pos, format!("expected type, found {other}"))),
+            }
+        } else {
+            Ty::Int
+        };
+        let init = if self.eat(&Tok::Assign) {
+            match self.peek().clone() {
+                Tok::Int(v) => {
+                    self.bump();
+                    GlobalInit::Int(v)
+                }
+                Tok::Minus => {
+                    self.bump();
+                    match self.bump() {
+                        Tok::Int(v) => GlobalInit::Int(-v),
+                        Tok::Float(v) => GlobalInit::Float(-v),
+                        other => {
+                            return Err(CompileError::at(pos, format!("expected number after `-`, found {other}")))
+                        }
+                    }
+                }
+                Tok::Float(v) => {
+                    self.bump();
+                    GlobalInit::Float(v)
+                }
+                Tok::Str(s) => {
+                    self.bump();
+                    GlobalInit::Str(s)
+                }
+                Tok::At => {
+                    self.bump();
+                    is_code_ptr = true;
+                    GlobalInit::FnAddr(self.ident()?)
+                }
+                Tok::LBrace => {
+                    self.bump();
+                    let mut items = Vec::new();
+                    if !self.eat(&Tok::RBrace) {
+                        loop {
+                            items.push(self.expr()?);
+                            if self.eat(&Tok::RBrace) {
+                                break;
+                            }
+                            self.expect(Tok::Comma)?;
+                        }
+                    }
+                    GlobalInit::List(items)
+                }
+                other => {
+                    return Err(CompileError::at(pos, format!("invalid global initialiser {other}")))
+                }
+            }
+        } else {
+            GlobalInit::Zero
+        };
+        self.expect(Tok::Semi)?;
+        Ok(GlobalDecl { name, ty, len, init, is_code_ptr, pos })
+    }
+
+    fn func(&mut self) -> Result<FuncDecl, CompileError> {
+        let pos = self.pos();
+        self.expect(Tok::KwFn)?;
+        let name = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                let pname = self.ident()?;
+                let ty = if self.eat(&Tok::Colon) {
+                    self.ty()?
+                } else {
+                    Ty::Int
+                };
+                params.push((pname, ty));
+                if self.eat(&Tok::RParen) {
+                    break;
+                }
+                self.expect(Tok::Comma)?;
+            }
+        }
+        let ret = if self.eat(&Tok::Arrow) { Some(self.ty()?) } else { None };
+        let body = self.block()?;
+        Ok(FuncDecl { name, params, ret, body, pos })
+    }
+
+    fn ty(&mut self) -> Result<Ty, CompileError> {
+        match self.bump() {
+            Tok::KwInt => Ok(Ty::Int),
+            Tok::KwFloat => Ok(Ty::Float),
+            other => Err(CompileError::at(self.pos(), format!("expected type, found {other}"))),
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(Tok::LBrace)?;
+        let mut body = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            body.push(self.stmt()?);
+        }
+        Ok(body)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::KwVar => {
+                self.bump();
+                let name = self.ident()?;
+                let ty = if self.eat(&Tok::Colon) { Some(self.ty()?) } else { None };
+                let init =
+                    if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Var { name, ty, init, pos })
+            }
+            Tok::KwLocal => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(Tok::LBracket)?;
+                let len = match self.bump() {
+                    Tok::Int(v) if v > 0 => v as u64,
+                    other => {
+                        return Err(CompileError::at(pos, format!("expected array length, found {other}")))
+                    }
+                };
+                self.expect(Tok::RBracket)?;
+                let ty = if self.eat(&Tok::Colon) { self.ty()? } else { Ty::Int };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Local { name, len, ty, pos })
+            }
+            Tok::KwIf => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let then_body = self.block()?;
+                let else_body = if self.eat(&Tok::KwElse) {
+                    if self.peek() == &Tok::KwIf {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then_body, else_body })
+            }
+            Tok::KwWhile => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Tok::KwFor => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let init = if self.peek() == &Tok::Semi {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.expect(Tok::Semi)?;
+                let cond = if self.peek() == &Tok::Semi { None } else { Some(self.expr()?) };
+                self.expect(Tok::Semi)?;
+                let step = if self.peek() == &Tok::RParen {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.expect(Tok::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::For { init, cond, step, body })
+            }
+            Tok::KwBreak => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Break(pos))
+            }
+            Tok::KwContinue => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Continue(pos))
+            }
+            Tok::KwReturn => {
+                self.bump();
+                let e = if self.peek() == &Tok::Semi { None } else { Some(self.expr()?) };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Return(e, pos))
+            }
+            Tok::KwParfor => {
+                self.bump();
+                let worker = self.ident()?;
+                self.expect(Tok::LParen)?;
+                let lo = self.expr()?;
+                self.expect(Tok::Comma)?;
+                let hi = self.expr()?;
+                let mut args = Vec::new();
+                while self.eat(&Tok::Comma) {
+                    args.push(self.expr()?);
+                }
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::ParFor { worker, lo, hi, args, pos })
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(Tok::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// An assignment or expression statement (no trailing `;`).
+    fn simple_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.pos();
+        // Lookahead: IDENT followed by an assignment operator (possibly
+        // with an index) is an assignment; anything else is an expression.
+        if let Tok::Ident(name) = self.peek().clone() {
+            let save = self.i;
+            self.bump();
+            let target = if self.eat(&Tok::LBracket) {
+                let idx = self.expr()?;
+                self.expect(Tok::RBracket)?;
+                Some(LValue::Index { name: name.clone(), index: idx, pos })
+            } else {
+                Some(LValue::Name(name.clone(), pos))
+            };
+            let op = match self.peek() {
+                Tok::Assign => Some(AssignOp::Set),
+                Tok::PlusAssign => Some(AssignOp::Add),
+                Tok::MinusAssign => Some(AssignOp::Sub),
+                Tok::StarAssign => Some(AssignOp::Mul),
+                _ => None,
+            };
+            if let (Some(target), Some(op)) = (target, op) {
+                self.bump();
+                let value = self.expr()?;
+                return Ok(Stmt::Assign { target, op, value, pos });
+            }
+            self.i = save;
+        }
+        Ok(Stmt::Expr(self.expr()?))
+    }
+
+    // Expression parsing: precedence climbing.
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.bin_expr(0)
+    }
+
+    fn bin_expr(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Tok::OrOr => (BinOp::LOr, 1),
+                Tok::AndAnd => (BinOp::LAnd, 2),
+                Tok::Pipe => (BinOp::Or, 3),
+                Tok::Caret => (BinOp::Xor, 4),
+                Tok::Amp => (BinOp::And, 5),
+                Tok::Eq => (BinOp::Eq, 6),
+                Tok::Ne => (BinOp::Ne, 6),
+                Tok::Lt => (BinOp::Lt, 7),
+                Tok::Le => (BinOp::Le, 7),
+                Tok::Gt => (BinOp::Gt, 7),
+                Tok::Ge => (BinOp::Ge, 7),
+                Tok::Shl => (BinOp::Shl, 8),
+                Tok::Shr => (BinOp::Shr, 8),
+                Tok::Plus => (BinOp::Add, 9),
+                Tok::Minus => (BinOp::Sub, 9),
+                Tok::Star => (BinOp::Mul, 10),
+                Tok::Slash => (BinOp::Div, 10),
+                Tok::Percent => (BinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.bin_expr(prec + 1)?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Minus => {
+                self.bump();
+                // Fold negative literals immediately.
+                match self.peek().clone() {
+                    Tok::Int(v) => {
+                        self.bump();
+                        Ok(Expr::Int(v.wrapping_neg()))
+                    }
+                    Tok::Float(v) => {
+                        self.bump();
+                        Ok(Expr::Float(-v))
+                    }
+                    _ => Ok(Expr::Un { op: UnOp::Neg, expr: Box::new(self.unary()?), pos }),
+                }
+            }
+            Tok::Bang => {
+                self.bump();
+                Ok(Expr::Un { op: UnOp::Not, expr: Box::new(self.unary()?), pos })
+            }
+            Tok::Tilde => {
+                self.bump();
+                Ok(Expr::Un { op: UnOp::BitNot, expr: Box::new(self.unary()?), pos })
+            }
+            Tok::Amp => {
+                self.bump();
+                Ok(Expr::AddrOf(self.ident()?, pos))
+            }
+            Tok::At => {
+                self.bump();
+                Ok(Expr::FnAddr(self.ident()?, pos))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let pos = self.pos();
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::Int(v)),
+            Tok::Float(v) => Ok(Expr::Float(v)),
+            Tok::Str(s) => Ok(Expr::Str(s)),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            // `float(e)` / `int(e)` casts: the type keywords double as
+            // conversion builtins.
+            Tok::KwFloat | Tok::KwInt => {
+                let name = if self.tokens[self.i - 1].tok == Tok::KwFloat { "float" } else { "int" };
+                self.expect(Tok::LParen)?;
+                let arg = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(Expr::Call { name: name.to_string(), args: vec![arg], pos })
+            }
+            Tok::Ident(name) => {
+                if self.eat(&Tok::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&Tok::RParen) {
+                                break;
+                            }
+                            self.expect(Tok::Comma)?;
+                        }
+                    }
+                    Ok(Expr::Call { name, args, pos })
+                } else if self.eat(&Tok::LBracket) {
+                    let idx = self.expr()?;
+                    self.expect(Tok::RBracket)?;
+                    Ok(Expr::Index { name, index: Box::new(idx), pos })
+                } else {
+                    Ok(Expr::Name(name, pos))
+                }
+            }
+            other => Err(CompileError::at(pos, format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_program() {
+        let u = parse("fn main() -> int { return 42; }").unwrap();
+        assert_eq!(u.funcs.len(), 1);
+        assert_eq!(u.funcs[0].name, "main");
+        assert_eq!(u.funcs[0].ret, Some(Ty::Int));
+        assert!(matches!(u.funcs[0].body[0], Stmt::Return(Some(Expr::Int(42)), _)));
+    }
+
+    #[test]
+    fn parses_globals() {
+        let u = parse(
+            "global n = 10;\n\
+             global arr[4] = { 1, 2, 3, 4 };\n\
+             global f : float = 2.5;\n\
+             global s = \"hi\";\n\
+             global handler : fnptr;\n\
+             global cb = @main;\n\
+             fn main() {}",
+        )
+        .unwrap();
+        assert_eq!(u.globals.len(), 6);
+        assert!(u.globals[4].is_code_ptr);
+        assert!(u.globals[5].is_code_ptr);
+        assert_eq!(u.globals[1].len, Some(4));
+        assert_eq!(u.globals[2].ty, Ty::Float);
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let u = parse(
+            "fn f(n) -> int {\n\
+               var s = 0;\n\
+               for (i = 0; i < n; i = i + 1) { s += i; }\n\
+               while (s > 100) { s = s - 1; if (s == 50) { break; } else { continue; } }\n\
+               return s;\n\
+             }\n\
+             fn main() {}",
+        )
+        .unwrap();
+        assert_eq!(u.funcs[0].params, vec![("n".to_string(), Ty::Int)]);
+        // for + while + return + var
+        assert_eq!(u.funcs[0].body.len(), 4);
+    }
+
+    #[test]
+    fn parses_parfor_and_calls() {
+        let u = parse(
+            "fn worker(i, base) {}\n\
+             fn main() { parfor worker(0, 100, &data); }\n\
+             global data[8];",
+        )
+        .unwrap();
+        match &u.funcs[1].body[0] {
+            Stmt::ParFor { worker, args, .. } => {
+                assert_eq!(worker, "worker");
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("expected parfor, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_is_correct() {
+        let u = parse("fn main() -> int { return 2 + 3 * 4; }").unwrap();
+        match &u.funcs[0].body[0] {
+            Stmt::Return(Some(Expr::Bin { op: BinOp::Add, rhs, .. }), _) => {
+                assert!(matches!(**rhs, Expr::Bin { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn var_type_annotation_is_optional() {
+        let u = parse("fn main() { var x = 1.5; var y : float; }").unwrap();
+        match &u.funcs[0].body[0] {
+            Stmt::Var { ty, .. } => assert_eq!(*ty, None),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &u.funcs[0].body[1] {
+            Stmt::Var { ty, .. } => assert_eq!(*ty, Some(Ty::Float)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_messages_carry_positions() {
+        let err = parse("fn main() { return 1 }").unwrap_err();
+        assert!(err.to_string().contains("expected"));
+        assert!(err.pos.is_some());
+        assert!(parse("global x = ;").is_err());
+        assert!(parse("fn () {}").is_err());
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let u = parse("global x = -5; fn main() { var y = -2.5; }").unwrap();
+        assert_eq!(u.globals[0].init, GlobalInit::Int(-5));
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let u = parse(
+            "fn main() { if (1) { } else if (2) { } else { } }",
+        )
+        .unwrap();
+        match &u.funcs[0].body[0] {
+            Stmt::If { else_body, .. } => {
+                assert!(matches!(else_body[0], Stmt::If { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Human-readable IR dumps, for debugging experiments ("sometimes it is
+//! useful to run the binary directly … to debug spurious errors", §III-B —
+//! the Rust equivalent is inspecting what the build produced).
+
+use std::fmt::Write as _;
+
+use crate::ir::{Ir, IrFunction, IrProgram};
+
+/// Renders one function's IR with labels and indices.
+pub fn function_to_string(f: &IrFunction) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "fn {} (params={} regs={} slots={:?}):",
+        f.name, f.param_count, f.reg_count, f.stack_slots
+    );
+    for (i, ir) in f.body.iter().enumerate() {
+        match ir {
+            Ir::Label(l) => {
+                let _ = writeln!(s, "L{}:", l.0);
+            }
+            Ir::Jmp(l) => {
+                let _ = writeln!(s, "  {i:4}: jmp L{}", l.0);
+            }
+            Ir::BrZero(c, l) => {
+                let _ = writeln!(s, "  {i:4}: brz {c} -> L{}", l.0);
+            }
+            Ir::BrNonZero(c, l) => {
+                let _ = writeln!(s, "  {i:4}: brnz {c} -> L{}", l.0);
+            }
+            Ir::Op(op) => {
+                let _ = writeln!(s, "  {i:4}: {op:?}");
+            }
+        }
+    }
+    s
+}
+
+/// Renders a whole program's IR.
+pub fn program_to_string(p: &IrProgram) -> String {
+    let mut s = String::new();
+    for g in &p.globals {
+        let _ = writeln!(
+            s,
+            "global {} ({} bytes{}{})",
+            g.name,
+            g.size,
+            if g.is_code_ptr { ", code-ptr" } else { "" },
+            if g.init.is_empty() { ", bss" } else { ", data" },
+        );
+    }
+    for f in &p.functions {
+        s.push_str(&function_to_string(f));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile_ir, BuildOptions};
+
+    #[test]
+    fn ir_dump_shows_labels_and_ops() {
+        let ir = compile_ir(
+            "global g = 7;\n\
+             fn main() -> int { var s = 0; for (i = 0; i < 4; i += 1) { s += g; } return s; }",
+            &BuildOptions::gcc(),
+        )
+        .unwrap();
+        let dump = program_to_string(&ir);
+        assert!(dump.contains("global g (8 bytes, data)"));
+        assert!(dump.contains("fn main"));
+        assert!(dump.contains("L0:"), "loop label missing:\n{dump}");
+        assert!(dump.contains("brz") || dump.contains("brnz"));
+    }
+
+    #[test]
+    fn o0_dump_is_larger_than_o2() {
+        let src = "fn main() -> int { return 2 * 3 + 4; }";
+        let o0 = program_to_string(&compile_ir(src, &BuildOptions::gcc().with_opt_level(0)).unwrap());
+        let o2 = program_to_string(&compile_ir(src, &BuildOptions::gcc()).unwrap());
+        assert!(o0.lines().count() > o2.lines().count());
+    }
+}

@@ -1,0 +1,100 @@
+//! Content digests.
+//!
+//! A 128-bit FNV-1a-style hash — not cryptographic, but collision-safe
+//! enough for reproducibility checks inside a single experiment host,
+//! which is all the framework needs (Docker uses SHA-256 for the same
+//! structural purpose).
+
+use std::fmt;
+
+/// A 128-bit content digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub u128);
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fex256:{:032x}", self.0)
+    }
+}
+
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// Hashes a byte slice.
+pub fn digest_bytes(bytes: &[u8]) -> Digest {
+    let mut h = FNV_OFFSET;
+    for b in bytes {
+        h ^= *b as u128;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    Digest(h)
+}
+
+/// Incremental digest builder for structured content.
+#[derive(Debug, Clone)]
+pub struct DigestBuilder {
+    state: u128,
+}
+
+impl DigestBuilder {
+    /// Creates a fresh builder.
+    pub fn new() -> Self {
+        DigestBuilder { state: FNV_OFFSET }
+    }
+
+    /// Feeds bytes.
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Self {
+        for b in bytes {
+            self.state ^= *b as u128;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Feeds a string with a length prefix (prevents concatenation
+    /// ambiguity between fields).
+    pub fn update_str(&mut self, s: &str) -> &mut Self {
+        self.update(&(s.len() as u64).to_le_bytes());
+        self.update(s.as_bytes())
+    }
+
+    /// Finalises the digest.
+    pub fn finish(&self) -> Digest {
+        Digest(self.state)
+    }
+}
+
+impl Default for DigestBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digests_are_deterministic_and_distinct() {
+        assert_eq!(digest_bytes(b"abc"), digest_bytes(b"abc"));
+        assert_ne!(digest_bytes(b"abc"), digest_bytes(b"abd"));
+        assert_ne!(digest_bytes(b""), digest_bytes(b"\0"));
+    }
+
+    #[test]
+    fn length_prefix_prevents_field_ambiguity() {
+        let mut a = DigestBuilder::new();
+        a.update_str("ab").update_str("c");
+        let mut b = DigestBuilder::new();
+        b.update_str("a").update_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn display_is_prefixed_hex() {
+        let d = digest_bytes(b"x");
+        let s = d.to_string();
+        assert!(s.starts_with("fex256:"));
+        assert_eq!(s.len(), "fex256:".len() + 32);
+    }
+}

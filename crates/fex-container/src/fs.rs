@@ -1,0 +1,264 @@
+//! Layered copy-on-write filesystem.
+//!
+//! Like Docker's overlay filesystem: an image is an ordered list of
+//! read-only [`Layer`]s; a container adds one writable layer on top.
+//! Deletions are recorded as whiteouts so lower layers stay immutable.
+
+use std::collections::BTreeMap;
+
+use crate::digest::{Digest, DigestBuilder};
+
+/// One filesystem layer: path → file contents, plus whiteouts and bulk
+/// blobs.
+///
+/// A *blob* is a size-only entry standing in for bulk content (the Ubuntu
+/// base tree, compiler install trees) whose exact bytes never matter to an
+/// experiment: it participates in size accounting and digests without
+/// being materialised.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Layer {
+    files: BTreeMap<String, Vec<u8>>,
+    blobs: BTreeMap<String, u64>,
+    whiteouts: BTreeMap<String, ()>,
+}
+
+impl Layer {
+    /// An empty layer.
+    pub fn new() -> Self {
+        Layer::default()
+    }
+
+    /// Adds or replaces a file in this layer.
+    pub fn write(&mut self, path: impl Into<String>, data: impl Into<Vec<u8>>) {
+        let path = path.into();
+        self.whiteouts.remove(&path);
+        self.blobs.remove(&path);
+        self.files.insert(path, data.into());
+    }
+
+    /// Adds a size-only blob entry at `path`.
+    pub fn write_blob(&mut self, path: impl Into<String>, size: u64) {
+        let path = path.into();
+        self.whiteouts.remove(&path);
+        self.files.remove(&path);
+        self.blobs.insert(path, size);
+    }
+
+    /// Records a deletion (whiteout) for `path`.
+    pub fn remove(&mut self, path: impl Into<String>) {
+        let path = path.into();
+        self.files.remove(&path);
+        self.blobs.remove(&path);
+        self.whiteouts.insert(path, ());
+    }
+
+    /// Total bytes stored in this layer (files + blobs).
+    pub fn size(&self) -> u64 {
+        self.files.values().map(|d| d.len() as u64).sum::<u64>()
+            + self.blobs.values().sum::<u64>()
+    }
+
+    /// Number of entries (files + blobs) in this layer.
+    pub fn file_count(&self) -> usize {
+        self.files.len() + self.blobs.len()
+    }
+
+    /// Content digest of this layer (paths, contents, blob sizes and
+    /// whiteouts).
+    pub fn digest(&self) -> Digest {
+        let mut b = DigestBuilder::new();
+        for (path, data) in &self.files {
+            b.update_str(path);
+            b.update(&(data.len() as u64).to_le_bytes());
+            b.update(data);
+        }
+        for (path, size) in &self.blobs {
+            b.update_str("blob!");
+            b.update_str(path);
+            b.update(&size.to_le_bytes());
+        }
+        for path in self.whiteouts.keys() {
+            b.update_str("wh!");
+            b.update_str(path);
+        }
+        b.finish()
+    }
+}
+
+/// A stack of layers presenting a unified view.
+#[derive(Debug, Clone, Default)]
+pub struct FileSystem {
+    layers: Vec<Layer>,
+}
+
+impl FileSystem {
+    /// An empty filesystem.
+    pub fn new() -> Self {
+        FileSystem::default()
+    }
+
+    /// Pushes a layer on top.
+    pub fn push_layer(&mut self, layer: Layer) {
+        self.layers.push(layer);
+    }
+
+    /// The layers, bottom-up.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable access to the topmost (writable) layer, creating one if the
+    /// filesystem is empty.
+    pub fn top_layer_mut(&mut self) -> &mut Layer {
+        if self.layers.is_empty() {
+            self.layers.push(Layer::new());
+        }
+        self.layers.last_mut().expect("just ensured nonempty")
+    }
+
+    /// Reads a file through the layer stack (top wins; whiteouts hide
+    /// lower layers).
+    pub fn read(&self, path: &str) -> Option<&[u8]> {
+        for layer in self.layers.iter().rev() {
+            if layer.whiteouts.contains_key(path) {
+                return None;
+            }
+            if let Some(d) = layer.files.get(path) {
+                return Some(d);
+            }
+        }
+        None
+    }
+
+    /// Whether `path` exists in the unified view.
+    pub fn exists(&self, path: &str) -> bool {
+        self.read(path).is_some()
+    }
+
+    /// Writes into the top layer (copy-on-write semantics).
+    pub fn write(&mut self, path: impl Into<String>, data: impl Into<Vec<u8>>) {
+        self.top_layer_mut().write(path, data);
+    }
+
+    /// Deletes from the unified view via a whiteout in the top layer.
+    pub fn remove(&mut self, path: impl Into<String>) {
+        self.top_layer_mut().remove(path);
+    }
+
+    /// All visible paths under a prefix, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        let mut seen: BTreeMap<&str, bool> = BTreeMap::new();
+        for layer in &self.layers {
+            for path in layer.files.keys() {
+                if path.starts_with(prefix) {
+                    seen.entry(path).or_insert(true);
+                }
+            }
+            for path in layer.whiteouts.keys() {
+                if let Some(v) = seen.get_mut(path.as_str()) {
+                    *v = false;
+                }
+            }
+        }
+        // Whiteouts in higher layers than a file's layer are handled by the
+        // per-path read below (the pass above is a fast pre-filter).
+        seen.into_iter()
+            .filter(|(p, _)| self.exists(p))
+            .map(|(p, _)| p.to_string())
+            .collect()
+    }
+
+    /// Total unified size (visible files only).
+    pub fn visible_size(&self) -> u64 {
+        self.list("").iter().map(|p| self.read(p).map(|d| d.len() as u64).unwrap_or(0)).sum()
+    }
+
+    /// Sum of all layer sizes (what the image actually ships).
+    pub fn stored_size(&self) -> u64 {
+        self.layers.iter().map(|l| l.size()).sum()
+    }
+
+    /// Digest over all layer digests, in order.
+    pub fn digest(&self) -> Digest {
+        let mut b = DigestBuilder::new();
+        for l in &self.layers {
+            b.update(&l.digest().0.to_le_bytes());
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upper_layers_shadow_lower() {
+        let mut base = Layer::new();
+        base.write("/etc/version", b"1".to_vec());
+        let mut top = Layer::new();
+        top.write("/etc/version", b"2".to_vec());
+        let mut fs = FileSystem::new();
+        fs.push_layer(base);
+        fs.push_layer(top);
+        assert_eq!(fs.read("/etc/version"), Some(b"2".as_slice()));
+    }
+
+    #[test]
+    fn whiteouts_hide_files() {
+        let mut base = Layer::new();
+        base.write("/a", b"x".to_vec());
+        let mut fs = FileSystem::new();
+        fs.push_layer(base);
+        fs.push_layer(Layer::new());
+        assert!(fs.exists("/a"));
+        fs.remove("/a");
+        assert!(!fs.exists("/a"));
+        // The lower layer is untouched.
+        assert_eq!(fs.layers()[0].file_count(), 1);
+    }
+
+    #[test]
+    fn rewriting_after_whiteout_restores_visibility() {
+        let mut fs = FileSystem::new();
+        fs.write("/a", b"1".to_vec());
+        fs.remove("/a");
+        fs.write("/a", b"2".to_vec());
+        assert_eq!(fs.read("/a"), Some(b"2".as_slice()));
+    }
+
+    #[test]
+    fn listing_respects_prefix_and_whiteouts() {
+        let mut fs = FileSystem::new();
+        fs.write("/src/a.c", b"".to_vec());
+        fs.write("/src/b.c", b"".to_vec());
+        fs.write("/etc/x", b"".to_vec());
+        fs.remove("/src/b.c");
+        assert_eq!(fs.list("/src"), vec!["/src/a.c".to_string()]);
+    }
+
+    #[test]
+    fn digests_change_with_content() {
+        let mut a = FileSystem::new();
+        a.write("/a", b"1".to_vec());
+        let mut b = FileSystem::new();
+        b.write("/a", b"2".to_vec());
+        assert_ne!(a.digest(), b.digest());
+        let mut a2 = FileSystem::new();
+        a2.write("/a", b"1".to_vec());
+        assert_eq!(a.digest(), a2.digest());
+    }
+
+    #[test]
+    fn sizes_distinguish_stored_and_visible() {
+        let mut base = Layer::new();
+        base.write("/a", vec![0u8; 100]);
+        let mut top = Layer::new();
+        top.write("/a", vec![0u8; 40]);
+        let mut fs = FileSystem::new();
+        fs.push_layer(base);
+        fs.push_layer(top);
+        assert_eq!(fs.stored_size(), 140);
+        assert_eq!(fs.visible_size(), 40);
+    }
+}

@@ -1,0 +1,42 @@
+//! # fex-container — simulated container runtime
+//!
+//! The paper builds its reproducibility story on Docker: the shipped image
+//! contains only benchmark sources and scripts; compilers and other
+//! dependencies are installed *inside* the container at experiment-setup
+//! time, pinned to exact versions (§II-A). This crate reproduces the parts
+//! of that story the framework exercises, without a Docker daemon:
+//!
+//! * a **layered copy-on-write filesystem** ([`FileSystem`]) with
+//!   per-layer and per-image **content digests** — identical build recipes
+//!   yield identical digests, which is the reproducibility guarantee;
+//! * a **versioned package registry** ([`PackageRegistry`]) standing in
+//!   for "the Internet": gcc-6.1, clang-3.8.0, benchmark inputs, server
+//!   sources, each with realistic sizes and dependency edges;
+//! * an **image builder and container runtime** ([`Image`], [`Container`])
+//!   with size accounting that reproduces the paper's numbers (a ~1 GiB
+//!   shipped image vs ~17 GiB if every dependency were baked in).
+//!
+//! ## Example
+//!
+//! ```
+//! use fex_container::{Container, Image, PackageRegistry};
+//!
+//! let registry = PackageRegistry::standard();
+//! let image = Image::fex_shipping_image();
+//! let mut c = Container::start(&image);
+//! c.install(&registry, "gcc", "6.1.0")?;
+//! assert!(c.installed("gcc", "6.1.0"));
+//! # Ok::<(), fex_container::ContainerError>(())
+//! ```
+
+mod container;
+mod digest;
+mod fs;
+mod image;
+mod registry;
+
+pub use container::{Container, ContainerError, InstallEvent};
+pub use digest::{digest_bytes, Digest};
+pub use fs::{FileSystem, Layer};
+pub use image::{Image, ImageBuilder};
+pub use registry::{Package, PackageRegistry};

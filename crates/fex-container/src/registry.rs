@@ -1,0 +1,154 @@
+//! The simulated "Internet": a versioned package registry.
+//!
+//! Experiment setup installs pinned versions from here (§II-A of the
+//! paper). Package sizes are order-of-magnitude realistic so the image
+//! size accounting in the S1 experiment reproduces the paper's numbers.
+
+use std::collections::BTreeMap;
+
+/// Mebibyte, for readable size constants.
+pub const MIB: u64 = 1024 * 1024;
+
+/// A versioned installable package.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Package {
+    /// Package name (e.g. `gcc`).
+    pub name: String,
+    /// Exact version (e.g. `6.1.0`). The registry may carry several.
+    pub version: String,
+    /// Installed size in bytes.
+    pub size: u64,
+    /// Dependencies as `(name, version)` pairs, installed first.
+    pub deps: Vec<(String, String)>,
+    /// Category, mirroring the paper's three install-script groups.
+    pub kind: PackageKind,
+}
+
+/// The paper's install-script grouping (Fig 1 / Fig 5: `install/compilers`,
+/// `install/dependencies`, `install/benchmarks`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PackageKind {
+    /// Compilers with pinned versions.
+    Compiler,
+    /// Build/measurement dependencies (gettext, libevent, …).
+    Dependency,
+    /// Additional benchmarks fetched from elsewhere (apache, nginx, …).
+    Benchmark,
+    /// Input datasets for suites.
+    Inputs,
+}
+
+/// The registry.
+#[derive(Debug, Clone, Default)]
+pub struct PackageRegistry {
+    packages: BTreeMap<(String, String), Package>,
+}
+
+impl PackageRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        PackageRegistry::default()
+    }
+
+    /// Registers a package.
+    pub fn publish(&mut self, p: Package) {
+        self.packages.insert((p.name.clone(), p.version.clone()), p);
+    }
+
+    /// Fetches an exact version.
+    pub fn fetch(&self, name: &str, version: &str) -> Option<&Package> {
+        self.packages.get(&(name.to_string(), version.to_string()))
+    }
+
+    /// All versions of a package, ascending.
+    pub fn versions(&self, name: &str) -> Vec<&str> {
+        self.packages
+            .values()
+            .filter(|p| p.name == name)
+            .map(|p| p.version.as_str())
+            .collect()
+    }
+
+    /// All packages.
+    pub fn iter(&self) -> impl Iterator<Item = &Package> {
+        self.packages.values()
+    }
+
+    /// Total installed size of every package in the registry — what the
+    /// Docker image would weigh if all dependencies were baked in (the
+    /// paper estimates ~17 GB).
+    pub fn total_size(&self) -> u64 {
+        self.packages.values().map(|p| p.size).sum()
+    }
+
+    /// The registry used by the standard Fex distribution: the compilers,
+    /// dependencies, benchmarks and inputs Table I lists.
+    pub fn standard() -> Self {
+        let mut r = PackageRegistry::new();
+        let mut add = |name: &str, version: &str, size: u64, deps: &[(&str, &str)], kind| {
+            r.publish(Package {
+                name: name.into(),
+                version: version.into(),
+                size,
+                deps: deps.iter().map(|(n, v)| (n.to_string(), v.to_string())).collect(),
+                kind,
+            });
+        };
+        use PackageKind::*;
+        // Compilers (built from source: large).
+        add("gcc", "6.1.0", 3600 * MIB, &[("binutils", "2.26")], Compiler);
+        add("gcc", "5.4.0", 3400 * MIB, &[("binutils", "2.26")], Compiler);
+        add("clang", "3.8.0", 4100 * MIB, &[("cmake", "3.5"), ("binutils", "2.26")], Compiler);
+        add("clang", "3.9.1", 4200 * MIB, &[("cmake", "3.5"), ("binutils", "2.26")], Compiler);
+        // Dependencies.
+        add("binutils", "2.26", 120 * MIB, &[], Dependency);
+        add("cmake", "3.5", 90 * MIB, &[], Dependency);
+        add("gettext", "0.19", 60 * MIB, &[], Dependency); // PARSEC autoconf needs it
+        add("libevent", "2.0.22", 12 * MIB, &[], Dependency);
+        add("openssl", "1.0.2g", 40 * MIB, &[], Dependency);
+        add("openssl", "1.0.1f", 38 * MIB, &[], Dependency); // heartbleed-era, for security runs
+        add("perf", "4.4", 20 * MIB, &[], Dependency);
+        // Additional benchmarks (fetched, not kept under src/).
+        add("apache", "2.4.18", 85 * MIB, &[("openssl", "1.0.2g")], Benchmark);
+        add("apache", "2.2.21", 80 * MIB, &[("openssl", "1.0.1f")], Benchmark); // CVE-vulnerable
+        add("nginx", "1.10.1", 25 * MIB, &[("openssl", "1.0.2g")], Benchmark);
+        add("nginx", "1.4.0", 22 * MIB, &[("openssl", "1.0.1f")], Benchmark); // CVE-2013-2028
+        add("memcached", "1.4.25", 8 * MIB, &[("libevent", "2.0.22")], Benchmark);
+        add("ripe", "2015.04", 1 * MIB, &[], Benchmark);
+        // Input datasets.
+        add("phoenix_inputs", "1.0", 510 * MIB, &[], Inputs);
+        add("splash_inputs", "3.0", 140 * MIB, &[], Inputs);
+        add("parsec_inputs", "3.0", 900 * MIB, &[], Inputs);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_has_pinned_versions() {
+        let r = PackageRegistry::standard();
+        assert!(r.fetch("gcc", "6.1.0").is_some());
+        assert!(r.fetch("clang", "3.8.0").is_some());
+        assert!(r.fetch("gcc", "7.0.0").is_none());
+        assert_eq!(r.versions("nginx"), vec!["1.10.1", "1.4.0"]);
+    }
+
+    #[test]
+    fn dependencies_are_recorded() {
+        let r = PackageRegistry::standard();
+        let nginx = r.fetch("nginx", "1.4.0").unwrap();
+        assert_eq!(nginx.deps, vec![("openssl".to_string(), "1.0.1f".to_string())]);
+    }
+
+    #[test]
+    fn all_dependencies_baked_in_would_be_enormous() {
+        // The paper: "the Docker image would swell to approx. 17GB in size
+        // if all dependencies would be built-in".
+        let r = PackageRegistry::standard();
+        let gib = r.total_size() as f64 / (1024.0 * 1024.0 * 1024.0);
+        assert!(gib > 15.0 && gib < 25.0, "total registry size {gib:.1} GiB out of band");
+    }
+}

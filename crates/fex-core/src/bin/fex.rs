@@ -1,0 +1,71 @@
+//! The `fex` command-line tool (the paper's `fex.py`).
+
+use std::process::ExitCode;
+
+use fex_core::cli::{parse, Action, USAGE};
+use fex_core::{Fex, FexError};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fex: {e}");
+            if matches!(e, FexError::Config(_)) {
+                eprintln!("\n{USAGE}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), FexError> {
+    let action = parse(args)?;
+    let mut fex = Fex::new();
+    match action {
+        Action::List => print!("{}", fex.list()),
+        Action::SelfTest { name } => {
+            fex.install("gcc-6.1")?;
+            fex.install("clang-3.8")?;
+            print!("{}", fex.selftest(&name)?);
+        }
+        Action::Report => print!("{}", fex.report()),
+        Action::Install { names } => {
+            for name in names {
+                fex.install(&name)?;
+                println!("installed {name}");
+            }
+        }
+        Action::Run(config) => {
+            // The CLI is a fresh process each time, so perform the setup
+            // stage implicitly (a long-lived embedding would call
+            // `install` explicitly, as the library examples do).
+            for script in fex_core::install::required_scripts(&config.name, &config.build_types)
+            {
+                fex.install(script)?;
+            }
+            let frame = fex.run(&config)?;
+            println!("collected {} rows for `{}`:", frame.len(), config.name);
+            print!("{}", frame.to_csv());
+        }
+        Action::Plot { name, request } => {
+            // Re-running the experiment in a fresh process would be
+            // expensive; the plot action in this standalone binary renders
+            // from the most recent run in this invocation, so guide users.
+            match fex.plot(&name, request) {
+                Ok(plot) => {
+                    println!("{}", plot.to_ascii());
+                    println!("--- svg ---");
+                    println!("{}", plot.to_svg());
+                }
+                Err(e) => {
+                    return Err(FexError::Data(format!(
+                        "{e}; in this standalone binary, use `fex run` piped to a file, or \
+                         drive the library API (see examples/) for run-then-plot workflows"
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,345 @@
+//! The three-layer build system (Fig 2 of the paper).
+//!
+//! Build configurations are literal makefile-like layers:
+//!
+//! * the **common layer** (`common.mk`) holds flags shared by every build,
+//! * **compiler layers** (`gcc_native.mk`, `clang_native.mk`) pin `CC`,
+//! * **type layers** (`gcc_asan.mk`, …) include a compiler layer and add
+//!   experiment flags (`CFLAGS += -fsanitize=address`),
+//! * the **application layer** is each benchmark's own makefile (name and
+//!   sources), supplied by the suite registry.
+//!
+//! Any application can be built with any configuration because the layers
+//! compose independently — the paper's central build-system claim. The
+//! resolved variable set is translated into [`fex_cc::BuildOptions`] and
+//! compiled; binaries land in a content-keyed cache and the container's
+//! `build/` tree, and are rebuilt for every experiment unless
+//! `--no-build` is given (§II-A).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use fex_cc::{BackendProfile, BuildOptions};
+use fex_vm::Program;
+
+use crate::error::{FexError, Result};
+
+/// Makefile assignment flavours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assign {
+    /// `VAR := value`
+    Set,
+    /// `VAR += value`
+    Append,
+}
+
+/// One makefile layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MakeLayer {
+    /// Layer name (`common`, `gcc_native`, `gcc_asan`, …).
+    pub name: String,
+    /// Included (parent) layer, resolved first.
+    pub include: Option<String>,
+    /// Variable assignments, applied in order.
+    pub vars: Vec<(String, Assign, String)>,
+}
+
+/// The set of build-type layers (the `makefiles/` directory).
+#[derive(Debug, Clone, Default)]
+pub struct MakefileSet {
+    layers: BTreeMap<String, MakeLayer>,
+}
+
+impl MakefileSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The layers shipped with the framework: common, gcc/clang compiler
+    /// layers and the AddressSanitizer type layers.
+    pub fn standard() -> Self {
+        let mut s = MakefileSet::new();
+        s.add(MakeLayer {
+            name: "common".into(),
+            include: None,
+            vars: vec![
+                ("OPT".into(), Assign::Set, "-O2".into()),
+                ("CFLAGS".into(), Assign::Set, "-O2".into()),
+                ("LDFLAGS".into(), Assign::Set, "".into()),
+            ],
+        });
+        s.add(MakeLayer {
+            name: "gcc_native".into(),
+            include: Some("common".into()),
+            vars: vec![
+                ("CC".into(), Assign::Set, "gcc".into()),
+                ("CXX".into(), Assign::Set, "g++".into()),
+            ],
+        });
+        s.add(MakeLayer {
+            name: "clang_native".into(),
+            include: Some("common".into()),
+            vars: vec![
+                ("CC".into(), Assign::Set, "clang".into()),
+                ("CXX".into(), Assign::Set, "clang++".into()),
+            ],
+        });
+        s.add(MakeLayer {
+            name: "gcc_asan".into(),
+            include: Some("gcc_native".into()),
+            vars: vec![
+                ("CFLAGS".into(), Assign::Append, "-fsanitize=address".into()),
+                ("LDFLAGS".into(), Assign::Append, "-fsanitize=address".into()),
+            ],
+        });
+        s.add(MakeLayer {
+            name: "clang_asan".into(),
+            include: Some("clang_native".into()),
+            vars: vec![
+                ("CFLAGS".into(), Assign::Append, "-fsanitize=address".into()),
+                ("LDFLAGS".into(), Assign::Append, "-fsanitize=address".into()),
+            ],
+        });
+        s
+    }
+
+    /// Adds (or replaces) a layer — this is how users register new build
+    /// types, the paper's 6-LoC `clang_native.mk` case study.
+    pub fn add(&mut self, layer: MakeLayer) {
+        self.layers.insert(layer.name.clone(), layer);
+    }
+
+    /// Registered type names.
+    pub fn type_names(&self) -> Vec<&str> {
+        self.layers.keys().map(String::as_str).collect()
+    }
+
+    /// Resolves a build type into its flat variable map by walking the
+    /// include chain root-first.
+    ///
+    /// # Errors
+    ///
+    /// [`FexError::UnknownName`] if the type or an include is missing;
+    /// [`FexError::Config`] on include cycles.
+    pub fn resolve(&self, type_name: &str) -> Result<BTreeMap<String, String>> {
+        let mut chain = Vec::new();
+        let mut cur = Some(type_name.to_string());
+        while let Some(name) = cur {
+            if chain.contains(&name) {
+                return Err(FexError::Config(format!("makefile include cycle at `{name}`")));
+            }
+            let layer = self.layers.get(&name).ok_or_else(|| FexError::UnknownName {
+                kind: "build type / makefile layer",
+                name: name.clone(),
+            })?;
+            cur = layer.include.clone();
+            chain.push(name);
+        }
+        let mut vars: BTreeMap<String, String> = BTreeMap::new();
+        for name in chain.iter().rev() {
+            for (k, assign, v) in &self.layers[name].vars {
+                match assign {
+                    Assign::Set => {
+                        vars.insert(k.clone(), v.clone());
+                    }
+                    Assign::Append => {
+                        let slot = vars.entry(k.clone()).or_default();
+                        if !slot.is_empty() && !v.is_empty() {
+                            slot.push(' ');
+                        }
+                        slot.push_str(v);
+                    }
+                }
+            }
+        }
+        Ok(vars)
+    }
+
+    /// Translates a resolved build type into compiler options.
+    ///
+    /// # Errors
+    ///
+    /// As [`MakefileSet::resolve`], plus [`FexError::Config`] when `CC` is
+    /// not a known compiler.
+    pub fn build_options(&self, type_name: &str, debug: bool) -> Result<BuildOptions> {
+        let vars = self.resolve(type_name)?;
+        let cc = vars.get("CC").map(String::as_str).unwrap_or("gcc");
+        let backend = BackendProfile::by_name(cc)
+            .ok_or_else(|| FexError::Config(format!("unknown compiler `{cc}`")))?;
+        let cflags = vars.get("CFLAGS").map(String::as_str).unwrap_or("");
+        let asan = cflags.contains("-fsanitize=address");
+        let opt_level = if debug || cflags.contains("-O0") { 0 } else { 2 };
+        Ok(BuildOptions { backend, asan, opt_level, debug })
+    }
+}
+
+/// A built binary plus provenance.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// The executable program.
+    pub program: Arc<Program>,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Build type name.
+    pub build_type: String,
+    /// `cc`-style invocation string.
+    pub build_info: String,
+}
+
+/// The build subsystem: layer resolution + compilation + cache.
+#[derive(Debug)]
+pub struct BuildSystem {
+    makefiles: MakefileSet,
+    cache: HashMap<(String, String, bool), Artifact>,
+    builds_performed: usize,
+}
+
+impl BuildSystem {
+    /// Creates a build system over a makefile set.
+    pub fn new(makefiles: MakefileSet) -> Self {
+        BuildSystem { makefiles, cache: HashMap::new(), builds_performed: 0 }
+    }
+
+    /// The makefile layers (for registration of new types).
+    pub fn makefiles_mut(&mut self) -> &mut MakefileSet {
+        &mut self.makefiles
+    }
+
+    /// The makefile layers.
+    pub fn makefiles(&self) -> &MakefileSet {
+        &self.makefiles
+    }
+
+    /// Number of actual compilations performed (rebuild accounting).
+    pub fn builds_performed(&self) -> usize {
+        self.builds_performed
+    }
+
+    /// Drops all cached binaries — the paper rebuilds everything at the
+    /// start of each experiment "otherwise a mix of old and new
+    /// compilation flags and/or libraries could skew the results".
+    pub fn clean(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Builds `source` as `benchmark` with the given type. With
+    /// `no_build`, a cached binary is reused when present (`--no-build`);
+    /// otherwise every call recompiles.
+    ///
+    /// # Errors
+    ///
+    /// [`FexError::Build`] wrapping the compiler diagnostic, or the
+    /// resolution errors of [`MakefileSet::build_options`].
+    pub fn build(
+        &mut self,
+        benchmark: &str,
+        source: &str,
+        type_name: &str,
+        debug: bool,
+        no_build: bool,
+    ) -> Result<Artifact> {
+        let key = (benchmark.to_string(), type_name.to_string(), debug);
+        if no_build {
+            if let Some(a) = self.cache.get(&key) {
+                return Ok(a.clone());
+            }
+        }
+        let opts = self.makefiles.build_options(type_name, debug)?;
+        let program = fex_cc::compile(source, &opts).map_err(|source| FexError::Build {
+            benchmark: benchmark.to_string(),
+            build_type: type_name.to_string(),
+            source,
+        })?;
+        self.builds_performed += 1;
+        let artifact = Artifact {
+            program: Arc::new(program),
+            benchmark: benchmark.to_string(),
+            build_type: type_name.to_string(),
+            build_info: opts.build_info(),
+        };
+        self.cache.insert(key, artifact.clone());
+        Ok(artifact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn include_chain_resolves_root_first() {
+        let s = MakefileSet::standard();
+        let v = s.resolve("gcc_asan").unwrap();
+        assert_eq!(v["CC"], "gcc");
+        assert_eq!(v["CFLAGS"], "-O2 -fsanitize=address");
+        assert_eq!(v["LDFLAGS"], "-fsanitize=address");
+    }
+
+    #[test]
+    fn any_app_with_any_type() {
+        let s = MakefileSet::standard();
+        for ty in ["gcc_native", "gcc_asan", "clang_native", "clang_asan"] {
+            let o = s.build_options(ty, false).unwrap();
+            assert_eq!(o.asan, ty.contains("asan"));
+            assert_eq!(o.backend.name, if ty.starts_with("gcc") { "gcc" } else { "clang" });
+        }
+    }
+
+    #[test]
+    fn unknown_type_and_cycles_are_errors() {
+        let mut s = MakefileSet::standard();
+        assert!(matches!(s.resolve("icc_native"), Err(FexError::UnknownName { .. })));
+        s.add(MakeLayer { name: "a".into(), include: Some("b".into()), vars: vec![] });
+        s.add(MakeLayer { name: "b".into(), include: Some("a".into()), vars: vec![] });
+        assert!(matches!(s.resolve("a"), Err(FexError::Config(_))));
+    }
+
+    #[test]
+    fn debug_builds_disable_optimisation() {
+        let s = MakefileSet::standard();
+        assert_eq!(s.build_options("gcc_native", true).unwrap().opt_level, 0);
+        assert_eq!(s.build_options("gcc_native", false).unwrap().opt_level, 2);
+    }
+
+    #[test]
+    fn custom_compiler_layer_in_a_few_lines() {
+        // The paper's case study: adding clang took a 6-line makefile.
+        let mut s = MakefileSet::new();
+        s.add(MakeLayer {
+            name: "common".into(),
+            include: None,
+            vars: vec![("CFLAGS".into(), Assign::Set, "-O2".into())],
+        });
+        s.add(MakeLayer {
+            name: "clang_native".into(),
+            include: Some("common".into()),
+            vars: vec![("CC".into(), Assign::Set, "clang".into())],
+        });
+        let o = s.build_options("clang_native", false).unwrap();
+        assert_eq!(o.backend.name, "clang");
+    }
+
+    #[test]
+    fn rebuild_semantics_and_no_build_flag() {
+        let mut b = BuildSystem::new(MakefileSet::standard());
+        let src = "fn main() -> int { return 1; }";
+        b.build("t", src, "gcc_native", false, false).unwrap();
+        b.build("t", src, "gcc_native", false, false).unwrap();
+        assert_eq!(b.builds_performed(), 2, "experiments rebuild by default");
+        b.build("t", src, "gcc_native", false, true).unwrap();
+        assert_eq!(b.builds_performed(), 2, "--no-build reuses the cache");
+        b.clean();
+        b.build("t", src, "gcc_native", false, true).unwrap();
+        assert_eq!(b.builds_performed(), 3, "cache cleaned, must rebuild");
+    }
+
+    #[test]
+    fn build_errors_carry_context() {
+        let mut b = BuildSystem::new(MakefileSet::standard());
+        let err = b.build("bad", "fn main( {", "gcc_native", false, false).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("bad"));
+        assert!(msg.contains("gcc_native"));
+    }
+}

@@ -1,0 +1,298 @@
+//! Command-line parsing for the `fex` binary, mirroring `fex.py`:
+//!
+//! ```text
+//! fex install -n gcc-6.1
+//! fex run -n phoenix -t gcc_native gcc_asan [-b histogram] [-m 1 2 4]
+//!         [-r 10] [-i test] [-v] [-d] [--no-build] [--tool time]
+//! fex plot -n phoenix -t perf
+//! fex list
+//! fex report
+//! ```
+
+use fex_suites::InputSize;
+use fex_vm::MeasureTool;
+
+use crate::config::ExperimentConfig;
+use crate::error::{FexError, Result};
+use crate::workflow::PlotRequest;
+
+/// A parsed CLI action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// `fex install -n <name>` (repeatable names).
+    Install {
+        /// Script names.
+        names: Vec<String>,
+    },
+    /// `fex run …`.
+    Run(ExperimentConfig),
+    /// `fex plot -n <name> -t <kind>`.
+    Plot {
+        /// Experiment name.
+        name: String,
+        /// Plot kind.
+        request: PlotRequest,
+    },
+    /// `fex test -n <suite>` — tiny-input self-checks (§III-A).
+    SelfTest {
+        /// Suite name.
+        name: String,
+    },
+    /// `fex list`.
+    List,
+    /// `fex report`.
+    Report,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage: fex <action> [options]
+
+actions:
+  install -n <script>...          install compilers/dependencies/benchmarks
+  run     -n <experiment> [opts]  build + run + collect an experiment
+  plot    -n <experiment> -t <perf|tlat|scaling|cache|mem>
+  test    -n <suite>              tiny-input self-checks across all types
+  list                            list registered experiments
+  report                          print the support matrix + environment
+
+run options:
+  -t <type>...   build types (default gcc_native)
+  -b <name>      single benchmark
+  -m <n>...      thread counts (default 1)
+  -r <n>         repetitions (default 1)
+  -i <size>      input size: test | small | native (default native)
+  --tool <t>     perf-stat | perf-stat-mem | time (default perf-stat)
+  -v             verbose
+  -d             debug builds
+  --no-build     reuse cached binaries
+";
+
+/// Parses `args` (without the program name).
+///
+/// # Errors
+///
+/// [`FexError::Config`] with a message suitable for printing alongside
+/// [`USAGE`].
+pub fn parse(args: &[String]) -> Result<Action> {
+    let mut it = args.iter().peekable();
+    let action = it.next().ok_or_else(|| FexError::Config("missing action".into()))?;
+    match action.as_str() {
+        "list" => Ok(Action::List),
+        "test" => {
+            let mut name = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "-n" => name = it.next().cloned(),
+                    other => {
+                        return Err(FexError::Config(format!("unknown test flag `{other}`")))
+                    }
+                }
+            }
+            let name = name.ok_or_else(|| FexError::Config("test needs -n <suite>".into()))?;
+            Ok(Action::SelfTest { name })
+        }
+        "report" => Ok(Action::Report),
+        "install" => {
+            let names = take_values(&mut it, "-n")?;
+            if names.is_empty() {
+                return Err(FexError::Config("install needs -n <script>".into()));
+            }
+            Ok(Action::Install { names })
+        }
+        "plot" => {
+            let mut name = None;
+            let mut kind = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "-n" => name = it.next().cloned(),
+                    "-t" => kind = it.next().cloned(),
+                    other => {
+                        return Err(FexError::Config(format!("unknown plot flag `{other}`")))
+                    }
+                }
+            }
+            let name = name.ok_or_else(|| FexError::Config("plot needs -n <name>".into()))?;
+            let kind = kind.ok_or_else(|| FexError::Config("plot needs -t <kind>".into()))?;
+            let request = PlotRequest::parse(&kind)
+                .ok_or_else(|| FexError::Config(format!("unknown plot kind `{kind}`")))?;
+            Ok(Action::Plot { name, request })
+        }
+        "run" => {
+            let mut name: Option<String> = None;
+            let mut config_types: Vec<String> = Vec::new();
+            let mut threads: Vec<usize> = Vec::new();
+            let mut cfg = ExperimentConfig::new("");
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "-n" => name = it.next().cloned(),
+                    "-t" => config_types = collect_bare(&mut it),
+                    "-m" => {
+                        threads = collect_bare(&mut it)
+                            .iter()
+                            .map(|s| {
+                                s.parse::<usize>().map_err(|_| {
+                                    FexError::Config(format!("bad thread count `{s}`"))
+                                })
+                            })
+                            .collect::<Result<_>>()?;
+                    }
+                    "-b" => {
+                        cfg.benchmark =
+                            Some(it.next().cloned().ok_or_else(|| {
+                                FexError::Config("-b needs a benchmark".into())
+                            })?)
+                    }
+                    "-r" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| FexError::Config("-r needs a count".into()))?;
+                        cfg.repetitions = v
+                            .parse()
+                            .map_err(|_| FexError::Config(format!("bad repetitions `{v}`")))?;
+                    }
+                    "-i" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| FexError::Config("-i needs a size".into()))?;
+                        cfg.input = match v.as_str() {
+                            "test" => InputSize::Test,
+                            "small" => InputSize::Small,
+                            "native" => InputSize::Native,
+                            other => {
+                                return Err(FexError::Config(format!(
+                                    "unknown input size `{other}`"
+                                )))
+                            }
+                        };
+                    }
+                    "--tool" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| FexError::Config("--tool needs a name".into()))?;
+                        cfg.tool = match v.as_str() {
+                            "perf-stat" => MeasureTool::PerfStat,
+                            "perf-stat-mem" => MeasureTool::PerfStatMemory,
+                            "time" => MeasureTool::Time,
+                            other => {
+                                return Err(FexError::Config(format!("unknown tool `{other}`")))
+                            }
+                        };
+                    }
+                    "-v" => cfg.verbose = true,
+                    "-d" => cfg.debug = true,
+                    "--no-build" => cfg.no_build = true,
+                    other => return Err(FexError::Config(format!("unknown run flag `{other}`"))),
+                }
+            }
+            cfg.name = name.ok_or_else(|| FexError::Config("run needs -n <experiment>".into()))?;
+            if !config_types.is_empty() {
+                cfg.build_types = config_types;
+            }
+            if !threads.is_empty() {
+                cfg.threads = threads;
+            }
+            cfg.validate()?;
+            Ok(Action::Run(cfg))
+        }
+        other => Err(FexError::Config(format!("unknown action `{other}`"))),
+    }
+}
+
+/// Collects the values following a flag until the next `-`-prefixed token.
+fn collect_bare(it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>) -> Vec<String> {
+    let mut out = Vec::new();
+    while let Some(next) = it.peek() {
+        if next.starts_with('-') {
+            break;
+        }
+        out.push(it.next().expect("peeked").clone());
+    }
+    out
+}
+
+fn take_values(
+    it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
+    flag: &str,
+) -> Result<Vec<String>> {
+    let mut out = Vec::new();
+    while let Some(next) = it.next() {
+        if next == flag {
+            out.extend(collect_bare(it));
+        } else {
+            return Err(FexError::Config(format!("unexpected `{next}`")));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_the_papers_example_invocations() {
+        // ">> fex.py run -n phoenix -t gcc_native"
+        let Action::Run(cfg) = parse(&argv("run -n phoenix -t gcc_native")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(cfg.name, "phoenix");
+        assert_eq!(cfg.build_types, vec!["gcc_native"]);
+
+        // ">> fex.py run -n splash -t gcc_native clang_native"
+        let Action::Run(cfg) =
+            parse(&argv("run -n splash -t gcc_native clang_native")).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(cfg.build_types.len(), 2);
+
+        // ">> fex.py install -n gcc-6.1"
+        assert_eq!(
+            parse(&argv("install -n gcc-6.1")).unwrap(),
+            Action::Install { names: vec!["gcc-6.1".into()] }
+        );
+
+        // ">> fex.py plot -n phoenix -t perf"
+        assert_eq!(
+            parse(&argv("plot -n phoenix -t perf")).unwrap(),
+            Action::Plot { name: "phoenix".into(), request: PlotRequest::Perf }
+        );
+    }
+
+    #[test]
+    fn parses_all_run_flags() {
+        let Action::Run(cfg) = parse(&argv(
+            "run -n phoenix -t gcc_native gcc_asan -b histogram -m 1 2 4 -r 10 -i test -v -d --no-build --tool time",
+        ))
+        .unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(cfg.benchmark.as_deref(), Some("histogram"));
+        assert_eq!(cfg.threads, vec![1, 2, 4]);
+        assert_eq!(cfg.repetitions, 10);
+        assert!(cfg.verbose && cfg.debug && cfg.no_build);
+        assert_eq!(cfg.tool, MeasureTool::Time);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("run -t gcc_native")).is_err(), "missing -n");
+        assert!(parse(&argv("run -n x -m zero")).is_err());
+        assert!(parse(&argv("plot -n x -t sparkline")).is_err());
+        assert!(parse(&argv("run -n x -i huge")).is_err());
+        assert!(parse(&argv("install")).is_err());
+    }
+
+    #[test]
+    fn list_and_report_are_bare() {
+        assert_eq!(parse(&argv("list")).unwrap(), Action::List);
+        assert_eq!(parse(&argv("report")).unwrap(), Action::Report);
+    }
+}

@@ -1,0 +1,149 @@
+//! The collect subsystem: turn run results into tabular data.
+//!
+//! The paper's collect step "parses the log, extracts the measurement
+//! results, processes them in a user-specified way, and stores into a CSV
+//! table"; [`Collector`] does exactly that over the VM's structured run
+//! results, and [`DataFrame`] plays the role of the pandas table.
+
+pub mod frame;
+pub mod stats;
+
+pub use frame::{DataFrame, Value};
+
+use fex_vm::{Measurement, MeasureTool, RunResult};
+
+/// Accumulates measurement rows during an experiment.
+#[derive(Debug)]
+pub struct Collector {
+    tool: MeasureTool,
+    frame: DataFrame,
+}
+
+impl Collector {
+    /// Standard experiment columns preceding the metric columns.
+    pub const KEY_COLUMNS: [&'static str; 6] =
+        ["suite", "benchmark", "type", "threads", "input", "rep"];
+
+    /// Creates a collector for one measurement tool.
+    pub fn new(tool: MeasureTool) -> Self {
+        let mut columns: Vec<String> =
+            Self::KEY_COLUMNS.iter().map(|s| s.to_string()).collect();
+        // Metric columns are fixed per tool so every row has the same
+        // shape; probe them from a default measurement.
+        columns.extend(metric_names(tool));
+        Collector { tool, frame: DataFrame::new(columns) }
+    }
+
+    /// The tool this collector extracts with.
+    pub fn tool(&self) -> MeasureTool {
+        self.tool
+    }
+
+    /// Records one run.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &mut self,
+        suite: &str,
+        benchmark: &str,
+        build_type: &str,
+        threads: usize,
+        input: &str,
+        rep: usize,
+        run: &RunResult,
+    ) {
+        let m = Measurement::extract(self.tool, run);
+        let mut row: Vec<Value> = vec![
+            suite.into(),
+            benchmark.into(),
+            build_type.into(),
+            (threads as i64).into(),
+            input.into(),
+            (rep as i64).into(),
+        ];
+        for name in metric_names(self.tool) {
+            row.push(Value::Num(m.get(&name).unwrap_or(0.0)));
+        }
+        self.frame.push(row);
+    }
+
+    /// Consumes the collector, returning the assembled frame.
+    pub fn into_frame(self) -> DataFrame {
+        self.frame
+    }
+
+    /// Borrowed view of the frame so far.
+    pub fn frame(&self) -> &DataFrame {
+        &self.frame
+    }
+}
+
+fn metric_names(tool: MeasureTool) -> Vec<String> {
+    match tool {
+        MeasureTool::PerfStat => {
+            ["instructions", "cycles", "ipc", "branches", "branch_misses", "calls", "time"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        }
+        MeasureTool::PerfStatMemory => [
+            "loads",
+            "stores",
+            "l1_accesses",
+            "l1_misses",
+            "l2_misses",
+            "llc_misses",
+            "l1_miss_ratio",
+            "llc_miss_ratio",
+            "time",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        MeasureTool::Time => [
+            "time",
+            "maxrss_bytes",
+            "heap_allocs",
+            "heap_payload_bytes",
+            "heap_redzone_bytes",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fex_cc::{compile, BuildOptions};
+    use fex_vm::{Machine, MachineConfig};
+
+    fn run_trivial() -> RunResult {
+        let p = compile("fn main() -> int { return 0; }", &BuildOptions::gcc()).unwrap();
+        Machine::new(MachineConfig::default()).run(&p, &[]).unwrap()
+    }
+
+    #[test]
+    fn collector_builds_well_formed_frames() {
+        let mut c = Collector::new(MeasureTool::PerfStat);
+        let run = run_trivial();
+        c.record("micro", "noop", "gcc_native", 1, "test", 0, &run);
+        c.record("micro", "noop", "gcc_native", 1, "test", 1, &run);
+        let df = c.into_frame();
+        assert_eq!(df.len(), 2);
+        assert!(df.columns().iter().any(|c| c == "time"));
+        assert!(df.columns().iter().any(|c| c == "instructions"));
+        // Keys come first.
+        assert_eq!(&df.columns()[..6], &Collector::KEY_COLUMNS);
+    }
+
+    #[test]
+    fn tools_have_distinct_metric_sets() {
+        let perf = Collector::new(MeasureTool::PerfStat);
+        let mem = Collector::new(MeasureTool::PerfStatMemory);
+        let time = Collector::new(MeasureTool::Time);
+        assert!(perf.frame().columns().iter().any(|c| c == "ipc"));
+        assert!(mem.frame().columns().iter().any(|c| c == "llc_misses"));
+        assert!(time.frame().columns().iter().any(|c| c == "maxrss_bytes"));
+    }
+}

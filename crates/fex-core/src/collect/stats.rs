@@ -1,0 +1,191 @@
+//! Statistics for the collect stage.
+//!
+//! The paper's Fex ships only basic statistics (mean, standard deviation)
+//! and names advanced statistical methods and hypothesis testing as future
+//! work (§VI) — this module implements both the shipped basics and that
+//! future work: confidence intervals and Welch's t-test.
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (n-1 denominator; 0 for fewer than 2 points).
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Median (0 for empty input).
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in measurements"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Minimum (0 for empty input).
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY).pipe_finite()
+}
+
+/// Maximum (0 for empty input).
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max).pipe_finite()
+}
+
+trait PipeFinite {
+    fn pipe_finite(self) -> f64;
+}
+
+impl PipeFinite for f64 {
+    fn pipe_finite(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Geometric mean (0 for empty input; inputs must be positive).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Half-width of the 95% confidence interval of the mean (normal
+/// approximation; 0 for fewer than 2 points).
+pub fn ci95_half_width(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    1.96 * stddev(xs) / (xs.len() as f64).sqrt()
+}
+
+/// Result of Welch's unequal-variance t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WelchResult {
+    /// The t statistic.
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub dof: f64,
+    /// Whether the difference is significant at the 5% level (two-sided,
+    /// normal-approximation critical value for the computed dof).
+    pub significant_05: bool,
+}
+
+/// Welch's t-test for the difference of two sample means.
+///
+/// # Panics
+///
+/// Panics if either sample has fewer than 2 points.
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> WelchResult {
+    assert!(a.len() >= 2 && b.len() >= 2, "welch test needs ≥2 samples per group");
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (stddev(a).powi(2), stddev(b).powi(2));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let se2 = va / na + vb / nb;
+    let t = if se2 == 0.0 { 0.0 } else { (ma - mb) / se2.sqrt() };
+    let dof = if se2 == 0.0 {
+        na + nb - 2.0
+    } else {
+        se2 * se2 / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0))
+    };
+    // Two-sided 5% critical values of the t distribution, coarse table.
+    let crit = t_critical_05(dof);
+    WelchResult { t, dof, significant_05: t.abs() > crit }
+}
+
+fn t_critical_05(dof: f64) -> f64 {
+    const TABLE: [(f64, f64); 10] = [
+        (1.0, 12.706),
+        (2.0, 4.303),
+        (3.0, 3.182),
+        (4.0, 2.776),
+        (5.0, 2.571),
+        (7.0, 2.365),
+        (10.0, 2.228),
+        (15.0, 2.131),
+        (30.0, 2.042),
+        (120.0, 1.980),
+    ];
+    for (d, c) in TABLE {
+        if dof <= d {
+            return c;
+        }
+    }
+    1.96
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((stddev(&xs) - 1.2909944).abs() < 1e-6);
+        assert_eq!(median(&xs), 2.5);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(min(&xs), 1.0);
+        assert_eq!(max(&xs), 4.0);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(stddev(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(geomean(&[]), 0.0);
+        assert_eq!(ci95_half_width(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn geomean_of_ratios() {
+        let xs = [2.0, 0.5];
+        assert!((geomean(&xs) - 1.0).abs() < 1e-12);
+        let xs = [4.0, 1.0];
+        assert!((geomean(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welch_detects_clear_separation() {
+        let a = [10.0, 10.1, 9.9, 10.05, 9.95];
+        let b = [12.0, 12.1, 11.9, 12.05, 11.95];
+        let r = welch_t_test(&a, &b);
+        assert!(r.significant_05, "{r:?}");
+        assert!(r.t < 0.0);
+    }
+
+    #[test]
+    fn welch_accepts_identical_samples() {
+        let a = [5.0, 5.1, 4.9, 5.0];
+        let r = welch_t_test(&a, &a);
+        assert!(!r.significant_05, "{r:?}");
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let few = [1.0, 2.0, 3.0];
+        let many: Vec<f64> = (0..30).map(|i| 1.0 + (i % 3) as f64).collect();
+        assert!(ci95_half_width(&many) < ci95_half_width(&few));
+    }
+}

@@ -1,0 +1,151 @@
+//! Experiment configuration: the typed form of `fex.py`'s command line.
+
+use fex_suites::InputSize;
+use fex_vm::MeasureTool;
+
+use crate::error::{FexError, Result};
+
+/// One experiment invocation (`fex run -n <name> -t <types> …`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Experiment name (`-n`): `phoenix`, `splash`, `nginx`, `ripe`, …
+    pub name: String,
+    /// Build types to compare (`-t`), e.g. `gcc_native clang_native`.
+    pub build_types: Vec<String>,
+    /// Restrict to a single benchmark (`-b`).
+    pub benchmark: Option<String>,
+    /// Thread counts to sweep (`-m`), default `[1]`.
+    pub threads: Vec<usize>,
+    /// Repetitions per point (`-r`), default 1.
+    pub repetitions: usize,
+    /// Input size (`-i`), default native.
+    pub input: InputSize,
+    /// Verbose output (`-v`).
+    pub verbose: bool,
+    /// Debug builds and debug environment (`-d`).
+    pub debug: bool,
+    /// Skip rebuilding when a cached binary exists (`--no-build`).
+    pub no_build: bool,
+    /// Measurement tool.
+    pub tool: MeasureTool,
+    /// Seed for deterministic machines and workloads.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// A config with the framework defaults, mirroring `fex.py run -n`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ExperimentConfig {
+            name: name.into(),
+            build_types: vec!["gcc_native".into()],
+            benchmark: None,
+            threads: vec![1],
+            repetitions: 1,
+            input: InputSize::Native,
+            verbose: false,
+            debug: false,
+            no_build: false,
+            tool: MeasureTool::PerfStat,
+            seed: 42,
+        }
+    }
+
+    /// Sets the build types (`-t`).
+    pub fn types<S: Into<String>>(mut self, types: Vec<S>) -> Self {
+        self.build_types = types.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the thread counts (`-m`).
+    pub fn threads(mut self, threads: Vec<usize>) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets repetitions (`-r`).
+    pub fn repetitions(mut self, r: usize) -> Self {
+        self.repetitions = r;
+        self
+    }
+
+    /// Sets the input size (`-i`).
+    pub fn input(mut self, input: InputSize) -> Self {
+        self.input = input;
+        self
+    }
+
+    /// Restricts to one benchmark (`-b`).
+    pub fn benchmark(mut self, b: impl Into<String>) -> Self {
+        self.benchmark = Some(b.into());
+        self
+    }
+
+    /// Selects the measurement tool.
+    pub fn tool(mut self, tool: MeasureTool) -> Self {
+        self.tool = tool;
+        self
+    }
+
+    /// Validates basic invariants.
+    ///
+    /// # Errors
+    ///
+    /// [`FexError::Config`] on empty type/thread lists or zero reps.
+    pub fn validate(&self) -> Result<()> {
+        if self.build_types.is_empty() {
+            return Err(FexError::Config("at least one build type is required".into()));
+        }
+        if self.threads.is_empty() || self.threads.contains(&0) {
+            return Err(FexError::Config("thread counts must be positive".into()));
+        }
+        if self.repetitions == 0 {
+            return Err(FexError::Config("repetitions must be at least 1".into()));
+        }
+        Ok(())
+    }
+
+    /// Stable name of the input size for CSV cells.
+    pub fn input_name(&self) -> &'static str {
+        input_name(self.input)
+    }
+}
+
+/// Stable name for an input size.
+pub fn input_name(input: InputSize) -> &'static str {
+    match input {
+        InputSize::Test => "test",
+        InputSize::Small => "small",
+        InputSize::Native => "native",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_validation() {
+        let c = ExperimentConfig::new("phoenix");
+        assert!(c.validate().is_ok());
+        assert_eq!(c.threads, vec![1]);
+        assert_eq!(c.input_name(), "native");
+
+        assert!(ExperimentConfig::new("x").types(Vec::<String>::new()).validate().is_err());
+        assert!(ExperimentConfig::new("x").threads(vec![0]).validate().is_err());
+        assert!(ExperimentConfig::new("x").repetitions(0).validate().is_err());
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let c = ExperimentConfig::new("splash")
+            .types(vec!["gcc_native", "clang_native"])
+            .threads(vec![1, 2, 4])
+            .repetitions(3)
+            .input(InputSize::Test)
+            .benchmark("fft");
+        assert_eq!(c.build_types.len(), 2);
+        assert_eq!(c.threads, vec![1, 2, 4]);
+        assert_eq!(c.benchmark.as_deref(), Some("fft"));
+        assert_eq!(c.input_name(), "test");
+    }
+}

@@ -1,0 +1,208 @@
+//! Distributed experiments — the paper's §VI future-work item ("FEX
+//! supports only single-machine experiments. We are investigating ways to
+//! build distributed experiments, e.g., using the Fabric library").
+//!
+//! In this reproduction a *host* is a simulated machine configuration
+//! (core count, clock, cache geometry — heterogeneous clusters are the
+//! interesting case). A [`DistributedRun`] partitions a suite's
+//! benchmarks across hosts round-robin (Fabric-style fan-out), executes
+//! each partition under its host's machine, and merges the collected
+//! frames with a `host` column, so cross-host comparisons use the same
+//! collect/plot pipeline as everything else.
+
+use fex_suites::{InputSize, Suite};
+use fex_vm::{Machine, MachineConfig, Measurement};
+
+use crate::build::BuildSystem;
+use crate::collect::DataFrame;
+use crate::config::{input_name, ExperimentConfig};
+use crate::error::{FexError, Result};
+
+/// One simulated host in the cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostSpec {
+    /// Host name (becomes the `host` column value).
+    pub name: String,
+    /// Cores available to `parfor`.
+    pub cores: usize,
+    /// Clock frequency in Hz.
+    pub freq_hz: f64,
+}
+
+impl HostSpec {
+    /// Creates a host.
+    pub fn new(name: impl Into<String>, cores: usize, freq_hz: f64) -> Self {
+        HostSpec { name: name.into(), cores: cores.max(1), freq_hz }
+    }
+
+    fn machine_config(&self, seed: u64) -> MachineConfig {
+        MachineConfig {
+            cores: self.cores,
+            freq_hz: self.freq_hz,
+            seed,
+            ..MachineConfig::default()
+        }
+    }
+}
+
+/// A distributed experiment over one suite.
+#[derive(Debug)]
+pub struct DistributedRun {
+    suite: Suite,
+    hosts: Vec<HostSpec>,
+}
+
+impl DistributedRun {
+    /// Creates a distributed run.
+    ///
+    /// # Errors
+    ///
+    /// [`FexError::Config`] when no hosts are given or the suite is
+    /// proprietary.
+    pub fn new(suite: Suite, hosts: Vec<HostSpec>) -> Result<Self> {
+        if hosts.is_empty() {
+            return Err(FexError::Config("a distributed run needs at least one host".into()));
+        }
+        if suite.proprietary {
+            return Err(FexError::Config(format!(
+                "suite `{}` is proprietary and cannot be distributed",
+                suite.name
+            )));
+        }
+        Ok(DistributedRun { suite, hosts })
+    }
+
+    /// The benchmark partition for each host (round-robin).
+    pub fn partition(&self) -> Vec<(&HostSpec, Vec<&'static str>)> {
+        let mut parts: Vec<(&HostSpec, Vec<&'static str>)> =
+            self.hosts.iter().map(|h| (h, Vec::new())).collect();
+        for (i, prog) in self.suite.programs.iter().enumerate() {
+            parts[i % self.hosts.len()].1.push(prog.name);
+        }
+        parts
+    }
+
+    /// Executes the distributed experiment: each host builds (locally,
+    /// with the same pinned toolchain — reproducibility is preserved by
+    /// construction) and runs its partition.
+    ///
+    /// # Errors
+    ///
+    /// Build and run failures, annotated with the benchmark name.
+    pub fn execute(
+        &self,
+        build: &mut BuildSystem,
+        config: &ExperimentConfig,
+    ) -> Result<DataFrame> {
+        config.validate()?;
+        let mut columns = vec![
+            "host".to_string(),
+            "suite".to_string(),
+            "benchmark".to_string(),
+            "type".to_string(),
+            "input".to_string(),
+            "rep".to_string(),
+            "time".to_string(),
+            "cycles".to_string(),
+        ];
+        // Keep the frame shape stable regardless of tool.
+        columns.dedup();
+        let mut df = DataFrame::new(columns);
+        for (host, benches) in self.partition() {
+            for ty in &config.build_types {
+                for bench in &benches {
+                    let prog = self
+                        .suite
+                        .program(bench)
+                        .ok_or_else(|| FexError::UnknownName { kind: "benchmark", name: bench.to_string() })?;
+                    let artifact =
+                        build.build(bench, prog.source, ty, config.debug, config.no_build)?;
+                    for rep in 0..config.repetitions {
+                        let machine = Machine::new(host.machine_config(config.seed));
+                        let run = machine
+                            .load(&artifact.program)
+                            .run_entry(prog.args(effective_input(config)))
+                            .map_err(|source| FexError::Run {
+                                benchmark: bench.to_string(),
+                                source,
+                            })?;
+                        let m = Measurement::extract(config.tool, &run);
+                        df.push(vec![
+                            host.name.as_str().into(),
+                            self.suite.name.into(),
+                            (*bench).into(),
+                            ty.as_str().into(),
+                            input_name(effective_input(config)).into(),
+                            (rep as i64).into(),
+                            m.get("time").unwrap_or(run.wall_seconds).into(),
+                            (run.elapsed_cycles as i64).into(),
+                        ]);
+                    }
+                }
+            }
+        }
+        Ok(df)
+    }
+}
+
+fn effective_input(config: &ExperimentConfig) -> InputSize {
+    config.input
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::MakefileSet;
+
+    fn hosts() -> Vec<HostSpec> {
+        vec![
+            HostSpec::new("node-a", 4, 3.0e9),
+            HostSpec::new("node-b", 2, 2.0e9),
+        ]
+    }
+
+    #[test]
+    fn partition_is_round_robin_and_total() {
+        let run = DistributedRun::new(fex_suites::micro(), hosts()).unwrap();
+        let parts = run.partition();
+        let total: usize = parts.iter().map(|(_, b)| b.len()).sum();
+        assert_eq!(total, 4);
+        assert_eq!(parts[0].1, vec!["arrayread", "ptrchase"]);
+        assert_eq!(parts[1].1, vec!["arraywrite", "branches"]);
+    }
+
+    #[test]
+    fn executes_across_heterogeneous_hosts() {
+        let run = DistributedRun::new(fex_suites::micro(), hosts()).unwrap();
+        let mut build = BuildSystem::new(MakefileSet::standard());
+        let config = ExperimentConfig::new("micro")
+            .types(vec!["gcc_native"])
+            .input(InputSize::Test)
+            .repetitions(2);
+        let df = run.execute(&mut build, &config).unwrap();
+        // 4 benchmarks × 1 type × 2 reps.
+        assert_eq!(df.len(), 8);
+        assert_eq!(df.distinct("host").unwrap(), vec!["node-a", "node-b"]);
+        // The slower-clocked host reports proportionally larger times for
+        // identical cycle counts.
+        let t = |host: &str, bench: &str| -> (f64, f64) {
+            let sub = df
+                .filter_eq("host", host)
+                .unwrap()
+                .filter_eq("benchmark", bench)
+                .unwrap();
+            let row = sub.iter().next().unwrap().to_vec();
+            (row[6].as_num().unwrap(), row[7].as_num().unwrap())
+        };
+        let (ta, ca) = t("node-a", "arrayread");
+        assert!((ta - ca / 3.0e9).abs() / ta < 1e-9, "time must be cycles/freq");
+        let (tb, cb) = t("node-b", "arraywrite");
+        assert!((tb - cb / 2.0e9).abs() / tb < 1e-9);
+    }
+
+    #[test]
+    fn invalid_cluster_configs_are_rejected() {
+        assert!(DistributedRun::new(fex_suites::micro(), vec![]).is_err());
+        assert!(DistributedRun::new(fex_suites::spec_cpu2006(), hosts()).is_err());
+    }
+}

@@ -1,0 +1,219 @@
+//! Evaluation-Driven Development — the paper's §VI future-work item
+//! ("we would like to combine FEX with a continuous integration system
+//! (e.g., Jenkins) to facilitate Evaluation-Driven Development").
+//!
+//! A *baseline* is a stored result frame; a [`Gate`] bounds how much a
+//! metric may regress relative to it. [`check`] compares a fresh frame
+//! against the baseline group-by-group and produces a CI-ready verdict,
+//! so "did this commit slow anything down by more than 5%?" becomes a
+//! single call (and `Fex::save_baseline` / `Fex::edd_check` wire it into
+//! the container-persisted workflow).
+
+use crate::collect::{stats, DataFrame};
+use crate::error::{FexError, Result};
+
+/// A regression gate for one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gate {
+    /// Metric column (e.g. `time`, `maxrss_bytes`).
+    pub metric: String,
+    /// Maximum tolerated ratio of `current / baseline` (e.g. `1.05` for
+    /// "at most 5% slower").
+    pub max_ratio: f64,
+}
+
+impl Gate {
+    /// Creates a gate.
+    pub fn new(metric: impl Into<String>, max_ratio: f64) -> Self {
+        Gate { metric: metric.into(), max_ratio }
+    }
+}
+
+/// One gate violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// The group key (joined key-column values).
+    pub group: String,
+    /// The violated metric.
+    pub metric: String,
+    /// Baseline mean.
+    pub baseline: f64,
+    /// Current mean.
+    pub current: f64,
+    /// `current / baseline`.
+    pub ratio: f64,
+    /// The gate's bound.
+    pub max_ratio: f64,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}: {:.4} -> {:.4} ({:.2}x > {:.2}x allowed)",
+            self.group, self.metric, self.baseline, self.current, self.ratio, self.max_ratio
+        )
+    }
+}
+
+/// A gate-check verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EddReport {
+    /// Gate violations, empty when the check passes.
+    pub violations: Vec<Violation>,
+    /// Groups compared.
+    pub groups_checked: usize,
+}
+
+impl EddReport {
+    /// Whether every gate held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// A CI-log style summary.
+    pub fn summary(&self) -> String {
+        if self.passed() {
+            format!("EDD: OK ({} groups within gates)", self.groups_checked)
+        } else {
+            let mut s = format!(
+                "EDD: FAILED ({} violations in {} groups)\n",
+                self.violations.len(),
+                self.groups_checked
+            );
+            for v in &self.violations {
+                s.push_str(&format!("  {v}\n"));
+            }
+            s
+        }
+    }
+}
+
+/// Compares `current` against `baseline`: for every distinct combination
+/// of `keys`, the mean of each gated metric may grow by at most the
+/// gate's ratio.
+///
+/// Groups present in only one frame are ignored (new benchmarks don't
+/// fail the gate; removed ones stop being checked).
+///
+/// # Errors
+///
+/// [`FexError::Data`] if a key or metric column is missing from either
+/// frame.
+pub fn check(
+    baseline: &DataFrame,
+    current: &DataFrame,
+    keys: &[&str],
+    gates: &[Gate],
+) -> Result<EddReport> {
+    let mut violations = Vec::new();
+    let mut groups_checked = 0usize;
+    for gate in gates {
+        let base = baseline.group_agg(keys, &gate.metric, stats::mean)?;
+        let cur = current.group_agg(keys, &gate.metric, stats::mean)?;
+        let key_of = |row: &[crate::collect::Value]| {
+            row[..keys.len()]
+                .iter()
+                .map(|v| v.to_cell_string())
+                .collect::<Vec<_>>()
+                .join("/")
+        };
+        let base_map: std::collections::BTreeMap<String, f64> = base
+            .iter()
+            .map(|r| (key_of(r), r[keys.len()].as_num().unwrap_or(0.0)))
+            .collect();
+        for row in cur.iter() {
+            let group = key_of(row);
+            let Some(&b) = base_map.get(&group) else { continue };
+            groups_checked += 1;
+            let c = row[keys.len()].as_num().unwrap_or(0.0);
+            if b <= 0.0 {
+                continue;
+            }
+            let ratio = c / b;
+            if ratio > gate.max_ratio {
+                violations.push(Violation {
+                    group,
+                    metric: gate.metric.clone(),
+                    baseline: b,
+                    current: c,
+                    ratio,
+                    max_ratio: gate.max_ratio,
+                });
+            }
+        }
+    }
+    if groups_checked == 0 {
+        return Err(FexError::Data(
+            "edd check compared zero groups; do baseline and current share keys?".into(),
+        ));
+    }
+    Ok(EddReport { violations, groups_checked })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(rows: &[(&str, f64)]) -> DataFrame {
+        let mut df = DataFrame::new(vec!["benchmark", "time"]);
+        for (b, t) in rows {
+            df.push(vec![(*b).into(), (*t).into()]);
+        }
+        df
+    }
+
+    #[test]
+    fn passes_within_tolerance() {
+        let base = frame(&[("fft", 1.0), ("lu", 2.0)]);
+        let cur = frame(&[("fft", 1.03), ("lu", 1.9)]);
+        let r = check(&base, &cur, &["benchmark"], &[Gate::new("time", 1.05)]).unwrap();
+        assert!(r.passed(), "{}", r.summary());
+        assert_eq!(r.groups_checked, 2);
+    }
+
+    #[test]
+    fn flags_regressions_with_context() {
+        let base = frame(&[("fft", 1.0)]);
+        let cur = frame(&[("fft", 1.25)]);
+        let r = check(&base, &cur, &["benchmark"], &[Gate::new("time", 1.05)]).unwrap();
+        assert!(!r.passed());
+        let v = &r.violations[0];
+        assert_eq!(v.group, "fft");
+        assert!((v.ratio - 1.25).abs() < 1e-9);
+        assert!(r.summary().contains("FAILED"));
+        assert!(v.to_string().contains("fft"));
+    }
+
+    #[test]
+    fn new_and_removed_groups_are_ignored() {
+        let base = frame(&[("fft", 1.0), ("gone", 1.0)]);
+        let cur = frame(&[("fft", 1.0), ("brand_new", 9.0)]);
+        let r = check(&base, &cur, &["benchmark"], &[Gate::new("time", 1.05)]).unwrap();
+        assert!(r.passed());
+        assert_eq!(r.groups_checked, 1);
+    }
+
+    #[test]
+    fn disjoint_frames_are_an_error() {
+        let base = frame(&[("a", 1.0)]);
+        let cur = frame(&[("b", 1.0)]);
+        assert!(check(&base, &cur, &["benchmark"], &[Gate::new("time", 1.05)]).is_err());
+    }
+
+    #[test]
+    fn multiple_gates_accumulate() {
+        let mut base = DataFrame::new(vec!["benchmark", "time", "maxrss_bytes"]);
+        base.push(vec!["x".into(), 1.0.into(), 100.0.into()]);
+        let mut cur = DataFrame::new(vec!["benchmark", "time", "maxrss_bytes"]);
+        cur.push(vec!["x".into(), 2.0.into(), 300.0.into()]);
+        let r = check(
+            &base,
+            &cur,
+            &["benchmark"],
+            &[Gate::new("time", 1.1), Gate::new("maxrss_bytes", 1.5)],
+        )
+        .unwrap();
+        assert_eq!(r.violations.len(), 2);
+    }
+}

@@ -1,0 +1,192 @@
+//! Environment-variable layering (§II-B of the paper).
+//!
+//! Fex defines four variable classes with strictly increasing priority:
+//!
+//! 1. **default** — baseline values,
+//! 2. **updated** — appended if the variable exists, assigned otherwise,
+//! 3. **forced** — overwrite unconditionally,
+//! 4. **debug** — applied only in debug mode (highest priority).
+//!
+//! The paper's example: `BIN_PATH` defaulted to `/usr/bin/` and forced to
+//! `/home/usr/bin/` resolves to the forced value. Environments are open
+//! for extension: implement [`Environment`] (the paper's
+//! `set_variables()` override) to add custom classes of behaviour.
+
+use std::collections::BTreeMap;
+
+/// The four-layer variable specification.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EnvSpec {
+    /// Baseline values.
+    pub default: Vec<(String, String)>,
+    /// Appended (`existing + value`) if present, assigned otherwise.
+    pub updated: Vec<(String, String)>,
+    /// Unconditional overwrites.
+    pub forced: Vec<(String, String)>,
+    /// Applied only in debug mode, overwriting.
+    pub debug: Vec<(String, String)>,
+}
+
+impl EnvSpec {
+    /// Resolves the final variable map, honouring layer priority.
+    pub fn resolve(&self, debug_mode: bool) -> BTreeMap<String, String> {
+        let mut out: BTreeMap<String, String> = BTreeMap::new();
+        for (k, v) in &self.default {
+            out.insert(k.clone(), v.clone());
+        }
+        for (k, v) in &self.updated {
+            match out.get_mut(k) {
+                Some(existing) => {
+                    existing.push(' ');
+                    existing.push_str(v);
+                }
+                None => {
+                    out.insert(k.clone(), v.clone());
+                }
+            }
+        }
+        for (k, v) in &self.forced {
+            out.insert(k.clone(), v.clone());
+        }
+        if debug_mode {
+            for (k, v) in &self.debug {
+                out.insert(k.clone(), v.clone());
+            }
+        }
+        out
+    }
+}
+
+/// An environment: the paper's `Environment` abstract class. Implementors
+/// provide the variable spec; the framework resolves and applies it to the
+/// container before each experiment.
+pub trait Environment {
+    /// Environment name (for logs).
+    fn name(&self) -> &str;
+
+    /// The variable layers (the paper's `set_variables`).
+    fn spec(&self) -> EnvSpec;
+}
+
+/// Plain native runs.
+#[derive(Debug, Clone, Default)]
+pub struct NativeEnvironment;
+
+impl Environment for NativeEnvironment {
+    fn name(&self) -> &str {
+        "native"
+    }
+
+    fn spec(&self) -> EnvSpec {
+        EnvSpec {
+            default: vec![
+                ("BIN_PATH".into(), "/usr/bin/".into()),
+                ("LC_ALL".into(), "C".into()),
+                ("OMP_NUM_THREADS".into(), "1".into()),
+            ],
+            debug: vec![("FEX_VERBOSE_RUNTIME".into(), "1".into())],
+            ..EnvSpec::default()
+        }
+    }
+}
+
+/// AddressSanitizer runs: tunes `ASAN_OPTIONS` (the paper's example of an
+/// environment subclass).
+#[derive(Debug, Clone, Default)]
+pub struct AsanEnvironment;
+
+impl Environment for AsanEnvironment {
+    fn name(&self) -> &str {
+        "asan"
+    }
+
+    fn spec(&self) -> EnvSpec {
+        let base = NativeEnvironment.spec();
+        EnvSpec {
+            default: base.default,
+            updated: vec![(
+                "ASAN_OPTIONS".into(),
+                "detect_leaks=0:halt_on_error=1".into(),
+            )],
+            forced: vec![],
+            debug: vec![
+                ("FEX_VERBOSE_RUNTIME".into(), "1".into()),
+                ("ASAN_OPTIONS".into(), "verbosity=2".into()),
+            ],
+        }
+    }
+}
+
+/// Selects the environment appropriate for a build type name.
+pub fn environment_for(build_type: &str) -> Box<dyn Environment> {
+    if build_type.contains("asan") {
+        Box::new(AsanEnvironment)
+    } else {
+        Box::new(NativeEnvironment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_priority_matches_the_paper() {
+        let spec = EnvSpec {
+            default: vec![("BIN_PATH".into(), "/usr/bin/".into())],
+            forced: vec![("BIN_PATH".into(), "/home/usr/bin/".into())],
+            ..EnvSpec::default()
+        };
+        // The paper's worked example: forced wins over default.
+        assert_eq!(spec.resolve(false)["BIN_PATH"], "/home/usr/bin/");
+    }
+
+    #[test]
+    fn updated_appends_when_present_and_assigns_otherwise() {
+        let spec = EnvSpec {
+            default: vec![("CFLAGS".into(), "-O2".into())],
+            updated: vec![
+                ("CFLAGS".into(), "-g".into()),
+                ("NEWVAR".into(), "x".into()),
+            ],
+            ..EnvSpec::default()
+        };
+        let r = spec.resolve(false);
+        assert_eq!(r["CFLAGS"], "-O2 -g");
+        assert_eq!(r["NEWVAR"], "x");
+    }
+
+    #[test]
+    fn debug_layer_only_in_debug_mode() {
+        let spec = EnvSpec {
+            default: vec![("V".into(), "0".into())],
+            debug: vec![("V".into(), "9".into())],
+            ..EnvSpec::default()
+        };
+        assert_eq!(spec.resolve(false)["V"], "0");
+        assert_eq!(spec.resolve(true)["V"], "9");
+    }
+
+    #[test]
+    fn forced_beats_updated_and_debug_beats_forced() {
+        let spec = EnvSpec {
+            default: vec![("A".into(), "d".into())],
+            updated: vec![("A".into(), "u".into())],
+            forced: vec![("A".into(), "f".into())],
+            debug: vec![("A".into(), "g".into())],
+        };
+        assert_eq!(spec.resolve(false)["A"], "f");
+        assert_eq!(spec.resolve(true)["A"], "g");
+    }
+
+    #[test]
+    fn asan_environment_extends_native() {
+        let e = environment_for("gcc_asan");
+        assert_eq!(e.name(), "asan");
+        let vars = e.spec().resolve(false);
+        assert!(vars.contains_key("ASAN_OPTIONS"));
+        assert!(vars.contains_key("BIN_PATH"));
+        let n = environment_for("clang_native");
+        assert_eq!(n.name(), "native");
+    }
+}

@@ -1,0 +1,89 @@
+//! The framework-level error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Any failure surfaced by the framework.
+#[derive(Debug)]
+pub enum FexError {
+    /// A benchmark failed to build.
+    Build {
+        /// Benchmark name.
+        benchmark: String,
+        /// Build type.
+        build_type: String,
+        /// Underlying compiler error.
+        source: fex_cc::CompileError,
+    },
+    /// A benchmark run faulted.
+    Run {
+        /// Benchmark name.
+        benchmark: String,
+        /// Underlying VM error.
+        source: fex_vm::VmError,
+    },
+    /// Container/installation problem.
+    Container(fex_container::ContainerError),
+    /// The experiment, build type, benchmark or install script name is
+    /// not registered.
+    UnknownName {
+        /// What kind of name was looked up.
+        kind: &'static str,
+        /// The name.
+        name: String,
+    },
+    /// The experiment configuration is invalid.
+    Config(String),
+    /// Collecting/plotting failed (missing columns, empty data…).
+    Data(String),
+}
+
+impl fmt::Display for FexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FexError::Build { benchmark, build_type, source } => {
+                write!(f, "building `{benchmark}` as `{build_type}` failed: {source}")
+            }
+            FexError::Run { benchmark, source } => {
+                write!(f, "running `{benchmark}` failed: {source}")
+            }
+            FexError::Container(e) => write!(f, "container: {e}"),
+            FexError::UnknownName { kind, name } => write!(f, "unknown {kind} `{name}`"),
+            FexError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            FexError::Data(msg) => write!(f, "data error: {msg}"),
+        }
+    }
+}
+
+impl Error for FexError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FexError::Build { source, .. } => Some(source),
+            FexError::Run { source, .. } => Some(source),
+            FexError::Container(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fex_container::ContainerError> for FexError {
+    fn from(e: fex_container::ContainerError) -> Self {
+        FexError::Container(e)
+    }
+}
+
+/// Framework result alias.
+pub type Result<T> = std::result::Result<T, FexError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = FexError::UnknownName { kind: "experiment", name: "nope".into() };
+        assert_eq!(e.to_string(), "unknown experiment `nope`");
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FexError>();
+    }
+}

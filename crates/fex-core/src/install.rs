@@ -1,0 +1,161 @@
+//! Installation scripts (§II-A, the `install/` directory).
+//!
+//! The framework ships scripts for compilers, dependencies and additional
+//! benchmarks; each resolves to pinned package versions in the simulated
+//! registry — Fex "cannot rely on Linux default package managers …
+//! because compiler versions in their repositories change over time and
+//! thus hinder reproducibility".
+
+use fex_container::{Container, PackageRegistry};
+
+use crate::error::{FexError, Result};
+
+/// The install-script categories (the three `install/` subdirectories).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScriptKind {
+    /// `install/compilers/`.
+    Compiler,
+    /// `install/dependencies/`.
+    Dependency,
+    /// `install/benchmarks/`.
+    Benchmark,
+}
+
+/// One installation script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstallScript {
+    /// Script name (`fex install -n <name>`).
+    pub name: &'static str,
+    /// Category.
+    pub kind: ScriptKind,
+    /// Packages this script installs, `(name, version)`.
+    pub packages: Vec<(&'static str, &'static str)>,
+}
+
+/// All shipped install scripts.
+pub fn scripts() -> Vec<InstallScript> {
+    use ScriptKind::*;
+    let s = |name, kind, packages: &[(&'static str, &'static str)]| InstallScript {
+        name,
+        kind,
+        packages: packages.to_vec(),
+    };
+    vec![
+        s("gcc-6.1", Compiler, &[("gcc", "6.1.0")]),
+        s("gcc-5.4", Compiler, &[("gcc", "5.4.0")]),
+        s("clang-3.8", Compiler, &[("clang", "3.8.0")]),
+        s("clang-3.9", Compiler, &[("clang", "3.9.1")]),
+        s("gettext", Dependency, &[("gettext", "0.19")]),
+        s("libevent", Dependency, &[("libevent", "2.0.22")]),
+        s("openssl", Dependency, &[("openssl", "1.0.2g")]),
+        s("perf", Dependency, &[("perf", "4.4")]),
+        s("phoenix_inputs", Dependency, &[("phoenix_inputs", "1.0")]),
+        s("splash_inputs", Dependency, &[("splash_inputs", "3.0")]),
+        s("parsec_inputs", Dependency, &[("parsec_inputs", "3.0")]),
+        s("apache", Benchmark, &[("apache", "2.4.18")]),
+        s("apache-vulnerable", Benchmark, &[("apache", "2.2.21")]),
+        s("nginx", Benchmark, &[("nginx", "1.10.1")]),
+        s("nginx-vulnerable", Benchmark, &[("nginx", "1.4.0")]),
+        s("memcached", Benchmark, &[("memcached", "1.4.25")]),
+        s("ripe", Benchmark, &[("ripe", "2015.04")]),
+    ]
+}
+
+/// Looks a script up by name.
+pub fn script(name: &str) -> Option<InstallScript> {
+    scripts().into_iter().find(|s| s.name == name)
+}
+
+/// Executes a script against a container.
+///
+/// # Errors
+///
+/// [`FexError::UnknownName`] for unregistered scripts and container errors
+/// for version conflicts / missing packages.
+pub fn run_script(
+    container: &mut Container,
+    registry: &PackageRegistry,
+    name: &str,
+) -> Result<()> {
+    let script = script(name)
+        .ok_or_else(|| FexError::UnknownName { kind: "install script", name: name.to_string() })?;
+    for (pkg, version) in &script.packages {
+        container.install(registry, pkg, version)?;
+    }
+    Ok(())
+}
+
+/// The install scripts an experiment needs before `fex run` will work:
+/// compilers for the requested build types plus per-experiment inputs or
+/// server packages.
+pub fn required_scripts(experiment: &str, build_types: &[String]) -> Vec<&'static str> {
+    let mut out = Vec::new();
+    for ty in build_types {
+        if ty.starts_with("gcc") && !out.contains(&"gcc-6.1") {
+            out.push("gcc-6.1");
+        }
+        if ty.starts_with("clang") && !out.contains(&"clang-3.8") {
+            out.push("clang-3.8");
+        }
+    }
+    match experiment {
+        "phoenix" | "phoenix_var" => out.push("phoenix_inputs"),
+        "splash" => out.push("splash_inputs"),
+        "parsec" | "parsec_var" => out.push("parsec_inputs"),
+        "nginx" => out.push("nginx"),
+        "apache" => out.push("apache"),
+        "memcached" => out.push("memcached"),
+        "ripe" => out.push("ripe"),
+        _ => {}
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fex_container::Image;
+
+    #[test]
+    fn scripts_resolve_against_the_standard_registry() {
+        // Alternate-version scripts conflict with each other by design, so
+        // each script is validated in its own clean container.
+        let registry = PackageRegistry::standard();
+        for s in scripts() {
+            let mut c = Container::start(&Image::fex_shipping_image());
+            run_script(&mut c, &registry, s.name)
+                .unwrap_or_else(|e| panic!("script {} failed: {e}", s.name));
+            for (pkg, version) in &s.packages {
+                assert!(c.installed(pkg, version), "{}: {pkg} {version} missing", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_scripts_are_reported() {
+        let registry = PackageRegistry::standard();
+        let mut c = Container::start(&Image::fex_shipping_image());
+        assert!(matches!(
+            run_script(&mut c, &registry, "gcc-99"),
+            Err(FexError::UnknownName { .. })
+        ));
+    }
+
+    #[test]
+    fn conflicting_scripts_fail_loudly() {
+        let registry = PackageRegistry::standard();
+        let mut c = Container::start(&Image::fex_shipping_image());
+        run_script(&mut c, &registry, "nginx").unwrap();
+        // The vulnerable version conflicts with the fixed one.
+        assert!(run_script(&mut c, &registry, "nginx-vulnerable").is_err());
+    }
+
+    #[test]
+    fn required_scripts_cover_the_paper_workflow() {
+        // The paper's example: install gcc-6.1, phoenix inputs, apache.
+        let req = required_scripts("phoenix", &["gcc_native".into(), "gcc_asan".into()]);
+        assert_eq!(req, vec!["gcc-6.1", "phoenix_inputs"]);
+        let req = required_scripts("nginx", &["gcc_native".into(), "clang_native".into()]);
+        assert_eq!(req, vec!["gcc-6.1", "clang-3.8", "nginx"]);
+    }
+}

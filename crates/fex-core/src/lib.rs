@@ -1,0 +1,64 @@
+//! # fex-core — the Fex software systems evaluation framework
+//!
+//! A Rust reproduction of *Fex: A Software Systems Evaluator* (Oleksenko,
+//! Kuvaiskii, Bhatotia, Fetzer — DSN 2017): an **extensible**,
+//! **practical** and **reproducible** framework that unifies the whole
+//! build–run–collect–plot evaluation pipeline across benchmark suites and
+//! real-world applications.
+//!
+//! The subsystems mirror the paper's architecture:
+//!
+//! * [`env`](mod@env) — four-layer environment-variable model (§II-B),
+//! * [`build`] — the three-layer makefile hierarchy (Fig 2) feeding the
+//!   [`fex-cc`](fex_cc) compiler substrate,
+//! * [`runner`] — the `Runner` class hierarchy with the Fig 4 experiment
+//!   loop and its hooks, including `VariableInputRunner`,
+//! * [`collect`] — log → [`DataFrame`](collect::DataFrame) → CSV, with the
+//!   statistics module covering the paper's "future work" items (CIs,
+//!   Welch's t-test),
+//! * [`plot`] — the five generic plot kinds of Table I plus the
+//!   throughput-latency scatterline, rendered to SVG and ASCII,
+//! * [`workflow`] — the [`Fex`] orchestrator (`fex.py`), running
+//!   everything inside the simulated [`fex-container`](fex_container)
+//!   with pinned-version [install scripts](install),
+//! * [`registry`] — the Table I support matrix.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fex_core::{ExperimentConfig, Fex, PlotRequest};
+//! use fex_suites::InputSize;
+//!
+//! let mut fex = Fex::new();
+//! // Setup stage: install pinned toolchains inside the container.
+//! fex.install("gcc-6.1")?;
+//! fex.install("clang-3.8")?;
+//! // Run stage: build + run + collect.
+//! let config = ExperimentConfig::new("micro")
+//!     .types(vec!["gcc_native", "clang_native"])
+//!     .input(InputSize::Test)
+//!     .benchmark("arrayread");
+//! fex.run(&config)?;
+//! // Plot stage.
+//! let plot = fex.plot("micro", PlotRequest::Perf)?;
+//! println!("{}", plot.to_ascii());
+//! # Ok::<(), fex_core::FexError>(())
+//! ```
+
+pub mod build;
+pub mod cli;
+pub mod collect;
+pub mod config;
+pub mod distributed;
+pub mod edd;
+pub mod env;
+mod error;
+pub mod install;
+pub mod plot;
+pub mod registry;
+pub mod runner;
+pub mod workflow;
+
+pub use config::ExperimentConfig;
+pub use error::{FexError, Result};
+pub use workflow::{Fex, PlotRequest};

@@ -1,0 +1,302 @@
+//! SVG rendering.
+
+use std::fmt::Write as _;
+
+use super::{Plot, PlotKind};
+
+const PALETTE: [&str; 8] = [
+    "#4878a8", "#e49444", "#5aa056", "#d1615d", "#857aab", "#8d7866", "#d2a295", "#6f8f9f",
+];
+
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 24.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 72.0;
+
+/// Renders a plot to an SVG document.
+pub fn render(plot: &Plot, width: u32, height: u32) -> String {
+    let w = width as f64;
+    let h = height as f64;
+    let inner_w = w - MARGIN_L - MARGIN_R;
+    let inner_h = h - MARGIN_T - MARGIN_B;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
+    );
+    let _ = writeln!(s, r#"<rect width="{width}" height="{height}" fill="white"/>"#);
+    let _ = writeln!(
+        s,
+        r#"<text x="{}" y="22" font-size="15" text-anchor="middle" font-family="sans-serif">{}</text>"#,
+        w / 2.0,
+        esc(&plot.title)
+    );
+
+    let (min_x, max_x) = x_range(plot);
+    let max_y = plot.max_value().max(1e-12) * 1.08;
+
+    // Axes.
+    let x0 = MARGIN_L;
+    let y0 = h - MARGIN_B;
+    let _ = writeln!(
+        s,
+        r#"<line x1="{x0}" y1="{y0}" x2="{}" y2="{y0}" stroke="black"/>"#,
+        w - MARGIN_R
+    );
+    let _ = writeln!(s, r#"<line x1="{x0}" y1="{MARGIN_T}" x2="{x0}" y2="{y0}" stroke="black"/>"#);
+    // Y ticks.
+    for t in 0..=4 {
+        let v = max_y * t as f64 / 4.0;
+        let y = y0 - inner_h * t as f64 / 4.0;
+        let _ = writeln!(
+            s,
+            r#"<line x1="{}" y1="{y}" x2="{x0}" y2="{y}" stroke="black"/>"#,
+            x0 - 4.0
+        );
+        let _ = writeln!(
+            s,
+            r#"<text x="{}" y="{}" font-size="11" text-anchor="end" font-family="sans-serif">{}</text>"#,
+            x0 - 8.0,
+            y + 4.0,
+            fmt_num(v)
+        );
+    }
+    // Axis labels.
+    let _ = writeln!(
+        s,
+        r#"<text x="{}" y="{}" font-size="12" text-anchor="middle" font-family="sans-serif">{}</text>"#,
+        w / 2.0,
+        h - 10.0,
+        esc(&plot.xlabel)
+    );
+    let _ = writeln!(
+        s,
+        r#"<text x="16" y="{}" font-size="12" text-anchor="middle" font-family="sans-serif" transform="rotate(-90 16 {})">{}</text>"#,
+        h / 2.0,
+        h / 2.0,
+        esc(&plot.ylabel)
+    );
+
+    // Reference line.
+    if let Some(hl) = plot.hline {
+        let y = y0 - inner_h * (hl / max_y);
+        let _ = writeln!(
+            s,
+            r##"<line x1="{x0}" y1="{y}" x2="{}" y2="{y}" stroke="#888" stroke-dasharray="4 3"/>"##,
+            w - MARGIN_R
+        );
+    }
+
+    match plot.kind {
+        PlotKind::Bar | PlotKind::GroupedBar => render_bars(&mut s, plot, x0, y0, inner_w, inner_h, max_y, false),
+        PlotKind::StackedBar | PlotKind::StackedGroupedBar => {
+            render_bars(&mut s, plot, x0, y0, inner_w, inner_h, max_y, true)
+        }
+        PlotKind::Line | PlotKind::ScatterLine => {
+            render_lines(&mut s, plot, x0, y0, inner_w, inner_h, min_x, max_x, max_y)
+        }
+    }
+
+    // Legend.
+    let mut ly = MARGIN_T + 4.0;
+    for (i, series) in plot.series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let lx = w - MARGIN_R - 150.0;
+        let _ = writeln!(s, r#"<rect x="{lx}" y="{}" width="12" height="12" fill="{color}"/>"#, ly - 10.0);
+        let _ = writeln!(
+            s,
+            r#"<text x="{}" y="{ly}" font-size="11" font-family="sans-serif">{}</text>"#,
+            lx + 16.0,
+            esc(&series.name)
+        );
+        ly += 16.0;
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+fn x_range(plot: &Plot) -> (f64, f64) {
+    let xs: Vec<f64> = plot.series.iter().flat_map(|s| s.xs.clone().unwrap_or_default()).collect();
+    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if min.is_finite() && max.is_finite() && max > min {
+        (min, max)
+    } else {
+        (0.0, 1.0)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_bars(
+    s: &mut String,
+    plot: &Plot,
+    x0: f64,
+    y0: f64,
+    inner_w: f64,
+    inner_h: f64,
+    max_y: f64,
+    stacked: bool,
+) {
+    let ncat = plot.categories.len().max(1);
+    let cat_w = inner_w / ncat as f64;
+    // Stacked-grouped: group stacks by their `stack` label.
+    let stacks: Vec<String> = if plot.kind == PlotKind::StackedGroupedBar {
+        let mut v: Vec<String> = Vec::new();
+        for series in &plot.series {
+            let key = series.stack.clone().unwrap_or_default();
+            if !v.contains(&key) {
+                v.push(key);
+            }
+        }
+        v
+    } else if stacked {
+        vec![String::new()]
+    } else {
+        Vec::new()
+    };
+    for (ci, cat) in plot.categories.iter().enumerate() {
+        let cx = x0 + cat_w * (ci as f64 + 0.5);
+        // Category label (slanted to fit).
+        let _ = writeln!(
+            s,
+            r#"<text x="{cx}" y="{}" font-size="10" text-anchor="end" font-family="sans-serif" transform="rotate(-35 {cx} {})">{}</text>"#,
+            y0 + 14.0,
+            y0 + 14.0,
+            esc(cat)
+        );
+        if stacked {
+            let nst = stacks.len().max(1);
+            let bar_w = (cat_w * 0.8) / nst as f64;
+            for (gi, g) in stacks.iter().enumerate() {
+                let bx = x0 + cat_w * ci as f64 + cat_w * 0.1 + bar_w * gi as f64;
+                let mut acc = 0.0;
+                for (si, series) in plot.series.iter().enumerate() {
+                    if plot.kind == PlotKind::StackedGroupedBar
+                        && series.stack.clone().unwrap_or_default() != *g
+                    {
+                        continue;
+                    }
+                    let v = series.values.get(ci).copied().unwrap_or(0.0);
+                    let bh = inner_h * (v / max_y);
+                    let by = y0 - inner_h * (acc / max_y) - bh;
+                    let color = PALETTE[si % PALETTE.len()];
+                    let _ = writeln!(
+                        s,
+                        r#"<rect x="{bx:.2}" y="{by:.2}" width="{bar_w:.2}" height="{bh:.2}" fill="{color}" stroke="white" stroke-width="0.5"/>"#
+                    );
+                    acc += v;
+                }
+            }
+        } else {
+            let nser = plot.series.len().max(1);
+            let bar_w = (cat_w * 0.8) / nser as f64;
+            for (si, series) in plot.series.iter().enumerate() {
+                let v = series.values.get(ci).copied().unwrap_or(0.0);
+                let bh = inner_h * (v / max_y);
+                let bx = x0 + cat_w * ci as f64 + cat_w * 0.1 + bar_w * si as f64;
+                let by = y0 - bh;
+                let color = PALETTE[si % PALETTE.len()];
+                let _ = writeln!(
+                    s,
+                    r#"<rect x="{bx:.2}" y="{by:.2}" width="{bar_w:.2}" height="{bh:.2}" fill="{color}"/>"#
+                );
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_lines(
+    s: &mut String,
+    plot: &Plot,
+    x0: f64,
+    y0: f64,
+    inner_w: f64,
+    inner_h: f64,
+    min_x: f64,
+    max_x: f64,
+    max_y: f64,
+) {
+    let span = (max_x - min_x).max(1e-12);
+    for (si, series) in plot.series.iter().enumerate() {
+        let Some(xs) = &series.xs else { continue };
+        let color = PALETTE[si % PALETTE.len()];
+        let mut points = String::new();
+        for (x, y) in xs.iter().zip(&series.values) {
+            let px = x0 + inner_w * ((x - min_x) / span);
+            let py = y0 - inner_h * (y / max_y);
+            let _ = write!(points, "{px:.2},{py:.2} ");
+            if plot.kind == PlotKind::ScatterLine {
+                let _ = writeln!(s, r#"<circle cx="{px:.2}" cy="{py:.2}" r="3" fill="{color}"/>"#);
+            }
+        }
+        let _ = writeln!(
+            s,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
+            points.trim_end()
+        );
+    }
+    // X ticks.
+    for t in 0..=4 {
+        let v = min_x + span * t as f64 / 4.0;
+        let x = x0 + inner_w * t as f64 / 4.0;
+        let _ = writeln!(
+            s,
+            r#"<text x="{x}" y="{}" font-size="11" text-anchor="middle" font-family="sans-serif">{}</text>"#,
+            y0 + 16.0,
+            fmt_num(v)
+        );
+    }
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 10_000.0 {
+        format!("{:.0}k", v / 1000.0)
+    } else if v.abs() >= 10.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plot::Series;
+
+    #[test]
+    fn svg_contains_bars_and_legend() {
+        let mut p = Plot::new(PlotKind::Bar, "demo & test");
+        p.categories = vec!["a".into(), "b".into()];
+        p.series.push(Series::bars("s1", vec![1.0, 2.0]));
+        p.hline = Some(1.0);
+        let svg = p.to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("<rect"));
+        assert!(svg.contains("stroke-dasharray"), "reference line missing");
+        assert!(svg.contains("demo &amp; test"), "title not escaped");
+        assert!(svg.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn svg_lines_have_polyline_and_markers() {
+        let mut p = Plot::new(PlotKind::ScatterLine, "tl");
+        p.series.push(Series::line("gcc", vec![(0.0, 0.2), (10.0, 0.3), (20.0, 0.7)]));
+        let svg = p.to_svg();
+        assert!(svg.contains("<polyline"));
+        assert!(svg.contains("<circle"));
+    }
+
+    #[test]
+    fn empty_plot_still_renders() {
+        let p = Plot::new(PlotKind::Line, "empty");
+        let svg = p.to_svg();
+        assert!(svg.contains("</svg>"));
+    }
+}

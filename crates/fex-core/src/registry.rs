@@ -1,0 +1,121 @@
+//! The framework's experiment registry — the data behind Table I.
+
+use fex_vm::MeasureTool;
+
+/// How an experiment is driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExperimentKind {
+    /// Benchmark suite under the Fig 4 loop.
+    SuitePerformance,
+    /// Suite with an input-size sweep ([`VariableInputRunner`]).
+    ///
+    /// [`VariableInputRunner`]: crate::runner::VariableInputRunner
+    VariableInput,
+    /// Server throughput-latency simulation.
+    Server,
+    /// RIPE security testbed.
+    Security,
+}
+
+/// A registered experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentEntry {
+    /// `-n` name.
+    pub name: &'static str,
+    /// Description for `fex list`.
+    pub description: &'static str,
+    /// Runner kind.
+    pub kind: ExperimentKind,
+}
+
+/// All registered experiments.
+pub fn experiments() -> Vec<ExperimentEntry> {
+    use ExperimentKind::*;
+    let e = |name, description, kind| ExperimentEntry { name, description, kind };
+    vec![
+        e("phoenix", "Phoenix suite performance/memory overheads", SuitePerformance),
+        e("splash", "SPLASH-3 suite performance overheads", SuitePerformance),
+        e("parsec", "PARSEC subset performance overheads", SuitePerformance),
+        e("micro", "microbenchmarks for debugging", SuitePerformance),
+        e("phoenix_var", "Phoenix with variable input sizes", VariableInput),
+        e("parsec_var", "PARSEC with variable input sizes", VariableInput),
+        e("nginx", "Nginx throughput-latency (2K static page, 1Gb link)", Server),
+        e("apache", "Apache throughput-latency", Server),
+        e("memcached", "Memcached throughput-latency (get/set mix)", Server),
+        e("ripe", "RIPE security testbed (832 attacks)", Security),
+    ]
+}
+
+/// Looks an experiment up by name.
+pub fn experiment(name: &str) -> Option<ExperimentEntry> {
+    experiments().into_iter().find(|e| e.name == name)
+}
+
+/// Renders Table I: the currently supported experiments.
+pub fn table_one() -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let suites: Vec<&str> = fex_suites::all_suites()
+        .iter()
+        .map(|su| if su.proprietary { "SPEC CPU2006*" } else { su.name })
+        .map(|n| match n {
+            "phoenix" => "Phoenix",
+            "splash" => "SPLASH",
+            "parsec" => "PARSEC",
+            "micro" => "micro",
+            other => other,
+        })
+        .collect();
+    let _ = writeln!(s, "- Benchmark suites   {}", suites.join(", "));
+    let _ = writeln!(s, "- Add. benchmarks    Apache, Nginx, Memcached, RIPE");
+    let _ = writeln!(s, "- Compilers          GCC, Clang/LLVM");
+    let _ = writeln!(s, "- Types              AddressSanitizer (as example)");
+    let _ = writeln!(
+        s,
+        "- Experiments        Performance and memory overheads, security evaluation"
+    );
+    let tools: Vec<&str> = MeasureTool::all().iter().map(|t| t.name()).collect();
+    let _ = writeln!(s, "- Tools              {}", tools.join(", "));
+    let _ = writeln!(
+        s,
+        "- Plots              Lineplot, regular barplot, stacked barplot, grouped barplot, stacked-grouped barplot"
+    );
+    let _ = writeln!(s, "* Not open-sourced as part of FEX due to proprietary license.");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_the_papers_experiments() {
+        let names: Vec<&str> = experiments().iter().map(|e| e.name).collect();
+        for required in ["phoenix", "splash", "parsec", "nginx", "apache", "memcached", "ripe"] {
+            assert!(names.contains(&required), "missing {required}");
+        }
+        assert!(experiment("ripe").is_some());
+        assert!(experiment("nope").is_none());
+    }
+
+    #[test]
+    fn table_one_lists_all_rows() {
+        let t = table_one();
+        for needle in [
+            "Phoenix",
+            "SPLASH",
+            "PARSEC",
+            "SPEC CPU2006*",
+            "Nginx",
+            "RIPE",
+            "GCC",
+            "Clang",
+            "AddressSanitizer",
+            "perf-stat",
+            "stacked-grouped barplot",
+            "proprietary license",
+        ] {
+            assert!(t.contains(needle), "table I missing `{needle}`:\n{t}");
+        }
+    }
+}

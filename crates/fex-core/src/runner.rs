@@ -1,0 +1,637 @@
+//! Experiment runners (Fig 3 and Fig 4 of the paper).
+//!
+//! [`Runner`] is the paper's `Runner` abstract class: a default
+//! [`experiment_loop`](Runner::experiment_loop) nests build-type →
+//! benchmark → thread-count → repetition exactly as Fig 4 shows, with an
+//! overridable hook at every level. [`SuiteRunner`] drives the benchmark
+//! suites through it; [`VariableInputRunner`] redefines the loop to add an
+//! input-size dimension (the paper's `VariableInputRunner` subclass);
+//! [`ServerRunner`] and [`SecurityRunner`] replace the loop wholesale for
+//! the throughput-latency and RIPE experiments.
+
+use std::collections::HashMap;
+
+use fex_cc::BuildOptions;
+use fex_netsim::{ServerBuild, ServerKind, Simulation, Workload};
+use fex_ripe::{run_testbed, TestbedConfig};
+use fex_suites::{BenchProgram, InputSize, Suite};
+use fex_vm::{Machine, MachineConfig};
+
+use crate::build::{Artifact, BuildSystem};
+use crate::collect::{Collector, DataFrame};
+use crate::config::{input_name, ExperimentConfig};
+use crate::env::environment_for;
+use crate::error::{FexError, Result};
+
+/// Shared state handed to runner hooks.
+pub struct RunContext<'a> {
+    /// The experiment configuration.
+    pub config: &'a ExperimentConfig,
+    /// The build subsystem.
+    pub build: &'a mut BuildSystem,
+    /// Experiment log lines (environment details, progress).
+    pub log: &'a mut Vec<String>,
+}
+
+impl RunContext<'_> {
+    /// Appends a log line (printed immediately in verbose mode).
+    pub fn log(&mut self, line: impl Into<String>) {
+        let line = line.into();
+        if self.config.verbose {
+            println!("[fex] {line}");
+        }
+        self.log.push(line);
+    }
+
+    /// Machine configuration for a run with the given thread count.
+    pub fn machine_config(&self, threads: usize) -> MachineConfig {
+        MachineConfig { cores: threads.max(1), seed: self.config.seed, ..MachineConfig::default() }
+    }
+}
+
+/// The paper's `Runner` class: hooks plus the default experiment loop.
+pub trait Runner {
+    /// Experiment name.
+    fn experiment_name(&self) -> &str;
+
+    /// One-time setup before the loop.
+    fn experiment_setup(&mut self, _ctx: &mut RunContext<'_>) -> Result<()> {
+        Ok(())
+    }
+
+    /// Benchmarks this experiment iterates over (after `-b` filtering).
+    fn benchmarks(&self, ctx: &RunContext<'_>) -> Vec<String>;
+
+    /// Hook: a new build type begins (the default loop expects builds to
+    /// happen here).
+    fn per_type_action(&mut self, _ctx: &mut RunContext<'_>, _ty: &str) -> Result<()> {
+        Ok(())
+    }
+
+    /// Hook: a new benchmark begins (Phoenix's dry run lives here).
+    fn per_benchmark_action(
+        &mut self,
+        _ctx: &mut RunContext<'_>,
+        _ty: &str,
+        _bench: &str,
+    ) -> Result<()> {
+        Ok(())
+    }
+
+    /// Hook: a new thread count begins.
+    fn per_thread_action(
+        &mut self,
+        _ctx: &mut RunContext<'_>,
+        _ty: &str,
+        _bench: &str,
+        _threads: usize,
+    ) -> Result<()> {
+        Ok(())
+    }
+
+    /// Hook: one repetition — the actual measured run.
+    fn per_run_action(
+        &mut self,
+        ctx: &mut RunContext<'_>,
+        ty: &str,
+        bench: &str,
+        threads: usize,
+        rep: usize,
+    ) -> Result<()>;
+
+    /// The Fig 4 loop. Override to change the iteration structure
+    /// (as [`VariableInputRunner`] does).
+    fn experiment_loop(&mut self, ctx: &mut RunContext<'_>) -> Result<()> {
+        let types = ctx.config.build_types.clone();
+        let threads = ctx.config.threads.clone();
+        let reps = ctx.config.repetitions;
+        for ty in &types {
+            self.per_type_action(ctx, ty)?;
+            for bench in self.benchmarks(ctx) {
+                self.per_benchmark_action(ctx, ty, &bench)?;
+                for m in &threads {
+                    self.per_thread_action(ctx, ty, &bench, *m)?;
+                    for rep in 0..reps {
+                        self.per_run_action(ctx, ty, &bench, *m, rep)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs setup + loop and returns the collected frame.
+    fn run(&mut self, ctx: &mut RunContext<'_>) -> Result<DataFrame> {
+        self.experiment_setup(ctx)?;
+        self.experiment_loop(ctx)?;
+        Ok(self.take_frame())
+    }
+
+    /// Extracts the result frame after the loop.
+    fn take_frame(&mut self) -> DataFrame;
+}
+
+// ---------------------------------------------------------------------
+// Suite performance runner
+// ---------------------------------------------------------------------
+
+/// Runs a benchmark suite under the default Fig 4 loop.
+pub struct SuiteRunner {
+    suite: Suite,
+    collector: Collector,
+    artifacts: HashMap<(String, String), Artifact>,
+    input_override: Option<InputSize>,
+}
+
+impl SuiteRunner {
+    /// Creates a runner for a suite with the configured measurement tool.
+    pub fn new(suite: Suite, config: &ExperimentConfig) -> Self {
+        SuiteRunner {
+            suite,
+            collector: Collector::new(config.tool),
+            artifacts: HashMap::new(),
+            input_override: None,
+        }
+    }
+
+    fn program(&self, name: &str) -> Result<&BenchProgram> {
+        self.suite
+            .program(name)
+            .ok_or_else(|| FexError::UnknownName { kind: "benchmark", name: name.to_string() })
+    }
+
+    fn input(&self, ctx: &RunContext<'_>) -> InputSize {
+        self.input_override.unwrap_or(ctx.config.input)
+    }
+
+    fn execute(
+        &mut self,
+        ctx: &mut RunContext<'_>,
+        ty: &str,
+        bench: &str,
+        threads: usize,
+        rep: Option<usize>,
+    ) -> Result<()> {
+        let input = self.input(ctx);
+        let prog = self.program(bench)?;
+        let args: Vec<i64> = prog.args(input).to_vec();
+        let artifact = self
+            .artifacts
+            .get(&(ty.to_string(), bench.to_string()))
+            .cloned()
+            .ok_or_else(|| FexError::Config(format!("`{bench}` was not built for `{ty}`")))?;
+        let machine = Machine::new(ctx.machine_config(threads));
+        let run = machine.load(&artifact.program).run_entry(&args).map_err(|source| {
+            FexError::Run { benchmark: bench.to_string(), source }
+        })?;
+        if let Some(rep) = rep {
+            self.collector.record(
+                self.suite.name,
+                bench,
+                ty,
+                threads,
+                input_name(input),
+                rep,
+                &run,
+            );
+        }
+        Ok(())
+    }
+}
+
+impl Runner for SuiteRunner {
+    fn experiment_name(&self) -> &str {
+        self.suite.name
+    }
+
+    fn experiment_setup(&mut self, ctx: &mut RunContext<'_>) -> Result<()> {
+        if self.suite.proprietary {
+            return Err(FexError::Config(format!(
+                "suite `{}` is proprietary: sources are not distributed with the framework",
+                self.suite.name
+            )));
+        }
+        // Fresh experiment: drop stale binaries unless --no-build.
+        if !ctx.config.no_build {
+            ctx.build.clean();
+        }
+        ctx.log(format!("experiment `{}` setup complete", self.suite.name));
+        Ok(())
+    }
+
+    fn benchmarks(&self, ctx: &RunContext<'_>) -> Vec<String> {
+        match &ctx.config.benchmark {
+            Some(b) => vec![b.clone()],
+            None => self.suite.programs.iter().map(|p| p.name.to_string()).collect(),
+        }
+    }
+
+    /// Builds every benchmark for the incoming type (the paper rebuilds
+    /// all benchmarks per experiment type).
+    fn per_type_action(&mut self, ctx: &mut RunContext<'_>, ty: &str) -> Result<()> {
+        // Environment for this type, resolved and logged.
+        let env = environment_for(ty);
+        let vars = env.spec().resolve(ctx.config.debug);
+        ctx.log(format!("type `{ty}` environment ({}): {vars:?}", env.name()));
+        for bench in self.benchmarks(ctx) {
+            let prog = self.program(&bench)?;
+            let artifact = ctx.build.build(
+                &bench,
+                prog.source,
+                ty,
+                ctx.config.debug,
+                ctx.config.no_build,
+            )?;
+            ctx.log(format!("built `{bench}` [{}]", artifact.build_info));
+            self.artifacts.insert((ty.to_string(), bench), artifact);
+        }
+        Ok(())
+    }
+
+    /// Phoenix's preliminary dry run (`per_benchmark_action` hook in the
+    /// paper).
+    fn per_benchmark_action(
+        &mut self,
+        ctx: &mut RunContext<'_>,
+        ty: &str,
+        bench: &str,
+    ) -> Result<()> {
+        if self.program(bench)?.dry_run {
+            ctx.log(format!("dry run for `{bench}`"));
+            self.execute(ctx, ty, bench, 1, None)?;
+        }
+        Ok(())
+    }
+
+    fn per_run_action(
+        &mut self,
+        ctx: &mut RunContext<'_>,
+        ty: &str,
+        bench: &str,
+        threads: usize,
+        rep: usize,
+    ) -> Result<()> {
+        self.execute(ctx, ty, bench, threads, Some(rep))
+    }
+
+    fn take_frame(&mut self) -> DataFrame {
+        let tool = self.collector.tool();
+        std::mem::replace(&mut self.collector, Collector::new(tool)).into_frame()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Variable-input runner
+// ---------------------------------------------------------------------
+
+/// The paper's `VariableInputRunner`: redefines `experiment_loop` to add
+/// an input-size dimension around the thread loop.
+pub struct VariableInputRunner {
+    inner: SuiteRunner,
+    sizes: Vec<InputSize>,
+}
+
+impl VariableInputRunner {
+    /// Creates a variable-input sweep over the given sizes.
+    pub fn new(suite: Suite, config: &ExperimentConfig, sizes: Vec<InputSize>) -> Self {
+        VariableInputRunner { inner: SuiteRunner::new(suite, config), sizes }
+    }
+}
+
+impl Runner for VariableInputRunner {
+    fn experiment_name(&self) -> &str {
+        self.inner.experiment_name()
+    }
+
+    fn experiment_setup(&mut self, ctx: &mut RunContext<'_>) -> Result<()> {
+        self.inner.experiment_setup(ctx)
+    }
+
+    fn benchmarks(&self, ctx: &RunContext<'_>) -> Vec<String> {
+        self.inner.benchmarks(ctx)
+    }
+
+    fn per_run_action(
+        &mut self,
+        ctx: &mut RunContext<'_>,
+        ty: &str,
+        bench: &str,
+        threads: usize,
+        rep: usize,
+    ) -> Result<()> {
+        self.inner.per_run_action(ctx, ty, bench, threads, rep)
+    }
+
+    /// The redefined loop: types → benchmarks → **input sizes** → threads
+    /// → repetitions.
+    fn experiment_loop(&mut self, ctx: &mut RunContext<'_>) -> Result<()> {
+        let types = ctx.config.build_types.clone();
+        let threads = ctx.config.threads.clone();
+        let reps = ctx.config.repetitions;
+        let sizes = self.sizes.clone();
+        for ty in &types {
+            self.inner.per_type_action(ctx, ty)?;
+            for bench in self.benchmarks(ctx) {
+                self.inner.per_benchmark_action(ctx, ty, &bench)?;
+                for size in &sizes {
+                    self.inner.input_override = Some(*size);
+                    for m in &threads {
+                        self.inner.per_thread_action(ctx, ty, &bench, *m)?;
+                        for rep in 0..reps {
+                            self.inner.per_run_action(ctx, ty, &bench, *m, rep)?;
+                        }
+                    }
+                }
+                self.inner.input_override = None;
+            }
+        }
+        Ok(())
+    }
+
+    fn take_frame(&mut self) -> DataFrame {
+        self.inner.take_frame()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server runner
+// ---------------------------------------------------------------------
+
+/// Throughput-latency experiments for the real-world applications
+/// (the paper's Nginx study, §IV-B).
+pub struct ServerRunner {
+    kind: ServerKind,
+    sweep_points: usize,
+    frame: DataFrame,
+}
+
+impl ServerRunner {
+    /// Creates a server runner.
+    pub fn new(kind: ServerKind) -> Self {
+        ServerRunner {
+            kind,
+            sweep_points: 10,
+            frame: DataFrame::new(vec![
+                "benchmark",
+                "type",
+                "offered",
+                "throughput",
+                "mean_ms",
+                "p50_ms",
+                "p95_ms",
+                "p99_ms",
+                "saturated",
+            ]),
+        }
+    }
+
+    /// Sets the number of load points per curve.
+    pub fn with_sweep_points(mut self, points: usize) -> Self {
+        self.sweep_points = points.max(2);
+        self
+    }
+}
+
+impl Runner for ServerRunner {
+    fn experiment_name(&self) -> &str {
+        self.kind.name()
+    }
+
+    fn benchmarks(&self, _ctx: &RunContext<'_>) -> Vec<String> {
+        vec![self.kind.name().to_string()]
+    }
+
+    fn per_run_action(
+        &mut self,
+        _ctx: &mut RunContext<'_>,
+        _ty: &str,
+        _bench: &str,
+        _threads: usize,
+        _rep: usize,
+    ) -> Result<()> {
+        Ok(())
+    }
+
+    /// Replaces the Fig 4 loop: build each server variant, then sweep
+    /// offered load.
+    fn experiment_loop(&mut self, ctx: &mut RunContext<'_>) -> Result<()> {
+        let types = ctx.config.build_types.clone();
+        for ty in &types {
+            let opts: BuildOptions = ctx.build.makefiles().build_options(ty, ctx.config.debug)?;
+            let build = ServerBuild::compile(self.kind, &opts).map_err(|source| {
+                FexError::Build {
+                    benchmark: self.kind.name().to_string(),
+                    build_type: ty.clone(),
+                    source,
+                }
+            })?;
+            ctx.log(format!(
+                "{} [{ty}]: calibrated service time {} ns/request",
+                self.kind.name(),
+                build.service_ns()
+            ));
+            let workload = Workload { seed: ctx.config.seed, ..Workload::default() };
+            let sim = Simulation::new(&build, workload);
+            for point in sim.sweep(self.sweep_points) {
+                let m = &point.metrics;
+                self.frame.push(vec![
+                    self.kind.name().into(),
+                    ty.as_str().into(),
+                    m.offered.into(),
+                    m.throughput.into(),
+                    m.mean_latency_ms.into(),
+                    m.p50_ms.into(),
+                    m.p95_ms.into(),
+                    m.p99_ms.into(),
+                    (point.saturated as i64).into(),
+                ]);
+            }
+        }
+        Ok(())
+    }
+
+    fn take_frame(&mut self) -> DataFrame {
+        std::mem::take(&mut self.frame)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Security runner
+// ---------------------------------------------------------------------
+
+/// The RIPE security experiment (§IV-C, Table II).
+pub struct SecurityRunner {
+    config: TestbedConfig,
+    frame: DataFrame,
+}
+
+impl SecurityRunner {
+    /// Creates the runner with the paper's insecure machine configuration.
+    pub fn new() -> Self {
+        SecurityRunner {
+            config: TestbedConfig::paper(),
+            frame: DataFrame::new(vec!["type", "total", "successful", "failed", "detected"]),
+        }
+    }
+
+    /// Uses a custom machine configuration (mitigation studies).
+    pub fn with_config(mut self, config: TestbedConfig) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+impl Default for SecurityRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Runner for SecurityRunner {
+    fn experiment_name(&self) -> &str {
+        "ripe"
+    }
+
+    fn benchmarks(&self, _ctx: &RunContext<'_>) -> Vec<String> {
+        vec!["ripe".to_string()]
+    }
+
+    fn per_run_action(
+        &mut self,
+        _ctx: &mut RunContext<'_>,
+        _ty: &str,
+        _bench: &str,
+        _threads: usize,
+        _rep: usize,
+    ) -> Result<()> {
+        Ok(())
+    }
+
+    fn experiment_loop(&mut self, ctx: &mut RunContext<'_>) -> Result<()> {
+        let types = ctx.config.build_types.clone();
+        for ty in &types {
+            let opts = ctx.build.makefiles().build_options(ty, ctx.config.debug)?;
+            ctx.log(format!("ripe testbed for `{ty}` ({} attacks)", fex_ripe::all_attacks().len()));
+            let summary = run_testbed(&opts, &self.config);
+            ctx.log(format!(
+                "  {}: {} successful / {} failed",
+                ty, summary.successful, summary.failed
+            ));
+            self.frame.push(vec![
+                ty.as_str().into(),
+                (summary.total as i64).into(),
+                (summary.successful as i64).into(),
+                (summary.failed as i64).into(),
+                (summary.detected as i64).into(),
+            ]);
+        }
+        Ok(())
+    }
+
+    fn take_frame(&mut self) -> DataFrame {
+        std::mem::take(&mut self.frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::MakefileSet;
+    use fex_vm::MeasureTool;
+
+    fn ctx_parts() -> (ExperimentConfig, BuildSystem, Vec<String>) {
+        let config = ExperimentConfig::new("micro")
+            .types(vec!["gcc_native", "clang_native"])
+            .input(InputSize::Test)
+            .repetitions(2)
+            .tool(MeasureTool::PerfStat);
+        (config, BuildSystem::new(MakefileSet::standard()), Vec::new())
+    }
+
+    #[test]
+    fn suite_runner_walks_the_fig4_loop() {
+        let (config, mut build, mut log) = ctx_parts();
+        let mut ctx = RunContext { config: &config, build: &mut build, log: &mut log };
+        let mut runner = SuiteRunner::new(fex_suites::micro(), &config);
+        let df = runner.run(&mut ctx).unwrap();
+        // 4 benchmarks × 2 types × 1 thread × 2 reps.
+        assert_eq!(df.len(), 16);
+        assert_eq!(df.distinct("type").unwrap().len(), 2);
+        assert_eq!(df.distinct("benchmark").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn benchmark_filter_limits_the_loop() {
+        let (config, mut build, mut log) = ctx_parts();
+        let config = config.benchmark("arrayread");
+        let mut ctx = RunContext { config: &config, build: &mut build, log: &mut log };
+        let mut runner = SuiteRunner::new(fex_suites::micro(), &config);
+        let df = runner.run(&mut ctx).unwrap();
+        assert_eq!(df.distinct("benchmark").unwrap(), vec!["arrayread"]);
+        assert_eq!(df.len(), 4);
+    }
+
+    #[test]
+    fn unknown_benchmark_is_reported() {
+        let (config, mut build, mut log) = ctx_parts();
+        let config = config.benchmark("does_not_exist");
+        let mut ctx = RunContext { config: &config, build: &mut build, log: &mut log };
+        let mut runner = SuiteRunner::new(fex_suites::micro(), &config);
+        assert!(matches!(
+            runner.run(&mut ctx),
+            Err(FexError::UnknownName { kind: "benchmark", .. })
+        ));
+    }
+
+    #[test]
+    fn proprietary_suites_refuse_to_run() {
+        let (config, mut build, mut log) = ctx_parts();
+        let mut ctx = RunContext { config: &config, build: &mut build, log: &mut log };
+        let mut runner = SuiteRunner::new(fex_suites::spec_cpu2006(), &config);
+        assert!(matches!(runner.run(&mut ctx), Err(FexError::Config(_))));
+    }
+
+    #[test]
+    fn variable_input_runner_adds_the_size_dimension() {
+        let (config, mut build, mut log) = ctx_parts();
+        let config = config.benchmark("arrayread").types(vec!["gcc_native"]);
+        let mut ctx = RunContext { config: &config, build: &mut build, log: &mut log };
+        let mut runner = VariableInputRunner::new(
+            fex_suites::micro(),
+            &config,
+            vec![InputSize::Test, InputSize::Small],
+        );
+        let df = runner.run(&mut ctx).unwrap();
+        assert_eq!(df.distinct("input").unwrap(), vec!["test", "small"]);
+        assert_eq!(df.len(), 4); // 2 sizes × 2 reps
+    }
+
+    #[test]
+    fn dry_runs_do_not_pollute_the_frame() {
+        let (config, mut build, mut log) = ctx_parts();
+        let config = config.benchmark("histogram").types(vec!["gcc_native"]).repetitions(1);
+        let mut ctx = RunContext { config: &config, build: &mut build, log: &mut log };
+        let mut runner = SuiteRunner::new(fex_suites::phoenix(), &config);
+        let df = runner.run(&mut ctx).unwrap();
+        // Dry run happened (logged) but only the measured rep is recorded.
+        assert_eq!(df.len(), 1);
+        assert!(log.iter().any(|l| l.contains("dry run")));
+    }
+
+    #[test]
+    fn security_runner_emits_table_two_rows() {
+        let (config, mut build, mut log) = ctx_parts();
+        let mut ctx = RunContext { config: &config, build: &mut build, log: &mut log };
+        // Keep it cheap in unit tests: both types still run the full
+        // matrix, which takes a few seconds in debug.
+        let mut runner = SecurityRunner::new();
+        let df = runner.run(&mut ctx).unwrap();
+        assert_eq!(df.len(), 2);
+        let gcc = df.filter_eq("type", "gcc_native").unwrap();
+        let row = gcc.iter().next().unwrap();
+        let successful = row[2].as_num().unwrap();
+        let failed = row[3].as_num().unwrap();
+        assert!(successful > 0.0);
+        assert!(failed > successful, "most attacks must fail");
+    }
+}

@@ -1,0 +1,95 @@
+//! Load generation: the remote client of the paper's Fig 7 experiment.
+
+/// Client workload description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Round-trip network time between client and server, nanoseconds
+    /// (the paper uses a LAN; ~150 µs RTT).
+    pub rtt_ns: u64,
+    /// Link bandwidth in bits per second (the paper: 1 Gb).
+    pub link_bps: u64,
+    /// Measurement duration in simulated seconds.
+    pub duration_s: f64,
+    /// Seed for the arrival process.
+    pub seed: u64,
+}
+
+impl Default for Workload {
+    fn default() -> Self {
+        Workload { rtt_ns: 150_000, link_bps: 1_000_000_000, duration_s: 2.0, seed: 7 }
+    }
+}
+
+impl Workload {
+    /// Wire time for a payload of `bytes` on this link, nanoseconds
+    /// (with ~5% framing overhead).
+    pub fn transfer_ns(&self, bytes: u64) -> u64 {
+        let bits = bytes * 8 * 105 / 100;
+        bits * 1_000_000_000 / self.link_bps
+    }
+}
+
+/// Deterministic exponential inter-arrival generator (inverse transform
+/// over a splitmix64 stream).
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    state: u64,
+    mean_ns: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates a generator with mean rate `per_second`.
+    pub fn new(per_second: f64, seed: u64) -> Self {
+        assert!(per_second > 0.0, "arrival rate must be positive");
+        PoissonArrivals { state: seed ^ 0xA5A5_5A5A_1234_5678, mean_ns: 1e9 / per_second }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next inter-arrival gap in nanoseconds.
+    pub fn next_gap_ns(&mut self) -> u64 {
+        // Uniform in (0,1], then -ln(u) * mean.
+        let u = ((self.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+        (-u.ln() * self.mean_ns).max(1.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_match_requested_rate() {
+        let mut gen = PoissonArrivals::new(10_000.0, 1);
+        let n = 50_000;
+        let total: u64 = (0..n).map(|_| gen.next_gap_ns()).sum();
+        let mean = total as f64 / n as f64;
+        // Mean gap should be ~100_000 ns within 3%.
+        assert!((mean - 100_000.0).abs() < 3_000.0, "mean gap {mean}");
+    }
+
+    #[test]
+    fn arrivals_are_deterministic_per_seed() {
+        let seq = |seed| {
+            let mut g = PoissonArrivals::new(5_000.0, seed);
+            (0..10).map(|_| g.next_gap_ns()).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(3), seq(3));
+        assert_ne!(seq(3), seq(4));
+    }
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let w = Workload::default();
+        // 2 KB on 1 Gb/s ≈ 17 µs with framing.
+        let t = w.transfer_ns(2048);
+        assert!((16_000..19_000).contains(&t), "{t} ns");
+        assert!(w.transfer_ns(4096) > t);
+    }
+}

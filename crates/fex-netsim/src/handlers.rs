@@ -1,0 +1,267 @@
+//! Request-handler programs, in Cmm.
+//!
+//! Each server's per-request CPU work is a real program: parse the
+//! request line, look the resource up in a small hash table, produce the
+//! response (for Nginx/Apache, copy a 2 KB static page — the workload of
+//! Fig 7). The simulation calls `handle(reqid, size)` once per simulated
+//! request batch to calibrate cycle costs per build.
+
+use crate::server::ServerKind;
+
+/// Nginx-style handler: tight event-loop processing, no per-request
+/// allocation, response copied from a cached page.
+const NGINX_HANDLER: &str = r#"
+global page;      // 2 KB cached static page
+global reqbuf;    // synthetic request bytes
+global outbuf;
+global logbuf;    // access-log line
+global routes;    // route hash table
+global stats[16]; // per-status counters
+
+fn setup() -> int {
+  page = alloc(2048);
+  var i = 0;
+  while (i < 2048) { storeb(page + i, 32 + (i * 17 + 3) % 90); i += 1; }
+  reqbuf = alloc(256);
+  outbuf = alloc(2560);
+  logbuf = alloc(256);
+  routes = alloc(256 * 8);
+  i = 0;
+  while (i < 256) { routes[i] = i * 2654435761 % 1048576; i += 1; }
+  return 0;
+}
+
+fn handle(reqid, size) -> int {
+  // "Receive" the request: synthesise GET /page-<reqid> HTTP/1.1 plus
+  // typical headers (~192 bytes).
+  var i = 0;
+  while (i < 192) {
+    storeb(reqbuf + i, 32 + (reqid * 7 + i * 13) % 90);
+    i += 1;
+  }
+  // Parse request line + headers: token scan with CRLF detection.
+  var tokens = 0;
+  var hdrs = 0;
+  i = 0;
+  while (i < 192) {
+    var b = loadb(reqbuf + i);
+    if (b % 16 == 0) { tokens += 1; }
+    if (b % 32 == 1) { hdrs += 1; }
+    i += 1;
+  }
+  // Route lookup: hash the path, probe the table.
+  var h = 5381;
+  i = 0;
+  while (i < 32) { h = (h * 33 + loadb(reqbuf + i)) % 1048576; i += 1; }
+  var slot = h % 256;
+  var probes = 0;
+  while (routes[slot] % 8 != h % 8 && probes < 16) {
+    slot = (slot + 1) % 256;
+    probes += 1;
+  }
+  // ETag: FNV over the whole page (byte pass 1).
+  var etag = 2166136261;
+  i = 0;
+  while (i < size) {
+    etag = (etag * 16777619 + loadb(page + i)) % 1073741824;
+    i += 1;
+  }
+  // gzip decision: entropy estimate over the page (byte pass 2).
+  var distinct = 0;
+  var prev = 0 - 1;
+  i = 0;
+  while (i < size) {
+    var b2 = loadb(page + i);
+    if (b2 != prev) { distinct += 1; }
+    prev = b2;
+    i += 1;
+  }
+  // Format response headers + copy the page.
+  i = 0;
+  while (i < 96) {
+    storeb(outbuf + i, 32 + (etag + i * 7) % 90);
+    i += 1;
+  }
+  memcpy(outbuf + 96, page, size);
+  // Access log line.
+  i = 0;
+  while (i < 80) {
+    storeb(logbuf + i, 32 + (reqid + i * 11) % 90);
+    i += 1;
+  }
+  stats[(etag % 16 + 16) % 16] += 1;
+  return tokens + hdrs + probes + distinct % 7;
+}
+
+fn main() -> int { return setup(); }
+"#;
+
+/// Apache-style handler: the same work plus per-request allocation and
+/// book-keeping (thread-pool request objects), making it CPU-heavier.
+const APACHE_HANDLER: &str = r#"
+global page;
+global routes;
+
+fn setup() -> int {
+  page = alloc(2048);
+  memset(page, 120, 2048);
+  routes = alloc(64 * 8);
+  var i = 0;
+  while (i < 64) { routes[i] = i * 2654435761 % 1048576; i += 1; }
+  return 0;
+}
+
+fn handle(reqid, size) -> int {
+  // Per-request pool allocation (Apache's apr pools).
+  var pool = alloc(4096);
+  var req = pool;
+  var out = pool + 512;
+  var i = 0;
+  while (i < 192) {
+    storeb(req + i, 32 + (reqid * 7 + i * 13) % 90);
+    i += 1;
+  }
+  // Header parsing: scan twice (request line + header fields).
+  var fields = 0;
+  var pass = 0;
+  while (pass < 2) {
+    i = 0;
+    while (i < 192) {
+      if (loadb(req + i) % 16 == pass) { fields += 1; }
+      i += 1;
+    }
+    pass += 1;
+  }
+  var h = 5381;
+  i = 0;
+  while (i < 32) { h = (h * 33 + loadb(req + i)) % 1048576; i += 1; }
+  // ETag + content-type sniff: two byte passes over the page, like the
+  // nginx path but with an extra .htaccess-style per-directory check.
+  var etag = 2166136261;
+  i = 0;
+  while (i < size) {
+    etag = (etag * 16777619 + loadb(page + i)) % 1073741824;
+    i += 1;
+  }
+  var distinct = 0;
+  var prev = 0 - 1;
+  i = 0;
+  while (i < size) {
+    var b2 = loadb(page + i);
+    if (b2 != prev) { distinct += 1; }
+    prev = b2;
+    i += 1;
+  }
+  var htaccess = 0;
+  i = 0;
+  while (i < 256) { htaccess = (htaccess * 31 + i * 7) % 65536; i += 1; }
+  memcpy(out, req, 256);
+  memcpy(out + 256, page, size);
+  free(pool);
+  return fields + h % 7 + distinct % 5 + htaccess % 3;
+}
+
+fn main() -> int { return setup(); }
+"#;
+
+/// Memcached-style handler: tiny get/set against a hash table, no page
+/// copy — small requests at very high rates.
+const MEMCACHED_HANDLER: &str = r#"
+global table;    // 1024 slots of (key, value)
+
+fn setup() -> int {
+  table = alloc(1024 * 16);
+  memset(table, 0, 1024 * 16);
+  var i = 0;
+  // Pre-populate half the table.
+  while (i < 512) {
+    var k = i * 2654435761 % 1048573 + 1;
+    table[(k % 1024) * 2] = k;
+    table[(k % 1024) * 2 + 1] = i;
+    i += 1;
+  }
+  return 0;
+}
+
+fn handle(reqid, size) -> int {
+  var k = reqid * 2654435761 % 1048573 + 1;
+  var slot = k % 1024;
+  var probes = 0;
+  var found = 0 - 1;
+  while (probes < 16) {
+    var sk = table[slot * 2];
+    if (sk == k) { found = table[slot * 2 + 1]; break; }
+    if (sk == 0) { break; }
+    slot = (slot + 1) % 1024;
+    probes += 1;
+  }
+  if (reqid % 10 == 0) {
+    // 10% sets.
+    table[slot * 2] = k;
+    table[slot * 2 + 1] = reqid + size;
+  }
+  return found + probes;
+}
+
+fn main() -> int { return setup(); }
+"#;
+
+/// The CVE-2013-2028-style vulnerable handler (Nginx 1.4.0 chunked
+/// transfer encoding): the declared chunk size is trusted and copied into
+/// a fixed stack buffer. `handle_chunked(declared_len)` overflows when
+/// `declared_len > 64`.
+const VULNERABLE_HANDLER: &str = r#"
+global chunkdata;
+global sink;
+
+fn setup() -> int {
+  chunkdata = alloc(4096);
+  var i = 0;
+  while (i < 4095) { storeb(chunkdata + i, 65 + i % 26); i += 1; }
+  storeb(chunkdata + 4095, 0);
+  sink = alloc(8);
+  return 0;
+}
+
+fn handle_chunked(declared_len) -> int {
+  // The bug: the chunk is staged in a 64-byte stack buffer but the
+  // declared length is never validated against it.
+  local buf[8];
+  memcpy(&buf, chunkdata, declared_len);
+  sink[0] = buf[0];
+  return buf[0];
+}
+
+fn main() -> int { return setup(); }
+"#;
+
+/// Cmm handler source for a server kind.
+pub fn handler_source(kind: ServerKind) -> &'static str {
+    match kind {
+        ServerKind::Nginx => NGINX_HANDLER,
+        ServerKind::Apache => APACHE_HANDLER,
+        ServerKind::Memcached => MEMCACHED_HANDLER,
+    }
+}
+
+/// The vulnerable-version handler used by the server security experiment.
+pub fn vulnerable_handler_source() -> &'static str {
+    VULNERABLE_HANDLER
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fex_cc::{compile, BuildOptions};
+
+    #[test]
+    fn all_handlers_compile_under_both_backends() {
+        for kind in [ServerKind::Nginx, ServerKind::Apache, ServerKind::Memcached] {
+            for opts in [BuildOptions::gcc(), BuildOptions::clang()] {
+                compile(handler_source(kind), &opts)
+                    .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            }
+        }
+        compile(vulnerable_handler_source(), &BuildOptions::gcc()).unwrap();
+    }
+}

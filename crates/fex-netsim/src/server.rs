@@ -1,0 +1,223 @@
+//! Server models: a compiled handler plus a concurrency model.
+
+use fex_cc::{compile, BuildOptions, CompileError};
+use fex_vm::{Machine, MachineConfig, PoisonKind, Program, Trap, VmError};
+
+use crate::handlers::{handler_source, vulnerable_handler_source};
+
+/// Which server is being modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServerKind {
+    /// Event-driven web server serving a 2 KB static page.
+    Nginx,
+    /// Thread-pool web server serving the same page.
+    Apache,
+    /// In-memory key-value cache (get/set mix).
+    Memcached,
+}
+
+impl ServerKind {
+    /// Human name matching the framework's benchmark names.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServerKind::Nginx => "nginx",
+            ServerKind::Apache => "apache",
+            ServerKind::Memcached => "memcached",
+        }
+    }
+
+    /// Concurrent requests the server can process (worker processes for
+    /// Nginx, pool threads for Apache, event loop workers for Memcached).
+    pub fn workers(self) -> usize {
+        match self {
+            ServerKind::Nginx => 2,
+            ServerKind::Apache => 8,
+            ServerKind::Memcached => 4,
+        }
+    }
+
+    /// Fixed per-request overhead outside the handler, in nanoseconds
+    /// (connection handling, syscalls; thread switches for Apache).
+    pub fn dispatch_overhead_ns(self) -> u64 {
+        match self {
+            ServerKind::Nginx => 2_000,
+            ServerKind::Apache => 9_000,
+            ServerKind::Memcached => 1_200,
+        }
+    }
+
+    /// Response payload in bytes (drives link transfer time).
+    pub fn response_bytes(self) -> u64 {
+        match self {
+            ServerKind::Nginx | ServerKind::Apache => 2048,
+            ServerKind::Memcached => 120,
+        }
+    }
+}
+
+/// Outcome of the security probe against a vulnerable server version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SecurityOutcome {
+    /// The crafted request took control of the server (hijack observed).
+    Compromised,
+    /// The server crashed (memory fault) but no control-flow hijack.
+    Crashed(String),
+    /// Instrumentation (ASan) detected and stopped the overflow.
+    DetectedByAsan(String),
+    /// The request was handled without incident.
+    Unaffected,
+}
+
+/// A compiled server build: handler program + measured per-request cost.
+#[derive(Debug, Clone)]
+pub struct ServerBuild {
+    kind: ServerKind,
+    program: Program,
+    build_info: String,
+    service_ns: u64,
+}
+
+impl ServerBuild {
+    /// Compiles the server's handler with the given build options and
+    /// calibrates its per-request CPU cost by executing it on the VM.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler errors from the handler source.
+    pub fn compile(kind: ServerKind, opts: &BuildOptions) -> Result<ServerBuild, CompileError> {
+        let program = compile(handler_source(kind), opts)?;
+        let machine = Machine::new(MachineConfig::default());
+        let mut inst = machine.load(&program);
+        inst.run_entry(&[]).expect("handler setup runs");
+        // Warm up, then measure a batch for a stable mean.
+        for i in 0..8 {
+            inst.call("handle", &[i, kind.response_bytes() as i64]).expect("handler runs");
+        }
+        let batch = 64;
+        let mut cycles = 0u64;
+        for i in 0..batch {
+            let r = inst
+                .call("handle", &[100 + i, kind.response_bytes() as i64])
+                .expect("handler runs");
+            cycles += r.elapsed_cycles;
+        }
+        let per_request = cycles as f64 / batch as f64;
+        let service_ns = (per_request / machine.config().freq_hz * 1e9) as u64
+            + kind.dispatch_overhead_ns();
+        Ok(ServerBuild { kind, program, build_info: opts.build_info(), service_ns })
+    }
+
+    /// Server kind.
+    pub fn kind(&self) -> ServerKind {
+        self.kind
+    }
+
+    /// Compiler provenance.
+    pub fn build_info(&self) -> &str {
+        &self.build_info
+    }
+
+    /// Calibrated per-request service time (CPU + dispatch), nanoseconds.
+    pub fn service_ns(&self) -> u64 {
+        self.service_ns
+    }
+
+    /// The compiled handler program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Runs the paper-style security experiment: a vulnerable server
+    /// version receives a crafted chunked request (CVE-2013-2028 shape).
+    ///
+    /// `declared_len` above the stack buffer size overflows; what happens
+    /// next depends on the build and machine mitigations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler errors from the vulnerable handler source.
+    pub fn security_probe(
+        opts: &BuildOptions,
+        config: MachineConfig,
+        declared_len: i64,
+    ) -> Result<SecurityOutcome, CompileError> {
+        let program = compile(vulnerable_handler_source(), opts)?;
+        let machine = Machine::new(config);
+        let mut inst = machine.load(&program);
+        inst.run_entry(&[]).expect("vulnerable handler setup runs");
+        match inst.call("handle_chunked", &[declared_len]) {
+            Ok(r) if !r.hijacks.is_empty() || !r.attack_events.is_empty() => {
+                Ok(SecurityOutcome::Compromised)
+            }
+            Ok(_) => Ok(SecurityOutcome::Unaffected),
+            Err(VmError::Trap(t @ Trap::AsanViolation { kind: PoisonKind::StackRedzone, .. })) => {
+                Ok(SecurityOutcome::DetectedByAsan(t.to_string()))
+            }
+            Err(VmError::Trap(t @ Trap::AsanViolation { .. })) => {
+                Ok(SecurityOutcome::DetectedByAsan(t.to_string()))
+            }
+            Err(VmError::Trap(t)) => Ok(SecurityOutcome::Crashed(t.to_string())),
+            Err(e) => Ok(SecurityOutcome::Crashed(e.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_calibrate_nonzero_service_times() {
+        let b = ServerBuild::compile(ServerKind::Nginx, &BuildOptions::gcc()).unwrap();
+        assert!(b.service_ns() > ServerKind::Nginx.dispatch_overhead_ns());
+        assert!(b.service_ns() < 1_000_000, "implausible {} ns", b.service_ns());
+    }
+
+    #[test]
+    fn clang_build_is_slower_per_request() {
+        let g = ServerBuild::compile(ServerKind::Nginx, &BuildOptions::gcc()).unwrap();
+        let c = ServerBuild::compile(ServerKind::Nginx, &BuildOptions::clang()).unwrap();
+        assert!(
+            c.service_ns() > g.service_ns(),
+            "clang {} !> gcc {}",
+            c.service_ns(),
+            g.service_ns()
+        );
+    }
+
+    #[test]
+    fn apache_is_heavier_than_nginx() {
+        let n = ServerBuild::compile(ServerKind::Nginx, &BuildOptions::gcc()).unwrap();
+        let a = ServerBuild::compile(ServerKind::Apache, &BuildOptions::gcc()).unwrap();
+        assert!(a.service_ns() > n.service_ns());
+    }
+
+    #[test]
+    fn benign_requests_do_not_trip_the_probe() {
+        let out =
+            ServerBuild::security_probe(&BuildOptions::gcc(), MachineConfig::default(), 32)
+                .unwrap();
+        assert_eq!(out, SecurityOutcome::Unaffected);
+    }
+
+    #[test]
+    fn overflow_crashes_native_and_is_caught_by_asan() {
+        // Native build: the overflow smashes the stack; on this machine
+        // (NX on, no canary) the hijack attempt faults or is recorded.
+        let native =
+            ServerBuild::security_probe(&BuildOptions::gcc(), MachineConfig::default(), 4096)
+                .unwrap();
+        assert!(
+            matches!(native, SecurityOutcome::Crashed(_) | SecurityOutcome::Compromised),
+            "unexpected outcome {native:?}"
+        );
+        // ASan build: detected as a stack-buffer-overflow.
+        let asan = ServerBuild::security_probe(
+            &BuildOptions::gcc().with_asan(),
+            MachineConfig::default(),
+            4096,
+        )
+        .unwrap();
+        assert!(matches!(asan, SecurityOutcome::DetectedByAsan(_)), "unexpected {asan:?}");
+    }
+}

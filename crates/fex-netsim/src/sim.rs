@@ -1,0 +1,303 @@
+//! The discrete-event queueing simulation.
+//!
+//! An open-loop Poisson client offers requests at a fixed rate; the server
+//! processes them FCFS across its workers. Per-request time is
+//!
+//! ```text
+//! latency = RTT/2 (request)  +  queue wait  +  service (calibrated CPU)
+//!         + transfer (payload on the 1 Gb link)  +  RTT/2 (response)
+//! ```
+//!
+//! Sweeping the offered load produces the flat-then-knee throughput–
+//! latency curve of the paper's Fig 7.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::client::{PoissonArrivals, Workload};
+use crate::server::ServerBuild;
+
+/// Aggregated metrics for one load point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metrics {
+    /// Offered load (requests/second).
+    pub offered: f64,
+    /// Achieved throughput (completed requests/second).
+    pub throughput: f64,
+    /// Mean end-to-end latency, milliseconds.
+    pub mean_latency_ms: f64,
+    /// Median latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Requests completed during the measurement window.
+    pub completed: u64,
+}
+
+/// One point of a throughput-latency sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Metrics at this offered load.
+    pub metrics: Metrics,
+    /// Whether the server was saturated (throughput stopped tracking the
+    /// offered load).
+    pub saturated: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    Arrival,
+    /// CPU work done; the response still has to cross the shared link.
+    ServiceDone { arrived_ns: u64 },
+    /// Response fully on the wire; the request is complete.
+    LinkDone { arrived_ns: u64 },
+}
+
+/// A single simulation run of one server build under one workload.
+#[derive(Debug, Clone)]
+pub struct Simulation<'a> {
+    build: &'a ServerBuild,
+    workload: Workload,
+}
+
+impl<'a> Simulation<'a> {
+    /// Creates a simulation.
+    pub fn new(build: &'a ServerBuild, workload: Workload) -> Self {
+        Simulation { build, workload }
+    }
+
+    /// Runs at the given offered load (requests per second).
+    pub fn run(&self, offered: f64) -> Metrics {
+        let w = &self.workload;
+        let kind = self.build.kind();
+        let workers = kind.workers();
+        let service = self.build.service_ns();
+        let transfer = w.transfer_ns(kind.response_bytes());
+        let half_rtt = w.rtt_ns / 2;
+        let horizon = (w.duration_s * 1e9) as u64;
+
+        let mut arrivals = PoissonArrivals::new(offered, w.seed);
+        let mut heap: BinaryHeap<Reverse<(u64, u64, Event)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let push = |heap: &mut BinaryHeap<Reverse<(u64, u64, Event)>>,
+                        t: u64,
+                        seq: &mut u64,
+                        e: Event| {
+            heap.push(Reverse((t, *seq, e)));
+            *seq += 1;
+        };
+        push(&mut heap, half_rtt + arrivals.next_gap_ns(), &mut seq, Event::Arrival);
+
+        let mut cpu_queue: VecDeque<u64> = VecDeque::new();
+        let mut link_queue: VecDeque<u64> = VecDeque::new();
+        let mut busy = 0usize;
+        let mut link_busy = false;
+        let mut latencies_ns: Vec<u64> = Vec::new();
+        let mut completed = 0u64;
+
+        while let Some(Reverse((t, _, event))) = heap.pop() {
+            if t > horizon {
+                break;
+            }
+            match event {
+                Event::Arrival => {
+                    // Schedule the next arrival first (open loop).
+                    push(&mut heap, t + arrivals.next_gap_ns(), &mut seq, Event::Arrival);
+                    if busy < workers {
+                        busy += 1;
+                        push(&mut heap, t + service, &mut seq, Event::ServiceDone { arrived_ns: t });
+                    } else {
+                        cpu_queue.push_back(t);
+                        // Backpressure guard: an overloaded open-loop sim
+                        // would otherwise grow its queue without bound.
+                        if cpu_queue.len() > 200_000 {
+                            cpu_queue.pop_front();
+                        }
+                    }
+                }
+                Event::ServiceDone { arrived_ns } => {
+                    // The worker hands the response to the kernel and is
+                    // free again (event-driven write path).
+                    if let Some(waiting_since) = cpu_queue.pop_front() {
+                        push(
+                            &mut heap,
+                            t + service,
+                            &mut seq,
+                            Event::ServiceDone { arrived_ns: waiting_since },
+                        );
+                    } else {
+                        busy -= 1;
+                    }
+                    // The 1 Gb link is shared: one response on the wire at
+                    // a time — this is what caps the 2 KB page workload
+                    // near the paper's ~50k msg/s.
+                    if link_busy {
+                        link_queue.push_back(arrived_ns);
+                        if link_queue.len() > 200_000 {
+                            link_queue.pop_front();
+                        }
+                    } else {
+                        link_busy = true;
+                        push(&mut heap, t + transfer, &mut seq, Event::LinkDone { arrived_ns });
+                    }
+                }
+                Event::LinkDone { arrived_ns } => {
+                    completed += 1;
+                    // Full path: request half-RTT + server time (t -
+                    // arrived) + response half-RTT.
+                    latencies_ns.push(t - arrived_ns + 2 * half_rtt);
+                    if let Some(next) = link_queue.pop_front() {
+                        push(
+                            &mut heap,
+                            t + transfer,
+                            &mut seq,
+                            Event::LinkDone { arrived_ns: next },
+                        );
+                    } else {
+                        link_busy = false;
+                    }
+                }
+            }
+        }
+
+        latencies_ns.sort_unstable();
+        let pct = |p: f64| -> f64 {
+            if latencies_ns.is_empty() {
+                return 0.0;
+            }
+            let idx = ((latencies_ns.len() - 1) as f64 * p) as usize;
+            latencies_ns[idx] as f64 / 1e6
+        };
+        let mean = if latencies_ns.is_empty() {
+            0.0
+        } else {
+            latencies_ns.iter().sum::<u64>() as f64 / latencies_ns.len() as f64 / 1e6
+        };
+        Metrics {
+            offered,
+            throughput: completed as f64 / w.duration_s,
+            mean_latency_ms: mean,
+            p50_ms: pct(0.50),
+            p95_ms: pct(0.95),
+            p99_ms: pct(0.99),
+            completed,
+        }
+    }
+
+    /// The server's theoretical capacity in requests/second: the CPU
+    /// (workers × service rate) or the shared link, whichever binds first.
+    pub fn capacity(&self) -> f64 {
+        let cpu = self.build.kind().workers() as f64 * 1e9 / self.build.service_ns() as f64;
+        let link = 1e9 / self.workload.transfer_ns(self.build.kind().response_bytes()) as f64;
+        cpu.min(link)
+    }
+
+    /// Sweeps offered load from light to past saturation, producing the
+    /// Fig 7 curve. `points` controls resolution.
+    pub fn sweep(&self, points: usize) -> Vec<SweepPoint> {
+        let cap = self.capacity();
+        let mut out = Vec::with_capacity(points);
+        for i in 0..points {
+            // From 10% to 120% of theoretical capacity.
+            let frac = 0.1 + 1.1 * i as f64 / (points.max(2) - 1) as f64;
+            let metrics = self.run(cap * frac);
+            let saturated = metrics.throughput < metrics.offered * 0.95;
+            out.push(SweepPoint { metrics, saturated });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerKind;
+    use fex_cc::BuildOptions;
+
+    fn nginx_gcc() -> ServerBuild {
+        ServerBuild::compile(ServerKind::Nginx, &BuildOptions::gcc()).unwrap()
+    }
+
+    #[test]
+    fn light_load_has_low_latency_and_full_throughput() {
+        let b = nginx_gcc();
+        let sim = Simulation::new(&b, Workload::default());
+        let m = sim.run(sim.capacity() * 0.3);
+        assert!(m.throughput > m.offered * 0.95, "{m:?}");
+        // Latency floor: RTT + service + transfer, well under a ms here.
+        assert!(m.mean_latency_ms > 0.15 && m.mean_latency_ms < 0.6, "{m:?}");
+    }
+
+    #[test]
+    fn saturation_caps_throughput_and_blows_up_latency() {
+        let b = nginx_gcc();
+        let sim = Simulation::new(&b, Workload::default());
+        let light = sim.run(sim.capacity() * 0.5);
+        let heavy = sim.run(sim.capacity() * 1.5);
+        assert!(heavy.throughput < heavy.offered * 0.9, "no saturation: {heavy:?}");
+        assert!(heavy.throughput > light.throughput, "{heavy:?}");
+        assert!(heavy.p99_ms > light.p99_ms * 3.0, "latency knee missing");
+    }
+
+    #[test]
+    fn sweep_shows_the_knee_shape() {
+        let b = nginx_gcc();
+        let sim = Simulation::new(&b, Workload::default());
+        let curve = sim.sweep(8);
+        assert_eq!(curve.len(), 8);
+        assert!(!curve.first().unwrap().saturated);
+        assert!(curve.last().unwrap().saturated);
+        // Throughput is monotone non-decreasing along the sweep (within
+        // simulation noise).
+        let ts: Vec<f64> = curve.iter().map(|p| p.metrics.throughput).collect();
+        assert!(ts.windows(2).all(|w| w[1] > w[0] * 0.93), "{ts:?}");
+    }
+
+    #[test]
+    fn gcc_nginx_saturates_higher_than_clang() {
+        let g = nginx_gcc();
+        let c = ServerBuild::compile(ServerKind::Nginx, &BuildOptions::clang()).unwrap();
+        let sg = Simulation::new(&g, Workload::default());
+        let sc = Simulation::new(&c, Workload::default());
+        assert!(sg.capacity() > sc.capacity());
+        let mg = sg.run(sg.capacity() * 1.3);
+        let mc = sc.run(sg.capacity() * 1.3);
+        assert!(mg.throughput > mc.throughput, "gcc {mg:?} clang {mc:?}");
+    }
+
+    #[test]
+    fn nginx_capacity_is_in_the_papers_ballpark() {
+        // Fig 7 tops out around 50k msg/s on a 1 Gb link.
+        let b = nginx_gcc();
+        let sim = Simulation::new(&b, Workload::default());
+        let cap = sim.capacity();
+        assert!((10_000.0..120_000.0).contains(&cap), "capacity {cap}");
+    }
+
+    #[test]
+    fn memcached_sustains_much_higher_rates_than_page_servers() {
+        let mc = ServerBuild::compile(ServerKind::Memcached, &BuildOptions::gcc()).unwrap();
+        let ng = nginx_gcc();
+        let sim_mc = Simulation::new(&mc, Workload::default());
+        let sim_ng = Simulation::new(&ng, Workload::default());
+        // Tiny responses: memcached is CPU-bound far above the page
+        // servers' link-bound ~50k.
+        assert!(
+            sim_mc.capacity() > sim_ng.capacity() * 3.0,
+            "memcached {:.0} vs nginx {:.0}",
+            sim_mc.capacity(),
+            sim_ng.capacity()
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let b = nginx_gcc();
+        let sim = Simulation::new(&b, Workload::default());
+        let a = sim.run(20_000.0);
+        let b2 = sim.run(20_000.0);
+        assert_eq!(a, b2);
+    }
+}

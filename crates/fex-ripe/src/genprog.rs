@@ -1,0 +1,313 @@
+//! Attack-program generation.
+//!
+//! Each [`AttackSpec`] becomes a self-contained Cmm program in which the
+//! victim attacks itself, RIPE-style: `main` calls `vuln`, which stages an
+//! attacker payload, overflows its buffer with the chosen routine, and
+//! triggers the corrupted code pointer. Success is observable as a
+//! `creat_file`/shellcode event in the VM run result.
+//!
+//! Stack distances are hardcoded from the VM's documented frame layout
+//! (exactly as the real RIPE hardcodes its offsets per platform); heap and
+//! global distances are computed at run time from the program's own
+//! addresses — which is what makes the clang profile's pointers-first
+//! layout mechanically defeat global-segment attacks (the distance comes
+//! out negative and the overflow cannot reach backwards).
+
+use std::fmt::Write as _;
+
+use fex_vm::SHELLCODE;
+
+use crate::spec::{AttackFunction, AttackSpec, Location, Payload, Target, Technique};
+
+/// Size of the victim buffer in bytes (`local buf[2]`).
+const BUF_BYTES: i64 = 16;
+
+/// Generates the Cmm source for one attack.
+pub fn generate_program(spec: &AttackSpec) -> String {
+    let mut s = String::new();
+    let w = &mut s;
+
+    // ---- shared prologue -------------------------------------------------
+    let _ = writeln!(w, "// RIPE attack: {spec}");
+    let _ = writeln!(w, "global atk[160];");
+    if spec.technique == Technique::Indirect {
+        let _ = writeln!(w, "global atkval;");
+    }
+    // Globals for BSS/DATA-located attacks. Declaration order matters: the
+    // buffer comes first, so under declaration-order layout everything
+    // after it is overflow-reachable.
+    let datainit = spec.location == Location::Data;
+    if matches!(spec.location, Location::Bss | Location::Data) {
+        let init = if datainit { " = {7, 7}" } else { "" };
+        let _ = writeln!(w, "global gbuf[2]{init};");
+        if spec.technique == Technique::Indirect {
+            let _ = writeln!(w, "global gptr{};", if datainit { " = 7" } else { "" });
+        }
+        match spec.target {
+            Target::FuncPtr => {
+                let _ = if datainit {
+                    writeln!(w, "global gtarget = @legit;")
+                } else {
+                    writeln!(w, "global gtarget : fnptr;")
+                };
+            }
+            Target::LongjmpBuf => {
+                let init = if datainit { " = {1, 1}" } else { "" };
+                let _ = writeln!(w, "global gtarget[2] : fnptr{init};");
+            }
+            Target::StructFuncPtr => {
+                let init = if datainit { " = {1, 1, 1}" } else { "" };
+                let _ = writeln!(w, "global gtarget[3] : fnptr{init};");
+            }
+            Target::ReturnAddress => unreachable!("ret target is stack-only"),
+        }
+    }
+    let _ = writeln!(w, "fn legit(x) -> int {{ return x + 1; }}");
+    let _ = writeln!(w, "fn libc_creat(x) -> int {{ creat_file(x); return 0; }}");
+
+    // ---- payload staging --------------------------------------------------
+    // stage(dist, value): shellcode prefix (if any), NUL-free filler up to
+    // `dist`, the hijack value at `dist`, the planted argument at dist+8,
+    // and a string terminator.
+    let _ = writeln!(w, "fn stage(dist, value) {{");
+    let _ = writeln!(w, "  var p = &atk;");
+    let mut start = 0;
+    if spec.payload == Payload::Shellcode {
+        for (i, b) in SHELLCODE.iter().enumerate() {
+            let _ = writeln!(w, "  storeb(p + {i}, {b});");
+        }
+        start = SHELLCODE.len();
+    }
+    let _ = writeln!(w, "  var i = {start};");
+    let _ = writeln!(w, "  while (i < dist) {{ storeb(p + i, 65); i += 1; }}");
+    let _ = writeln!(w, "  store(p + dist, value);");
+    let _ = writeln!(w, "  store(p + dist + 8, 777);");
+    let _ = writeln!(w, "  storeb(p + dist + 16, 0);");
+    let _ = writeln!(w, "}}");
+
+    // ---- the overflow routine ---------------------------------------------
+    let _ = writeln!(w, "fn do_copy(dst, src, len) {{");
+    match spec.function {
+        AttackFunction::Memcpy => {
+            let _ = writeln!(w, "  memcpy(dst, src, len);");
+        }
+        AttackFunction::Strcpy | AttackFunction::Sprintf => {
+            let _ = writeln!(w, "  strcpy(dst, src);");
+        }
+        AttackFunction::Strcat => {
+            // Destination starts empty, so concatenation == copy.
+            let _ = writeln!(w, "  storeb(dst, 0);");
+            let _ = writeln!(w, "  strcpy(dst, src);");
+        }
+        AttackFunction::Homebrew => {
+            let _ = writeln!(w, "  var i = 0;");
+            let _ = writeln!(
+                w,
+                "  while (i < len) {{ storeb(dst + i, loadb(src + i)); i += 1; }}"
+            );
+        }
+        AttackFunction::Strncpy | AttackFunction::Snprintf | AttackFunction::Strncat => {
+            // Bounded routines honour the destination size.
+            let _ = writeln!(w, "  var n = len;");
+            let _ = writeln!(w, "  if (n > {BUF_BYTES}) {{ n = {BUF_BYTES}; }}");
+            let _ = writeln!(w, "  memcpy(dst, src, n);");
+        }
+    }
+    let _ = writeln!(w, "}}");
+
+    // ---- the victim -------------------------------------------------------
+    let _ = writeln!(w, "fn vuln() -> int {{");
+    match spec.location {
+        Location::Stack => emit_stack_vuln(w, spec),
+        Location::Heap => emit_heap_vuln(w, spec),
+        Location::Bss | Location::Data => emit_global_vuln(w, spec),
+    }
+    let _ = writeln!(w, "}}");
+
+    let _ = writeln!(w, "fn main() -> int {{ return vuln(); }}");
+    s
+}
+
+/// The hijack value expression, given the buffer-address expression (where
+/// staged shellcode lands).
+fn hijack_value(spec: &AttackSpec, buf_expr: &str) -> String {
+    match spec.payload {
+        Payload::Shellcode => buf_expr.to_string(),
+        Payload::ReturnIntoLibc => "@libc_creat".to_string(),
+        // Mid-function gadget addresses: the VM refuses them, as real
+        // hardware would refuse a misaligned gadget chain on a
+        // shadow-stack machine. They populate the "failed" column.
+        Payload::Rop => "@libc_creat + 3".to_string(),
+        Payload::Jop => "@legit + 2".to_string(),
+    }
+}
+
+fn emit_stack_vuln(w: &mut String, spec: &AttackSpec) {
+    // Frame layout (native build, no canary): slot0 at the bottom, later
+    // slots above it, then saved FP at arrays_end+? and the return address
+    // 8 bytes above that. Offsets from &buf:
+    //   slot k start  = sum of sizes of slots 0..k
+    //   return addr   = total array bytes + 8
+    let _ = writeln!(w, "  local buf[2];");
+    let (dist, trigger): (i64, String) = match (spec.technique, spec.target) {
+        (Technique::Direct, Target::ReturnAddress) => (BUF_BYTES + 8, String::new()),
+        (Technique::Direct, Target::FuncPtr) => {
+            let _ = writeln!(w, "  local fp_[1];");
+            let _ = writeln!(w, "  fp_[0] = @legit;");
+            (BUF_BYTES, "  var r = icall(fp_[0], 777);\n  return r;".into())
+        }
+        (Technique::Direct, Target::LongjmpBuf) => {
+            let _ = writeln!(w, "  local jb[2];");
+            let _ = writeln!(w, "  jb[0] = @legit;");
+            let _ = writeln!(w, "  jb[1] = 0;");
+            (BUF_BYTES, "  var r = icall(jb[0], 777);\n  return r;".into())
+        }
+        (Technique::Direct, Target::StructFuncPtr) => {
+            let _ = writeln!(w, "  local obj[3];");
+            let _ = writeln!(w, "  obj[0] = 1234;");
+            let _ = writeln!(w, "  obj[1] = @legit;");
+            (BUF_BYTES + 8, "  var r = icall(obj[1], 777);\n  return r;".into())
+        }
+        (Technique::Indirect, target) => {
+            let _ = writeln!(w, "  local ptr_[1];");
+            // Slot layout: buf (16) | ptr_ (8) | target slots...
+            let (target_off, trigger) = match target {
+                Target::ReturnAddress => (BUF_BYTES + 8 + 8, String::new()),
+                Target::FuncPtr => {
+                    let _ = writeln!(w, "  local fp_[1];");
+                    let _ = writeln!(w, "  fp_[0] = @legit;");
+                    (BUF_BYTES + 8, "  var r = icall(fp_[0], 777);\n  return r;".to_string())
+                }
+                Target::LongjmpBuf => {
+                    let _ = writeln!(w, "  local jb[2];");
+                    let _ = writeln!(w, "  jb[0] = @legit;");
+                    (BUF_BYTES + 8, "  var r = icall(jb[0], 777);\n  return r;".to_string())
+                }
+                Target::StructFuncPtr => {
+                    let _ = writeln!(w, "  local obj[3];");
+                    let _ = writeln!(w, "  obj[1] = @legit;");
+                    (
+                        BUF_BYTES + 8 + 8,
+                        "  var r = icall(obj[1], 777);\n  return r;".to_string(),
+                    )
+                }
+            };
+            let _ = writeln!(w, "  ptr_[0] = &buf;");
+            let _ = writeln!(w, "  atkval = {};", hijack_value(spec, "&buf"));
+            // The overflow rewrites ptr_ to point at the target cell.
+            let _ = writeln!(w, "  stage({BUF_BYTES}, &buf + {target_off});");
+            let _ = writeln!(w, "  do_copy(&buf, &atk, {});", BUF_BYTES + 24);
+            let _ = writeln!(w, "  store(ptr_[0], atkval);");
+            if trigger.is_empty() {
+                let _ = writeln!(w, "  return 0;");
+            } else {
+                let _ = writeln!(w, "{trigger}");
+            }
+            return;
+        }
+    };
+    let _ = writeln!(w, "  stage({dist}, {});", hijack_value(spec, "&buf"));
+    let _ = writeln!(w, "  do_copy(&buf, &atk, {});", dist + 24);
+    if trigger.is_empty() {
+        let _ = writeln!(w, "  return 0;");
+    } else {
+        let _ = writeln!(w, "{trigger}");
+    }
+}
+
+fn emit_heap_vuln(w: &mut String, spec: &AttackSpec) {
+    let _ = writeln!(w, "  var b = alloc({BUF_BYTES});");
+    if spec.technique == Technique::Indirect {
+        let _ = writeln!(w, "  var pcell = alloc(8);");
+    }
+    let _ = writeln!(w, "  var t = alloc(24);");
+    let (off, idx) = match spec.target {
+        Target::FuncPtr | Target::LongjmpBuf => (0i64, 0i64),
+        Target::StructFuncPtr => (8, 1),
+        Target::ReturnAddress => unreachable!("ret target is stack-only"),
+    };
+    let _ = writeln!(w, "  t[{idx}] = @legit;");
+    match spec.technique {
+        Technique::Direct => {
+            let _ = writeln!(w, "  var dist = t - b + {off};");
+            let _ = writeln!(w, "  if (dist < 8 || dist > 1000) {{ return 1; }}");
+            let _ = writeln!(w, "  stage(dist, {});", hijack_value(spec, "b"));
+            let _ = writeln!(w, "  do_copy(b, &atk, dist + 24);");
+        }
+        Technique::Indirect => {
+            let _ = writeln!(w, "  store(pcell, b);");
+            let _ = writeln!(w, "  atkval = {};", hijack_value(spec, "b"));
+            let _ = writeln!(w, "  var dist = pcell - b;");
+            let _ = writeln!(w, "  if (dist < 8 || dist > 1000) {{ return 1; }}");
+            let _ = writeln!(w, "  stage(dist, t + {off});");
+            let _ = writeln!(w, "  do_copy(b, &atk, dist + 24);");
+            let _ = writeln!(w, "  store(load(pcell), atkval);");
+        }
+    }
+    let _ = writeln!(w, "  var r = icall(t[{idx}], 777);");
+    let _ = writeln!(w, "  return r;");
+}
+
+fn emit_global_vuln(w: &mut String, spec: &AttackSpec) {
+    let (off, cell) = match spec.target {
+        Target::FuncPtr => (0i64, "gtarget"),
+        Target::LongjmpBuf => (0, "gtarget[0]"),
+        Target::StructFuncPtr => (8, "gtarget[1]"),
+        Target::ReturnAddress => unreachable!("ret target is stack-only"),
+    };
+    let assign = match spec.target {
+        Target::FuncPtr => "  gtarget = @legit;",
+        Target::LongjmpBuf => "  gtarget[0] = @legit;",
+        Target::StructFuncPtr => "  gtarget[1] = @legit;",
+        Target::ReturnAddress => unreachable!(),
+    };
+    let _ = writeln!(w, "{assign}");
+    match spec.technique {
+        Technique::Direct => {
+            let _ = writeln!(w, "  var dist = &gtarget - &gbuf + {off};");
+            let _ = writeln!(w, "  if (dist < 8 || dist > 1000) {{ return 1; }}");
+            let _ = writeln!(w, "  stage(dist, {});", hijack_value(spec, "&gbuf"));
+            let _ = writeln!(w, "  do_copy(&gbuf, &atk, dist + 24);");
+        }
+        Technique::Indirect => {
+            let _ = writeln!(w, "  gptr = &gbuf;");
+            let _ = writeln!(w, "  atkval = {};", hijack_value(spec, "&gbuf"));
+            let _ = writeln!(w, "  var dist = &gptr - &gbuf;");
+            let _ = writeln!(w, "  if (dist < 8 || dist > 1000) {{ return 1; }}");
+            let _ = writeln!(w, "  stage(dist, &gtarget + {off});");
+            let _ = writeln!(w, "  do_copy(&gbuf, &atk, dist + 24);");
+            let _ = writeln!(w, "  store(gptr, atkval);");
+        }
+    }
+    let _ = writeln!(w, "  var r = icall({cell}, 777);");
+    let _ = writeln!(w, "  return r;");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::all_attacks;
+    use fex_cc::{compile, BuildOptions};
+
+    #[test]
+    fn every_attack_program_compiles_under_both_backends() {
+        for spec in all_attacks() {
+            let src = generate_program(&spec);
+            for opts in [BuildOptions::gcc(), BuildOptions::clang()] {
+                compile(&src, &opts)
+                    .unwrap_or_else(|e| panic!("{spec}: {e}\n--- source ---\n{src}"));
+            }
+        }
+    }
+
+    #[test]
+    fn shellcode_payloads_embed_the_marker() {
+        let spec = all_attacks()
+            .into_iter()
+            .find(|a| a.payload == crate::Payload::Shellcode)
+            .unwrap();
+        let src = generate_program(&spec);
+        // First shellcode byte is 0x90 = 144.
+        assert!(src.contains("storeb(p + 0, 144)"));
+    }
+}

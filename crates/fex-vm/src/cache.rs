@@ -1,0 +1,307 @@
+//! Set-associative cache hierarchy simulator.
+//!
+//! Models a three-level hierarchy (per-core L1D and L2, shared LLC) with
+//! LRU replacement. Every simulated load and store is pushed through
+//! [`CacheHierarchy::access`], which returns where the access hit so the
+//! cost model can charge the right latency; per-level hit/miss counters
+//! feed the `perf stat -e cache-…` reproduction (experiment X3).
+//!
+//! The model is deliberately simple — physical indexing, no coherence
+//! traffic, write-allocate/write-back — which is sufficient for the
+//! *relative* comparisons the paper's plots make.
+
+/// Configuration of a single cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total size in bytes.
+    pub size: u64,
+    /// Associativity (ways per set).
+    pub ways: u64,
+    /// Line size in bytes.
+    pub line: u64,
+    /// Hit latency in cycles.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size / (self.ways * self.line)
+    }
+}
+
+/// Identifies a cache level in results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheLevel {
+    /// First-level data cache.
+    L1,
+    /// Second-level cache.
+    L2,
+    /// Last-level cache.
+    Llc,
+}
+
+/// Where an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HitLevel {
+    /// Hit in L1.
+    L1,
+    /// Missed L1, hit L2.
+    L2,
+    /// Missed L2, hit LLC.
+    Llc,
+    /// Missed everywhere — served from memory.
+    Memory,
+}
+
+/// Per-level access statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that reached this level.
+    pub accesses: u64,
+    /// Lookups satisfied at this level.
+    pub hits: u64,
+}
+
+impl CacheStats {
+    /// Misses at this level.
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+
+    /// Miss ratio in `[0, 1]`; zero when there were no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// One set-associative cache with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// `sets × ways` tags; `None` = invalid line. Per set, index 0 is the
+    /// most recently used way.
+    sets: Vec<Vec<Option<u64>>>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty (cold) cache.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.size % (config.ways * config.line) == 0, "size must be sets*ways*line");
+        let sets = config.sets() as usize;
+        Cache {
+            config,
+            sets: vec![vec![None; config.ways as usize]; sets],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// This cache's configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Access statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up `addr`; on miss the line is filled. Returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.stats.accesses += 1;
+        let tag = addr / self.config.line;
+        let set_idx = (tag % self.config.sets()) as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|t| *t == Some(tag)) {
+            // Move to MRU position.
+            let t = set.remove(pos);
+            set.insert(0, t);
+            self.stats.hits += 1;
+            true
+        } else {
+            set.pop();
+            set.insert(0, Some(tag));
+            false
+        }
+    }
+
+    /// Invalidates all lines and keeps statistics (used between parfor
+    /// chunks to model cold per-core caches).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for way in set.iter_mut() {
+                *way = None;
+            }
+        }
+    }
+
+    /// Resets statistics to zero.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+/// A full hierarchy: per-core L1 and L2, one shared LLC.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1: Vec<Cache>,
+    l2: Vec<Cache>,
+    llc: Cache,
+    mem_latency: u64,
+}
+
+/// Default L1D: 32 KiB, 8-way, 64 B lines, 4-cycle hit.
+pub const DEFAULT_L1: CacheConfig = CacheConfig { size: 32 * 1024, ways: 8, line: 64, latency: 4 };
+/// Default L2: 256 KiB, 8-way, 64 B lines, 12-cycle hit.
+pub const DEFAULT_L2: CacheConfig = CacheConfig { size: 256 * 1024, ways: 8, line: 64, latency: 12 };
+/// Default LLC: 8 MiB, 16-way, 64 B lines, 40-cycle hit.
+pub const DEFAULT_LLC: CacheConfig =
+    CacheConfig { size: 8 * 1024 * 1024, ways: 16, line: 64, latency: 40 };
+/// Default main-memory latency in cycles.
+pub const DEFAULT_MEM_LATENCY: u64 = 200;
+
+impl CacheHierarchy {
+    /// Builds a hierarchy for `cores` cores.
+    pub fn new(cores: usize, l1: CacheConfig, l2: CacheConfig, llc: CacheConfig, mem_latency: u64) -> Self {
+        CacheHierarchy {
+            l1: (0..cores).map(|_| Cache::new(l1)).collect(),
+            l2: (0..cores).map(|_| Cache::new(l2)).collect(),
+            llc: Cache::new(llc),
+            mem_latency,
+        }
+    }
+
+    /// Builds a hierarchy with the default geometry.
+    pub fn with_defaults(cores: usize) -> Self {
+        Self::new(cores, DEFAULT_L1, DEFAULT_L2, DEFAULT_LLC, DEFAULT_MEM_LATENCY)
+    }
+
+    /// Number of cores this hierarchy serves.
+    pub fn cores(&self) -> usize {
+        self.l1.len()
+    }
+
+    /// Performs one access from `core` and returns `(where it hit, cycles)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access(&mut self, core: usize, addr: u64) -> (HitLevel, u64) {
+        if self.l1[core].access(addr) {
+            return (HitLevel::L1, self.l1[core].config.latency);
+        }
+        if self.l2[core].access(addr) {
+            return (HitLevel::L2, self.l2[core].config.latency);
+        }
+        if self.llc.access(addr) {
+            return (HitLevel::Llc, self.llc.config.latency);
+        }
+        (HitLevel::Memory, self.mem_latency)
+    }
+
+    /// Statistics for one level; per-core levels are summed across cores.
+    pub fn stats(&self, level: CacheLevel) -> CacheStats {
+        match level {
+            CacheLevel::L1 => sum_stats(&self.l1),
+            CacheLevel::L2 => sum_stats(&self.l2),
+            CacheLevel::Llc => self.llc.stats(),
+        }
+    }
+
+    /// Flushes the private caches of `core` (cold-start for a parfor chunk).
+    pub fn flush_core(&mut self, core: usize) {
+        self.l1[core].flush();
+        self.l2[core].flush();
+    }
+}
+
+fn sum_stats(caches: &[Cache]) -> CacheStats {
+    let mut s = CacheStats::default();
+    for c in caches {
+        s.accesses += c.stats().accesses;
+        s.hits += c.stats().hits;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets × 2 ways × 64 B = 256 B.
+        Cache::new(CacheConfig { size: 256, ways: 2, line: 64, latency: 1 })
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = tiny();
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63)); // same line
+        assert!(!c.access(64)); // next line, other set
+        assert_eq!(c.stats().accesses, 4);
+        assert_eq!(c.stats().hits, 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Lines 0, 128, 256 all map to set 0 (line/sets: tag%2==0).
+        assert!(!c.access(0));
+        assert!(!c.access(128));
+        // Touch 0 again so 128 is LRU.
+        assert!(c.access(0));
+        // 256 evicts 128.
+        assert!(!c.access(256));
+        assert!(c.access(0));
+        assert!(!c.access(128));
+    }
+
+    #[test]
+    fn flush_keeps_stats_but_clears_lines() {
+        let mut c = tiny();
+        c.access(0);
+        c.flush();
+        assert!(!c.access(0));
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().hits, 0);
+    }
+
+    #[test]
+    fn hierarchy_miss_then_faster_levels() {
+        let mut h = CacheHierarchy::with_defaults(2);
+        let (lvl, lat) = h.access(0, 0x1000);
+        assert_eq!(lvl, HitLevel::Memory);
+        assert_eq!(lat, DEFAULT_MEM_LATENCY);
+        let (lvl, lat) = h.access(0, 0x1000);
+        assert_eq!(lvl, HitLevel::L1);
+        assert_eq!(lat, DEFAULT_L1.latency);
+        // Other core misses its private caches but hits the shared LLC.
+        let (lvl, _) = h.access(1, 0x1000);
+        assert_eq!(lvl, HitLevel::Llc);
+    }
+
+    #[test]
+    fn stats_aggregate_across_cores() {
+        let mut h = CacheHierarchy::with_defaults(2);
+        h.access(0, 0);
+        h.access(1, 0);
+        assert_eq!(h.stats(CacheLevel::L1).accesses, 2);
+        assert_eq!(h.stats(CacheLevel::Llc).accesses, 2);
+        assert_eq!(h.stats(CacheLevel::Llc).hits, 1);
+    }
+
+    #[test]
+    fn miss_ratio_bounds() {
+        let s = CacheStats { accesses: 0, hits: 0 };
+        assert_eq!(s.miss_ratio(), 0.0);
+        let s = CacheStats { accesses: 10, hits: 4 };
+        assert!((s.miss_ratio() - 0.6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,139 @@
+//! Per-instruction cycle cost model.
+//!
+//! Latencies are loosely modelled on a modern out-of-order x86 core but do
+//! not attempt cycle accuracy: the paper's experiments compare *relative*
+//! behaviour (compiler A vs B, instrumented vs native), which a consistent
+//! linear model preserves. Loads and stores additionally pay the cache
+//! latency returned by [`CacheHierarchy::access`].
+//!
+//! [`CacheHierarchy::access`]: crate::CacheHierarchy::access
+
+use crate::bytecode::{BinOp, Instr, SysCall, UnOp};
+
+/// Cycle costs for each instruction class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Simple ALU op (add, sub, logic, shift, compare, mov, imm).
+    pub alu: u64,
+    /// Integer multiply.
+    pub imul: u64,
+    /// Integer divide / remainder.
+    pub idiv: u64,
+    /// FP add/sub.
+    pub fadd: u64,
+    /// FP multiply.
+    pub fmul: u64,
+    /// FP divide.
+    pub fdiv: u64,
+    /// Fused multiply-add.
+    pub fma: u64,
+    /// FP square root.
+    pub fsqrt: u64,
+    /// Transcendental (exp/log/sin/cos).
+    pub ftrans: u64,
+    /// Branch / jump.
+    pub branch: u64,
+    /// Extra cycles charged on a branch misprediction (pipeline flush).
+    pub branch_mispredict: u64,
+    /// Call / return bookkeeping (on top of their memory traffic).
+    pub call: u64,
+    /// Base cost of a load/store before cache latency.
+    pub mem_base: u64,
+    /// Syscall entry overhead.
+    pub syscall: u64,
+    /// Barrier cost per core at the end of a parfor.
+    pub barrier_per_core: u64,
+    /// ASan shadow-check cost on top of the shadow-byte memory access
+    /// (compare + branch + address arithmetic).
+    pub asan_check: u64,
+    /// Heap allocator bookkeeping per alloc/free.
+    pub alloc: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            alu: 1,
+            imul: 3,
+            idiv: 20,
+            fadd: 3,
+            fmul: 4,
+            fdiv: 15,
+            fma: 4,
+            fsqrt: 18,
+            ftrans: 40,
+            branch: 1,
+            branch_mispredict: 12,
+            call: 2,
+            mem_base: 1,
+            syscall: 30,
+            barrier_per_core: 60,
+            asan_check: 2,
+            alloc: 40,
+        }
+    }
+}
+
+impl CostModel {
+    /// The non-memory cycle cost of one instruction. Memory instructions
+    /// return only their base cost; the interpreter adds cache latency.
+    pub fn instr_cycles(&self, instr: &Instr) -> u64 {
+        match instr {
+            Instr::Imm { .. } | Instr::FImm { .. } | Instr::Mov { .. } => self.alu,
+            Instr::Bin { op, .. } => match op {
+                BinOp::Mul => self.imul,
+                BinOp::Div | BinOp::Rem => self.idiv,
+                _ => self.alu,
+            },
+            Instr::FBin { op, .. } => match op {
+                crate::bytecode::FBinOp::Add | crate::bytecode::FBinOp::Sub => self.fadd,
+                crate::bytecode::FBinOp::Mul => self.fmul,
+                crate::bytecode::FBinOp::Div => self.fdiv,
+            },
+            Instr::FMulAdd { .. } | Instr::FMulSub { .. } | Instr::FNegMulAdd { .. } => self.fma,
+            Instr::FCmp { .. } => self.fadd,
+            Instr::Un { op, .. } => match op {
+                UnOp::FSqrt => self.fsqrt,
+                UnOp::FExp | UnOp::FLog | UnOp::FSin | UnOp::FCos => self.ftrans,
+                UnOp::I2F | UnOp::F2I | UnOp::FNeg | UnOp::FAbs => self.fadd,
+                _ => self.alu,
+            },
+            Instr::Load { .. } | Instr::Store { .. } => self.mem_base,
+            Instr::AsanCheck { .. } => self.asan_check,
+            Instr::Jmp { .. } | Instr::BrZero { .. } | Instr::BrNonZero { .. } => self.branch,
+            Instr::Call { .. } | Instr::CallInd { .. } | Instr::Ret { .. } => self.call,
+            Instr::ParFor { .. } => self.call,
+            Instr::Syscall { code, .. } => match code {
+                SysCall::Alloc | SysCall::Free => self.alloc,
+                _ => self.syscall,
+            },
+            Instr::FrameAddr { .. } | Instr::GlobalAddr { .. } | Instr::RodataAddr { .. } => {
+                self.alu
+            }
+            Instr::Nop => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::{FBinOp, Reg};
+
+    #[test]
+    fn relative_costs_are_sane() {
+        let m = CostModel::default();
+        let r = Reg(0);
+        let add = m.instr_cycles(&Instr::Bin { op: BinOp::Add, dst: r, a: r, b: r });
+        let mul = m.instr_cycles(&Instr::Bin { op: BinOp::Mul, dst: r, a: r, b: r });
+        let div = m.instr_cycles(&Instr::Bin { op: BinOp::Div, dst: r, a: r, b: r });
+        assert!(add < mul && mul < div);
+        let fma = m.instr_cycles(&Instr::FMulAdd { dst: r, a: r, b: r, c: r });
+        let fmul = m.instr_cycles(&Instr::FBin { op: FBinOp::Mul, dst: r, a: r, b: r });
+        let fadd = m.instr_cycles(&Instr::FBin { op: FBinOp::Add, dst: r, a: r, b: r });
+        // Fusing a*b+c must be cheaper than doing the two ops separately —
+        // this is what makes the gcc backend's FMA pass measurable.
+        assert!(fma < fmul + fadd);
+        assert_eq!(m.instr_cycles(&Instr::Nop), 0);
+    }
+}

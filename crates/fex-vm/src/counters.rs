@@ -1,0 +1,125 @@
+//! Performance counters, the VM's `perf stat` data source.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Hardware-style event counters accumulated during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfCounters {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Elapsed cycles (on this core's timeline).
+    pub cycles: u64,
+    /// Executed loads.
+    pub loads: u64,
+    /// Executed stores.
+    pub stores: u64,
+    /// Taken + not-taken branches executed.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub branch_mispredicts: u64,
+    /// L1D misses.
+    pub l1_misses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// LLC misses (served from memory).
+    pub llc_misses: u64,
+    /// L1D accesses (loads + stores reaching the cache).
+    pub l1_accesses: u64,
+    /// Function calls (direct + indirect).
+    pub calls: u64,
+    /// Heap allocations.
+    pub allocs: u64,
+    /// Bytes allocated on the heap.
+    pub alloc_bytes: u64,
+    /// ASan shadow checks executed.
+    pub asan_checks: u64,
+}
+
+impl PerfCounters {
+    /// Adds another counter set into this one (element-wise).
+    pub fn merge(&mut self, other: &PerfCounters) {
+        self.instructions += other.instructions;
+        self.cycles += other.cycles;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.branches += other.branches;
+        self.branch_mispredicts += other.branch_mispredicts;
+        self.l1_misses += other.l1_misses;
+        self.l2_misses += other.l2_misses;
+        self.llc_misses += other.llc_misses;
+        self.l1_accesses += other.l1_accesses;
+        self.calls += other.calls;
+        self.allocs += other.allocs;
+        self.alloc_bytes += other.alloc_bytes;
+        self.asan_checks += other.asan_checks;
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// All counters as `(event name, value)` pairs, `perf stat` style.
+    pub fn events(&self) -> BTreeMap<&'static str, u64> {
+        let mut m = BTreeMap::new();
+        m.insert("instructions", self.instructions);
+        m.insert("cycles", self.cycles);
+        m.insert("loads", self.loads);
+        m.insert("stores", self.stores);
+        m.insert("branches", self.branches);
+        m.insert("branch-misses", self.branch_mispredicts);
+        m.insert("L1-dcache-load-misses", self.l1_misses);
+        m.insert("L2-misses", self.l2_misses);
+        m.insert("LLC-load-misses", self.llc_misses);
+        m.insert("L1-dcache-loads", self.l1_accesses);
+        m.insert("calls", self.calls);
+        m.insert("allocs", self.allocs);
+        m.insert("alloc-bytes", self.alloc_bytes);
+        m.insert("asan-checks", self.asan_checks);
+        m
+    }
+}
+
+impl fmt::Display for PerfCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, value) in self.events() {
+            writeln!(f, "{value:>16}  {name}")?;
+        }
+        writeln!(f, "{:>16.3}  insn per cycle", self.ipc())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_elementwise() {
+        let mut a = PerfCounters { instructions: 10, cycles: 20, ..Default::default() };
+        let b = PerfCounters { instructions: 5, cycles: 1, loads: 7, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.instructions, 15);
+        assert_eq!(a.cycles, 21);
+        assert_eq!(a.loads, 7);
+    }
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        assert_eq!(PerfCounters::default().ipc(), 0.0);
+        let c = PerfCounters { instructions: 30, cycles: 10, ..Default::default() };
+        assert!((c.ipc() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_lists_all_events() {
+        let s = PerfCounters::default().to_string();
+        assert!(s.contains("instructions"));
+        assert!(s.contains("LLC-load-misses"));
+        assert!(s.contains("insn per cycle"));
+    }
+}

@@ -1,0 +1,227 @@
+//! First-fit heap allocator over the simulated heap segment.
+//!
+//! The allocator's metadata lives on the Rust side (free list and live
+//! map); the *payload* lives in simulated memory, so heap overflows and
+//! use-after-free are observable by the shadow machinery. Under ASan the
+//! machine asks for redzones around each block and poisons freed blocks,
+//! mirroring the compiler pass's treatment of globals and stack arrays.
+
+use std::collections::BTreeMap;
+
+use crate::trap::Trap;
+
+/// Allocation statistics for the memory-overhead experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Calls to `alloc`.
+    pub allocs: u64,
+    /// Calls to `free`.
+    pub frees: u64,
+    /// Bytes handed out to the program (payload only).
+    pub payload_bytes: u64,
+    /// Bytes spent on redzones.
+    pub redzone_bytes: u64,
+    /// High-water mark of bytes reserved from the heap segment (payload +
+    /// redzones + alignment) — the "resident set" of the heap.
+    pub peak_reserved: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Block {
+    /// Reserved size including redzones.
+    reserved: u64,
+    /// Payload size requested by the program.
+    payload: u64,
+    /// Redzone on each side.
+    redzone: u64,
+}
+
+/// The allocator.
+#[derive(Debug, Clone)]
+pub struct Heap {
+    base: u64,
+    size: u64,
+    /// Free extents: start -> length, coalesced, keyed by start.
+    free: BTreeMap<u64, u64>,
+    /// Live blocks keyed by payload address.
+    live: BTreeMap<u64, Block>,
+    reserved: u64,
+    stats: HeapStats,
+}
+
+const ALIGN: u64 = 16;
+
+fn align_up(x: u64, a: u64) -> u64 {
+    (x + a - 1) / a * a
+}
+
+impl Heap {
+    /// Creates an allocator managing `[base, base+size)`.
+    pub fn new(base: u64, size: u64) -> Self {
+        let mut free = BTreeMap::new();
+        free.insert(base, size);
+        Heap { base, size, free, live: BTreeMap::new(), reserved: 0, stats: HeapStats::default() }
+    }
+
+    /// Managed range base.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Managed range size.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    /// Allocates `payload` bytes with `redzone` bytes of guard on each
+    /// side. Returns the payload address; the caller poisons the redzones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::OutOfMemory`] when no free extent fits.
+    pub fn alloc(&mut self, payload: u64, redzone: u64) -> Result<u64, Trap> {
+        let payload = payload.max(1);
+        let reserved = align_up(payload + 2 * redzone, ALIGN);
+        // First fit over the address-ordered free list.
+        let slot = self
+            .free
+            .iter()
+            .find(|(_, len)| **len >= reserved)
+            .map(|(start, len)| (*start, *len));
+        let (start, len) = slot.ok_or(Trap::OutOfMemory { requested: payload })?;
+        self.free.remove(&start);
+        if len > reserved {
+            self.free.insert(start + reserved, len - reserved);
+        }
+        let payload_addr = start + redzone;
+        self.live.insert(payload_addr, Block { reserved, payload, redzone });
+        self.reserved += reserved;
+        self.stats.allocs += 1;
+        self.stats.payload_bytes += payload;
+        self.stats.redzone_bytes += 2 * redzone;
+        self.stats.peak_reserved = self.stats.peak_reserved.max(self.reserved);
+        Ok(payload_addr)
+    }
+
+    /// Frees a block by payload address, returning `(block start, reserved
+    /// size, payload size)` so the machine can poison or clear it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::InvalidFree`] for addresses that are not live
+    /// allocations (double free, wild free).
+    pub fn free(&mut self, payload_addr: u64) -> Result<(u64, u64, u64), Trap> {
+        let block = self
+            .live
+            .remove(&payload_addr)
+            .ok_or(Trap::InvalidFree { addr: payload_addr })?;
+        let start = payload_addr - block.redzone;
+        self.reserved -= block.reserved;
+        self.stats.frees += 1;
+        self.insert_free(start, block.reserved);
+        Ok((start, block.reserved, block.payload))
+    }
+
+    /// Payload size of a live allocation, if `addr` is one.
+    pub fn live_payload(&self, addr: u64) -> Option<u64> {
+        self.live.get(&addr).map(|b| b.payload)
+    }
+
+    /// Number of live allocations.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    fn insert_free(&mut self, start: u64, len: u64) {
+        let mut start = start;
+        let mut len = len;
+        // Coalesce with predecessor.
+        if let Some((&pstart, &plen)) = self.free.range(..start).next_back() {
+            if pstart + plen == start {
+                self.free.remove(&pstart);
+                start = pstart;
+                len += plen;
+            }
+        }
+        // Coalesce with successor.
+        if let Some((&nstart, &nlen)) = self.free.range(start + len..).next() {
+            if start + len == nstart {
+                self.free.remove(&nstart);
+                len += nlen;
+            }
+        }
+        self.free.insert(start, len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip_and_coalesce() {
+        let mut h = Heap::new(0x1000, 0x1000);
+        let a = h.alloc(100, 0).unwrap();
+        let b = h.alloc(100, 0).unwrap();
+        let c = h.alloc(100, 0).unwrap();
+        assert!(a < b && b < c);
+        h.free(b).unwrap();
+        h.free(a).unwrap();
+        h.free(c).unwrap();
+        // Fully coalesced: one free extent covering everything.
+        assert_eq!(h.free.len(), 1);
+        assert_eq!(h.free.get(&0x1000), Some(&0x1000));
+        assert_eq!(h.live_count(), 0);
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let mut h = Heap::new(0, 4096);
+        let a = h.alloc(8, 0).unwrap();
+        h.free(a).unwrap();
+        assert!(matches!(h.free(a), Err(Trap::InvalidFree { .. })));
+        assert!(matches!(h.free(12345), Err(Trap::InvalidFree { .. })));
+    }
+
+    #[test]
+    fn oom_when_exhausted() {
+        let mut h = Heap::new(0, 64);
+        assert!(h.alloc(48, 0).is_ok());
+        assert!(matches!(h.alloc(48, 0), Err(Trap::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn redzones_accounted_and_offset() {
+        let mut h = Heap::new(0x1000, 0x1000);
+        let a = h.alloc(32, 16).unwrap();
+        // Payload starts after the left redzone.
+        assert_eq!(a, 0x1010);
+        assert_eq!(h.stats().redzone_bytes, 32);
+        assert_eq!(h.stats().payload_bytes, 32);
+        assert!(h.stats().peak_reserved >= 64);
+        assert_eq!(h.live_payload(a), Some(32));
+    }
+
+    #[test]
+    fn zero_size_alloc_is_valid() {
+        let mut h = Heap::new(0, 4096);
+        let a = h.alloc(0, 0).unwrap();
+        let b = h.alloc(0, 0).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut h = Heap::new(0, 4096);
+        let a = h.alloc(1024, 0).unwrap();
+        let peak1 = h.stats().peak_reserved;
+        h.free(a).unwrap();
+        let _b = h.alloc(16, 0).unwrap();
+        assert_eq!(h.stats().peak_reserved, peak1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Measurement-tool facade: the VM's stand-ins for `perf stat` and
+//! `/usr/bin/time`.
+//!
+//! The framework (fex-core) selects one of these per experiment, mirroring
+//! the paper's Table I "Tools" row: `perf-stat (generic)`, `perf-stat
+//! (memory)` and `time`.
+
+use std::collections::BTreeMap;
+
+use crate::interp::RunResult;
+
+/// Which measurement tool to apply to a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MeasureTool {
+    /// `perf stat` with the generic event set (instructions, cycles, IPC,
+    /// branches).
+    PerfStat,
+    /// `perf stat` with the memory event set (cache accesses and misses
+    /// per level).
+    PerfStatMemory,
+    /// `/usr/bin/time`-style wall-clock and max-RSS measurement.
+    Time,
+}
+
+impl MeasureTool {
+    /// All tools, for registries.
+    pub fn all() -> [MeasureTool; 3] {
+        [MeasureTool::PerfStat, MeasureTool::PerfStatMemory, MeasureTool::Time]
+    }
+
+    /// Stable name used in logs and CSV columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            MeasureTool::PerfStat => "perf-stat",
+            MeasureTool::PerfStatMemory => "perf-stat-mem",
+            MeasureTool::Time => "time",
+        }
+    }
+}
+
+impl std::fmt::Display for MeasureTool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A set of named metrics extracted from one run by one tool.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Measurement {
+    /// Metric name → value. Names are stable across runs so the collect
+    /// stage can aggregate by column.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl Measurement {
+    /// Extracts this tool's metrics from a run result.
+    pub fn extract(tool: MeasureTool, run: &RunResult) -> Measurement {
+        let mut metrics = BTreeMap::new();
+        let mut put = |k: &str, v: f64| {
+            metrics.insert(k.to_string(), v);
+        };
+        match tool {
+            MeasureTool::PerfStat => {
+                put("instructions", run.counters.instructions as f64);
+                put("cycles", run.elapsed_cycles as f64);
+                put("ipc", run.counters.ipc());
+                put("branches", run.counters.branches as f64);
+                put("branch_misses", run.counters.branch_mispredicts as f64);
+                put("calls", run.counters.calls as f64);
+                put("time", run.wall_seconds);
+            }
+            MeasureTool::PerfStatMemory => {
+                put("loads", run.counters.loads as f64);
+                put("stores", run.counters.stores as f64);
+                put("l1_accesses", run.counters.l1_accesses as f64);
+                put("l1_misses", run.counters.l1_misses as f64);
+                put("l2_misses", run.counters.l2_misses as f64);
+                put("llc_misses", run.counters.llc_misses as f64);
+                put("l1_miss_ratio", run.l1.miss_ratio());
+                put("llc_miss_ratio", run.llc.miss_ratio());
+                put("time", run.wall_seconds);
+            }
+            MeasureTool::Time => {
+                put("time", run.wall_seconds);
+                put("maxrss_bytes", run.maxrss_bytes as f64);
+                put("heap_allocs", run.heap.allocs as f64);
+                put("heap_payload_bytes", run.heap.payload_bytes as f64);
+                put("heap_redzone_bytes", run.heap.redzone_bytes as f64);
+            }
+        }
+        Measurement { metrics }
+    }
+
+    /// Convenience accessor.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.metrics.get(name).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::PerfCounters;
+    use crate::heap::HeapStats;
+
+    fn fake_run() -> RunResult {
+        RunResult {
+            exit: 0,
+            stdout: String::new(),
+            counters: PerfCounters {
+                instructions: 1000,
+                cycles: 2000,
+                loads: 100,
+                stores: 50,
+                branches: 10,
+                ..Default::default()
+            },
+            per_core: vec![],
+            elapsed_cycles: 2000,
+            wall_seconds: 1e-6,
+            heap: HeapStats { peak_reserved: 4096, allocs: 3, ..Default::default() },
+            maxrss_bytes: 4096,
+            l1: crate::CacheStats { accesses: 150, hits: 140 },
+            l2: crate::CacheStats::default(),
+            llc: crate::CacheStats { accesses: 10, hits: 5 },
+            attack_events: vec![],
+            hijacks: vec![],
+        }
+    }
+
+    #[test]
+    fn perf_stat_extracts_generic_events() {
+        let m = Measurement::extract(MeasureTool::PerfStat, &fake_run());
+        assert_eq!(m.get("instructions"), Some(1000.0));
+        assert_eq!(m.get("cycles"), Some(2000.0));
+        assert_eq!(m.get("time"), Some(1e-6));
+        assert!(m.get("l1_misses").is_none());
+    }
+
+    #[test]
+    fn memory_tool_extracts_cache_events() {
+        let m = Measurement::extract(MeasureTool::PerfStatMemory, &fake_run());
+        assert_eq!(m.get("loads"), Some(100.0));
+        assert!((m.get("l1_miss_ratio").unwrap() - 10.0 / 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_tool_extracts_rss() {
+        let m = Measurement::extract(MeasureTool::Time, &fake_run());
+        assert_eq!(m.get("maxrss_bytes"), Some(4096.0));
+        assert_eq!(m.get("heap_allocs"), Some(3.0));
+    }
+
+    #[test]
+    fn tool_names_are_stable() {
+        assert_eq!(MeasureTool::PerfStat.to_string(), "perf-stat");
+        assert_eq!(MeasureTool::all().len(), 3);
+    }
+}

@@ -1,0 +1,203 @@
+//! AddressSanitizer-style shadow memory.
+//!
+//! One shadow byte covers one 8-byte granule of application memory, like
+//! real ASan's 1:8 mapping. The compiler's instrumentation pass aligns all
+//! redzones to 8 bytes, so granule-level poisoning loses no precision.
+//!
+//! Checks performed by [`Instr::AsanCheck`] consult this map *and* send a
+//! shadow-byte access through the cache hierarchy, so instrumented builds
+//! pay a realistic extra memory-traffic cost, not just extra ALU work.
+//!
+//! [`Instr::AsanCheck`]: crate::Instr::AsanCheck
+
+use crate::memory::Memory;
+
+/// Granule size: one shadow byte per this many application bytes.
+pub const GRANULE: u64 = 8;
+
+/// Synthetic base address of the shadow region (used only so shadow
+/// accesses occupy distinct cache lines from application data).
+pub const SHADOW_BASE: u64 = 0x7000_0000;
+
+/// Why a granule is poisoned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoisonKind {
+    /// Redzone around a global object.
+    GlobalRedzone,
+    /// Redzone around a stack array.
+    StackRedzone,
+    /// Redzone around a heap allocation.
+    HeapRedzone,
+    /// Freed heap memory (use-after-free).
+    HeapFreed,
+}
+
+impl std::fmt::Display for PoisonKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PoisonKind::GlobalRedzone => "global-buffer-overflow",
+            PoisonKind::StackRedzone => "stack-buffer-overflow",
+            PoisonKind::HeapRedzone => "heap-buffer-overflow",
+            PoisonKind::HeapFreed => "heap-use-after-free",
+        };
+        f.write_str(s)
+    }
+}
+
+fn encode(kind: Option<PoisonKind>) -> u8 {
+    match kind {
+        None => 0,
+        Some(PoisonKind::GlobalRedzone) => 1,
+        Some(PoisonKind::StackRedzone) => 2,
+        Some(PoisonKind::HeapRedzone) => 3,
+        Some(PoisonKind::HeapFreed) => 4,
+    }
+}
+
+fn decode(b: u8) -> Option<PoisonKind> {
+    match b {
+        0 => None,
+        1 => Some(PoisonKind::GlobalRedzone),
+        2 => Some(PoisonKind::StackRedzone),
+        3 => Some(PoisonKind::HeapRedzone),
+        4 => Some(PoisonKind::HeapFreed),
+        _ => unreachable!("invalid shadow encoding"),
+    }
+}
+
+/// The shadow map, mirroring the application memory's segment layout.
+#[derive(Debug, Clone, Default)]
+pub struct ShadowMemory {
+    /// `(app base, shadow bytes)` per mirrored segment, sorted by base.
+    regions: Vec<(u64, Vec<u8>)>,
+}
+
+impl ShadowMemory {
+    /// Builds a fully-unpoisoned shadow map mirroring `memory`'s segments.
+    pub fn mirroring(memory: &Memory) -> Self {
+        let regions = memory
+            .segments()
+            .iter()
+            .map(|s| {
+                let granules = (s.data.len() as u64).div_ceil(GRANULE) as usize;
+                (s.base, vec![0u8; granules])
+            })
+            .collect();
+        ShadowMemory { regions }
+    }
+
+    fn locate(&self, addr: u64) -> Option<(usize, usize)> {
+        let idx = self
+            .regions
+            .binary_search_by(|(base, bytes)| {
+                if addr < *base {
+                    std::cmp::Ordering::Greater
+                } else if addr >= *base + bytes.len() as u64 * GRANULE {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .ok()?;
+        let (base, _) = self.regions[idx];
+        Some((idx, ((addr - base) / GRANULE) as usize))
+    }
+
+    /// Shadow-byte address for an application address (for cache modelling).
+    pub fn shadow_addr(addr: u64) -> u64 {
+        SHADOW_BASE + addr / GRANULE
+    }
+
+    /// Poisons `[addr, addr+len)` with `kind`. Unmapped parts are ignored
+    /// (the loader only poisons mapped redzones; tolerance keeps the
+    /// allocator simple at segment edges).
+    pub fn poison(&mut self, addr: u64, len: u64, kind: PoisonKind) {
+        self.set_range(addr, len, encode(Some(kind)));
+    }
+
+    /// Clears poison on `[addr, addr+len)`.
+    pub fn unpoison(&mut self, addr: u64, len: u64) {
+        self.set_range(addr, len, 0);
+    }
+
+    fn set_range(&mut self, addr: u64, len: u64, code: u8) {
+        if len == 0 {
+            return;
+        }
+        let mut a = addr;
+        let end = addr + len;
+        while a < end {
+            if let Some((ri, gi)) = self.locate(a) {
+                self.regions[ri].1[gi] = code;
+            }
+            a += GRANULE - (a % GRANULE);
+        }
+    }
+
+    /// Checks an access of `width` bytes at `addr`; returns the poison kind
+    /// if any touched granule is poisoned.
+    pub fn check(&self, addr: u64, width: u64) -> Option<PoisonKind> {
+        let mut a = addr;
+        let end = addr + width.max(1);
+        while a < end {
+            if let Some((ri, gi)) = self.locate(a) {
+                if let Some(kind) = decode(self.regions[ri].1[gi]) {
+                    return Some(kind);
+                }
+            }
+            a += GRANULE - (a % GRANULE);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::{Perm, SegmentKind};
+
+    fn shadow() -> ShadowMemory {
+        let mut m = Memory::new();
+        m.map(0x1000, 0x1000, Perm::RW, SegmentKind::Heap);
+        ShadowMemory::mirroring(&m)
+    }
+
+    #[test]
+    fn fresh_shadow_is_clean() {
+        let s = shadow();
+        assert_eq!(s.check(0x1000, 8), None);
+        assert_eq!(s.check(0x1ff8, 8), None);
+    }
+
+    #[test]
+    fn poison_and_unpoison() {
+        let mut s = shadow();
+        s.poison(0x1100, 32, PoisonKind::HeapRedzone);
+        assert_eq!(s.check(0x1100, 8), Some(PoisonKind::HeapRedzone));
+        assert_eq!(s.check(0x1118, 1), Some(PoisonKind::HeapRedzone));
+        assert_eq!(s.check(0x1120, 8), None);
+        // An 8-byte access ending inside the redzone is caught.
+        assert_eq!(s.check(0x10f8, 16), Some(PoisonKind::HeapRedzone));
+        s.unpoison(0x1100, 32);
+        assert_eq!(s.check(0x1100, 32), None);
+    }
+
+    #[test]
+    fn unmapped_addresses_are_not_poisoned() {
+        let mut s = shadow();
+        s.poison(0x9000, 8, PoisonKind::GlobalRedzone);
+        assert_eq!(s.check(0x9000, 8), None);
+    }
+
+    #[test]
+    fn shadow_addresses_are_distinct_per_granule() {
+        assert_ne!(ShadowMemory::shadow_addr(0x1000), ShadowMemory::shadow_addr(0x1008));
+        assert_eq!(ShadowMemory::shadow_addr(0x1000), ShadowMemory::shadow_addr(0x1007));
+    }
+
+    #[test]
+    fn poison_kinds_display_like_asan_reports() {
+        assert_eq!(PoisonKind::HeapFreed.to_string(), "heap-use-after-free");
+        assert_eq!(PoisonKind::StackRedzone.to_string(), "stack-buffer-overflow");
+    }
+}

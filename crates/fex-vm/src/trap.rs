@@ -1,0 +1,203 @@
+//! Fault and error types.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::memory::SegmentKind;
+use crate::shadow::PoisonKind;
+
+/// A runtime fault raised by the VM.
+///
+/// Traps terminate execution; the security experiments classify an attack
+/// as *failed* when its victim program traps before the payload runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Trap {
+    /// Access to an unmapped address.
+    Unmapped {
+        /// Faulting address.
+        addr: u64,
+        /// Whether the access was a write.
+        write: bool,
+    },
+    /// Access violating segment permissions.
+    PermViolation {
+        /// Faulting address.
+        addr: u64,
+        /// Whether the access was a write.
+        write: bool,
+    },
+    /// Control transferred to a non-executable or non-code address.
+    ExecViolation {
+        /// Target address.
+        addr: u64,
+    },
+    /// Control transferred to a code address that decodes to no valid
+    /// instruction.
+    BadCodeAddress {
+        /// Target address.
+        addr: u64,
+    },
+    /// AddressSanitizer shadow check failed.
+    AsanViolation {
+        /// Faulting address.
+        addr: u64,
+        /// Whether the access was a write.
+        write: bool,
+        /// What kind of poisoned memory was touched.
+        kind: PoisonKind,
+        /// Which segment the address belongs to, if mapped.
+        segment: Option<SegmentKind>,
+    },
+    /// Stack canary was clobbered before a return.
+    CanarySmashed {
+        /// Name of the function whose frame was smashed.
+        function: String,
+    },
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// Stack exhausted.
+    StackOverflow,
+    /// Heap exhausted.
+    OutOfMemory {
+        /// Size of the failed allocation.
+        requested: u64,
+    },
+    /// `free` of an address that is not a live allocation.
+    InvalidFree {
+        /// The bad pointer.
+        addr: u64,
+    },
+    /// Instruction budget exceeded (runaway-loop backstop).
+    InstructionLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// Program called `abort`.
+    Abort {
+        /// Abort code.
+        code: i64,
+    },
+    /// Nested `parfor` (not supported by the machine model).
+    NestedParFor,
+    /// Unterminated string passed to a string syscall.
+    StringTooLong {
+        /// Start of the string.
+        addr: u64,
+    },
+    /// A syscall received an argument it cannot interpret.
+    BadSyscall {
+        /// Explanation.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::Unmapped { addr, write } => {
+                write!(f, "unmapped {} at {addr:#x}", rw(*write))
+            }
+            Trap::PermViolation { addr, write } => {
+                write!(f, "permission violation on {} at {addr:#x}", rw(*write))
+            }
+            Trap::ExecViolation { addr } => write!(f, "execute of non-executable address {addr:#x}"),
+            Trap::BadCodeAddress { addr } => write!(f, "jump to invalid code address {addr:#x}"),
+            Trap::AsanViolation { addr, write, kind, segment } => write!(
+                f,
+                "addresssanitizer: {kind} on {} at {addr:#x} ({segment:?})",
+                rw(*write)
+            ),
+            Trap::CanarySmashed { function } => {
+                write!(f, "stack smashing detected in `{function}`")
+            }
+            Trap::DivByZero => write!(f, "integer division by zero"),
+            Trap::StackOverflow => write!(f, "stack overflow"),
+            Trap::OutOfMemory { requested } => write!(f, "out of heap memory ({requested} bytes)"),
+            Trap::InvalidFree { addr } => write!(f, "invalid free of {addr:#x}"),
+            Trap::InstructionLimit { limit } => {
+                write!(f, "instruction limit of {limit} exceeded")
+            }
+            Trap::Abort { code } => write!(f, "program aborted with code {code}"),
+            Trap::NestedParFor => write!(f, "nested parfor is not supported"),
+            Trap::StringTooLong { addr } => write!(f, "unterminated string at {addr:#x}"),
+            Trap::BadSyscall { what } => write!(f, "bad syscall argument: {what}"),
+        }
+    }
+}
+
+fn rw(write: bool) -> &'static str {
+    if write {
+        "write"
+    } else {
+        "read"
+    }
+}
+
+impl Error for Trap {}
+
+/// Top-level error type for running programs on the VM.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// The program faulted at runtime.
+    Trap(Trap),
+    /// The program has no entry point.
+    NoEntry,
+    /// The entry function expects more arguments than were supplied.
+    BadArity {
+        /// Entry function name.
+        function: String,
+        /// Parameters the function declares.
+        expected: u16,
+        /// Arguments supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Trap(t) => write!(f, "vm trap: {t}"),
+            VmError::NoEntry => write!(f, "program has no entry point"),
+            VmError::BadArity { function, expected, got } => write!(
+                f,
+                "entry `{function}` expects {expected} arguments, got {got}"
+            ),
+        }
+    }
+}
+
+impl Error for VmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VmError::Trap(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl From<Trap> for VmError {
+    fn from(t: Trap) -> Self {
+        VmError::Trap(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let t = Trap::Unmapped { addr: 0x10, write: true };
+        assert_eq!(t.to_string(), "unmapped write at 0x10");
+        let e = VmError::from(t);
+        assert!(e.to_string().starts_with("vm trap:"));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VmError>();
+        assert_send_sync::<Trap>();
+    }
+}

@@ -1,0 +1,44 @@
+//! Quickstart: the paper's §II-A workflow end to end.
+//!
+//! ```text
+//! >> fex.py install -n gcc-6.1
+//! >> fex.py install -n phoenix_inputs
+//! >> fex.py run -n phoenix -t gcc_native gcc_asan
+//! >> fex.py plot -n phoenix -t perf
+//! ```
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fex_core::{ExperimentConfig, Fex, PlotRequest};
+use fex_suites::InputSize;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut fex = Fex::new();
+
+    // --- setup stage: install pinned versions inside the container -----
+    fex.install("gcc-6.1")?;
+    fex.install("phoenix_inputs")?;
+    println!("environment digest: {}\n", fex.container().environment_digest());
+
+    // --- run stage: build, run, collect --------------------------------
+    let config = ExperimentConfig::new("phoenix")
+        .types(vec!["gcc_native", "gcc_asan"])
+        .input(InputSize::Small)
+        .repetitions(2);
+    let frame = fex.run(&config)?;
+    println!("collected {} measurement rows", frame.len());
+
+    // --- plot stage -----------------------------------------------------
+    let plot = fex.plot("phoenix", PlotRequest::Perf)?;
+    println!("{}", plot.to_ascii());
+
+    let out = std::path::Path::new("target/fex-results");
+    std::fs::create_dir_all(out)?;
+    std::fs::write(out.join("quickstart_phoenix.svg"), plot.to_svg())?;
+    std::fs::write(
+        out.join("quickstart_phoenix.csv"),
+        fex.result_csv("phoenix").expect("csv was stored"),
+    )?;
+    println!("wrote target/fex-results/quickstart_phoenix.{{svg,csv}}");
+    Ok(())
+}
