@@ -39,15 +39,11 @@ fn bench_run_stage(c: &mut Criterion) {
     let bin = compile(prog.source, &BuildOptions::gcc()).unwrap();
     let args: Vec<i64> = prog.args(InputSize::Test).to_vec();
     c.bench_function("run/arrayread_test_input", |b| {
-        b.iter(|| {
-            Machine::new(MachineConfig::default()).run(black_box(&bin), &args).unwrap()
-        })
+        b.iter(|| Machine::new(MachineConfig::default()).run(black_box(&bin), &args).unwrap())
     });
     let asan_bin = compile(prog.source, &BuildOptions::gcc().with_asan()).unwrap();
     c.bench_function("run/arrayread_test_input_asan", |b| {
-        b.iter(|| {
-            Machine::new(MachineConfig::default()).run(black_box(&asan_bin), &args).unwrap()
-        })
+        b.iter(|| Machine::new(MachineConfig::default()).run(black_box(&asan_bin), &args).unwrap())
     });
 }
 
@@ -73,8 +69,7 @@ fn bench_collect_and_plot(c: &mut Criterion) {
     });
     c.bench_function("plot/normalize_and_render_svg", |b| {
         b.iter(|| {
-            let norm =
-                normalize_against(&df, "benchmark", "type", "time", "gcc_native").unwrap();
+            let norm = normalize_against(&df, "benchmark", "type", "time", "gcc_native").unwrap();
             let plot =
                 barplot_from_frame(&norm, "benchmark", "type", "normalized_time", "t").unwrap();
             plot.to_svg()

@@ -25,9 +25,7 @@ fn bench_vm(c: &mut Criterion) {
     let fft = fex_suites::splash().program("fft").unwrap().clone();
     let fft_bin = compile(fft.source, &BuildOptions::gcc()).unwrap();
     c.bench_function("vm/fft_256_fp_heavy", |b| {
-        b.iter(|| {
-            Machine::new(MachineConfig::default()).run(black_box(&fft_bin), &[256]).unwrap()
-        })
+        b.iter(|| Machine::new(MachineConfig::default()).run(black_box(&fft_bin), &[256]).unwrap())
     });
     c.bench_function("vm/fft_256_fp_heavy_4cores", |b| {
         b.iter(|| {
@@ -54,9 +52,7 @@ fn bench_netsim(c: &mut Criterion) {
     let workload = Workload { duration_s: 0.25, ..Workload::default() };
     let sim = Simulation::new(&build, workload);
     let load = sim.capacity() * 0.8;
-    c.bench_function("netsim/quarter_second_at_80pct", |b| {
-        b.iter(|| sim.run(black_box(load)))
-    });
+    c.bench_function("netsim/quarter_second_at_80pct", |b| b.iter(|| sim.run(black_box(load))));
 }
 
 fn bench_ripe(c: &mut Criterion) {

@@ -16,11 +16,8 @@ fn main() {
         "thread_scaling",
         "cache_stats",
     ];
-    let exe_dir = std::env::current_exe()
-        .expect("own path")
-        .parent()
-        .expect("bin dir")
-        .to_path_buf();
+    let exe_dir =
+        std::env::current_exe().expect("own path").parent().expect("bin dir").to_path_buf();
     let mut failures = Vec::new();
     for bin in bins {
         println!("\n################################################################");

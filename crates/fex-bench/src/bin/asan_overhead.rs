@@ -16,8 +16,8 @@ fn main() {
         .input(InputSize::Native)
         .repetitions(3);
     let frame = fex.run(&config).expect("phoenix runs").clone();
-    let norm = normalize_against(&frame, "benchmark", "type", "time", "gcc_native")
-        .expect("normalise");
+    let norm =
+        normalize_against(&frame, "benchmark", "type", "time", "gcc_native").expect("normalise");
     let asan = norm.filter_eq("type", "gcc_asan").expect("asan rows");
 
     println!("X1a: AddressSanitizer runtime overhead on Phoenix (w.r.t. native GCC)\n");

@@ -17,16 +17,13 @@ fn main() {
     let frame = fex.run(&config).expect("micro cache experiment runs").clone();
 
     println!("X3: cache misses per level (perf-stat memory tool)\n");
-    let agg = frame
-        .group_agg(&["benchmark", "type"], "l1_misses", stats::mean)
-        .expect("agg l1");
+    let agg = frame.group_agg(&["benchmark", "type"], "l1_misses", stats::mean).expect("agg l1");
     print_frame(&agg);
 
     println!("\nmiss ratios:");
     for bench in frame.distinct("benchmark").expect("benchmarks") {
         for ty in frame.distinct("type").expect("types") {
-            let sub =
-                frame.filter_eq("benchmark", &bench).unwrap().filter_eq("type", &ty).unwrap();
+            let sub = frame.filter_eq("benchmark", &bench).unwrap().filter_eq("type", &ty).unwrap();
             let v = |c: &str| {
                 sub.column_values(c)
                     .unwrap()

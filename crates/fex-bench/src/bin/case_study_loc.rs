@@ -83,10 +83,7 @@ fn main() {
     let ripe_total = ripe_glue + loc(EX_RIPE);
 
     println!("CASE STUDIES (§IV): end-user integration effort in LoC\n");
-    println!(
-        "{:<12} {:>12} {:>12} {:>12} {:>14}",
-        "extension", "glue", "driver", "total", "paper"
-    );
+    println!("{:<12} {:>12} {:>12} {:>12} {:>14}", "extension", "glue", "driver", "total", "paper");
     let rows = [
         ("splash", splash_glue, loc(EX_SPLASH), splash_total, 326),
         ("nginx", nginx_glue, loc(EX_NGINX), nginx_total, 166),

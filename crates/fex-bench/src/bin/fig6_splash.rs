@@ -22,8 +22,7 @@ fn main() {
         .expect("normalisation");
     let clang = norm.filter_eq("type", "clang_native").expect("clang rows");
     print_frame(&clang);
-    let ratios: Vec<f64> =
-        clang.iter().filter_map(|r| r[2].as_num()).collect();
+    let ratios: Vec<f64> = clang.iter().filter_map(|r| r[2].as_num()).collect();
     println!(
         "{:<16} {:>10.3}   <- the paper's `All` bar (geometric mean)",
         "All",

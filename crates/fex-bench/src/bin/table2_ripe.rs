@@ -9,7 +9,10 @@ use fex_cc::BuildOptions;
 use fex_ripe::{run_testbed, TestbedConfig};
 
 fn main() {
-    println!("TABLE II: RIPE security benchmark results ({} attacks)\n", fex_ripe::all_attacks().len());
+    println!(
+        "TABLE II: RIPE security benchmark results ({} attacks)\n",
+        fex_ripe::all_attacks().len()
+    );
     println!("{:<18} {:>12} {:>10}", "Compiler", "Successful", "Failed");
     let mut csv = String::from("compiler,successful,failed,detected\n");
     let mut rows = Vec::new();

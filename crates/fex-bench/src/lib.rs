@@ -65,26 +65,15 @@ pub fn print_frame(df: &DataFrame) {
         .iter()
         .enumerate()
         .map(|(i, c)| {
-            df.iter()
-                .map(|r| r[i].to_cell_string().len())
-                .chain([c.len()])
-                .max()
-                .unwrap_or(8)
+            df.iter().map(|r| r[i].to_cell_string().len()).chain([c.len()]).max().unwrap_or(8)
         })
         .collect();
-    let header: Vec<String> = df
-        .columns()
-        .iter()
-        .zip(&widths)
-        .map(|(c, w)| format!("{c:>w$}"))
-        .collect();
+    let header: Vec<String> =
+        df.columns().iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
     println!("{}", header.join("  "));
     for row in df.iter() {
-        let cells: Vec<String> = row
-            .iter()
-            .zip(&widths)
-            .map(|(v, w)| format!("{:>w$}", v.to_cell_string()))
-            .collect();
+        let cells: Vec<String> =
+            row.iter().zip(&widths).map(|(v, w)| format!("{:>w$}", v.to_cell_string())).collect();
         println!("{}", cells.join("  "));
     }
 }

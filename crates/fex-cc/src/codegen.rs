@@ -17,11 +17,7 @@ use crate::ir::{Ir, IrFunction, IrProgram};
 /// Returns an error if a jump references an undefined label (an internal
 /// compiler invariant; surfaced as an error rather than a panic so that
 /// the framework can report it).
-pub fn emit(
-    ir: IrProgram,
-    asan: bool,
-    build_info: String,
-) -> Result<Program, CompileError> {
+pub fn emit(ir: IrProgram, asan: bool, build_info: String) -> Result<Program, CompileError> {
     let mut program = Program::new();
     program.globals = ir.globals;
     program.rodata = ir.rodata;
@@ -66,9 +62,7 @@ fn emit_fn(ir: IrFunction, asan: bool) -> Result<Function, CompileError> {
             Ir::Op(i) => f.code.push(i),
             Ir::Jmp(l) => f.code.push(Instr::Jmp { target: resolve(&l)? }),
             Ir::BrZero(c, l) => f.code.push(Instr::BrZero { cond: c, target: resolve(&l)? }),
-            Ir::BrNonZero(c, l) => {
-                f.code.push(Instr::BrNonZero { cond: c, target: resolve(&l)? })
-            }
+            Ir::BrNonZero(c, l) => f.code.push(Instr::BrNonZero { cond: c, target: resolve(&l)? }),
         }
     }
     Ok(f)

@@ -181,10 +181,7 @@ mod tests {
             fn main() -> int { buf[16] = 1; return 0; }";
         let p = compile(bad, &BuildOptions::gcc().with_asan()).unwrap();
         let err = Machine::new(MachineConfig::default()).run(&p, &[]).unwrap_err();
-        assert!(matches!(
-            err,
-            fex_vm::VmError::Trap(fex_vm::Trap::AsanViolation { .. })
-        ));
+        assert!(matches!(err, fex_vm::VmError::Trap(fex_vm::Trap::AsanViolation { .. })));
         // The same overflow goes *unnoticed* in the native build — that is
         // exactly the bug class ASan exists for.
         let p = compile(bad, &BuildOptions::gcc()).unwrap();

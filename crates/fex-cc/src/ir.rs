@@ -60,10 +60,8 @@ impl IrFunction {
     /// Allocates a fresh virtual register.
     pub fn fresh_reg(&mut self) -> Reg {
         let r = Reg(self.reg_count);
-        self.reg_count = self
-            .reg_count
-            .checked_add(1)
-            .expect("function uses more than 65535 virtual registers");
+        self.reg_count =
+            self.reg_count.checked_add(1).expect("function uses more than 65535 virtual registers");
         r
     }
 }

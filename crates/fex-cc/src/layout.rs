@@ -17,8 +17,7 @@ pub fn order_globals(unit: &mut Unit, policy: LayoutPolicy) {
         LayoutPolicy::DeclarationOrder => {}
         LayoutPolicy::PointersFirst => {
             let globals = std::mem::take(&mut unit.globals);
-            let (ptrs, rest): (Vec<_>, Vec<_>) =
-                globals.into_iter().partition(|g| g.is_code_ptr);
+            let (ptrs, rest): (Vec<_>, Vec<_>) = globals.into_iter().partition(|g| g.is_code_ptr);
             let (scalars, buffers): (Vec<_>, Vec<_>) =
                 rest.into_iter().partition(|g| g.len.is_none());
             unit.globals = ptrs;

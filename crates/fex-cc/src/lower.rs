@@ -62,7 +62,12 @@ pub fn lower(unit: &Unit) -> Result<IrProgram, CompileError> {
                 if items.len() as u64 > elems {
                     return Err(CompileError::at(
                         g.pos,
-                        format!("initialiser for `{}` has {} elements but the array holds {}", g.name, items.len(), elems),
+                        format!(
+                            "initialiser for `{}` has {} elements but the array holds {}",
+                            g.name,
+                            items.len(),
+                            elems
+                        ),
                     ));
                 }
                 for item in items {
@@ -77,7 +82,10 @@ pub fn lower(unit: &Unit) -> Result<IrProgram, CompileError> {
                         _ => {
                             return Err(CompileError::at(
                                 g.pos,
-                                format!("initialiser element for `{}` must be a literal of type {}", g.name, g.ty),
+                                format!(
+                                    "initialiser element for `{}` must be a literal of type {}",
+                                    g.name, g.ty
+                                ),
                             ))
                         }
                     }
@@ -184,7 +192,10 @@ impl<'a> Lowerer<'a> {
     fn declare(&mut self, name: &str, sym: Sym, pos: Pos) -> Result<(), CompileError> {
         let scope = self.scopes.last_mut().expect("at least one scope");
         if scope.insert(name.to_string(), sym).is_some() {
-            return Err(CompileError::at(pos, format!("`{name}` is already defined in this scope")));
+            return Err(CompileError::at(
+                pos,
+                format!("`{name}` is already defined in this scope"),
+            ));
         }
         Ok(())
     }
@@ -217,11 +228,7 @@ impl<'a> Lowerer<'a> {
                         self.emit(Instr::Mov { dst: reg, src: r });
                     }
                     None => {
-                        self.declare(
-                            name,
-                            Sym::Scalar { reg, ty: ty.unwrap_or(Ty::Int) },
-                            *pos,
-                        )?;
+                        self.declare(name, Sym::Scalar { reg, ty: ty.unwrap_or(Ty::Int) }, *pos)?;
                         self.emit(Instr::Imm { dst: reg, val: 0 });
                     }
                 }
@@ -304,28 +311,30 @@ impl<'a> Lowerer<'a> {
                     .ok_or_else(|| CompileError::at(*pos, "`continue` outside a loop".into()))?;
                 self.f.body.push(Ir::Jmp(l_cont));
             }
-            Stmt::Return(e, pos) => {
-                match (e, self.f.ret) {
-                    (Some(e), Some(rt)) => {
-                        let (r, ty) = self.expr(e)?;
-                        self.expect_ty(rt, ty, e.pos())?;
-                        self.emit(Instr::Ret { src: Some(r) });
-                    }
-                    (None, None) => self.emit(Instr::Ret { src: None }),
-                    (None, Some(_)) => {
-                        return Err(CompileError::at(*pos, format!("`{}` must return a value", self.f.name)))
-                    }
-                    (Some(_), None) => {
-                        return Err(CompileError::at(*pos, format!("`{}` has no return type", self.f.name)))
-                    }
+            Stmt::Return(e, pos) => match (e, self.f.ret) {
+                (Some(e), Some(rt)) => {
+                    let (r, ty) = self.expr(e)?;
+                    self.expect_ty(rt, ty, e.pos())?;
+                    self.emit(Instr::Ret { src: Some(r) });
                 }
-            }
+                (None, None) => self.emit(Instr::Ret { src: None }),
+                (None, Some(_)) => {
+                    return Err(CompileError::at(
+                        *pos,
+                        format!("`{}` must return a value", self.f.name),
+                    ))
+                }
+                (Some(_), None) => {
+                    return Err(CompileError::at(
+                        *pos,
+                        format!("`{}` has no return type", self.f.name),
+                    ))
+                }
+            },
             Stmt::ParFor { worker, lo, hi, args, pos } => {
-                let sig = self
-                    .ctx
-                    .funcs
-                    .get(worker.as_str())
-                    .ok_or_else(|| CompileError::at(*pos, format!("unknown worker function `{worker}`")))?;
+                let sig = self.ctx.funcs.get(worker.as_str()).ok_or_else(|| {
+                    CompileError::at(*pos, format!("unknown worker function `{worker}`"))
+                })?;
                 let expected = sig.params.len();
                 let id = sig.id;
                 if expected != args.len() + 1 {
@@ -387,7 +396,10 @@ impl<'a> Lowerer<'a> {
                     Ok(())
                 } else if let Some((gi, ty, len)) = self.ctx.globals.get(name.as_str()).copied() {
                     if len.is_some() {
-                        return Err(CompileError::at(*npos, format!("`{name}` is an array; index it")));
+                        return Err(CompileError::at(
+                            *npos,
+                            format!("`{name}` is an array; index it"),
+                        ));
                     }
                     let addr = self.f.fresh_reg();
                     self.emit(Instr::GlobalAddr { dst: addr, index: gi });
@@ -515,7 +527,10 @@ impl<'a> Lowerer<'a> {
                     B::Mul => fex_vm::FBinOp::Mul,
                     B::Div => fex_vm::FBinOp::Div,
                     _ => {
-                        return Err(CompileError::at(pos, format!("operator not defined for float")))
+                        return Err(CompileError::at(
+                            pos,
+                            "operator not defined for float".to_string(),
+                        ))
                     }
                 };
                 self.emit(Instr::FBin { op: vop, dst, a, b });
@@ -586,7 +601,10 @@ impl<'a> Lowerer<'a> {
                     self.emit(Instr::FrameAddr { dst: r, index: slot });
                     Ok((r, Ty::Int))
                 } else if let Some(Sym::Scalar { .. }) = self.lookup(name) {
-                    Err(CompileError::at(*pos, format!("cannot take the address of register variable `{name}`")))
+                    Err(CompileError::at(
+                        *pos,
+                        format!("cannot take the address of register variable `{name}`"),
+                    ))
                 } else if let Some((gi, _, _)) = self.ctx.globals.get(name.as_str()).copied() {
                     let r = self.f.fresh_reg();
                     self.emit(Instr::GlobalAddr { dst: r, index: gi });
@@ -596,11 +614,10 @@ impl<'a> Lowerer<'a> {
                 }
             }
             Expr::FnAddr(name, pos) => {
-                let sig = self
-                    .ctx
-                    .funcs
-                    .get(name.as_str())
-                    .ok_or_else(|| CompileError::at(*pos, format!("unknown function `{name}`")))?;
+                let sig =
+                    self.ctx.funcs.get(name.as_str()).ok_or_else(|| {
+                        CompileError::at(*pos, format!("unknown function `{name}`"))
+                    })?;
                 let r = self.f.fresh_reg();
                 self.emit(Instr::Imm { dst: r, val: code_addr(sig.id, 0) });
                 Ok((r, Ty::Int))
@@ -610,15 +627,24 @@ impl<'a> Lowerer<'a> {
                 let (a, ty) = self.expr(expr)?;
                 let r = self.f.fresh_reg();
                 match (op, ty) {
-                    (UnOp::Neg, Ty::Int) => self.emit(Instr::Un { op: fex_vm::UnOp::Neg, dst: r, a }),
+                    (UnOp::Neg, Ty::Int) => {
+                        self.emit(Instr::Un { op: fex_vm::UnOp::Neg, dst: r, a })
+                    }
                     (UnOp::Neg, Ty::Float) => {
                         self.emit(Instr::Un { op: fex_vm::UnOp::FNeg, dst: r, a })
                     }
-                    (UnOp::Not, Ty::Int) => self.emit(Instr::Un { op: fex_vm::UnOp::Not, dst: r, a }),
+                    (UnOp::Not, Ty::Int) => {
+                        self.emit(Instr::Un { op: fex_vm::UnOp::Not, dst: r, a })
+                    }
                     (UnOp::BitNot, Ty::Int) => {
                         self.emit(Instr::Un { op: fex_vm::UnOp::BitNot, dst: r, a })
                     }
-                    _ => return Err(CompileError::at(*pos, format!("operator not defined for {ty}"))),
+                    _ => {
+                        return Err(CompileError::at(
+                            *pos,
+                            format!("operator not defined for {ty}"),
+                        ))
+                    }
                 }
                 Ok((r, ty))
             }
@@ -875,10 +901,10 @@ mod tests {
     fn lowers_simple_function() {
         let p = lower_src("fn main() -> int { return 1 + 2; }").unwrap();
         assert_eq!(p.functions.len(), 1);
-        assert!(p.functions[0].body.iter().any(|i| matches!(
-            i,
-            Ir::Op(Instr::Bin { op: fex_vm::BinOp::Add, .. })
-        )));
+        assert!(p.functions[0]
+            .body
+            .iter()
+            .any(|i| matches!(i, Ir::Op(Instr::Bin { op: fex_vm::BinOp::Add, .. }))));
     }
 
     #[test]

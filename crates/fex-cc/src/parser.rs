@@ -50,10 +50,7 @@ impl Parser {
             self.bump();
             Ok(())
         } else {
-            Err(CompileError::at(
-                self.pos(),
-                format!("expected {want}, found {}", self.peek()),
-            ))
+            Err(CompileError::at(self.pos(), format!("expected {want}, found {}", self.peek())))
         }
     }
 
@@ -63,7 +60,9 @@ impl Parser {
                 self.bump();
                 Ok(s)
             }
-            other => Err(CompileError::at(self.pos(), format!("expected identifier, found {other}"))),
+            other => {
+                Err(CompileError::at(self.pos(), format!("expected identifier, found {other}")))
+            }
         }
     }
 
@@ -92,7 +91,10 @@ impl Parser {
             let n = match self.bump() {
                 Tok::Int(v) if v >= 0 => v as u64,
                 other => {
-                    return Err(CompileError::at(pos, format!("expected array length, found {other}")))
+                    return Err(CompileError::at(
+                        pos,
+                        format!("expected array length, found {other}"),
+                    ))
                 }
             };
             self.expect(Tok::RBracket)?;
@@ -109,7 +111,9 @@ impl Parser {
                     is_code_ptr = true;
                     Ty::Int
                 }
-                other => return Err(CompileError::at(pos, format!("expected type, found {other}"))),
+                other => {
+                    return Err(CompileError::at(pos, format!("expected type, found {other}")))
+                }
             }
         } else {
             Ty::Int
@@ -126,7 +130,10 @@ impl Parser {
                         Tok::Int(v) => GlobalInit::Int(-v),
                         Tok::Float(v) => GlobalInit::Float(-v),
                         other => {
-                            return Err(CompileError::at(pos, format!("expected number after `-`, found {other}")))
+                            return Err(CompileError::at(
+                                pos,
+                                format!("expected number after `-`, found {other}"),
+                            ))
                         }
                     }
                 }
@@ -158,7 +165,10 @@ impl Parser {
                     GlobalInit::List(items)
                 }
                 other => {
-                    return Err(CompileError::at(pos, format!("invalid global initialiser {other}")))
+                    return Err(CompileError::at(
+                        pos,
+                        format!("invalid global initialiser {other}"),
+                    ))
                 }
             }
         } else {
@@ -177,11 +187,7 @@ impl Parser {
         if !self.eat(&Tok::RParen) {
             loop {
                 let pname = self.ident()?;
-                let ty = if self.eat(&Tok::Colon) {
-                    self.ty()?
-                } else {
-                    Ty::Int
-                };
+                let ty = if self.eat(&Tok::Colon) { self.ty()? } else { Ty::Int };
                 params.push((pname, ty));
                 if self.eat(&Tok::RParen) {
                     break;
@@ -218,8 +224,7 @@ impl Parser {
                 self.bump();
                 let name = self.ident()?;
                 let ty = if self.eat(&Tok::Colon) { Some(self.ty()?) } else { None };
-                let init =
-                    if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
+                let init = if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
                 self.expect(Tok::Semi)?;
                 Ok(Stmt::Var { name, ty, init, pos })
             }
@@ -230,7 +235,10 @@ impl Parser {
                 let len = match self.bump() {
                     Tok::Int(v) if v > 0 => v as u64,
                     other => {
-                        return Err(CompileError::at(pos, format!("expected array length, found {other}")))
+                        return Err(CompileError::at(
+                            pos,
+                            format!("expected array length, found {other}"),
+                        ))
                     }
                 };
                 self.expect(Tok::RBracket)?;
@@ -446,7 +454,8 @@ impl Parser {
             // `float(e)` / `int(e)` casts: the type keywords double as
             // conversion builtins.
             Tok::KwFloat | Tok::KwInt => {
-                let name = if self.tokens[self.i - 1].tok == Tok::KwFloat { "float" } else { "int" };
+                let name =
+                    if self.tokens[self.i - 1].tok == Tok::KwFloat { "float" } else { "int" };
                 self.expect(Tok::LParen)?;
                 let arg = self.expr()?;
                 self.expect(Tok::RParen)?;
@@ -585,10 +594,7 @@ mod tests {
 
     #[test]
     fn else_if_chains() {
-        let u = parse(
-            "fn main() { if (1) { } else if (2) { } else { } }",
-        )
-        .unwrap();
+        let u = parse("fn main() { if (1) { } else if (2) { } else { } }").unwrap();
         match &u.funcs[0].body[0] {
             Stmt::If { else_body, .. } => {
                 assert!(matches!(else_body[0], Stmt::If { .. }));

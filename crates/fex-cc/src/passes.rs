@@ -219,10 +219,8 @@ fn simplify_bin(
                 return Some(vec![Instr::Mov { dst, src: b }]);
             }
         }
-        BinOp::Sub => {
-            if xb == Some(0) {
-                return Some(vec![Instr::Mov { dst, src: a }]);
-            }
+        BinOp::Sub if xb == Some(0) => {
+            return Some(vec![Instr::Mov { dst, src: a }]);
         }
         BinOp::Div => {
             if xb == Some(1) {
@@ -664,20 +662,18 @@ pub fn licm(f: &mut IrFunction) {
     spans.sort_by_key(|(i, j)| j - i);
 
     for (start, end) in spans {
-        let Ir::Jmp(label) = f.body.get(end).cloned().unwrap_or(Ir::Jmp(crate::ir::Label(u32::MAX)))
+        let Ir::Jmp(label) =
+            f.body.get(end).cloned().unwrap_or(Ir::Jmp(crate::ir::Label(u32::MAX)))
         else {
             continue;
         };
         let _ = start;
-        loop {
-            // Recompute the span every iteration: hoisting shifts indices,
-            // and scanning with stale bounds would re-hoist already-hoisted
-            // instructions forever.
-            let Some(head) =
-                f.body.iter().position(|ir| matches!(ir, Ir::Label(l) if *l == label))
-            else {
-                break;
-            };
+        // Recompute the span every iteration: hoisting shifts indices,
+        // and scanning with stale bounds would re-hoist already-hoisted
+        // instructions forever.
+        while let Some(head) =
+            f.body.iter().position(|ir| matches!(ir, Ir::Label(l) if *l == label))
+        {
             let Some(back) = f
                 .body
                 .iter()
@@ -809,10 +805,7 @@ mod tests {
         };
         let mut with = mk();
         const_fold(&mut with, true);
-        assert!(with
-            .body
-            .iter()
-            .any(|i| matches!(i, Ir::Op(Instr::Bin { op: BinOp::Shl, .. }))));
+        assert!(with.body.iter().any(|i| matches!(i, Ir::Op(Instr::Bin { op: BinOp::Shl, .. }))));
         let mut without = mk();
         const_fold(&mut without, false);
         assert!(without
@@ -844,7 +837,14 @@ mod tests {
     fn fma_fusion_requires_single_use() {
         let mul = Instr::FBin { op: FBinOp::Mul, dst: Reg(2), a: Reg(0), b: Reg(1) };
         let add = Instr::FBin { op: FBinOp::Add, dst: Reg(4), a: Reg(2), b: Reg(3) };
-        let mut f = func(vec![Ir::Op(mul.clone()), Ir::Op(add.clone()), Ir::Op(Instr::Ret { src: Some(Reg(4)) })], 5);
+        let mut f = func(
+            vec![
+                Ir::Op(mul.clone()),
+                Ir::Op(add.clone()),
+                Ir::Op(Instr::Ret { src: Some(Reg(4)) }),
+            ],
+            5,
+        );
         fma_fuse(&mut f);
         assert_eq!(f.body.len(), 2);
         assert!(matches!(

@@ -78,7 +78,8 @@ mod tests {
     #[test]
     fn o0_dump_is_larger_than_o2() {
         let src = "fn main() -> int { return 2 * 3 + 4; }";
-        let o0 = program_to_string(&compile_ir(src, &BuildOptions::gcc().with_opt_level(0)).unwrap());
+        let o0 =
+            program_to_string(&compile_ir(src, &BuildOptions::gcc().with_opt_level(0)).unwrap());
         let o2 = program_to_string(&compile_ir(src, &BuildOptions::gcc()).unwrap());
         assert!(o0.lines().count() > o2.lines().count());
     }

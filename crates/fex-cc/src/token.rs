@@ -172,7 +172,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                     bump!();
                 }
                 let mut is_float = false;
-                if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
+                    && bytes[i + 1].is_ascii_digit()
+                {
                     is_float = true;
                     bump!();
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -189,8 +193,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                         bump!();
                     }
                 }
-                let text: String =
-                    src[s..i].chars().filter(|c| *c != '_').collect();
+                let text: String = src[s..i].chars().filter(|c| *c != '_').collect();
                 if is_float {
                     let v = text.parse::<f64>().map_err(|_| {
                         CompileError::at(start, format!("invalid float literal `{text}`"))
@@ -201,34 +204,39 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                         CompileError::at(start, format!("invalid hex literal `{text}`"))
                     })?;
                     out.push(Token { tok: Tok::Int(v), pos: start });
-                } else if text.starts_with('0') && text.len() > 1 && text.chars().nth(1) == Some('x') {
+                } else if text.starts_with('0')
+                    && text.len() > 1
+                    && text.chars().nth(1) == Some('x')
+                {
                     unreachable!()
                 } else {
                     // Support 0x... where the x was consumed as part of an
                     // identifier? No: `0x` hits the digit branch; handle it.
-                    let v = if text == "0" && i < bytes.len() && (bytes[i] == b'x' || bytes[i] == b'X')
-                    {
-                        bump!();
-                        let hs = i;
-                        while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                    let v =
+                        if text == "0" && i < bytes.len() && (bytes[i] == b'x' || bytes[i] == b'X')
+                        {
                             bump!();
-                        }
-                        i64::from_str_radix(&src[hs..i], 16).map_err(|_| {
-                            CompileError::at(start, "invalid hex literal".to_string())
-                        })?
-                    } else {
-                        text.parse::<i64>().map_err(|_| {
-                            CompileError::at(start, format!("integer literal `{text}` out of range"))
-                        })?
-                    };
+                            let hs = i;
+                            while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                                bump!();
+                            }
+                            i64::from_str_radix(&src[hs..i], 16).map_err(|_| {
+                                CompileError::at(start, "invalid hex literal".to_string())
+                            })?
+                        } else {
+                            text.parse::<i64>().map_err(|_| {
+                                CompileError::at(
+                                    start,
+                                    format!("integer literal `{text}` out of range"),
+                                )
+                            })?
+                        };
                     out.push(Token { tok: Tok::Int(v), pos: start });
                 }
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let s = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     bump!();
                 }
                 let word = &src[s..i];
@@ -373,10 +381,7 @@ mod tests {
 
     #[test]
     fn lexes_keywords_and_idents() {
-        assert_eq!(
-            kinds("fn foo"),
-            vec![Tok::KwFn, Tok::Ident("foo".into()), Tok::Eof]
-        );
+        assert_eq!(kinds("fn foo"), vec![Tok::KwFn, Tok::Ident("foo".into()), Tok::Eof]);
         assert_eq!(kinds("fnx"), vec![Tok::Ident("fnx".into()), Tok::Eof]);
     }
 
@@ -393,15 +398,15 @@ mod tests {
                 Tok::Eof
             ]
         );
-        assert_eq!(kinds("x += 1"), vec![Tok::Ident("x".into()), Tok::PlusAssign, Tok::Int(1), Tok::Eof]);
+        assert_eq!(
+            kinds("x += 1"),
+            vec![Tok::Ident("x".into()), Tok::PlusAssign, Tok::Int(1), Tok::Eof]
+        );
     }
 
     #[test]
     fn lexes_strings_with_escapes() {
-        assert_eq!(
-            kinds(r#""a\nb\0""#),
-            vec![Tok::Str(vec![b'a', b'\n', b'b', 0]), Tok::Eof]
-        );
+        assert_eq!(kinds(r#""a\nb\0""#), vec![Tok::Str(vec![b'a', b'\n', b'b', 0]), Tok::Eof]);
         assert!(lex("\"unterminated").is_err());
     }
 

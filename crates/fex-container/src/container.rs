@@ -150,13 +150,9 @@ impl Container {
                 requested: version.to_string(),
             });
         }
-        let pkg: Package = registry
-            .fetch(name, version)
-            .cloned()
-            .ok_or_else(|| ContainerError::UnknownPackage {
-                name: name.to_string(),
-                version: version.to_string(),
-            })?;
+        let pkg: Package = registry.fetch(name, version).cloned().ok_or_else(|| {
+            ContainerError::UnknownPackage { name: name.to_string(), version: version.to_string() }
+        })?;
         for (dep_name, dep_version) in &pkg.deps {
             self.install_inner(registry, dep_name, dep_version, true)?;
         }

@@ -54,8 +54,7 @@ impl Layer {
 
     /// Total bytes stored in this layer (files + blobs).
     pub fn size(&self) -> u64 {
-        self.files.values().map(|d| d.len() as u64).sum::<u64>()
-            + self.blobs.values().sum::<u64>()
+        self.files.values().map(|d| d.len() as u64).sum::<u64>() + self.blobs.values().sum::<u64>()
     }
 
     /// Number of entries (files + blobs) in this layer.
@@ -162,10 +161,7 @@ impl FileSystem {
         }
         // Whiteouts in higher layers than a file's layer are handled by the
         // per-path read below (the pass above is a fast pre-filter).
-        seen.into_iter()
-            .filter(|(p, _)| self.exists(p))
-            .map(|(p, _)| p.to_string())
-            .collect()
+        seen.into_iter().filter(|(p, _)| self.exists(p)).map(|(p, _)| p.to_string()).collect()
     }
 
     /// Total unified size (visible files only).

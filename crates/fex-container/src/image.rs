@@ -45,11 +45,7 @@ impl Image {
 
     /// Per-layer `(step, bytes)` breakdown.
     pub fn size_breakdown(&self) -> Vec<(String, u64)> {
-        self.history
-            .iter()
-            .cloned()
-            .zip(self.fs.layers().iter().map(|l| l.size()))
-            .collect()
+        self.history.iter().cloned().zip(self.fs.layers().iter().map(|l| l.size())).collect()
     }
 
     /// The image Fex ships: Ubuntu base (~122 MB), benchmark sources
@@ -95,11 +91,7 @@ impl ImageBuilder {
 
     /// Starts from an existing image (like `FROM base`).
     pub fn from_image(name: impl Into<String>, base: &Image) -> Self {
-        ImageBuilder {
-            name: name.into(),
-            fs: base.fs.clone(),
-            history: base.history.clone(),
-        }
+        ImageBuilder { name: name.into(), fs: base.fs.clone(), history: base.history.clone() }
     }
 
     /// Adds a layer holding one opaque blob of `size` bytes at `path` —
@@ -148,23 +140,18 @@ mod tests {
 
     #[test]
     fn identical_recipes_have_identical_digests() {
-        let build = || {
-            ImageBuilder::from_scratch("t")
-                .add_file_layer("COPY a", &[("/a", b"1")])
-                .build()
-        };
+        let build =
+            || ImageBuilder::from_scratch("t").add_file_layer("COPY a", &[("/a", b"1")]).build();
         assert_eq!(build().digest(), build().digest());
-        let other = ImageBuilder::from_scratch("t")
-            .add_file_layer("COPY a", &[("/a", b"2")])
-            .build();
+        let other =
+            ImageBuilder::from_scratch("t").add_file_layer("COPY a", &[("/a", b"2")]).build();
         assert_ne!(build().digest(), other.digest());
     }
 
     #[test]
     fn derived_images_extend_their_base() {
-        let base = ImageBuilder::from_scratch("base")
-            .add_file_layer("COPY a", &[("/a", b"1")])
-            .build();
+        let base =
+            ImageBuilder::from_scratch("base").add_file_layer("COPY a", &[("/a", b"1")]).build();
         let derived = ImageBuilder::from_image("derived", &base)
             .add_file_layer("COPY b", &[("/b", b"2")])
             .build();

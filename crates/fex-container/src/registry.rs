@@ -62,11 +62,7 @@ impl PackageRegistry {
 
     /// All versions of a package, ascending.
     pub fn versions(&self, name: &str) -> Vec<&str> {
-        self.packages
-            .values()
-            .filter(|p| p.name == name)
-            .map(|p| p.version.as_str())
-            .collect()
+        self.packages.values().filter(|p| p.name == name).map(|p| p.version.as_str()).collect()
     }
 
     /// All packages.
@@ -114,7 +110,7 @@ impl PackageRegistry {
         add("nginx", "1.10.1", 25 * MIB, &[("openssl", "1.0.2g")], Benchmark);
         add("nginx", "1.4.0", 22 * MIB, &[("openssl", "1.0.1f")], Benchmark); // CVE-2013-2028
         add("memcached", "1.4.25", 8 * MIB, &[("libevent", "2.0.22")], Benchmark);
-        add("ripe", "2015.04", 1 * MIB, &[], Benchmark);
+        add("ripe", "2015.04", MIB, &[], Benchmark);
         // Input datasets.
         add("phoenix_inputs", "1.0", 510 * MIB, &[], Inputs);
         add("splash_inputs", "3.0", 140 * MIB, &[], Inputs);

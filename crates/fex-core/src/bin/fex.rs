@@ -40,8 +40,7 @@ fn run(args: &[String]) -> Result<(), FexError> {
             // The CLI is a fresh process each time, so perform the setup
             // stage implicitly (a long-lived embedding would call
             // `install` explicitly, as the library examples do).
-            for script in fex_core::install::required_scripts(&config.name, &config.build_types)
-            {
+            for script in fex_core::install::required_scripts(&config.name, &config.build_types) {
                 fex.install(script)?;
             }
             let frame = fex.run(&config)?;

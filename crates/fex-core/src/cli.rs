@@ -25,7 +25,7 @@ pub enum Action {
         names: Vec<String>,
     },
     /// `fex run …`.
-    Run(ExperimentConfig),
+    Run(Box<ExperimentConfig>),
     /// `fex plot -n <name> -t <kind>`.
     Plot {
         /// Experiment name.
@@ -84,9 +84,7 @@ pub fn parse(args: &[String]) -> Result<Action> {
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "-n" => name = it.next().cloned(),
-                    other => {
-                        return Err(FexError::Config(format!("unknown test flag `{other}`")))
-                    }
+                    other => return Err(FexError::Config(format!("unknown test flag `{other}`"))),
                 }
             }
             let name = name.ok_or_else(|| FexError::Config("test needs -n <suite>".into()))?;
@@ -107,9 +105,7 @@ pub fn parse(args: &[String]) -> Result<Action> {
                 match flag.as_str() {
                     "-n" => name = it.next().cloned(),
                     "-t" => kind = it.next().cloned(),
-                    other => {
-                        return Err(FexError::Config(format!("unknown plot flag `{other}`")))
-                    }
+                    other => return Err(FexError::Config(format!("unknown plot flag `{other}`"))),
                 }
             }
             let name = name.ok_or_else(|| FexError::Config("plot needs -n <name>".into()))?;
@@ -138,23 +134,22 @@ pub fn parse(args: &[String]) -> Result<Action> {
                             .collect::<Result<_>>()?;
                     }
                     "-b" => {
-                        cfg.benchmark =
-                            Some(it.next().cloned().ok_or_else(|| {
-                                FexError::Config("-b needs a benchmark".into())
-                            })?)
+                        cfg.benchmark = Some(
+                            it.next()
+                                .cloned()
+                                .ok_or_else(|| FexError::Config("-b needs a benchmark".into()))?,
+                        )
                     }
                     "-r" => {
-                        let v = it
-                            .next()
-                            .ok_or_else(|| FexError::Config("-r needs a count".into()))?;
+                        let v =
+                            it.next().ok_or_else(|| FexError::Config("-r needs a count".into()))?;
                         cfg.repetitions = v
                             .parse()
                             .map_err(|_| FexError::Config(format!("bad repetitions `{v}`")))?;
                     }
                     "-i" => {
-                        let v = it
-                            .next()
-                            .ok_or_else(|| FexError::Config("-i needs a size".into()))?;
+                        let v =
+                            it.next().ok_or_else(|| FexError::Config("-i needs a size".into()))?;
                         cfg.input = match v.as_str() {
                             "test" => InputSize::Test,
                             "small" => InputSize::Small,
@@ -193,7 +188,7 @@ pub fn parse(args: &[String]) -> Result<Action> {
                 cfg.threads = threads;
             }
             cfg.validate()?;
-            Ok(Action::Run(cfg))
+            Ok(Action::Run(Box::new(cfg)))
         }
         other => Err(FexError::Config(format!("unknown action `{other}`"))),
     }
@@ -244,8 +239,7 @@ mod tests {
         assert_eq!(cfg.build_types, vec!["gcc_native"]);
 
         // ">> fex.py run -n splash -t gcc_native clang_native"
-        let Action::Run(cfg) =
-            parse(&argv("run -n splash -t gcc_native clang_native")).unwrap()
+        let Action::Run(cfg) = parse(&argv("run -n splash -t gcc_native clang_native")).unwrap()
         else {
             panic!("expected run");
         };

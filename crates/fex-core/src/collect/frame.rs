@@ -163,12 +163,7 @@ impl DataFrame {
     /// [`FexError::Data`] if the column does not exist.
     pub fn filter_eq(&self, column: &str, value: &str) -> Result<DataFrame> {
         let i = self.col(column)?;
-        let rows = self
-            .rows
-            .iter()
-            .filter(|r| r[i].to_cell_string() == value)
-            .cloned()
-            .collect();
+        let rows = self.rows.iter().filter(|r| r[i].to_cell_string() == value).cloned().collect();
         Ok(DataFrame { columns: self.columns.clone(), rows })
     }
 

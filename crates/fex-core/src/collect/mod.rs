@@ -10,7 +10,7 @@ pub mod stats;
 
 pub use frame::{DataFrame, Value};
 
-use fex_vm::{Measurement, MeasureTool, RunResult};
+use fex_vm::{MeasureTool, Measurement, RunResult};
 
 /// Accumulates measurement rows during an experiment.
 #[derive(Debug)]
@@ -26,8 +26,7 @@ impl Collector {
 
     /// Creates a collector for one measurement tool.
     pub fn new(tool: MeasureTool) -> Self {
-        let mut columns: Vec<String> =
-            Self::KEY_COLUMNS.iter().map(|s| s.to_string()).collect();
+        let mut columns: Vec<String> = Self::KEY_COLUMNS.iter().map(|s| s.to_string()).collect();
         // Metric columns are fixed per tool so every row has the same
         // shape; probe them from a default measurement.
         columns.extend(metric_names(tool));
@@ -99,16 +98,12 @@ fn metric_names(tool: MeasureTool) -> Vec<String> {
         .iter()
         .map(|s| s.to_string())
         .collect(),
-        MeasureTool::Time => [
-            "time",
-            "maxrss_bytes",
-            "heap_allocs",
-            "heap_payload_bytes",
-            "heap_redzone_bytes",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect(),
+        MeasureTool::Time => {
+            ["time", "maxrss_bytes", "heap_allocs", "heap_payload_bytes", "heap_redzone_bytes"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        }
     }
 }
 

@@ -1,9 +1,42 @@
 //! Experiment configuration: the typed form of `fex.py`'s command line.
 
 use fex_suites::InputSize;
-use fex_vm::MeasureTool;
+use fex_vm::{FaultPlan, MeasureTool};
 
 use crate::error::{FexError, Result};
+use crate::resilience::RunPolicy;
+
+/// Fault injection scoped to an experiment: a [`FaultPlan`] applied to
+/// the machines of one benchmark (or all of them).
+///
+/// This is the harness's chaos knob — runs of matching benchmarks
+/// execute on machines whose fault plan is armed, with the retry attempt
+/// number fed in as the plan's salt so transient faults re-roll across
+/// retries.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultInjection {
+    /// Restrict injection to this benchmark; `None` injects everywhere.
+    pub benchmark: Option<String>,
+    /// The plan armed on matching machines.
+    pub plan: FaultPlan,
+}
+
+impl FaultInjection {
+    /// Injects `plan` into every benchmark of the experiment.
+    pub fn everywhere(plan: FaultPlan) -> Self {
+        FaultInjection { benchmark: None, plan }
+    }
+
+    /// Injects `plan` only into runs of `benchmark`.
+    pub fn for_benchmark(benchmark: impl Into<String>, plan: FaultPlan) -> Self {
+        FaultInjection { benchmark: Some(benchmark.into()), plan }
+    }
+
+    /// Whether runs of `benchmark` are subject to this injection.
+    pub fn applies_to(&self, benchmark: &str) -> bool {
+        self.plan.enabled() && self.benchmark.as_deref().is_none_or(|b| b == benchmark)
+    }
+}
 
 /// One experiment invocation (`fex run -n <name> -t <types> …`).
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +63,10 @@ pub struct ExperimentConfig {
     pub tool: MeasureTool,
     /// Seed for deterministic machines and workloads.
     pub seed: u64,
+    /// Optional fault injection (resilience testing).
+    pub fault: Option<FaultInjection>,
+    /// Retry/backoff/quarantine policy for failing runs.
+    pub resilience: RunPolicy,
 }
 
 impl ExperimentConfig {
@@ -47,6 +84,8 @@ impl ExperimentConfig {
             no_build: false,
             tool: MeasureTool::PerfStat,
             seed: 42,
+            fault: None,
+            resilience: RunPolicy::default(),
         }
     }
 
@@ -84,6 +123,23 @@ impl ExperimentConfig {
     pub fn tool(mut self, tool: MeasureTool) -> Self {
         self.tool = tool;
         self
+    }
+
+    /// Arms fault injection for this experiment.
+    pub fn fault(mut self, injection: FaultInjection) -> Self {
+        self.fault = Some(injection);
+        self
+    }
+
+    /// Sets the resilience policy.
+    pub fn resilience(mut self, policy: RunPolicy) -> Self {
+        self.resilience = policy;
+        self
+    }
+
+    /// The fault plan armed for `benchmark`, if any.
+    pub fn fault_plan_for(&self, benchmark: &str) -> Option<&FaultPlan> {
+        self.fault.as_ref().filter(|inj| inj.applies_to(benchmark)).map(|inj| &inj.plan)
     }
 
     /// Validates basic invariants.
@@ -147,5 +203,34 @@ mod tests {
         assert_eq!(c.threads, vec![1, 2, 4]);
         assert_eq!(c.benchmark.as_deref(), Some("fft"));
         assert_eq!(c.input_name(), "test");
+    }
+
+    #[test]
+    fn fault_injection_scoping() {
+        use fex_vm::FaultKind;
+
+        let everywhere = FaultInjection::everywhere(FaultPlan::persistent(FaultKind::Trap));
+        assert!(everywhere.applies_to("fft") && everywhere.applies_to("lu"));
+
+        let scoped = FaultInjection::for_benchmark("fft", FaultPlan::persistent(FaultKind::Trap));
+        assert!(scoped.applies_to("fft"));
+        assert!(!scoped.applies_to("lu"));
+
+        // A disabled plan never applies, regardless of scope.
+        let disabled = FaultInjection::everywhere(FaultPlan::none());
+        assert!(!disabled.applies_to("fft"));
+
+        let c = ExperimentConfig::new("splash").fault(scoped);
+        assert!(c.fault_plan_for("fft").is_some());
+        assert!(c.fault_plan_for("lu").is_none());
+        assert!(ExperimentConfig::new("splash").fault_plan_for("fft").is_none());
+    }
+
+    #[test]
+    fn default_resilience_policy_retries_twice() {
+        let c = ExperimentConfig::new("phoenix");
+        assert_eq!(c.resilience.max_retries, 2);
+        assert_eq!(c.resilience.failure_threshold, 1);
+        assert!(c.resilience.run_budget.is_none());
     }
 }

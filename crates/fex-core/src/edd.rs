@@ -11,6 +11,7 @@
 
 use crate::collect::{stats, DataFrame};
 use crate::error::{FexError, Result};
+use crate::resilience::FailureReport;
 
 /// A regression gate for one metric.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,16 +113,10 @@ pub fn check(
         let base = baseline.group_agg(keys, &gate.metric, stats::mean)?;
         let cur = current.group_agg(keys, &gate.metric, stats::mean)?;
         let key_of = |row: &[crate::collect::Value]| {
-            row[..keys.len()]
-                .iter()
-                .map(|v| v.to_cell_string())
-                .collect::<Vec<_>>()
-                .join("/")
+            row[..keys.len()].iter().map(|v| v.to_cell_string()).collect::<Vec<_>>().join("/")
         };
-        let base_map: std::collections::BTreeMap<String, f64> = base
-            .iter()
-            .map(|r| (key_of(r), r[keys.len()].as_num().unwrap_or(0.0)))
-            .collect();
+        let base_map: std::collections::BTreeMap<String, f64> =
+            base.iter().map(|r| (key_of(r), r[keys.len()].as_num().unwrap_or(0.0))).collect();
         for row in cur.iter() {
             let group = key_of(row);
             let Some(&b) = base_map.get(&group) else { continue };
@@ -149,6 +144,73 @@ pub fn check(
         ));
     }
     Ok(EddReport { violations, groups_checked })
+}
+
+/// A flakiness gate for CI: bounds how much retrying and quarantining an
+/// experiment may need before its numbers stop being trustworthy.
+///
+/// Performance results obtained through heavy retrying are suspect even
+/// when every run eventually succeeded — the same machine conditions that
+/// made runs fail also perturb the measurements that passed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlakinessGate {
+    /// Maximum tolerated retry rate (extra attempts per driven run),
+    /// e.g. `0.1` for "at most one retry per ten runs".
+    pub max_retry_rate: f64,
+    /// Maximum number of quarantined benchmarks (usually 0 for CI).
+    pub max_quarantined: usize,
+}
+
+impl Default for FlakinessGate {
+    /// Strict CI defaults: no retries tolerated, no quarantines.
+    fn default() -> Self {
+        FlakinessGate { max_retry_rate: 0.0, max_quarantined: 0 }
+    }
+}
+
+impl FlakinessGate {
+    /// Creates a gate.
+    pub fn new(max_retry_rate: f64, max_quarantined: usize) -> Self {
+        FlakinessGate { max_retry_rate, max_quarantined }
+    }
+}
+
+/// Checks an experiment's [`FailureReport`] against a [`FlakinessGate`],
+/// reusing the [`EddReport`] verdict machinery so CI treats flakiness
+/// like any other regression.
+pub fn check_flakiness(report: &FailureReport, gate: &FlakinessGate) -> EddReport {
+    let mut violations = Vec::new();
+    let retry_rate = report.retry_rate();
+    if retry_rate > gate.max_retry_rate {
+        violations.push(Violation {
+            group: "experiment".into(),
+            metric: "retry_rate".into(),
+            baseline: gate.max_retry_rate,
+            current: retry_rate,
+            ratio: if gate.max_retry_rate > 0.0 {
+                retry_rate / gate.max_retry_rate
+            } else {
+                f64::INFINITY
+            },
+            max_ratio: 1.0,
+        });
+    }
+    let quarantined = report.quarantined_benchmarks().len();
+    if quarantined > gate.max_quarantined {
+        violations.push(Violation {
+            group: "experiment".into(),
+            metric: "quarantined_benchmarks".into(),
+            baseline: gate.max_quarantined as f64,
+            current: quarantined as f64,
+            ratio: if gate.max_quarantined > 0 {
+                quarantined as f64 / gate.max_quarantined as f64
+            } else {
+                f64::INFINITY
+            },
+            max_ratio: 1.0,
+        });
+    }
+    EddReport { violations, groups_checked: 2 }
 }
 
 #[cfg(test)]
@@ -199,6 +261,42 @@ mod tests {
         let base = frame(&[("a", 1.0)]);
         let cur = frame(&[("b", 1.0)]);
         assert!(check(&base, &cur, &["benchmark"], &[Gate::new("time", 1.05)]).is_err());
+    }
+
+    #[test]
+    fn flakiness_gate_bounds_retry_rate_and_quarantines() {
+        use crate::resilience::{FailureRecord, RunOutcome};
+
+        // Clean report passes the strict default gate.
+        let mut report = FailureReport::default();
+        report.note_run(1, 0);
+        assert!(check_flakiness(&report, &FlakinessGate::default()).passed());
+
+        // One retry per run: rate 1.0 fails the default gate but passes a
+        // lenient one.
+        let mut flaky = FailureReport::default();
+        flaky.note_run(2, 1_000_000);
+        let r = check_flakiness(&flaky, &FlakinessGate::default());
+        assert!(!r.passed());
+        assert_eq!(r.violations[0].metric, "retry_rate");
+        assert!(check_flakiness(&flaky, &FlakinessGate::new(1.5, 0)).passed());
+
+        // A quarantined benchmark trips the quarantine bound.
+        let mut quarantined = FailureReport::default();
+        quarantined.note_run(3, 3_000_000);
+        quarantined.push(FailureRecord {
+            benchmark: "fft".into(),
+            build_type: "gcc_native".into(),
+            threads: 1,
+            rep: 0,
+            error: "vm trap: injected fault (attempt 2)".into(),
+            attempts: 3,
+            outcome: RunOutcome::Quarantined,
+        });
+        let r = check_flakiness(&quarantined, &FlakinessGate::new(10.0, 0));
+        assert!(!r.passed());
+        assert_eq!(r.violations[0].metric, "quarantined_benchmarks");
+        assert!(r.summary().contains("FAILED"));
     }
 
     #[test]

@@ -104,10 +104,7 @@ impl Environment for AsanEnvironment {
         let base = NativeEnvironment.spec();
         EnvSpec {
             default: base.default,
-            updated: vec![(
-                "ASAN_OPTIONS".into(),
-                "detect_leaks=0:halt_on_error=1".into(),
-            )],
+            updated: vec![("ASAN_OPTIONS".into(), "detect_leaks=0:halt_on_error=1".into())],
             forced: vec![],
             debug: vec![
                 ("FEX_VERBOSE_RUNTIME".into(), "1".into()),
@@ -145,10 +142,7 @@ mod tests {
     fn updated_appends_when_present_and_assigns_otherwise() {
         let spec = EnvSpec {
             default: vec![("CFLAGS".into(), "-O2".into())],
-            updated: vec![
-                ("CFLAGS".into(), "-g".into()),
-                ("NEWVAR".into(), "x".into()),
-            ],
+            updated: vec![("CFLAGS".into(), "-g".into()), ("NEWVAR".into(), "x".into())],
             ..EnvSpec::default()
         };
         let r = spec.resolve(false);

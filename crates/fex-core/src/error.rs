@@ -19,6 +19,8 @@ pub enum FexError {
     Run {
         /// Benchmark name.
         benchmark: String,
+        /// Build type the run executed under.
+        build_type: String,
         /// Underlying VM error.
         source: fex_vm::VmError,
     },
@@ -44,8 +46,8 @@ impl fmt::Display for FexError {
             FexError::Build { benchmark, build_type, source } => {
                 write!(f, "building `{benchmark}` as `{build_type}` failed: {source}")
             }
-            FexError::Run { benchmark, source } => {
-                write!(f, "running `{benchmark}` failed: {source}")
+            FexError::Run { benchmark, build_type, source } => {
+                write!(f, "running `{benchmark}` [{build_type}] failed: {source}")
             }
             FexError::Container(e) => write!(f, "container: {e}"),
             FexError::UnknownName { kind, name } => write!(f, "unknown {kind} `{name}`"),

@@ -72,11 +72,7 @@ pub fn script(name: &str) -> Option<InstallScript> {
 ///
 /// [`FexError::UnknownName`] for unregistered scripts and container errors
 /// for version conflicts / missing packages.
-pub fn run_script(
-    container: &mut Container,
-    registry: &PackageRegistry,
-    name: &str,
-) -> Result<()> {
+pub fn run_script(container: &mut Container, registry: &PackageRegistry, name: &str) -> Result<()> {
     let script = script(name)
         .ok_or_else(|| FexError::UnknownName { kind: "install script", name: name.to_string() })?;
     for (pkg, version) in &script.packages {

@@ -56,9 +56,11 @@ mod error;
 pub mod install;
 pub mod plot;
 pub mod registry;
+pub mod resilience;
 pub mod runner;
 pub mod workflow;
 
 pub use config::ExperimentConfig;
 pub use error::{FexError, Result};
+pub use resilience::{FailureRecord, FailureReport, RunOutcome, RunPolicy};
 pub use workflow::{Fex, PlotRequest};

@@ -53,8 +53,7 @@ fn render_bars(s: &mut String, plot: &Plot) {
 
 fn render_grid(s: &mut String, plot: &Plot) {
     let mut grid = vec![vec![' '; GRID_W]; GRID_H];
-    let xs: Vec<f64> =
-        plot.series.iter().flat_map(|x| x.xs.clone().unwrap_or_default()).collect();
+    let xs: Vec<f64> = plot.series.iter().flat_map(|x| x.xs.clone().unwrap_or_default()).collect();
     if xs.is_empty() {
         let _ = writeln!(s, "(no data)");
         return;

@@ -117,11 +117,7 @@ impl Plot {
                 }
                 totals.values().copied().fold(0.0, f64::max)
             }
-            _ => self
-                .series
-                .iter()
-                .flat_map(|s| s.values.iter().copied())
-                .fold(0.0, f64::max),
+            _ => self.series.iter().flat_map(|s| s.values.iter().copied()).fold(0.0, f64::max),
         }
         .max(self.hline.unwrap_or(0.0))
     }
@@ -147,19 +143,15 @@ pub fn barplot_from_frame(
     let categories = df.distinct(category_col)?;
     let series_names = df.distinct(series_col)?;
     let agg = df.group_agg(&[category_col, series_col], value_col, stats::mean)?;
-    let mut plot = Plot::new(
-        if series_names.len() > 1 { PlotKind::GroupedBar } else { PlotKind::Bar },
-        title,
-    );
+    let mut plot =
+        Plot::new(if series_names.len() > 1 { PlotKind::GroupedBar } else { PlotKind::Bar }, title);
     plot.categories = categories.clone();
     plot.xlabel = category_col.to_string();
     plot.ylabel = value_col.to_string();
     for sname in &series_names {
         let mut values = Vec::with_capacity(categories.len());
         for cat in &categories {
-            let cell = agg
-                .filter_eq(category_col, cat)?
-                .filter_eq(series_col, sname)?;
+            let cell = agg.filter_eq(category_col, cat)?.filter_eq(series_col, sname)?;
             let v = cell.iter().next().and_then(|r| r[2].as_num()).unwrap_or(0.0);
             values.push(v);
         }
@@ -194,9 +186,8 @@ pub fn lineplot_from_frame(
         let mut pts: Vec<(f64, f64)> = sub
             .iter()
             .map(|r| {
-                let x = r[1].as_num().unwrap_or_else(|| {
-                    r[1].to_cell_string().parse().unwrap_or(0.0)
-                });
+                let x =
+                    r[1].as_num().unwrap_or_else(|| r[1].to_cell_string().parse().unwrap_or(0.0));
                 (x, r[2].as_num().unwrap_or(0.0))
             })
             .collect();
@@ -276,20 +267,14 @@ mod tests {
 
     #[test]
     fn normalisation_reproduces_fig6_semantics() {
-        let n = normalize_against(&perf_frame(), "benchmark", "type", "time", "gcc_native")
-            .unwrap();
+        let n =
+            normalize_against(&perf_frame(), "benchmark", "type", "time", "gcc_native").unwrap();
         // gcc rows normalise to 1.0; clang fft to 2.0.
-        let clang_fft = n
-            .filter_eq("type", "clang_native")
-            .unwrap()
-            .filter_eq("benchmark", "fft")
-            .unwrap();
+        let clang_fft =
+            n.filter_eq("type", "clang_native").unwrap().filter_eq("benchmark", "fft").unwrap();
         assert_eq!(clang_fft.iter().next().unwrap()[2], Value::Num(2.0));
-        let gcc_lu = n
-            .filter_eq("type", "gcc_native")
-            .unwrap()
-            .filter_eq("benchmark", "lu")
-            .unwrap();
+        let gcc_lu =
+            n.filter_eq("type", "gcc_native").unwrap().filter_eq("benchmark", "lu").unwrap();
         assert_eq!(gcc_lu.iter().next().unwrap()[2], Value::Num(1.0));
     }
 

@@ -4,9 +4,8 @@ use std::fmt::Write as _;
 
 use super::{Plot, PlotKind};
 
-const PALETTE: [&str; 8] = [
-    "#4878a8", "#e49444", "#5aa056", "#d1615d", "#857aab", "#8d7866", "#d2a295", "#6f8f9f",
-];
+const PALETTE: [&str; 8] =
+    ["#4878a8", "#e49444", "#5aa056", "#d1615d", "#857aab", "#8d7866", "#d2a295", "#6f8f9f"];
 
 const MARGIN_L: f64 = 64.0;
 const MARGIN_R: f64 = 24.0;
@@ -48,11 +47,8 @@ pub fn render(plot: &Plot, width: u32, height: u32) -> String {
     for t in 0..=4 {
         let v = max_y * t as f64 / 4.0;
         let y = y0 - inner_h * t as f64 / 4.0;
-        let _ = writeln!(
-            s,
-            r#"<line x1="{}" y1="{y}" x2="{x0}" y2="{y}" stroke="black"/>"#,
-            x0 - 4.0
-        );
+        let _ =
+            writeln!(s, r#"<line x1="{}" y1="{y}" x2="{x0}" y2="{y}" stroke="black"/>"#, x0 - 4.0);
         let _ = writeln!(
             s,
             r#"<text x="{}" y="{}" font-size="11" text-anchor="end" font-family="sans-serif">{}</text>"#,
@@ -88,7 +84,9 @@ pub fn render(plot: &Plot, width: u32, height: u32) -> String {
     }
 
     match plot.kind {
-        PlotKind::Bar | PlotKind::GroupedBar => render_bars(&mut s, plot, x0, y0, inner_w, inner_h, max_y, false),
+        PlotKind::Bar | PlotKind::GroupedBar => {
+            render_bars(&mut s, plot, x0, y0, inner_w, inner_h, max_y, false)
+        }
         PlotKind::StackedBar | PlotKind::StackedGroupedBar => {
             render_bars(&mut s, plot, x0, y0, inner_w, inner_h, max_y, true)
         }
@@ -102,7 +100,11 @@ pub fn render(plot: &Plot, width: u32, height: u32) -> String {
     for (i, series) in plot.series.iter().enumerate() {
         let color = PALETTE[i % PALETTE.len()];
         let lx = w - MARGIN_R - 150.0;
-        let _ = writeln!(s, r#"<rect x="{lx}" y="{}" width="12" height="12" fill="{color}"/>"#, ly - 10.0);
+        let _ = writeln!(
+            s,
+            r#"<rect x="{lx}" y="{}" width="12" height="12" fill="{color}"/>"#,
+            ly - 10.0
+        );
         let _ = writeln!(
             s,
             r#"<text x="{}" y="{ly}" font-size="11" font-family="sans-serif">{}</text>"#,

@@ -70,10 +70,8 @@ pub fn table_one() -> String {
     let _ = writeln!(s, "- Add. benchmarks    Apache, Nginx, Memcached, RIPE");
     let _ = writeln!(s, "- Compilers          GCC, Clang/LLVM");
     let _ = writeln!(s, "- Types              AddressSanitizer (as example)");
-    let _ = writeln!(
-        s,
-        "- Experiments        Performance and memory overheads, security evaluation"
-    );
+    let _ =
+        writeln!(s, "- Experiments        Performance and memory overheads, security evaluation");
     let tools: Vec<&str> = MeasureTool::all().iter().map(|t| t.name()).collect();
     let _ = writeln!(s, "- Tools              {}", tools.join(", "));
     let _ = writeln!(

@@ -22,6 +22,9 @@ use crate::collect::{Collector, DataFrame};
 use crate::config::{input_name, ExperimentConfig};
 use crate::env::environment_for;
 use crate::error::{FexError, Result};
+use crate::resilience::{
+    execute_with_retry, AttemptLog, FailureRecord, FailureReport, QuarantineBook, RunOutcome,
+};
 
 /// Shared state handed to runner hooks.
 pub struct RunContext<'a> {
@@ -31,9 +34,24 @@ pub struct RunContext<'a> {
     pub build: &'a mut BuildSystem,
     /// Experiment log lines (environment details, progress).
     pub log: &'a mut Vec<String>,
+    /// Current retry attempt (0-based) of the run action being driven;
+    /// fed to armed fault plans as the retry salt so transient faults
+    /// re-roll across retries.
+    pub attempt: u64,
+    /// Failure and retry accounting for this experiment.
+    pub failures: FailureReport,
 }
 
-impl RunContext<'_> {
+impl<'a> RunContext<'a> {
+    /// Creates a context with clean failure accounting.
+    pub fn new(
+        config: &'a ExperimentConfig,
+        build: &'a mut BuildSystem,
+        log: &'a mut Vec<String>,
+    ) -> Self {
+        RunContext { config, build, log, attempt: 0, failures: FailureReport::default() }
+    }
+
     /// Appends a log line (printed immediately in verbose mode).
     pub fn log(&mut self, line: impl Into<String>) {
         let line = line.into();
@@ -46,6 +64,90 @@ impl RunContext<'_> {
     /// Machine configuration for a run with the given thread count.
     pub fn machine_config(&self, threads: usize) -> MachineConfig {
         MachineConfig { cores: threads.max(1), seed: self.config.seed, ..MachineConfig::default() }
+    }
+
+    /// Machine configuration for a run of `benchmark`: arms the
+    /// experiment's fault plan when it applies (salted with the current
+    /// retry attempt) and applies the resilience policy's per-run
+    /// instruction budget (hang watchdog).
+    pub fn machine_config_for(&self, threads: usize, benchmark: &str) -> MachineConfig {
+        let mut mc = self.machine_config(threads);
+        if let Some(plan) = self.config.fault_plan_for(benchmark) {
+            mc.fault_plan = plan.clone().with_attempt(self.attempt);
+        }
+        if let Some(budget) = self.config.resilience.run_budget {
+            mc.max_instructions = budget;
+        }
+        mc
+    }
+}
+
+/// Loop control after a (possibly retried) run action settled.
+enum Flow {
+    /// Carry on with the next repetition/thread count.
+    Continue,
+    /// The benchmark was quarantined: skip its remaining runs.
+    SkipBenchmark,
+}
+
+/// Folds one [`AttemptLog`] into the context's failure accounting and the
+/// quarantine book. Non-run errors propagate and abort the experiment;
+/// run faults are recorded and — at the failure threshold — quarantine
+/// the benchmark.
+fn settle(
+    ctx: &mut RunContext<'_>,
+    quarantine: &mut QuarantineBook,
+    log: AttemptLog,
+    ty: &str,
+    bench: &str,
+    threads: usize,
+    rep: usize,
+) -> Result<Flow> {
+    ctx.attempt = 0;
+    ctx.failures.note_run(log.attempts, log.backoff_cycles);
+    let first_error = log.errors.first().cloned().unwrap_or_default();
+    match log.result {
+        Ok(()) => {
+            if log.attempts > 1 {
+                ctx.log(format!(
+                    "`{bench}` [{ty}] m={threads} rep={rep} recovered after {} attempts",
+                    log.attempts
+                ));
+                ctx.failures.push(FailureRecord {
+                    benchmark: bench.to_string(),
+                    build_type: ty.to_string(),
+                    threads,
+                    rep,
+                    error: first_error,
+                    attempts: log.attempts,
+                    outcome: RunOutcome::Recovered,
+                });
+            }
+            Ok(Flow::Continue)
+        }
+        Err(e) if e.is_run_fault() => {
+            let quarantined = quarantine.record_failure(bench);
+            let outcome = if quarantined { RunOutcome::Quarantined } else { RunOutcome::Failed };
+            ctx.log(format!(
+                "`{bench}` [{ty}] m={threads} rep={rep} {outcome} after {} attempts: {e}",
+                log.attempts
+            ));
+            ctx.failures.push(FailureRecord {
+                benchmark: bench.to_string(),
+                build_type: ty.to_string(),
+                threads,
+                rep,
+                error: e.to_string(),
+                attempts: log.attempts,
+                outcome,
+            });
+            if quarantine.is_quarantined(bench) {
+                Ok(Flow::SkipBenchmark)
+            } else {
+                Ok(Flow::Continue)
+            }
+        }
+        Err(e) => Err(e),
     }
 }
 
@@ -99,20 +201,48 @@ pub trait Runner {
         rep: usize,
     ) -> Result<()>;
 
-    /// The Fig 4 loop. Override to change the iteration structure
-    /// (as [`VariableInputRunner`] does).
+    /// The Fig 4 loop, made resilient: per-run actions are driven through
+    /// the experiment's [`RunPolicy`](crate::resilience::RunPolicy)
+    /// (retry with exponential simulated
+    /// backoff), and a benchmark whose runs keep failing is
+    /// **quarantined** — skipped for all remaining types, thread counts
+    /// and repetitions — instead of aborting the experiment. The partial
+    /// frame plus the context's [`FailureReport`] are the result.
+    /// Non-run errors (configuration, unknown names, build failures)
+    /// still abort immediately. Override to change the iteration
+    /// structure (as [`VariableInputRunner`] does).
     fn experiment_loop(&mut self, ctx: &mut RunContext<'_>) -> Result<()> {
         let types = ctx.config.build_types.clone();
         let threads = ctx.config.threads.clone();
         let reps = ctx.config.repetitions;
+        let policy = ctx.config.resilience.clone();
+        let mut quarantine = QuarantineBook::new(policy.failure_threshold);
         for ty in &types {
             self.per_type_action(ctx, ty)?;
-            for bench in self.benchmarks(ctx) {
-                self.per_benchmark_action(ctx, ty, &bench)?;
+            'bench: for bench in self.benchmarks(ctx) {
+                if quarantine.is_quarantined(&bench) {
+                    ctx.log(format!("skipping quarantined `{bench}` [{ty}]"));
+                    continue;
+                }
+                let log = execute_with_retry(&policy, |attempt| {
+                    ctx.attempt = attempt;
+                    self.per_benchmark_action(ctx, ty, &bench)
+                });
+                if let Flow::SkipBenchmark = settle(ctx, &mut quarantine, log, ty, &bench, 1, 0)? {
+                    continue 'bench;
+                }
                 for m in &threads {
                     self.per_thread_action(ctx, ty, &bench, *m)?;
                     for rep in 0..reps {
-                        self.per_run_action(ctx, ty, &bench, *m, rep)?;
+                        let log = execute_with_retry(&policy, |attempt| {
+                            ctx.attempt = attempt;
+                            self.per_run_action(ctx, ty, &bench, *m, rep)
+                        });
+                        if let Flow::SkipBenchmark =
+                            settle(ctx, &mut quarantine, log, ty, &bench, *m, rep)?
+                        {
+                            continue 'bench;
+                        }
                     }
                 }
             }
@@ -180,9 +310,9 @@ impl SuiteRunner {
             .get(&(ty.to_string(), bench.to_string()))
             .cloned()
             .ok_or_else(|| FexError::Config(format!("`{bench}` was not built for `{ty}`")))?;
-        let machine = Machine::new(ctx.machine_config(threads));
+        let machine = Machine::new(ctx.machine_config_for(threads, bench));
         let run = machine.load(&artifact.program).run_entry(&args).map_err(|source| {
-            FexError::Run { benchmark: bench.to_string(), source }
+            FexError::Run { benchmark: bench.to_string(), build_type: ty.to_string(), source }
         })?;
         if let Some(rep) = rep {
             self.collector.record(
@@ -235,13 +365,8 @@ impl Runner for SuiteRunner {
         ctx.log(format!("type `{ty}` environment ({}): {vars:?}", env.name()));
         for bench in self.benchmarks(ctx) {
             let prog = self.program(&bench)?;
-            let artifact = ctx.build.build(
-                &bench,
-                prog.source,
-                ty,
-                ctx.config.debug,
-                ctx.config.no_build,
-            )?;
+            let artifact =
+                ctx.build.build(&bench, prog.source, ty, ctx.config.debug, ctx.config.no_build)?;
             ctx.log(format!("built `{bench}` [{}]", artifact.build_info));
             self.artifacts.insert((ty.to_string(), bench), artifact);
         }
@@ -323,22 +448,45 @@ impl Runner for VariableInputRunner {
     }
 
     /// The redefined loop: types → benchmarks → **input sizes** → threads
-    /// → repetitions.
+    /// → repetitions, with the same retry/quarantine resilience as the
+    /// default loop.
     fn experiment_loop(&mut self, ctx: &mut RunContext<'_>) -> Result<()> {
         let types = ctx.config.build_types.clone();
         let threads = ctx.config.threads.clone();
         let reps = ctx.config.repetitions;
         let sizes = self.sizes.clone();
+        let policy = ctx.config.resilience.clone();
+        let mut quarantine = QuarantineBook::new(policy.failure_threshold);
         for ty in &types {
             self.inner.per_type_action(ctx, ty)?;
-            for bench in self.benchmarks(ctx) {
-                self.inner.per_benchmark_action(ctx, ty, &bench)?;
+            'bench: for bench in self.benchmarks(ctx) {
+                if quarantine.is_quarantined(&bench) {
+                    ctx.log(format!("skipping quarantined `{bench}` [{ty}]"));
+                    continue;
+                }
+                let log = execute_with_retry(&policy, |attempt| {
+                    ctx.attempt = attempt;
+                    self.inner.per_benchmark_action(ctx, ty, &bench)
+                });
+                if let Flow::SkipBenchmark = settle(ctx, &mut quarantine, log, ty, &bench, 1, 0)? {
+                    self.inner.input_override = None;
+                    continue 'bench;
+                }
                 for size in &sizes {
                     self.inner.input_override = Some(*size);
                     for m in &threads {
                         self.inner.per_thread_action(ctx, ty, &bench, *m)?;
                         for rep in 0..reps {
-                            self.inner.per_run_action(ctx, ty, &bench, *m, rep)?;
+                            let log = execute_with_retry(&policy, |attempt| {
+                                ctx.attempt = attempt;
+                                self.inner.per_run_action(ctx, ty, &bench, *m, rep)
+                            });
+                            if let Flow::SkipBenchmark =
+                                settle(ctx, &mut quarantine, log, ty, &bench, *m, rep)?
+                            {
+                                self.inner.input_override = None;
+                                continue 'bench;
+                            }
                         }
                     }
                 }
@@ -418,13 +566,12 @@ impl Runner for ServerRunner {
         let types = ctx.config.build_types.clone();
         for ty in &types {
             let opts: BuildOptions = ctx.build.makefiles().build_options(ty, ctx.config.debug)?;
-            let build = ServerBuild::compile(self.kind, &opts).map_err(|source| {
-                FexError::Build {
+            let build =
+                ServerBuild::compile(self.kind, &opts).map_err(|source| FexError::Build {
                     benchmark: self.kind.name().to_string(),
                     build_type: ty.clone(),
                     source,
-                }
-            })?;
+                })?;
             ctx.log(format!(
                 "{} [{ty}]: calibrated service time {} ns/request",
                 self.kind.name(),
@@ -551,7 +698,7 @@ mod tests {
     #[test]
     fn suite_runner_walks_the_fig4_loop() {
         let (config, mut build, mut log) = ctx_parts();
-        let mut ctx = RunContext { config: &config, build: &mut build, log: &mut log };
+        let mut ctx = RunContext::new(&config, &mut build, &mut log);
         let mut runner = SuiteRunner::new(fex_suites::micro(), &config);
         let df = runner.run(&mut ctx).unwrap();
         // 4 benchmarks × 2 types × 1 thread × 2 reps.
@@ -564,7 +711,7 @@ mod tests {
     fn benchmark_filter_limits_the_loop() {
         let (config, mut build, mut log) = ctx_parts();
         let config = config.benchmark("arrayread");
-        let mut ctx = RunContext { config: &config, build: &mut build, log: &mut log };
+        let mut ctx = RunContext::new(&config, &mut build, &mut log);
         let mut runner = SuiteRunner::new(fex_suites::micro(), &config);
         let df = runner.run(&mut ctx).unwrap();
         assert_eq!(df.distinct("benchmark").unwrap(), vec!["arrayread"]);
@@ -575,7 +722,7 @@ mod tests {
     fn unknown_benchmark_is_reported() {
         let (config, mut build, mut log) = ctx_parts();
         let config = config.benchmark("does_not_exist");
-        let mut ctx = RunContext { config: &config, build: &mut build, log: &mut log };
+        let mut ctx = RunContext::new(&config, &mut build, &mut log);
         let mut runner = SuiteRunner::new(fex_suites::micro(), &config);
         assert!(matches!(
             runner.run(&mut ctx),
@@ -586,7 +733,7 @@ mod tests {
     #[test]
     fn proprietary_suites_refuse_to_run() {
         let (config, mut build, mut log) = ctx_parts();
-        let mut ctx = RunContext { config: &config, build: &mut build, log: &mut log };
+        let mut ctx = RunContext::new(&config, &mut build, &mut log);
         let mut runner = SuiteRunner::new(fex_suites::spec_cpu2006(), &config);
         assert!(matches!(runner.run(&mut ctx), Err(FexError::Config(_))));
     }
@@ -595,7 +742,7 @@ mod tests {
     fn variable_input_runner_adds_the_size_dimension() {
         let (config, mut build, mut log) = ctx_parts();
         let config = config.benchmark("arrayread").types(vec!["gcc_native"]);
-        let mut ctx = RunContext { config: &config, build: &mut build, log: &mut log };
+        let mut ctx = RunContext::new(&config, &mut build, &mut log);
         let mut runner = VariableInputRunner::new(
             fex_suites::micro(),
             &config,
@@ -610,7 +757,7 @@ mod tests {
     fn dry_runs_do_not_pollute_the_frame() {
         let (config, mut build, mut log) = ctx_parts();
         let config = config.benchmark("histogram").types(vec!["gcc_native"]).repetitions(1);
-        let mut ctx = RunContext { config: &config, build: &mut build, log: &mut log };
+        let mut ctx = RunContext::new(&config, &mut build, &mut log);
         let mut runner = SuiteRunner::new(fex_suites::phoenix(), &config);
         let df = runner.run(&mut ctx).unwrap();
         // Dry run happened (logged) but only the measured rep is recorded.
@@ -619,9 +766,132 @@ mod tests {
     }
 
     #[test]
+    fn persistent_trap_quarantines_only_that_benchmark() {
+        use crate::config::FaultInjection;
+        use fex_vm::{FaultKind, FaultPlan};
+
+        let (config, mut build, mut log) = ctx_parts();
+        let config = config.fault(FaultInjection::for_benchmark(
+            "ptrchase",
+            FaultPlan::persistent(FaultKind::Trap),
+        ));
+        let mut ctx = RunContext::new(&config, &mut build, &mut log);
+        let mut runner = SuiteRunner::new(fex_suites::micro(), &config);
+        let df = runner.run(&mut ctx).unwrap();
+
+        // Partial frame: the other 3 benchmarks × 2 types × 2 reps.
+        assert_eq!(df.len(), 12);
+        let benches = df.distinct("benchmark").unwrap();
+        assert_eq!(benches.len(), 3);
+        assert!(!benches.contains(&"ptrchase".to_string()));
+
+        // The failure report names the quarantined benchmark with its
+        // build type and the injected trap.
+        let failures = &ctx.failures;
+        assert_eq!(failures.quarantined_benchmarks(), vec!["ptrchase"]);
+        let rec = &failures.records[0];
+        assert_eq!(rec.outcome, RunOutcome::Quarantined);
+        assert_eq!(rec.build_type, "gcc_native");
+        assert_eq!(rec.attempts, 3, "1 attempt + 2 retries by default");
+        assert!(rec.error.contains("injected fault"), "{}", rec.error);
+        assert!(failures.backoff_cycles > 0);
+
+        // The second build type skips the quarantined benchmark outright.
+        assert!(log.iter().any(|l| l.contains("skipping quarantined `ptrchase` [clang_native]")));
+    }
+
+    #[test]
+    fn transient_faults_recover_without_losing_runs() {
+        use crate::config::FaultInjection;
+        use fex_vm::{FaultKind, FaultPlan};
+
+        // Seed 4 is chosen so the 50% transient trap fires on attempt 0
+        // and spares attempt 1: every run fails once, then recovers.
+        let (config, mut build, mut log) = ctx_parts();
+        let config =
+            config.fault(FaultInjection::everywhere(FaultPlan::spurious(0.5, FaultKind::Trap, 4)));
+        let mut ctx = RunContext::new(&config, &mut build, &mut log);
+        let mut runner = SuiteRunner::new(fex_suites::micro(), &config);
+        let df = runner.run(&mut ctx).unwrap();
+
+        // Nothing is lost: the frame is complete.
+        assert_eq!(df.len(), 16);
+        let failures = &ctx.failures;
+        assert!(failures.quarantined_benchmarks().is_empty());
+        assert!(!failures.records.is_empty());
+        assert!(failures.records.iter().all(|r| r.outcome == RunOutcome::Recovered));
+        assert!(failures.records.iter().all(|r| r.attempts == 2));
+        assert!(failures.retry_rate() > 0.0);
+    }
+
+    #[test]
+    fn run_budget_turns_hangs_into_fast_quarantines() {
+        use crate::config::FaultInjection;
+        use crate::resilience::RunPolicy;
+        use fex_vm::{FaultKind, FaultPlan};
+
+        let (config, mut build, mut log) = ctx_parts();
+        let config = config
+            .types(vec!["gcc_native"])
+            .benchmark("branches")
+            .fault(FaultInjection::for_benchmark(
+                "branches",
+                FaultPlan::persistent(FaultKind::Hang),
+            ))
+            .resilience(RunPolicy::default().budget(50_000));
+        let mut ctx = RunContext::new(&config, &mut build, &mut log);
+        let mut runner = SuiteRunner::new(fex_suites::micro(), &config);
+        let df = runner.run(&mut ctx).unwrap();
+
+        // The only benchmark hung → empty frame, but no abort.
+        assert_eq!(df.len(), 0);
+        assert_eq!(ctx.failures.quarantined_benchmarks(), vec!["branches"]);
+        let rec = &ctx.failures.records[0];
+        assert!(rec.error.contains("instruction limit of 50000"), "{}", rec.error);
+    }
+
+    #[test]
+    fn disabled_injection_reports_clean_and_full_results() {
+        use crate::config::FaultInjection;
+        use fex_vm::FaultPlan;
+
+        let (config, mut build, mut log) = ctx_parts();
+        let config = config.fault(FaultInjection::everywhere(FaultPlan::none()));
+        let mut ctx = RunContext::new(&config, &mut build, &mut log);
+        let mut runner = SuiteRunner::new(fex_suites::micro(), &config);
+        let df = runner.run(&mut ctx).unwrap();
+        assert_eq!(df.len(), 16);
+        assert!(ctx.failures.is_clean());
+        assert_eq!(ctx.failures.retry_rate(), 0.0);
+    }
+
+    #[test]
+    fn variable_input_runner_quarantines_across_sizes() {
+        use crate::config::FaultInjection;
+        use fex_vm::{FaultKind, FaultPlan};
+
+        let (config, mut build, mut log) = ctx_parts();
+        let config = config.types(vec!["gcc_native"]).fault(FaultInjection::for_benchmark(
+            "arrayread",
+            FaultPlan::persistent(FaultKind::Trap),
+        ));
+        let mut ctx = RunContext::new(&config, &mut build, &mut log);
+        let mut runner = VariableInputRunner::new(
+            fex_suites::micro(),
+            &config,
+            vec![InputSize::Test, InputSize::Small],
+        );
+        let df = runner.run(&mut ctx).unwrap();
+        // 3 surviving benchmarks × 2 sizes × 2 reps.
+        assert_eq!(df.len(), 12);
+        assert!(!df.distinct("benchmark").unwrap().contains(&"arrayread".to_string()));
+        assert_eq!(ctx.failures.quarantined_benchmarks(), vec!["arrayread"]);
+    }
+
+    #[test]
     fn security_runner_emits_table_two_rows() {
         let (config, mut build, mut log) = ctx_parts();
-        let mut ctx = RunContext { config: &config, build: &mut build, log: &mut log };
+        let mut ctx = RunContext::new(&config, &mut build, &mut log);
         // Keep it cheap in unit tests: both types still run the full
         // matrix, which takes a few seconds in debug.
         let mut runner = SecurityRunner::new();

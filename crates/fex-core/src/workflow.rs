@@ -23,6 +23,7 @@ use crate::plot::{
     barplot_from_frame, lineplot_from_frame, normalize_against, Plot, PlotKind, Series,
 };
 use crate::registry::{experiment, ExperimentKind};
+use crate::resilience::FailureReport;
 use crate::runner::{
     RunContext, Runner, SecurityRunner, ServerRunner, SuiteRunner, VariableInputRunner,
 };
@@ -63,6 +64,7 @@ pub struct Fex {
     registry: PackageRegistry,
     build: BuildSystem,
     results: HashMap<String, DataFrame>,
+    failure_reports: HashMap<String, FailureReport>,
     log: Vec<String>,
 }
 
@@ -74,6 +76,7 @@ impl Fex {
             registry: PackageRegistry::standard(),
             build: BuildSystem::new(MakefileSet::standard()),
             results: HashMap::new(),
+            failure_reports: HashMap::new(),
             log: Vec::new(),
         }
     }
@@ -155,20 +158,30 @@ impl Fex {
             ExperimentKind::Server => Box::new(ServerRunner::new(server_kind(&config.name)?)),
             ExperimentKind::Security => Box::new(SecurityRunner::new()),
         };
-        let frame = {
-            let mut ctx =
-                RunContext { config, build: &mut self.build, log: &mut self.log };
-            runner.run(&mut ctx)?
+        let (frame, failures) = {
+            let mut ctx = RunContext::new(config, &mut self.build, &mut self.log);
+            let frame = runner.run(&mut ctx)?;
+            (frame, std::mem::take(&mut ctx.failures))
         };
+        if !failures.is_clean() {
+            self.log.push(failures.summary());
+        }
         // Persist the CSV and the logs into the container's filesystem,
-        // like the paper's collect stage.
+        // like the paper's collect stage. The failure report rides along
+        // (header-only when the run was clean) so partial results are
+        // always accompanied by the account of what is missing and why.
         self.container
             .fs_mut()
             .write(format!("/fex/results/{}.csv", config.name), frame.to_csv().into_bytes());
+        self.container.fs_mut().write(
+            format!("/fex/results/{}.failures.csv", config.name),
+            failures.to_csv().into_bytes(),
+        );
         let log_blob =
             (self.log.join("\n") + "\n" + &self.container.environment_report()).into_bytes();
         self.container.fs_mut().write(format!("/fex/results/{}.log", config.name), log_blob);
         self.results.insert(config.name.clone(), frame);
+        self.failure_reports.insert(config.name.clone(), failures);
         Ok(&self.results[&config.name])
     }
 
@@ -185,6 +198,20 @@ impl Fex {
             .map(|b| String::from_utf8_lossy(b).into_owned())
     }
 
+    /// The failure report of an experiment's last run.
+    pub fn failure_report(&self, name: &str) -> Option<&FailureReport> {
+        self.failure_reports.get(name)
+    }
+
+    /// The failure-report CSV stored in the container for an experiment
+    /// (`/fex/results/<name>.failures.csv`).
+    pub fn failure_csv(&self, name: &str) -> Option<String> {
+        self.container
+            .fs()
+            .read(&format!("/fex/results/{name}.failures.csv"))
+            .map(|b| String::from_utf8_lossy(b).into_owned())
+    }
+
     /// `fex plot -n <name> -t <kind>` — builds the requested plot from a
     /// stored result.
     ///
@@ -193,10 +220,9 @@ impl Fex {
     /// [`FexError::Data`] when the experiment has not been run or the
     /// frame lacks the needed columns.
     pub fn plot(&self, name: &str, request: PlotRequest) -> Result<Plot> {
-        let df = self
-            .results
-            .get(name)
-            .ok_or_else(|| FexError::Data(format!("experiment `{name}` has no results; run it first")))?;
+        let df = self.results.get(name).ok_or_else(|| {
+            FexError::Data(format!("experiment `{name}` has no results; run it first"))
+        })?;
         match request {
             PlotRequest::Perf => {
                 let baseline = df
@@ -217,10 +243,8 @@ impl Fex {
                 Ok(plot)
             }
             PlotRequest::ThroughputLatency => {
-                let mut plot = Plot::new(
-                    PlotKind::ScatterLine,
-                    format!("{name}: throughput vs latency"),
-                );
+                let mut plot =
+                    Plot::new(PlotKind::ScatterLine, format!("{name}: throughput vs latency"));
                 plot.xlabel = "Throughput (msg/s)".into();
                 plot.ylabel = "Latency (ms)".into();
                 for ty in df.distinct("type")? {
@@ -229,9 +253,7 @@ impl Fex {
                     let li = sub.col("mean_ms")?;
                     let pts: Vec<(f64, f64)> = sub
                         .iter()
-                        .map(|r| {
-                            (r[ti].as_num().unwrap_or(0.0), r[li].as_num().unwrap_or(0.0))
-                        })
+                        .map(|r| (r[ti].as_num().unwrap_or(0.0), r[li].as_num().unwrap_or(0.0)))
                         .collect();
                     plot.series.push(Series::line(ty, pts));
                 }
@@ -279,8 +301,7 @@ impl Fex {
                     .first()
                     .cloned()
                     .ok_or_else(|| FexError::Data("no build types in results".into()))?;
-                let norm =
-                    normalize_against(df, "benchmark", "type", "maxrss_bytes", &baseline)?;
+                let norm = normalize_against(df, "benchmark", "type", "maxrss_bytes", &baseline)?;
                 let mut plot = barplot_from_frame(
                     &norm,
                     "benchmark",
@@ -306,9 +327,7 @@ impl Fex {
             .get(name)
             .ok_or_else(|| FexError::Data(format!("no results for `{name}`; run it first")))?;
         let csv = frame.to_csv();
-        self.container
-            .fs_mut()
-            .write(format!("/fex/baselines/{name}.csv"), csv.into_bytes());
+        self.container.fs_mut().write(format!("/fex/baselines/{name}.csv"), csv.into_bytes());
         self.log.push(format!("saved EDD baseline for `{name}`"));
         Ok(())
     }
@@ -319,18 +338,41 @@ impl Fex {
     /// # Errors
     ///
     /// [`FexError::Data`] when no baseline or no current results exist.
-    pub fn edd_check(&self, name: &str, gates: &[crate::edd::Gate]) -> Result<crate::edd::EddReport> {
+    pub fn edd_check(
+        &self,
+        name: &str,
+        gates: &[crate::edd::Gate],
+    ) -> Result<crate::edd::EddReport> {
         let current = self
             .results
             .get(name)
             .ok_or_else(|| FexError::Data(format!("no results for `{name}`; run it first")))?;
-        let baseline_csv = self
-            .container
-            .fs()
-            .read(&format!("/fex/baselines/{name}.csv"))
-            .ok_or_else(|| FexError::Data(format!("no baseline for `{name}`; save one first")))?;
+        let baseline_csv =
+            self.container.fs().read(&format!("/fex/baselines/{name}.csv")).ok_or_else(|| {
+                FexError::Data(format!("no baseline for `{name}`; save one first"))
+            })?;
         let baseline = DataFrame::from_csv(&String::from_utf8_lossy(baseline_csv))?;
         crate::edd::check(&baseline, current, &["benchmark", "type"], gates)
+    }
+
+    /// Checks the flakiness of an experiment's last run against a
+    /// [`FlakinessGate`](crate::edd::FlakinessGate): a CI companion to
+    /// [`edd_check`](Fex::edd_check) that fails when results were only
+    /// obtained through excessive retrying or benchmark quarantine.
+    ///
+    /// # Errors
+    ///
+    /// [`FexError::Data`] when the experiment has not been run.
+    pub fn edd_flakiness_check(
+        &self,
+        name: &str,
+        gate: &crate::edd::FlakinessGate,
+    ) -> Result<crate::edd::EddReport> {
+        let report = self
+            .failure_reports
+            .get(name)
+            .ok_or_else(|| FexError::Data(format!("no results for `{name}`; run it first")))?;
+        Ok(crate::edd::check_flakiness(report, gate))
     }
 
     /// `fex test -n <suite>` (§III-A): short runs with tiny inputs that
@@ -353,13 +395,13 @@ impl Fex {
             let mut exits = Vec::new();
             for ty in types {
                 let artifact = self.build.build(prog.name, prog.source, ty, false, false)?;
-                let machine =
-                    fex_vm::Machine::new(fex_vm::MachineConfig::with_cores(2));
+                let machine = fex_vm::Machine::new(fex_vm::MachineConfig::with_cores(2));
                 let run = machine
                     .load(&artifact.program)
                     .run_entry(prog.args(InputSize::Test))
                     .map_err(|source| FexError::Run {
                         benchmark: prog.name.to_string(),
+                        build_type: ty.to_string(),
                         source,
                     })?;
                 exits.push(run.exit);
@@ -393,11 +435,7 @@ impl Fex {
 
     /// `fex report` — Table I plus the environment report.
     pub fn report(&self) -> String {
-        format!(
-            "{}\n{}",
-            crate::registry::table_one(),
-            self.container.environment_report()
-        )
+        format!("{}\n{}", crate::registry::table_one(), self.container.environment_report())
     }
 }
 
@@ -419,9 +457,7 @@ fn server_kind(name: &str) -> Result<ServerKind> {
         "nginx" => ServerKind::Nginx,
         "apache" => ServerKind::Apache,
         "memcached" => ServerKind::Memcached,
-        other => {
-            return Err(FexError::UnknownName { kind: "server", name: other.to_string() })
-        }
+        other => return Err(FexError::UnknownName { kind: "server", name: other.to_string() }),
     })
 }
 
@@ -513,12 +549,73 @@ mod tests {
         fex.save_baseline("micro").unwrap();
         // Re-run: deterministic machine → identical numbers → gates hold.
         fex.run(&cfg).unwrap();
-        let report = fex
-            .edd_check("micro", &[crate::edd::Gate::new("time", 1.01)])
-            .unwrap();
+        let report = fex.edd_check("micro", &[crate::edd::Gate::new("time", 1.01)]).unwrap();
         assert!(report.passed(), "{}", report.summary());
         // Without a baseline the check refuses.
         assert!(fex.edd_check("nope", &[]).is_err());
+    }
+
+    #[test]
+    fn failure_report_rides_along_with_results() {
+        use crate::config::FaultInjection;
+        use fex_vm::{FaultKind, FaultPlan};
+
+        let mut fex = fex_with_compilers();
+        let cfg = ExperimentConfig::new("micro")
+            .types(vec!["gcc_native", "clang_native"])
+            .input(InputSize::Test)
+            .fault(FaultInjection::for_benchmark(
+                "ptrchase",
+                FaultPlan::persistent(FaultKind::Trap),
+            ));
+        let df = fex.run(&cfg).unwrap();
+        // Partial frame: 3 surviving benchmarks × 2 types.
+        assert_eq!(df.len(), 6);
+
+        let report = fex.failure_report("micro").unwrap();
+        assert_eq!(report.quarantined_benchmarks(), vec!["ptrchase"]);
+        let csv = fex.failure_csv("micro").unwrap();
+        assert!(csv.starts_with("benchmark,type,threads,rep,error,attempts,outcome"));
+        assert!(csv.contains("ptrchase"));
+        assert!(csv.contains("quarantined"));
+        // The log carries the resilience summary.
+        assert!(fex.log().iter().any(|l| l.contains("quarantined: ptrchase")));
+
+        // Flakiness gates: the strict default fails, a lenient one passes.
+        assert!(!fex
+            .edd_flakiness_check("micro", &crate::edd::FlakinessGate::default())
+            .unwrap()
+            .passed());
+        assert!(fex
+            .edd_flakiness_check("micro", &crate::edd::FlakinessGate::new(10.0, 1))
+            .unwrap()
+            .passed());
+        assert!(fex.edd_flakiness_check("never_ran", &Default::default()).is_err());
+    }
+
+    #[test]
+    fn disabled_injection_is_byte_identical_to_no_injection() {
+        use crate::config::FaultInjection;
+        use fex_vm::FaultPlan;
+
+        let mut plain = fex_with_compilers();
+        let cfg = ExperimentConfig::new("micro").types(vec!["gcc_native"]).input(InputSize::Test);
+        plain.run(&cfg).unwrap();
+        let baseline_csv = plain.result_csv("micro").unwrap();
+
+        let mut armed = fex_with_compilers();
+        let cfg_disabled = cfg.clone().fault(FaultInjection::everywhere(FaultPlan::none()));
+        armed.run(&cfg_disabled).unwrap();
+        assert_eq!(armed.result_csv("micro").unwrap(), baseline_csv);
+
+        // Clean runs still persist a (header-only) failure report.
+        let fcsv = armed.failure_csv("micro").unwrap();
+        assert_eq!(fcsv.trim(), "benchmark,type,threads,rep,error,attempts,outcome");
+        assert!(armed.failure_report("micro").unwrap().is_clean());
+        assert!(armed
+            .edd_flakiness_check("micro", &crate::edd::FlakinessGate::default())
+            .unwrap()
+            .passed());
     }
 
     #[test]

@@ -258,8 +258,7 @@ mod tests {
     fn all_handlers_compile_under_both_backends() {
         for kind in [ServerKind::Nginx, ServerKind::Apache, ServerKind::Memcached] {
             for opts in [BuildOptions::gcc(), BuildOptions::clang()] {
-                compile(handler_source(kind), &opts)
-                    .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+                compile(handler_source(kind), &opts).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
             }
         }
         compile(vulnerable_handler_source(), &BuildOptions::gcc()).unwrap();

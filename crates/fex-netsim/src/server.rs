@@ -102,8 +102,8 @@ impl ServerBuild {
             cycles += r.elapsed_cycles;
         }
         let per_request = cycles as f64 / batch as f64;
-        let service_ns = (per_request / machine.config().freq_hz * 1e9) as u64
-            + kind.dispatch_overhead_ns();
+        let service_ns =
+            (per_request / machine.config().freq_hz * 1e9) as u64 + kind.dispatch_overhead_ns();
         Ok(ServerBuild { kind, program, build_info: opts.build_info(), service_ns })
     }
 
@@ -194,9 +194,8 @@ mod tests {
 
     #[test]
     fn benign_requests_do_not_trip_the_probe() {
-        let out =
-            ServerBuild::security_probe(&BuildOptions::gcc(), MachineConfig::default(), 32)
-                .unwrap();
+        let out = ServerBuild::security_probe(&BuildOptions::gcc(), MachineConfig::default(), 32)
+            .unwrap();
         assert_eq!(out, SecurityOutcome::Unaffected);
     }
 

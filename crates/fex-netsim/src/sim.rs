@@ -50,9 +50,13 @@ pub struct SweepPoint {
 enum Event {
     Arrival,
     /// CPU work done; the response still has to cross the shared link.
-    ServiceDone { arrived_ns: u64 },
+    ServiceDone {
+        arrived_ns: u64,
+    },
     /// Response fully on the wire; the request is complete.
-    LinkDone { arrived_ns: u64 },
+    LinkDone {
+        arrived_ns: u64,
+    },
 }
 
 /// A single simulation run of one server build under one workload.
@@ -81,13 +85,11 @@ impl<'a> Simulation<'a> {
         let mut arrivals = PoissonArrivals::new(offered, w.seed);
         let mut heap: BinaryHeap<Reverse<(u64, u64, Event)>> = BinaryHeap::new();
         let mut seq = 0u64;
-        let push = |heap: &mut BinaryHeap<Reverse<(u64, u64, Event)>>,
-                        t: u64,
-                        seq: &mut u64,
-                        e: Event| {
-            heap.push(Reverse((t, *seq, e)));
-            *seq += 1;
-        };
+        let push =
+            |heap: &mut BinaryHeap<Reverse<(u64, u64, Event)>>, t: u64, seq: &mut u64, e: Event| {
+                heap.push(Reverse((t, *seq, e)));
+                *seq += 1;
+            };
         push(&mut heap, half_rtt + arrivals.next_gap_ns(), &mut seq, Event::Arrival);
 
         let mut cpu_queue: VecDeque<u64> = VecDeque::new();
@@ -107,7 +109,12 @@ impl<'a> Simulation<'a> {
                     push(&mut heap, t + arrivals.next_gap_ns(), &mut seq, Event::Arrival);
                     if busy < workers {
                         busy += 1;
-                        push(&mut heap, t + service, &mut seq, Event::ServiceDone { arrived_ns: t });
+                        push(
+                            &mut heap,
+                            t + service,
+                            &mut seq,
+                            Event::ServiceDone { arrived_ns: t },
+                        );
                     } else {
                         cpu_queue.push_back(t);
                         // Backpressure guard: an overloaded open-loop sim

@@ -101,10 +101,7 @@ pub fn generate_program(spec: &AttackSpec) -> String {
         }
         AttackFunction::Homebrew => {
             let _ = writeln!(w, "  var i = 0;");
-            let _ = writeln!(
-                w,
-                "  while (i < len) {{ storeb(dst + i, loadb(src + i)); i += 1; }}"
-            );
+            let _ = writeln!(w, "  while (i < len) {{ storeb(dst + i, loadb(src + i)); i += 1; }}");
         }
         AttackFunction::Strncpy | AttackFunction::Snprintf | AttackFunction::Strncat => {
             // Bounded routines honour the destination size.
@@ -186,10 +183,7 @@ fn emit_stack_vuln(w: &mut String, spec: &AttackSpec) {
                 Target::StructFuncPtr => {
                     let _ = writeln!(w, "  local obj[3];");
                     let _ = writeln!(w, "  obj[1] = @legit;");
-                    (
-                        BUF_BYTES + 8 + 8,
-                        "  var r = icall(obj[1], 777);\n  return r;".to_string(),
-                    )
+                    (BUF_BYTES + 8 + 8, "  var r = icall(obj[1], 777);\n  return r;".to_string())
                 }
             };
             let _ = writeln!(w, "  ptr_[0] = &buf;");
@@ -302,10 +296,8 @@ mod tests {
 
     #[test]
     fn shellcode_payloads_embed_the_marker() {
-        let spec = all_attacks()
-            .into_iter()
-            .find(|a| a.payload == crate::Payload::Shellcode)
-            .unwrap();
+        let spec =
+            all_attacks().into_iter().find(|a| a.payload == crate::Payload::Shellcode).unwrap();
         let src = generate_program(&spec);
         // First shellcode byte is 0x90 = 144.
         assert!(src.contains("storeb(p + 0, 144)"));

@@ -83,8 +83,12 @@ pub fn run_attack(spec: &AttackSpec, opts: &BuildOptions, config: &TestbedConfig
     match result {
         _ if payload_ran => AttackOutcome::Succeeded,
         Ok(_) => AttackOutcome::NoEffect,
-        Err(VmError::Trap(t @ Trap::CanarySmashed { .. })) => AttackOutcome::Detected(t.to_string()),
-        Err(VmError::Trap(t @ Trap::AsanViolation { .. })) => AttackOutcome::Detected(t.to_string()),
+        Err(VmError::Trap(t @ Trap::CanarySmashed { .. })) => {
+            AttackOutcome::Detected(t.to_string())
+        }
+        Err(VmError::Trap(t @ Trap::AsanViolation { .. })) => {
+            AttackOutcome::Detected(t.to_string())
+        }
         Err(VmError::Trap(t)) => AttackOutcome::Crashed(t.to_string()),
         Err(e) => AttackOutcome::Crashed(e.to_string()),
     }

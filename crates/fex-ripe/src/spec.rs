@@ -64,10 +64,7 @@ impl AttackFunction {
     /// Whether this routine honours the destination bound (and therefore
     /// can never overflow).
     pub fn bounded(self) -> bool {
-        matches!(
-            self,
-            AttackFunction::Strncpy | AttackFunction::Snprintf | AttackFunction::Strncat
-        )
+        matches!(self, AttackFunction::Strncpy | AttackFunction::Snprintf | AttackFunction::Strncat)
     }
 
     /// Whether the copy stops at NUL bytes (string semantics).
@@ -129,12 +126,9 @@ pub fn all_attacks() -> Vec<AttackSpec> {
     let mut out = Vec::new();
     for technique in [Technique::Direct, Technique::Indirect] {
         for location in [Location::Stack, Location::Heap, Location::Bss, Location::Data] {
-            for target in [
-                Target::ReturnAddress,
-                Target::FuncPtr,
-                Target::LongjmpBuf,
-                Target::StructFuncPtr,
-            ] {
+            for target in
+                [Target::ReturnAddress, Target::FuncPtr, Target::LongjmpBuf, Target::StructFuncPtr]
+            {
                 if target == Target::ReturnAddress && location != Location::Stack {
                     continue;
                 }

@@ -134,9 +134,11 @@ mod tests {
         for prog in micro().programs {
             let args = prog.args(InputSize::Test);
             let mut exits = Vec::new();
-            for opts in [BuildOptions::gcc(), BuildOptions::clang(), BuildOptions::clang().with_asan()] {
-                let bin = compile(prog.source, &opts)
-                    .unwrap_or_else(|e| panic!("{}: {e}", prog.name));
+            for opts in
+                [BuildOptions::gcc(), BuildOptions::clang(), BuildOptions::clang().with_asan()]
+            {
+                let bin =
+                    compile(prog.source, &opts).unwrap_or_else(|e| panic!("{}: {e}", prog.name));
                 let run = Machine::new(MachineConfig::default())
                     .run(&bin, args)
                     .unwrap_or_else(|e| panic!("{}: {e}", prog.name));
@@ -158,9 +160,6 @@ mod tests {
         let a = run(chase.source, 50_000);
         let b = run(read.source, 50_000);
         let miss = |r: &fex_vm::RunResult| r.l1.miss_ratio();
-        assert!(
-            miss(&a) < miss(&b) * 4.0 + 1.0,
-            "sanity bound only — both ratios finite"
-        );
+        assert!(miss(&a) < miss(&b) * 4.0 + 1.0, "sanity bound only — both ratios finite");
     }
 }

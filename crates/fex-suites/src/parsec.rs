@@ -597,11 +597,9 @@ mod tests {
         for prog in parsec().programs {
             let args = prog.args(InputSize::Test);
             let mut results = Vec::new();
-            for opts in [
-                BuildOptions::gcc(),
-                BuildOptions::clang(),
-                BuildOptions::gcc().with_asan(),
-            ] {
+            for opts in
+                [BuildOptions::gcc(), BuildOptions::clang(), BuildOptions::gcc().with_asan()]
+            {
                 let bin = compile(prog.source, &opts)
                     .unwrap_or_else(|e| panic!("{} fails to compile: {e}", prog.name));
                 for cores in [1usize, 2] {

@@ -303,10 +303,7 @@ impl Function {
     /// Total bytes of stack-array storage (including redzones) this
     /// function's frame needs, in addition to its bookkeeping words.
     pub fn frame_array_bytes(&self) -> u64 {
-        self.stack_slots
-            .iter()
-            .map(|s| s.size + 2 * s.redzone)
-            .sum()
+        self.stack_slots.iter().map(|s| s.size + 2 * s.redzone).sum()
     }
 }
 
@@ -365,10 +362,7 @@ impl Program {
 
     /// Looks up a function by name.
     pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
-        self.functions
-            .iter()
-            .position(|f| f.name == name)
-            .map(|i| FuncId(i as u32))
+        self.functions.iter().position(|f| f.name == name).map(|i| FuncId(i as u32))
     }
 
     /// Map from function name to id (for linkers / test harnesses).
@@ -390,7 +384,11 @@ impl Program {
         use std::fmt::Write as _;
         let mut out = String::new();
         for (i, f) in self.functions.iter().enumerate() {
-            let _ = writeln!(out, "fn {} (f{}) params={} regs={}:", f.name, i, f.param_count, f.reg_count);
+            let _ = writeln!(
+                out,
+                "fn {} (f{}) params={} regs={}:",
+                f.name, i, f.param_count, f.reg_count
+            );
             for (slot, s) in f.stack_slots.iter().enumerate() {
                 let _ = writeln!(out, "  slot{}: {} bytes (redzone {})", slot, s.size, s.redzone);
             }

@@ -92,7 +92,10 @@ pub struct Cache {
 impl Cache {
     /// Creates an empty (cold) cache.
     pub fn new(config: CacheConfig) -> Self {
-        assert!(config.size % (config.ways * config.line) == 0, "size must be sets*ways*line");
+        assert!(
+            config.size.is_multiple_of(config.ways * config.line),
+            "size must be sets*ways*line"
+        );
         let sets = config.sets() as usize;
         Cache {
             config,
@@ -158,7 +161,8 @@ pub struct CacheHierarchy {
 /// Default L1D: 32 KiB, 8-way, 64 B lines, 4-cycle hit.
 pub const DEFAULT_L1: CacheConfig = CacheConfig { size: 32 * 1024, ways: 8, line: 64, latency: 4 };
 /// Default L2: 256 KiB, 8-way, 64 B lines, 12-cycle hit.
-pub const DEFAULT_L2: CacheConfig = CacheConfig { size: 256 * 1024, ways: 8, line: 64, latency: 12 };
+pub const DEFAULT_L2: CacheConfig =
+    CacheConfig { size: 256 * 1024, ways: 8, line: 64, latency: 12 };
 /// Default LLC: 8 MiB, 16-way, 64 B lines, 40-cycle hit.
 pub const DEFAULT_LLC: CacheConfig =
     CacheConfig { size: 8 * 1024 * 1024, ways: 16, line: 64, latency: 40 };
@@ -167,7 +171,13 @@ pub const DEFAULT_MEM_LATENCY: u64 = 200;
 
 impl CacheHierarchy {
     /// Builds a hierarchy for `cores` cores.
-    pub fn new(cores: usize, l1: CacheConfig, l2: CacheConfig, llc: CacheConfig, mem_latency: u64) -> Self {
+    pub fn new(
+        cores: usize,
+        l1: CacheConfig,
+        l2: CacheConfig,
+        llc: CacheConfig,
+        mem_latency: u64,
+    ) -> Self {
         CacheHierarchy {
             l1: (0..cores).map(|_| Cache::new(l1)).collect(),
             l2: (0..cores).map(|_| Cache::new(l2)).collect(),

@@ -1,0 +1,273 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] on [`MachineConfig`](crate::MachineConfig) makes the
+//! machine *deliberately* unreliable: it can raise a spurious trap or burn
+//! the instruction budget ("hang") at a configurable execution site, either
+//! on every run or with a seeded per-attempt probability. Everything is a
+//! pure function of `(seed, attempt)`, so flaky-looking behaviour is
+//! perfectly reproducible — which is what makes the resilience layer in
+//! `fex-core` testable without real hardware flakiness.
+//!
+//! The `attempt` field is the retry salt: a harness that retries a failed
+//! run re-rolls the transient-fault dice by bumping it (see
+//! [`FaultPlan::with_attempt`]), exactly like a wall-clock retry lands in
+//! a different moment of a flaky machine's life.
+
+/// What an injected fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Raise [`Trap::Injected`](crate::Trap::Injected): the run crashes.
+    Trap,
+    /// Exhaust the instruction budget: the run "hangs" until the watchdog
+    /// ([`Trap::InstructionLimit`](crate::Trap::InstructionLimit)) kills
+    /// it.
+    Hang,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::Trap => write!(f, "trap"),
+            FaultKind::Hang => write!(f, "hang"),
+        }
+    }
+}
+
+/// Where in the run an injected fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// On the first executed instruction.
+    Entry,
+    /// After `n` executed instructions (clamped to at least one).
+    AfterInstructions(u64),
+}
+
+impl FaultSite {
+    fn instruction(&self) -> u64 {
+        match self {
+            FaultSite::Entry => 1,
+            FaultSite::AfterInstructions(n) => (*n).max(1),
+        }
+    }
+}
+
+/// A decided injection: fire `kind` once `at_instruction` instructions
+/// have executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultDecision {
+    /// Instruction count at which the fault fires.
+    pub at_instruction: u64,
+    /// What fires.
+    pub kind: FaultKind,
+}
+
+/// Seeded, deterministic fault-injection plan for one machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the transient-fault dice (independent of the machine
+    /// seed, so fault schedules don't perturb ASLR or workloads).
+    pub seed: u64,
+    /// Retry salt: the harness bumps this per attempt so transient faults
+    /// re-roll.
+    pub attempt: u64,
+    /// A fault that fires on *every* attempt (a genuinely broken
+    /// benchmark).
+    pub persistent: Option<FaultKind>,
+    /// Per-attempt probability in `[0, 1]` of a transient fault.
+    pub spurious_rate: f64,
+    /// What a transient fault does when the dice say so.
+    pub spurious_kind: FaultKind,
+    /// Where a fault (persistent or transient) fires.
+    pub site: FaultSite,
+}
+
+impl Default for FaultPlan {
+    /// No injection at all.
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            attempt: 0,
+            persistent: None,
+            spurious_rate: 0.0,
+            spurious_kind: FaultKind::Trap,
+            site: FaultSite::Entry,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The disabled plan (same as `Default`).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan that faults on every attempt.
+    pub fn persistent(kind: FaultKind) -> Self {
+        FaultPlan { persistent: Some(kind), ..FaultPlan::default() }
+    }
+
+    /// A plan with a seeded transient fault probability per attempt.
+    pub fn spurious(rate: f64, kind: FaultKind, seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            spurious_rate: rate.clamp(0.0, 1.0),
+            spurious_kind: kind,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Sets the injection site.
+    pub fn at(mut self, site: FaultSite) -> Self {
+        self.site = site;
+        self
+    }
+
+    /// Returns the plan salted for retry attempt `attempt`.
+    pub fn with_attempt(mut self, attempt: u64) -> Self {
+        self.attempt = attempt;
+        self
+    }
+
+    /// Whether this plan can ever inject anything.
+    pub fn enabled(&self) -> bool {
+        self.persistent.is_some() || self.spurious_rate > 0.0
+    }
+
+    /// Decides, deterministically from `(seed, attempt)`, whether this
+    /// attempt faults and where. Persistent faults win over transient
+    /// ones.
+    pub fn decide(&self) -> Option<FaultDecision> {
+        let kind = if let Some(kind) = self.persistent {
+            Some(kind)
+        } else if self.spurious_rate > 0.0 && self.roll() < self.spurious_rate {
+            Some(self.spurious_kind)
+        } else {
+            None
+        };
+        kind.map(|kind| FaultDecision { at_instruction: self.site.instruction(), kind })
+    }
+
+    /// The uniform `[0, 1)` draw for this `(seed, attempt)` pair.
+    fn roll(&self) -> f64 {
+        let mut z = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.attempt.wrapping_mul(0x2545_F491_4F6C_DD1D))
+            .wrapping_add(0xD1B5_4A32_D192_ED03);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Machine, MachineConfig, Trap, VmError};
+
+    #[test]
+    fn disabled_plan_never_decides() {
+        let plan = FaultPlan::none();
+        assert!(!plan.enabled());
+        for attempt in 0..100 {
+            assert_eq!(plan.clone().with_attempt(attempt).decide(), None);
+        }
+    }
+
+    #[test]
+    fn persistent_plan_fires_on_every_attempt() {
+        let plan = FaultPlan::persistent(FaultKind::Trap);
+        for attempt in 0..100 {
+            let d = plan.clone().with_attempt(attempt).decide().unwrap();
+            assert_eq!(d.kind, FaultKind::Trap);
+            assert_eq!(d.at_instruction, 1);
+        }
+    }
+
+    #[test]
+    fn spurious_rate_is_deterministic_and_roughly_calibrated() {
+        let plan = FaultPlan::spurious(0.3, FaultKind::Hang, 777);
+        let fire = |attempt| plan.clone().with_attempt(attempt).decide().is_some();
+        let fired: Vec<bool> = (0..1000).map(fire).collect();
+        // Deterministic: the exact same schedule on a second pass.
+        assert_eq!(fired, (0..1000).map(fire).collect::<Vec<_>>());
+        let rate = fired.iter().filter(|f| **f).count() as f64 / 1000.0;
+        assert!((0.2..0.4).contains(&rate), "empirical rate {rate}");
+        // And both outcomes occur, so retries can both fail and recover.
+        assert!(fired.iter().any(|f| *f) && fired.iter().any(|f| !*f));
+    }
+
+    #[test]
+    fn extreme_rates_clamp() {
+        assert!(FaultPlan::spurious(2.0, FaultKind::Trap, 1).decide().is_some());
+        assert!(FaultPlan::spurious(-1.0, FaultKind::Trap, 1).decide().is_none());
+    }
+
+    #[test]
+    fn site_controls_the_firing_instruction() {
+        let plan = FaultPlan::persistent(FaultKind::Trap).at(FaultSite::AfterInstructions(500));
+        assert_eq!(plan.decide().unwrap().at_instruction, 500);
+        // Entry and the zero site both clamp to the first instruction.
+        let zero = FaultPlan::persistent(FaultKind::Trap).at(FaultSite::AfterInstructions(0));
+        assert_eq!(zero.decide().unwrap().at_instruction, 1);
+    }
+
+    fn looping_program() -> crate::Program {
+        // while (true) {} — only an injected fault or the watchdog ends it.
+        let mut f = crate::Function::new("main", 0);
+        f.reg_count = 1;
+        f.code = vec![Instr::Jmp { target: 0 }];
+        let mut p = crate::Program::new();
+        p.push_function(f);
+        p
+    }
+
+    use crate::Instr;
+
+    #[test]
+    fn injected_trap_ends_a_run() {
+        let p = looping_program();
+        let cfg = MachineConfig {
+            fault_plan: FaultPlan::persistent(FaultKind::Trap)
+                .at(FaultSite::AfterInstructions(100)),
+            ..MachineConfig::default()
+        };
+        let err = Machine::new(cfg).run(&p, &[]).unwrap_err();
+        assert!(matches!(err, VmError::Trap(Trap::Injected { .. })), "{err}");
+    }
+
+    #[test]
+    fn injected_hang_manifests_as_the_watchdog_firing() {
+        let p = looping_program();
+        let cfg = MachineConfig {
+            max_instructions: 50_000,
+            fault_plan: FaultPlan::persistent(FaultKind::Hang),
+            ..MachineConfig::default()
+        };
+        let err = Machine::new(cfg).run(&p, &[]).unwrap_err();
+        assert!(matches!(err, VmError::Trap(Trap::InstructionLimit { limit: 50_000 })), "{err}");
+    }
+
+    #[test]
+    fn transient_faults_reroll_across_attempts() {
+        // A healthy program + a 50% transient trap: some attempts fail,
+        // some succeed, deterministically per attempt number.
+        let mut f = crate::Function::new("main", 0);
+        f.reg_count = 1;
+        f.code = vec![Instr::Ret { src: None }];
+        let mut p = crate::Program::new();
+        p.push_function(f);
+        let outcomes: Vec<bool> = (0..32)
+            .map(|attempt| {
+                let cfg = MachineConfig {
+                    fault_plan: FaultPlan::spurious(0.5, FaultKind::Trap, 9).with_attempt(attempt),
+                    ..MachineConfig::default()
+                };
+                Machine::new(cfg).run(&p, &[]).is_ok()
+            })
+            .collect();
+        assert!(outcomes.iter().any(|o| *o), "some attempt must succeed");
+        assert!(outcomes.iter().any(|o| !*o), "some attempt must fail");
+    }
+}

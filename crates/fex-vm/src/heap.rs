@@ -52,7 +52,7 @@ pub struct Heap {
 const ALIGN: u64 = 16;
 
 fn align_up(x: u64, a: u64) -> u64 {
-    (x + a - 1) / a * a
+    x.div_ceil(a) * a
 }
 
 impl Heap {
@@ -88,11 +88,8 @@ impl Heap {
         let payload = payload.max(1);
         let reserved = align_up(payload + 2 * redzone, ALIGN);
         // First fit over the address-ordered free list.
-        let slot = self
-            .free
-            .iter()
-            .find(|(_, len)| **len >= reserved)
-            .map(|(start, len)| (*start, *len));
+        let slot =
+            self.free.iter().find(|(_, len)| **len >= reserved).map(|(start, len)| (*start, *len));
         let (start, len) = slot.ok_or(Trap::OutOfMemory { requested: payload })?;
         self.free.remove(&start);
         if len > reserved {
@@ -116,10 +113,8 @@ impl Heap {
     /// Returns [`Trap::InvalidFree`] for addresses that are not live
     /// allocations (double free, wild free).
     pub fn free(&mut self, payload_addr: u64) -> Result<(u64, u64, u64), Trap> {
-        let block = self
-            .live
-            .remove(&payload_addr)
-            .ok_or(Trap::InvalidFree { addr: payload_addr })?;
+        let block =
+            self.live.remove(&payload_addr).ok_or(Trap::InvalidFree { addr: payload_addr })?;
         let start = payload_addr - block.redzone;
         self.reserved -= block.reserved;
         self.stats.frees += 1;

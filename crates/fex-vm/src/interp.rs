@@ -8,8 +8,8 @@
 
 use crate::branch::BranchPredictor;
 use crate::bytecode::{
-    code_addr, decode_code_addr, BinOp, FBinOp, FCmpOp, FuncId, Instr, Program, Reg, SysCall,
-    UnOp, Width,
+    code_addr, decode_code_addr, BinOp, FBinOp, FCmpOp, FuncId, Instr, Program, Reg, SysCall, UnOp,
+    Width,
 };
 use crate::cache::{CacheHierarchy, CacheLevel, CacheStats, HitLevel};
 use crate::counters::PerfCounters;
@@ -132,6 +132,9 @@ pub struct Instance<'p> {
     sp: Vec<u64>,
     stack_floor: Vec<u64>,
     instr_budget_used: u64,
+    /// Pending fault from the config's `FaultPlan`, decided at load time
+    /// and fired at most once.
+    fault: Option<crate::fault::FaultDecision>,
     /// ASan quarantine: freed blocks (payload addr, bytes) held poisoned
     /// before really returning to the allocator, FIFO.
     quarantine: std::collections::VecDeque<(u64, u64)>,
@@ -173,7 +176,7 @@ impl<'p> Instance<'p> {
         let data_perm = if config.mitigations.nx { Perm::RW } else { Perm::RWX };
         let mut mem = Memory::new();
         // Read-only data.
-        let ro_size = ((program.rodata.len() as u64).max(8) + 15) / 16 * 16;
+        let ro_size = (program.rodata.len() as u64).max(8).div_ceil(16) * 16;
         mem.map(bases.rodata, ro_size, Perm::R, SegmentKind::Rodata);
         mem.write_bytes_raw(bases.rodata, &program.rodata).expect("rodata fits its segment");
         // Globals. Real data segments end with page slack, so a small
@@ -182,8 +185,7 @@ impl<'p> Instance<'p> {
         const DATA_TAIL: u64 = 4096;
         let (offsets, total) = global_offsets(&program.globals);
         mem.map(bases.globals, total + DATA_TAIL, data_perm, SegmentKind::Globals);
-        let global_addrs: Vec<u64> =
-            offsets.iter().map(|o| bases.globals + o).collect();
+        let global_addrs: Vec<u64> = offsets.iter().map(|o| bases.globals + o).collect();
         for (g, addr) in program.globals.iter().zip(&global_addrs) {
             mem.write_bytes(*addr, &g.init).expect("global init fits its object");
         }
@@ -210,16 +212,12 @@ impl<'p> Instance<'p> {
             }
         }
 
-        let caches = CacheHierarchy::new(
-            config.cores,
-            config.l1,
-            config.l2,
-            config.llc,
-            config.mem_latency,
-        );
+        let caches =
+            CacheHierarchy::new(config.cores, config.l1, config.l2, config.llc, config.mem_latency);
         let heap = Heap::new(bases.heap, config.heap_size);
         let canary = splitmix(&mut seed) as i64 | 0x0100; // never a plausible code addr
         let cores = config.cores;
+        let fault = config.fault_plan.decide();
         Instance {
             program,
             config,
@@ -241,6 +239,7 @@ impl<'p> Instance<'p> {
             sp,
             stack_floor,
             instr_budget_used: 0,
+            fault,
             quarantine: std::collections::VecDeque::new(),
             quarantine_bytes: 0,
             predictors: vec![BranchPredictor::new(); cores],
@@ -366,8 +365,7 @@ impl<'p> Instance<'p> {
             .unwrap_or(0);
         let touched_stack = 64 * 1024 * self.config.cores as u64;
         let base_rss = globals_size + self.heap.stats().peak_reserved + touched_stack;
-        let maxrss_bytes =
-            if self.program.asan { base_rss + base_rss / 8 } else { base_rss };
+        let maxrss_bytes = if self.program.asan { base_rss + base_rss / 8 } else { base_rss };
         Ok(RunResult {
             exit,
             stdout: self.stdout[stdout_before..].to_string(),
@@ -401,6 +399,22 @@ impl<'p> Instance<'p> {
         self.instr_budget_used += n;
         if self.instr_budget_used > self.config.max_instructions {
             return Err(Trap::InstructionLimit { limit: self.config.max_instructions });
+        }
+        if let Some(d) = self.fault {
+            if self.instr_budget_used >= d.at_instruction {
+                self.fault = None;
+                return Err(match d.kind {
+                    crate::fault::FaultKind::Trap => {
+                        Trap::Injected { attempt: self.config.fault_plan.attempt }
+                    }
+                    // A hang burns the whole budget; what the harness
+                    // observes is its watchdog firing.
+                    crate::fault::FaultKind::Hang => {
+                        self.instr_budget_used = self.config.max_instructions;
+                        Trap::InstructionLimit { limit: self.config.max_instructions }
+                    }
+                });
+            }
         }
         Ok(())
     }
@@ -487,8 +501,11 @@ impl<'p> Instance<'p> {
                 if s.redzone > 0 {
                     self.shadow.poison(cur, s.redzone, PoisonKind::StackRedzone);
                     self.shadow.unpoison(cur + s.redzone, s.size);
-                    self.shadow
-                        .poison(cur + s.redzone + s.size, s.redzone, PoisonKind::StackRedzone);
+                    self.shadow.poison(
+                        cur + s.redzone + s.size,
+                        s.redzone,
+                        PoisonKind::StackRedzone,
+                    );
                     // Poisoning costs real work: ~1 alu op per granule.
                     let granules = (2 * s.redzone + s.size) / 8;
                     self.charge(granules.max(1));
@@ -833,7 +850,7 @@ impl<'p> Instance<'p> {
         self.in_parfor = true;
         let saved_core = self.core;
         let mut max_delta = 0u64;
-        let chunk = (total + cores as u64 - 1) / cores as u64;
+        let chunk = total.div_ceil(cores as u64);
         let mut result = Ok(());
         for c in 0..cores {
             let start = lo + (c as u64 * chunk) as i64;
@@ -938,7 +955,7 @@ impl<'p> Instance<'p> {
                 let mut i = 0u64;
                 loop {
                     if self.program.asan {
-                        if i % 8 == 0 {
+                        if i.is_multiple_of(8) {
                             self.shadow_touch(src + i);
                             self.shadow_touch(dst + i);
                             self.count_instr(4)?;
@@ -985,8 +1002,7 @@ impl<'p> Instance<'p> {
                 let n = arg(0).max(0) as u64;
                 // ASan scales redzones with allocation size (min 16,
                 // capped), like the real allocator.
-                let redzone =
-                    if self.program.asan { (n / 8).clamp(16, 2048) / 8 * 8 } else { 0 };
+                let redzone = if self.program.asan { (n / 8).clamp(16, 2048) / 8 * 8 } else { 0 };
                 let addr = self.heap.alloc(n, redzone)?;
                 self.per_core[self.core].allocs += 1;
                 self.per_core[self.core].alloc_bytes += n;
@@ -1007,10 +1023,7 @@ impl<'p> Instance<'p> {
                     if self.quarantine.iter().any(|(a, _)| *a == addr) {
                         return Err(Trap::InvalidFree { addr });
                     }
-                    let payload = self
-                        .heap
-                        .live_payload(addr)
-                        .ok_or(Trap::InvalidFree { addr })?;
+                    let payload = self.heap.live_payload(addr).ok_or(Trap::InvalidFree { addr })?;
                     self.shadow.poison(addr, payload.max(1), PoisonKind::HeapFreed);
                     self.quarantine.push_back((addr, payload));
                     self.quarantine_bytes += payload;
@@ -1403,8 +1416,10 @@ mod tests {
         p.push_function(victim);
         p.push_function(main);
 
-        let mut cfg = MachineConfig::default();
-        cfg.mitigations = crate::Mitigations::insecure();
+        let cfg = MachineConfig {
+            mitigations: crate::Mitigations::insecure(),
+            ..MachineConfig::default()
+        };
         let r = Machine::new(cfg).run(&p, &[]);
         // Whether or not execution later traps, the hijack must be recorded
         // and creat() must have run with the planted argument.
@@ -1489,13 +1504,12 @@ mod tests {
         p.push_function(main);
 
         // Insecure machine: executable stack — shellcode runs.
-        let mut cfg = MachineConfig::default();
-        cfg.mitigations = crate::Mitigations::insecure();
+        let cfg = MachineConfig {
+            mitigations: crate::Mitigations::insecure(),
+            ..MachineConfig::default()
+        };
         let r = Machine::new(cfg).run(&p, &[]).unwrap();
-        assert!(r
-            .attack_events
-            .iter()
-            .any(|e| matches!(e, AttackEvent::ShellcodeExecuted { .. })));
+        assert!(r.attack_events.iter().any(|e| matches!(e, AttackEvent::ShellcodeExecuted { .. })));
 
         // NX machine: same program traps with an exec violation.
         let mut cfg = MachineConfig::default();
@@ -1525,8 +1539,7 @@ mod tests {
     fn instruction_limit_stops_runaway_loops() {
         let mut p = Program::new();
         p.push_function(simple_fn("main", 0, 1, vec![Instr::Jmp { target: 0 }]));
-        let mut cfg = MachineConfig::default();
-        cfg.max_instructions = 10_000;
+        let cfg = MachineConfig { max_instructions: 10_000, ..MachineConfig::default() };
         let err = Machine::new(cfg).run(&p, &[]).unwrap_err();
         assert!(matches!(err, VmError::Trap(Trap::InstructionLimit { .. })));
     }

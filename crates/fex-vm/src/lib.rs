@@ -46,6 +46,7 @@ mod bytecode;
 mod cache;
 mod cost;
 mod counters;
+mod fault;
 mod heap;
 mod interp;
 mod machine;
@@ -62,10 +63,11 @@ pub use bytecode::{
 pub use cache::{Cache, CacheConfig, CacheHierarchy, CacheLevel, CacheStats, HitLevel};
 pub use cost::CostModel;
 pub use counters::PerfCounters;
+pub use fault::{FaultDecision, FaultKind, FaultPlan, FaultSite};
 pub use heap::{Heap, HeapStats};
 pub use interp::{AttackEvent, Instance, RunResult, SHELLCODE};
 pub use machine::{global_offsets, LoadBases, Machine, MachineConfig, Mitigations};
 pub use memory::{layout, Memory, Perm, SegmentKind};
-pub use perf::{Measurement, MeasureTool};
+pub use perf::{MeasureTool, Measurement};
 pub use shadow::{PoisonKind, ShadowMemory, GRANULE as SHADOW_GRANULE};
 pub use trap::{Trap, VmError};

@@ -3,6 +3,7 @@
 use crate::bytecode::{GlobalDef, Program};
 use crate::cache::{CacheConfig, DEFAULT_L1, DEFAULT_L2, DEFAULT_LLC, DEFAULT_MEM_LATENCY};
 use crate::cost::CostModel;
+use crate::fault::FaultPlan;
 use crate::interp::{Instance, RunResult};
 use crate::memory::layout;
 use crate::trap::VmError;
@@ -68,6 +69,8 @@ pub struct MachineConfig {
     pub seed: u64,
     /// Instruction budget; exceeding it traps (runaway backstop).
     pub max_instructions: u64,
+    /// Deterministic fault injection (disabled by default).
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for MachineConfig {
@@ -85,6 +88,7 @@ impl Default for MachineConfig {
             mitigations: Mitigations::default(),
             seed: 42,
             max_instructions: 20_000_000_000,
+            fault_plan: FaultPlan::default(),
         }
     }
 }
@@ -121,7 +125,7 @@ pub fn global_offsets(globals: &[GlobalDef]) -> (Vec<u64>, u64) {
         offsets.push(cur);
         cur += g.size;
         cur += g.redzone;
-        cur = (cur + 15) / 16 * 16;
+        cur = cur.div_ceil(16) * 16;
     }
     (offsets, cur.max(16))
 }

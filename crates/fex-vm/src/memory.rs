@@ -112,12 +112,7 @@ impl Memory {
                 s.end()
             );
         }
-        self.segments.push(Segment {
-            base,
-            data: vec![0u8; size as usize],
-            perm,
-            kind,
-        });
+        self.segments.push(Segment { base, data: vec![0u8; size as usize], perm, kind });
         self.segments.sort_by_key(|s| s.base);
     }
 
@@ -128,18 +123,17 @@ impl Memory {
 
     fn seg_index(&self, addr: u64) -> Option<usize> {
         // Binary search over the (sorted, non-overlapping) segment list.
-        match self.segments.binary_search_by(|s| {
-            if addr < s.base {
-                std::cmp::Ordering::Greater
-            } else if addr >= s.end() {
-                std::cmp::Ordering::Less
-            } else {
-                std::cmp::Ordering::Equal
-            }
-        }) {
-            Ok(i) => Some(i),
-            Err(_) => None,
-        }
+        self.segments
+            .binary_search_by(|s| {
+                if addr < s.base {
+                    std::cmp::Ordering::Greater
+                } else if addr >= s.end() {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .ok()
     }
 
     /// The segment containing `addr`, if mapped.
@@ -158,9 +152,7 @@ impl Memory {
     }
 
     fn check_range(&self, addr: u64, len: u64, write: bool) -> Result<usize, Trap> {
-        let i = self
-            .seg_index(addr)
-            .ok_or(Trap::Unmapped { addr, write })?;
+        let i = self.seg_index(addr).ok_or(Trap::Unmapped { addr, write })?;
         let s = &self.segments[i];
         if addr + len > s.end() {
             // Accesses may not straddle a segment boundary: the gap beyond
@@ -244,9 +236,7 @@ impl Memory {
         if bytes.is_empty() {
             return Ok(());
         }
-        let i = self
-            .seg_index(addr)
-            .ok_or(Trap::Unmapped { addr, write: true })?;
+        let i = self.seg_index(addr).ok_or(Trap::Unmapped { addr, write: true })?;
         let s = &mut self.segments[i];
         let off = (addr - s.base) as usize;
         if off + bytes.len() > s.data.len() {

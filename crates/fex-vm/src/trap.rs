@@ -89,6 +89,12 @@ pub enum Trap {
         /// Explanation.
         what: &'static str,
     },
+    /// A fault injected by the machine's
+    /// [`FaultPlan`](crate::FaultPlan) fired (resilience testing).
+    Injected {
+        /// The fault plan's retry salt when the fault fired.
+        attempt: u64,
+    },
 }
 
 impl fmt::Display for Trap {
@@ -100,13 +106,13 @@ impl fmt::Display for Trap {
             Trap::PermViolation { addr, write } => {
                 write!(f, "permission violation on {} at {addr:#x}", rw(*write))
             }
-            Trap::ExecViolation { addr } => write!(f, "execute of non-executable address {addr:#x}"),
+            Trap::ExecViolation { addr } => {
+                write!(f, "execute of non-executable address {addr:#x}")
+            }
             Trap::BadCodeAddress { addr } => write!(f, "jump to invalid code address {addr:#x}"),
-            Trap::AsanViolation { addr, write, kind, segment } => write!(
-                f,
-                "addresssanitizer: {kind} on {} at {addr:#x} ({segment:?})",
-                rw(*write)
-            ),
+            Trap::AsanViolation { addr, write, kind, segment } => {
+                write!(f, "addresssanitizer: {kind} on {} at {addr:#x} ({segment:?})", rw(*write))
+            }
             Trap::CanarySmashed { function } => {
                 write!(f, "stack smashing detected in `{function}`")
             }
@@ -121,6 +127,9 @@ impl fmt::Display for Trap {
             Trap::NestedParFor => write!(f, "nested parfor is not supported"),
             Trap::StringTooLong { addr } => write!(f, "unterminated string at {addr:#x}"),
             Trap::BadSyscall { what } => write!(f, "bad syscall argument: {what}"),
+            Trap::Injected { attempt } => {
+                write!(f, "injected fault (attempt {attempt})")
+            }
         }
     }
 }
@@ -158,10 +167,9 @@ impl fmt::Display for VmError {
         match self {
             VmError::Trap(t) => write!(f, "vm trap: {t}"),
             VmError::NoEntry => write!(f, "program has no entry point"),
-            VmError::BadArity { function, expected, got } => write!(
-                f,
-                "entry `{function}` expects {expected} arguments, got {got}"
-            ),
+            VmError::BadArity { function, expected, got } => {
+                write!(f, "entry `{function}` expects {expected} arguments, got {got}")
+            }
         }
     }
 }

@@ -12,7 +12,7 @@
 use fex_core::build::{Assign, BuildSystem, MakeLayer, MakefileSet};
 use fex_core::collect::{stats, DataFrame};
 use fex_core::plot::{barplot_from_frame, normalize_against};
-use fex_vm::{Machine, MachineConfig, Measurement, MeasureTool};
+use fex_vm::{Machine, MachineConfig, MeasureTool, Measurement};
 
 /// (1) The new benchmark: a string-reversal microbenchmark.
 const REVERSE: &str = r#"
@@ -62,22 +62,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let machine = Machine::new(MachineConfig::default());
             let run = machine.load(&artifact.program).run_entry(&[20_000])?;
             let m = Measurement::extract(MeasureTool::PerfStat, &run);
-            df.push(vec![
-                "reverse".into(),
-                ty.into(),
-                m.get("time").unwrap_or(0.0).into(),
-            ]);
+            df.push(vec!["reverse".into(), ty.into(), m.get("time").unwrap_or(0.0).into()]);
         }
     }
 
     let norm = normalize_against(&df, "benchmark", "type", "time", "gcc_native")?;
     println!("custom benchmark, normalized runtime w.r.t. gcc -O2:");
     for row in norm.iter() {
-        println!(
-            "  {:<14} {:>7.3}x",
-            row[1].to_cell_string(),
-            row[2].as_num().unwrap_or(0.0)
-        );
+        println!("  {:<14} {:>7.3}x", row[1].to_cell_string(), row[2].as_num().unwrap_or(0.0));
     }
 
     let agg = df.group_agg(&["type"], "time", stats::mean)?;

@@ -16,8 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     fex.install("clang-3.8")?;
     fex.install("nginx")?;
 
-    let config =
-        ExperimentConfig::new("nginx").types(vec!["gcc_native", "clang_native"]);
+    let config = ExperimentConfig::new("nginx").types(vec!["gcc_native", "clang_native"]);
     let frame = fex.run(&config)?;
 
     println!("throughput-latency sweep:");

@@ -26,11 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for row in frame.iter() {
         let ty = row[0].to_cell_string();
         let label = if ty.starts_with("gcc") { "Native (GCC)" } else { "Native (Clang)" };
-        println!(
-            "{label:<16} {:>12} {:>10}",
-            row[2].to_cell_string(),
-            row[3].to_cell_string()
-        );
+        println!("{label:<16} {:>12} {:>10}", row[2].to_cell_string(), row[3].to_cell_string());
     }
 
     // Extension: the same matrix on a hardened machine.
@@ -49,10 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let s = run_testbed(&BuildOptions::gcc().with_asan(), &TestbedConfig::paper());
     println!(
         "  {:<14} successful {:>4}   failed {:>4}   detected-by-asan {:>4}",
-        "gcc+asan",
-        s.successful,
-        s.failed,
-        s.detected
+        "gcc+asan", s.successful, s.failed, s.detected
     );
     Ok(())
 }

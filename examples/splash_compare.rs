@@ -35,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ratios.push(ratio);
         println!("  {bench:<16} {ratio:>6.3}x");
     }
-    println!("  {:<16} {:>6.3}x  (geometric mean, the paper's `All` bar)", "All", stats::geomean(&ratios));
+    println!(
+        "  {:<16} {:>6.3}x  (geometric mean, the paper's `All` bar)",
+        "All",
+        stats::geomean(&ratios)
+    );
 
     let plot = fex.plot("splash", PlotRequest::Perf)?;
     println!("\n{}", plot.to_ascii());

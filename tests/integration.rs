@@ -31,11 +31,7 @@ fn full_phoenix_pipeline_with_asan() {
     let asan = norm.filter_eq("type", "gcc_asan").unwrap();
     for row in asan.iter() {
         let ratio = row[2].as_num().unwrap();
-        assert!(
-            ratio > 1.1,
-            "asan should slow down {} (got {ratio:.2}x)",
-            row[0].to_cell_string()
-        );
+        assert!(ratio > 1.1, "asan should slow down {} (got {ratio:.2}x)", row[0].to_cell_string());
         assert!(ratio < 20.0, "implausible asan overhead {ratio:.2}x");
     }
 
@@ -102,12 +98,7 @@ fn multithreading_scales_runtime_down() {
             .next()
             .unwrap()
     };
-    assert!(
-        t("4") < t("1") * 0.7,
-        "4 threads ({}) should beat 1 thread ({})",
-        t("4"),
-        t("1")
-    );
+    assert!(t("4") < t("1") * 0.7, "4 threads ({}) should beat 1 thread ({})", t("4"), t("1"));
 }
 
 #[test]
@@ -155,8 +146,7 @@ fn nginx_experiment_has_the_fig7_shape() {
     fex.install("gcc-6.1").unwrap();
     fex.install("clang-3.8").unwrap();
     fex.install("nginx").unwrap();
-    let config =
-        ExperimentConfig::new("nginx").types(vec!["gcc_native", "clang_native"]);
+    let config = ExperimentConfig::new("nginx").types(vec!["gcc_native", "clang_native"]);
     let frame = fex.run(&config).unwrap().clone();
     let max_tput = |ty: &str| -> f64 {
         frame
@@ -216,14 +206,9 @@ fn memcached_and_apache_server_experiments_run() {
     for s in ["gcc-6.1", "memcached", "apache"] {
         fex.install(s).unwrap();
     }
-    let mem = fex
-        .run(&ExperimentConfig::new("memcached").types(vec!["gcc_native"]))
-        .unwrap()
-        .clone();
-    let apa = fex
-        .run(&ExperimentConfig::new("apache").types(vec!["gcc_native"]))
-        .unwrap()
-        .clone();
+    let mem =
+        fex.run(&ExperimentConfig::new("memcached").types(vec!["gcc_native"])).unwrap().clone();
+    let apa = fex.run(&ExperimentConfig::new("apache").types(vec!["gcc_native"])).unwrap().clone();
     let max_tput = |df: &DataFrame| {
         df.column_values("throughput")
             .unwrap()
@@ -271,7 +256,13 @@ fn runtime_faults_surface_as_run_errors() {
     use fex_core::build::{BuildSystem, MakefileSet};
     let mut build = BuildSystem::new(MakefileSet::standard());
     let artifact = build
-        .build("crasher", "fn main() -> int { var z = 0; return 1 / z; }", "gcc_native", false, false)
+        .build(
+            "crasher",
+            "fn main() -> int { var z = 0; return 1 / z; }",
+            "gcc_native",
+            false,
+            false,
+        )
         .unwrap();
     let machine = fex_vm::Machine::new(fex_vm::MachineConfig::default());
     let err = machine.load(&artifact.program).run_entry(&[]).unwrap_err();
@@ -338,4 +329,69 @@ fn environment_digest_is_reproducible_across_instances() {
         b.container().environment_digest(),
         "identical setup must produce identical environment digests"
     );
+}
+
+#[test]
+fn injected_persistent_trap_quarantines_one_benchmark_end_to_end() {
+    use fex_core::config::FaultInjection;
+    use fex_core::edd::FlakinessGate;
+    use fex_vm::{FaultKind, FaultPlan};
+
+    // Baseline: the clean phoenix run at test size.
+    let mut clean = fex_ready();
+    let config = ExperimentConfig::new("phoenix")
+        .types(vec!["gcc_native", "clang_native"])
+        .input(InputSize::Test);
+    let clean_frame = clean.run(&config).unwrap().clone();
+    assert_eq!(clean_frame.len(), 14); // 7 programs × 2 types
+
+    // Same experiment with `kmeans` permanently broken by injection.
+    let mut faulty = fex_ready();
+    let config = config
+        .fault(FaultInjection::for_benchmark("kmeans", FaultPlan::persistent(FaultKind::Trap)));
+    let frame = faulty.run(&config).unwrap().clone();
+
+    // The experiment completed with a partial frame: everything except
+    // the quarantined benchmark, across both build types.
+    assert_eq!(frame.len(), 12);
+    let benches = frame.distinct("benchmark").unwrap();
+    assert_eq!(benches.len(), 6);
+    assert!(!benches.contains(&"kmeans".to_string()));
+    assert_eq!(frame.distinct("type").unwrap().len(), 2);
+
+    // The failure report names the quarantined benchmark, and its CSV is
+    // persisted in the container next to the results.
+    let report = faulty.failure_report("phoenix").unwrap();
+    assert_eq!(report.quarantined_benchmarks(), vec!["kmeans"]);
+    let rec = &report.records[0];
+    assert!(rec.error.contains("injected fault"), "{}", rec.error);
+    assert_eq!(rec.attempts, 3, "default policy: 1 attempt + 2 retries");
+    let fcsv = faulty.failure_csv("phoenix").unwrap();
+    assert!(fcsv.contains("kmeans") && fcsv.contains("quarantined"));
+
+    // Flakiness gating: the default CI gate rejects the run.
+    assert!(!faulty.edd_flakiness_check("phoenix", &FlakinessGate::default()).unwrap().passed());
+
+    // The surviving benchmarks' rows are identical to the clean run's —
+    // injection perturbs nothing outside its target.
+    for bench in &benches {
+        let a = clean_frame.filter_eq("benchmark", bench).unwrap().to_csv();
+        let b = frame.filter_eq("benchmark", bench).unwrap().to_csv();
+        assert_eq!(a, b, "rows for `{bench}` must be unperturbed");
+    }
+
+    // And with injection disabled the output is byte-identical to the
+    // clean run.
+    let mut disabled = fex_ready();
+    let config_off = ExperimentConfig::new("phoenix")
+        .types(vec!["gcc_native", "clang_native"])
+        .input(InputSize::Test)
+        .fault(FaultInjection::everywhere(FaultPlan::none()));
+    disabled.run(&config_off).unwrap();
+    assert_eq!(
+        disabled.result_csv("phoenix").unwrap(),
+        clean.result_csv("phoenix").unwrap(),
+        "disabled injection must be byte-identical to today's output"
+    );
+    assert!(disabled.failure_report("phoenix").unwrap().is_clean());
 }

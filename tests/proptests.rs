@@ -346,9 +346,7 @@ impl SStmt {
             SStmt::Loop(n, body) => {
                 let li = *loop_id;
                 *loop_id += 1;
-                out.push_str(&format!(
-                    "{pad}for (li{li} = 0; li{li} < {n}; li{li} += 1) {{\n"
-                ));
+                out.push_str(&format!("{pad}for (li{li} = 0; li{li} < {n}; li{li} += 1) {{\n"));
                 for s in body {
                     s.to_source(out, depth + 1, loop_id);
                 }
@@ -384,7 +382,11 @@ fn arb_sstmt() -> impl Strategy<Value = SStmt> {
     ];
     assign.prop_recursive(2, 12, 3, |inner| {
         prop_oneof![
-            (arb_sexpr(), prop::collection::vec(inner.clone(), 1..3), prop::collection::vec(inner.clone(), 0..2))
+            (
+                arb_sexpr(),
+                prop::collection::vec(inner.clone(), 1..3),
+                prop::collection::vec(inner.clone(), 0..2)
+            )
                 .prop_map(|(c, t, f)| SStmt::If(c, t, f)),
             ((1u8..6), prop::collection::vec(inner, 1..3)).prop_map(|(n, b)| SStmt::Loop(n, b)),
         ]
@@ -394,7 +396,10 @@ fn arb_sstmt() -> impl Strategy<Value = SStmt> {
 fn program_source(stmts: &[SStmt], x: i64) -> String {
     let mut src = String::from("global a[8];\nfn main(x) -> int {\n");
     for i in 0..NVARS {
-        src.push_str(&format!("  var v{i} = {};\n", if i == 0 { "x".to_string() } else { i.to_string() }));
+        src.push_str(&format!(
+            "  var v{i} = {};\n",
+            if i == 0 { "x".to_string() } else { i.to_string() }
+        ));
     }
     let mut loop_id = 0usize;
     for s in stmts {
@@ -461,6 +466,67 @@ proptest! {
                 src
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Resilience: with the fault rate at zero, the resilient experiment loop
+// must be an exact no-op wrapper around the original Fig 4 loop.
+// ---------------------------------------------------------------------
+
+fn run_micro(config: &fex_core::ExperimentConfig) -> (String, bool) {
+    use fex_core::build::{BuildSystem, MakefileSet};
+    use fex_core::runner::{RunContext, Runner, SuiteRunner};
+
+    let mut build = BuildSystem::new(MakefileSet::standard());
+    let mut log = Vec::new();
+    let mut ctx = RunContext::new(config, &mut build, &mut log);
+    let mut runner = SuiteRunner::new(fex_suites::micro(), config);
+    let df = runner.run(&mut ctx).unwrap();
+    (df.to_csv(), ctx.failures.is_clean())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Arming a fault plan with rate 0 (and any retry budget) must leave
+    /// the result frame byte-identical to a plain, injection-free run,
+    /// with a clean failure report.
+    #[test]
+    fn zero_fault_rate_reproduces_the_plain_loop(
+        types_pick in 0usize..3,
+        reps in 1usize..3,
+        fault_seed in 0u64..1000,
+        retries in 0usize..6,
+    ) {
+        use fex_core::config::FaultInjection;
+        use fex_core::{ExperimentConfig, RunPolicy};
+        use fex_suites::InputSize;
+        use fex_vm::{FaultKind, FaultPlan};
+
+        let types = match types_pick {
+            0 => vec!["gcc_native"],
+            1 => vec!["clang_native"],
+            _ => vec!["gcc_native", "clang_native"],
+        };
+        let base = ExperimentConfig::new("micro")
+            .types(types)
+            .input(InputSize::Test)
+            .repetitions(reps);
+        let (plain_csv, plain_clean) = run_micro(&base);
+
+        let armed = base
+            .clone()
+            .fault(FaultInjection::everywhere(FaultPlan::spurious(
+                0.0,
+                FaultKind::Trap,
+                fault_seed,
+            )))
+            .resilience(RunPolicy::default().retries(retries));
+        let (armed_csv, armed_clean) = run_micro(&armed);
+
+        prop_assert!(plain_clean && armed_clean);
+        prop_assert_eq!(plain_csv, armed_csv);
     }
 }
 

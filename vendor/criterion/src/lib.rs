@@ -1,0 +1,167 @@
+//! A vendored, offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of criterion's API that the workspace's benches
+//! use — [`Criterion::bench_function`], [`Bencher::iter`], the
+//! [`criterion_group!`] / [`criterion_main!`] macros and the builder
+//! knobs ([`sample_size`](Criterion::sample_size),
+//! [`measurement_time`](Criterion::measurement_time),
+//! [`warm_up_time`](Criterion::warm_up_time)) — with a plain
+//! wall-clock harness: warm up, then run samples until the measurement
+//! budget is spent, and report the mean and best time per iteration.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver, configured per group.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to aim for.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Times `f` (which receives a [`Bencher`]) and prints a summary line.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher { samples: Vec::new(), budget: self.warm_up_time, warmup: true };
+        f(&mut b); // warm-up pass
+        b.samples.clear();
+        b.budget = self.measurement_time;
+        b.warmup = false;
+        for _ in 0..self.sample_size {
+            f(&mut b);
+            if b.spent() >= self.measurement_time {
+                break;
+            }
+        }
+        let n = b.samples.len().max(1) as f64;
+        let mean = b.samples.iter().map(Duration::as_secs_f64).sum::<f64>() / n;
+        let best = b.samples.iter().map(Duration::as_secs_f64).fold(f64::INFINITY, f64::min);
+        println!(
+            "{name:<44} mean {:>12}  best {:>12}  ({} samples)",
+            fmt_time(mean),
+            fmt_time(if best.is_finite() { best } else { 0.0 }),
+            b.samples.len()
+        );
+        self
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Times closures inside one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    warmup: bool,
+}
+
+impl Bencher {
+    /// Runs `routine` once per sample and records its wall time.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        let out = routine();
+        let elapsed = start.elapsed();
+        std::hint::black_box(out);
+        if !self.warmup {
+            self.samples.push(elapsed);
+        }
+    }
+
+    fn spent(&self) -> Duration {
+        self.samples.iter().sum()
+    }
+}
+
+/// Re-export for benches that import it from criterion instead of
+/// `std::hint`.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                let mut c = $config;
+                $target(&mut c);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples_and_returns_self() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1));
+        let mut runs = 0u32;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        })
+        .bench_function("shim/chained", |b| b.iter(|| 2 + 2));
+        assert!(runs >= 5, "warm-up plus samples must actually run ({runs})");
+    }
+}

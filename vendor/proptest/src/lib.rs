@@ -1,0 +1,510 @@
+//! A vendored, offline stand-in for the `proptest` crate.
+//!
+//! The container this workspace builds in has no crates.io access, so this
+//! crate reimplements exactly the slice of proptest's API that the
+//! workspace's property tests use:
+//!
+//! * [`Strategy`] with `prop_map` and `prop_recursive`
+//! * range strategies (`-10i64..10`, `0u32..6`, `0.0f64..1.0`, …)
+//! * `&str` character-class strategies (`"[A-Z]{1,8}"`)
+//! * tuple strategies (arity 2 and 3), [`Just`], `prop::collection::vec`
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_oneof!`]
+//!
+//! Generation is fully deterministic (splitmix64 over a per-test seed and
+//! the case index). Failing cases panic with the generated inputs rendered
+//! via `Debug`; there is no shrinking.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------
+// Deterministic RNG
+// ---------------------------------------------------------------------
+
+/// Deterministic generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG for one test case.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------
+
+/// A generator of values of one type (proptest's core trait, minus
+/// shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erases this strategy into a cloneable box.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let s = self;
+        BoxedStrategy::from_fn(move |rng| s.sample(rng))
+    }
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: 'static, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        let s = self;
+        BoxedStrategy::from_fn(move |rng| f(s.sample(rng)))
+    }
+
+    /// Builds a recursive strategy: `f` receives a strategy for the
+    /// recursive positions and returns the branch strategy. `levels`
+    /// bounds the recursion depth; `_size` and `_branch` are accepted for
+    /// API compatibility and ignored.
+    fn prop_recursive<F, S>(
+        self,
+        levels: u32,
+        _size: u32,
+        _branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Clone + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let mut cur = self.clone().boxed();
+        for _ in 0..levels {
+            let leaf = self.clone().boxed();
+            let branch = f(cur).boxed();
+            // Lean toward branches so trees actually grow, but keep leaves
+            // reachable at every level so expected size stays bounded.
+            cur = BoxedStrategy::from_fn(move |rng| {
+                if rng.chance(0.35) {
+                    leaf.sample(rng)
+                } else {
+                    branch.sample(rng)
+                }
+            });
+        }
+        cur
+    }
+}
+
+/// A cloneable, type-erased strategy.
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { gen: Rc::clone(&self.gen) }
+    }
+}
+
+impl<T: 'static> BoxedStrategy<T> {
+    /// Wraps a generator function.
+    pub fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        BoxedStrategy { gen: Rc::new(f) }
+    }
+
+    /// Uniform choice between several strategies of the same value type.
+    pub fn union(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        BoxedStrategy::from_fn(move |rng| {
+            let i = rng.below(arms.len() as u64) as usize;
+            arms[i].sample(rng)
+        })
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+
+    fn boxed(self) -> BoxedStrategy<T>
+    where
+        Self: Sized + 'static,
+    {
+        self
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// Integer ranges.
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+// Character-class string strategies: the `"[A-Z]{1,8}"` subset of
+// proptest's regex strings — one bracketed class (with ranges and plain
+// characters) followed by an optional `{m}` / `{m,n}` repetition.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (chars, min, max) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string strategy pattern: {self:?}"));
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len).map(|_| chars[rng.below(chars.len() as u64) as usize]).collect()
+    }
+}
+
+/// Parses `[class]{m,n}` (or `[class]{m}` / bare `[class]`, meaning one
+/// repetition) into the alphabet and repetition bounds.
+fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+            for c in lo..=hi {
+                chars.push(char::from_u32(c)?);
+            }
+            i += 3;
+        } else {
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    let tail = &rest[close + 1..];
+    if tail.is_empty() {
+        return Some((chars, 1, 1));
+    }
+    let counts = tail.strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = match counts.split_once(',') {
+        Some((m, n)) => (m.trim().parse().ok()?, n.trim().parse().ok()?),
+        None => {
+            let m = counts.trim().parse().ok()?;
+            (m, m)
+        }
+    };
+    Some((chars, min, max))
+}
+
+// Tuple strategies.
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------
+
+/// Namespace mirror of `proptest::prop` / `proptest::collection`.
+pub mod collection {
+    use super::{BoxedStrategy, Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Sizes accepted by [`vec`]: an exact length or a half-open range.
+    pub trait SizeRange {
+        /// Draws a length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            self.start + rng.below((self.end - self.start).max(1) as u64) as usize
+        }
+    }
+
+    /// A strategy for vectors of `element` values with a length drawn from
+    /// `size`.
+    pub fn vec<S>(element: S, size: impl SizeRange + 'static) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| {
+            let len = size.sample_len(rng);
+            (0..len).map(|_| element.sample(rng)).collect()
+        })
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec(..)`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+// ---------------------------------------------------------------------
+// Config & runner plumbing used by the proptest! macro
+// ---------------------------------------------------------------------
+
+/// Per-block configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Stable 64-bit FNV-1a hash of the test name, used as the per-test seed
+/// so every test explores a distinct deterministic sequence.
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Everything the generated tests need, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestRng,
+    };
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        $crate::BoxedStrategy::union(vec![$($crate::Strategy::boxed($arm)),+])
+    }};
+}
+
+/// Asserts a condition inside a property; on failure the harness panics
+/// with the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` running `cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let base = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases as u64 {
+                    let mut rng = $crate::TestRng::new(base ^ case.wrapping_mul(0x2545_F491_4F6C_DD1D));
+                    $(let $pat = $crate::Strategy::sample(&$strat, &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            let v = (-50i64..50).sample(&mut rng);
+            assert!((-50..50).contains(&v));
+            let u = (3usize..9).sample(&mut rng);
+            assert!((3..9).contains(&u));
+            let f = (-1.0f64..1.0).sample(&mut rng);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn string_classes_parse_and_generate() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..200 {
+            let s = "[A-Z]{1,8}".sample(&mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_uppercase()), "{s:?}");
+            let t = "[ -~]{0,12}".sample(&mut rng);
+            assert!(t.len() <= 12);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = prop_oneof![Just(1i64), 10i64..20, 100i64..200];
+        let once: Vec<i64> = (0..64).map(|i| strat.sample(&mut TestRng::new(i))).collect();
+        let twice: Vec<i64> = (0..64).map(|i| strat.sample(&mut TestRng::new(i))).collect();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum T {
+            Leaf,
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf => 0,
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = Just(T::Leaf).prop_recursive(4, 24, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| T::Node(a.into(), b.into()))
+        });
+        let mut rng = TestRng::new(11);
+        for _ in 0..200 {
+            assert!(depth(&strat.sample(&mut rng)) <= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_binds_patterns(x in 0i64..10, v in prop::collection::vec(0u32..3, 1..5)) {
+            prop_assert!((0..10).contains(&x));
+            prop_assert_eq!(v.iter().filter(|c| **c < 3).count(), v.len());
+        }
+    }
+}
