@@ -14,6 +14,7 @@
 //! | `thread_scaling`  | §III-C multithreading lineplot (X2) |
 //! | `cache_stats`     | §III-C cache-miss stacked-grouped plot (X3) |
 //! | `ablation`        | per-pass attribution of the GCC/Clang gap (A1) |
+//! | `sched_scaling`   | `--jobs` matrix throughput + interpreter dispatch rate |
 //! | `all_experiments` | runs everything above, writes `target/fex-results/` |
 //!
 //! Output convention: each binary prints the paper-style rows/series to

@@ -66,6 +66,8 @@ run options:
   -v             verbose
   -d             debug builds
   --no-build     reuse cached binaries
+  --jobs <n>     parallel run-unit workers; 0 = auto
+                 (default: available cores, capped at 16)
 ";
 
 /// Parses `args` (without the program name).
@@ -177,6 +179,14 @@ pub fn parse(args: &[String]) -> Result<Action> {
                     "-v" => cfg.verbose = true,
                     "-d" => cfg.debug = true,
                     "--no-build" => cfg.no_build = true,
+                    "--jobs" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| FexError::Config("--jobs needs a count".into()))?;
+                        cfg.jobs = v
+                            .parse()
+                            .map_err(|_| FexError::Config(format!("bad job count `{v}`")))?;
+                    }
                     other => return Err(FexError::Config(format!("unknown run flag `{other}`"))),
                 }
             }
@@ -261,7 +271,7 @@ mod tests {
     #[test]
     fn parses_all_run_flags() {
         let Action::Run(cfg) = parse(&argv(
-            "run -n phoenix -t gcc_native gcc_asan -b histogram -m 1 2 4 -r 10 -i test -v -d --no-build --tool time",
+            "run -n phoenix -t gcc_native gcc_asan -b histogram -m 1 2 4 -r 10 -i test -v -d --no-build --tool time --jobs 4",
         ))
         .unwrap() else {
             panic!("expected run");
@@ -271,6 +281,21 @@ mod tests {
         assert_eq!(cfg.repetitions, 10);
         assert!(cfg.verbose && cfg.debug && cfg.no_build);
         assert_eq!(cfg.tool, MeasureTool::Time);
+        assert_eq!(cfg.jobs, 4);
+    }
+
+    #[test]
+    fn jobs_flag_defaults_to_auto_and_rejects_garbage() {
+        let Action::Run(cfg) = parse(&argv("run -n micro")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(cfg.jobs, 0, "auto by default");
+        let Action::Run(cfg) = parse(&argv("run -n micro --jobs 0")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(cfg.jobs, 0, "explicit auto");
+        assert!(parse(&argv("run -n micro --jobs")).is_err());
+        assert!(parse(&argv("run -n micro --jobs many")).is_err());
     }
 
     #[test]

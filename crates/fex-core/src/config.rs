@@ -1,10 +1,15 @@
 //! Experiment configuration: the typed form of `fex.py`'s command line.
 
 use fex_suites::InputSize;
-use fex_vm::{FaultPlan, MeasureTool};
+use fex_vm::{FaultPlan, MachineConfig, MeasureTool};
 
 use crate::error::{FexError, Result};
 use crate::resilience::RunPolicy;
+
+/// Upper bound on the worker count picked by `--jobs 0` (auto): even on
+/// very wide hosts the matrix rarely has more than this many independent
+/// run units in flight, and memory per in-flight machine is not free.
+pub const MAX_AUTO_JOBS: usize = 16;
 
 /// Fault injection scoped to an experiment: a [`FaultPlan`] applied to
 /// the machines of one benchmark (or all of them).
@@ -67,6 +72,9 @@ pub struct ExperimentConfig {
     pub fault: Option<FaultInjection>,
     /// Retry/backoff/quarantine policy for failing runs.
     pub resilience: RunPolicy,
+    /// Worker threads for the run-unit scheduler (`--jobs`); `0` means
+    /// auto — available parallelism capped at [`MAX_AUTO_JOBS`].
+    pub jobs: usize,
 }
 
 impl ExperimentConfig {
@@ -86,6 +94,7 @@ impl ExperimentConfig {
             seed: 42,
             fault: None,
             resilience: RunPolicy::default(),
+            jobs: 0,
         }
     }
 
@@ -137,9 +146,76 @@ impl ExperimentConfig {
         self
     }
 
+    /// Sets the scheduler worker count (`--jobs`); `0` means auto.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// The worker count the scheduler actually uses: the configured
+    /// `--jobs` value, or (when 0/auto) the host's available parallelism
+    /// capped at [`MAX_AUTO_JOBS`].
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs != 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(MAX_AUTO_JOBS)
+        }
+    }
+
     /// The fault plan armed for `benchmark`, if any.
     pub fn fault_plan_for(&self, benchmark: &str) -> Option<&FaultPlan> {
         self.fault.as_ref().filter(|inj| inj.applies_to(benchmark)).map(|inj| &inj.plan)
+    }
+
+    /// The deterministic seed of one run unit, mixed from the experiment
+    /// seed and the unit's full coordinates.
+    ///
+    /// Every run unit owns its randomness: machine seed and fault-plan
+    /// seed are pure functions of `(config.seed, bench, type, threads,
+    /// rep)`, never of shared mutable state, so results are identical
+    /// whatever order workers pick units up in — and a `--jobs 8` run is
+    /// byte-identical to `--jobs 1`.
+    pub fn unit_seed(&self, bench: &str, ty: &str, threads: usize, rep: Option<usize>) -> u64 {
+        let mut h = self.seed ^ 0x9e37_79b9_7f4a_7c15;
+        for b in bench.bytes() {
+            h = mix(h ^ u64::from(b));
+        }
+        h = mix(h ^ 0x00ff_00ff_00ff_00ff);
+        for b in ty.bytes() {
+            h = mix(h ^ u64::from(b));
+        }
+        h = mix(h ^ threads as u64);
+        h = mix(h ^ rep.map_or(0, |r| r as u64 + 1));
+        h
+    }
+
+    /// The [`MachineConfig`] for one run unit: per-unit seed, thread
+    /// count as core count, the armed fault plan (re-seeded per unit and
+    /// salted with the retry `attempt`), and the resilience run budget.
+    ///
+    /// Both the sequential Fig 4 loop and the parallel scheduler build
+    /// machines through this one function, which is what makes their
+    /// outputs byte-identical by construction.
+    pub fn unit_machine_config(
+        &self,
+        bench: &str,
+        ty: &str,
+        threads: usize,
+        rep: Option<usize>,
+        attempt: u64,
+    ) -> MachineConfig {
+        let seed = self.unit_seed(bench, ty, threads, rep);
+        let mut mc = MachineConfig { cores: threads.max(1), seed, ..MachineConfig::default() };
+        if let Some(plan) = self.fault_plan_for(bench) {
+            let mut plan = plan.clone();
+            plan.seed ^= seed;
+            mc.fault_plan = plan.with_attempt(attempt);
+        }
+        if let Some(budget) = self.resilience.run_budget {
+            mc.max_instructions = budget;
+        }
+        mc
     }
 
     /// Validates basic invariants.
@@ -164,6 +240,14 @@ impl ExperimentConfig {
     pub fn input_name(&self) -> &'static str {
         input_name(self.input)
     }
+}
+
+/// One round of splitmix64-style bit mixing (good avalanche, no deps).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 /// Stable name for an input size.
@@ -224,6 +308,52 @@ mod tests {
         assert!(c.fault_plan_for("fft").is_some());
         assert!(c.fault_plan_for("lu").is_none());
         assert!(ExperimentConfig::new("splash").fault_plan_for("fft").is_none());
+    }
+
+    #[test]
+    fn unit_seeds_are_deterministic_and_coordinate_sensitive() {
+        let c = ExperimentConfig::new("splash");
+        let s = c.unit_seed("fft", "gcc_native", 4, Some(0));
+        assert_eq!(s, c.unit_seed("fft", "gcc_native", 4, Some(0)), "pure function");
+        // Every coordinate matters.
+        assert_ne!(s, c.unit_seed("lu", "gcc_native", 4, Some(0)));
+        assert_ne!(s, c.unit_seed("fft", "clang_native", 4, Some(0)));
+        assert_ne!(s, c.unit_seed("fft", "gcc_native", 2, Some(0)));
+        assert_ne!(s, c.unit_seed("fft", "gcc_native", 4, Some(1)));
+        assert_ne!(s, c.unit_seed("fft", "gcc_native", 4, None));
+        // And the experiment seed feeds in.
+        let c2 = ExperimentConfig::new("splash");
+        let c2 = ExperimentConfig { seed: 43, ..c2 };
+        assert_ne!(s, c2.unit_seed("fft", "gcc_native", 4, Some(0)));
+    }
+
+    #[test]
+    fn unit_machine_config_arms_fault_plan_and_budget() {
+        use fex_vm::FaultKind;
+
+        let c = ExperimentConfig::new("splash")
+            .fault(FaultInjection::for_benchmark("fft", FaultPlan::persistent(FaultKind::Trap)))
+            .resilience(RunPolicy::default().budget(50_000));
+        let mc = c.unit_machine_config("fft", "gcc_native", 4, Some(1), 2);
+        assert_eq!(mc.cores, 4);
+        assert_eq!(mc.seed, c.unit_seed("fft", "gcc_native", 4, Some(1)));
+        assert!(mc.fault_plan.enabled());
+        assert_eq!(mc.fault_plan.attempt, 2);
+        assert_eq!(mc.max_instructions, 50_000);
+        // Unmatched benchmark: no fault plan, but the budget still holds.
+        let clean = c.unit_machine_config("lu", "gcc_native", 1, None, 0);
+        assert!(!clean.fault_plan.enabled());
+        assert_eq!(clean.max_instructions, 50_000);
+    }
+
+    #[test]
+    fn effective_jobs_resolves_auto_and_explicit() {
+        let c = ExperimentConfig::new("phoenix");
+        assert_eq!(c.jobs, 0, "default is auto");
+        let auto = c.effective_jobs();
+        assert!((1..=MAX_AUTO_JOBS).contains(&auto));
+        assert_eq!(c.clone().jobs(8).effective_jobs(), 8);
+        assert_eq!(c.jobs(1).effective_jobs(), 1);
     }
 
     #[test]

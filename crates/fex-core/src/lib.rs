@@ -58,6 +58,7 @@ pub mod plot;
 pub mod registry;
 pub mod resilience;
 pub mod runner;
+pub mod sched;
 pub mod workflow;
 
 pub use config::ExperimentConfig;

@@ -121,22 +121,32 @@ impl AttemptLog {
 /// faults re-roll per attempt. Only *run faults* ([`FexError::Run`]) are
 /// retried; configuration, lookup and build errors fail fast on the first
 /// attempt.
-pub fn execute_with_retry(
+pub fn execute_with_retry(policy: &RunPolicy, action: impl FnMut(u64) -> Result<()>) -> AttemptLog {
+    execute_with_retry_value(policy, action).0
+}
+
+/// Like [`execute_with_retry`], but the action produces a value.
+///
+/// Returns the attempt log plus the successful attempt's value (`None`
+/// when every attempt failed). The scheduler uses this to carry each run
+/// unit's measurement out of the retry loop.
+pub fn execute_with_retry_value<T>(
     policy: &RunPolicy,
-    mut action: impl FnMut(u64) -> Result<()>,
-) -> AttemptLog {
+    mut action: impl FnMut(u64) -> Result<T>,
+) -> (AttemptLog, Option<T>) {
     let mut errors = Vec::new();
     let mut backoff_cycles = 0u64;
     let mut retry_index = 0usize;
     loop {
         match action(retry_index as u64) {
-            Ok(()) => {
-                return AttemptLog {
+            Ok(value) => {
+                let log = AttemptLog {
                     attempts: retry_index + 1,
                     backoff_cycles,
                     errors,
                     result: Ok(()),
-                }
+                };
+                return (log, Some(value));
             }
             Err(e) if e.is_run_fault() && policy.allows_retry(retry_index) => {
                 errors.push(e.to_string());
@@ -145,12 +155,13 @@ pub fn execute_with_retry(
             }
             Err(e) => {
                 errors.push(e.to_string());
-                return AttemptLog {
+                let log = AttemptLog {
                     attempts: retry_index + 1,
                     backoff_cycles,
                     errors,
                     result: Err(e),
                 };
+                return (log, None);
             }
         }
     }
@@ -419,6 +430,24 @@ mod tests {
             Err(run_fault("x"))
         });
         assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn retry_with_value_carries_the_successful_payload() {
+        let policy = RunPolicy::default().retries(2);
+        let (log, value) = execute_with_retry_value(&policy, |attempt| {
+            if attempt == 0 {
+                Err(run_fault("flaky"))
+            } else {
+                Ok(attempt * 10)
+            }
+        });
+        assert!(log.recovered());
+        assert_eq!(value, Some(10));
+
+        let (log, value) = execute_with_retry_value::<u64>(&policy, |_| Err(run_fault("broken")));
+        assert!(log.result.is_err());
+        assert!(value.is_none());
     }
 
     #[test]

@@ -25,6 +25,7 @@ use crate::error::{FexError, Result};
 use crate::resilience::{
     execute_with_retry, AttemptLog, FailureRecord, FailureReport, QuarantineBook, RunOutcome,
 };
+use crate::sched::{execute_units, RunUnit, UnitWork};
 
 /// Shared state handed to runner hooks.
 pub struct RunContext<'a> {
@@ -66,19 +67,22 @@ impl<'a> RunContext<'a> {
         MachineConfig { cores: threads.max(1), seed: self.config.seed, ..MachineConfig::default() }
     }
 
-    /// Machine configuration for a run of `benchmark`: arms the
-    /// experiment's fault plan when it applies (salted with the current
-    /// retry attempt) and applies the resilience policy's per-run
-    /// instruction budget (hang watchdog).
-    pub fn machine_config_for(&self, threads: usize, benchmark: &str) -> MachineConfig {
-        let mut mc = self.machine_config(threads);
-        if let Some(plan) = self.config.fault_plan_for(benchmark) {
-            mc.fault_plan = plan.clone().with_attempt(self.attempt);
-        }
-        if let Some(budget) = self.config.resilience.run_budget {
-            mc.max_instructions = budget;
-        }
-        mc
+    /// Machine configuration for one run unit of `benchmark`: per-unit
+    /// seed derived from the unit's coordinates, the experiment's fault
+    /// plan when it applies (salted with the current retry attempt) and
+    /// the resilience policy's per-run instruction budget (hang
+    /// watchdog). Delegates to
+    /// [`ExperimentConfig::unit_machine_config`], the single source of
+    /// machine configurations for both the sequential and the parallel
+    /// loop.
+    pub fn machine_config_for(
+        &self,
+        ty: &str,
+        benchmark: &str,
+        threads: usize,
+        rep: Option<usize>,
+    ) -> MachineConfig {
+        self.config.unit_machine_config(benchmark, ty, threads, rep, self.attempt)
     }
 }
 
@@ -212,42 +216,7 @@ pub trait Runner {
     /// still abort immediately. Override to change the iteration
     /// structure (as [`VariableInputRunner`] does).
     fn experiment_loop(&mut self, ctx: &mut RunContext<'_>) -> Result<()> {
-        let types = ctx.config.build_types.clone();
-        let threads = ctx.config.threads.clone();
-        let reps = ctx.config.repetitions;
-        let policy = ctx.config.resilience.clone();
-        let mut quarantine = QuarantineBook::new(policy.failure_threshold);
-        for ty in &types {
-            self.per_type_action(ctx, ty)?;
-            'bench: for bench in self.benchmarks(ctx) {
-                if quarantine.is_quarantined(&bench) {
-                    ctx.log(format!("skipping quarantined `{bench}` [{ty}]"));
-                    continue;
-                }
-                let log = execute_with_retry(&policy, |attempt| {
-                    ctx.attempt = attempt;
-                    self.per_benchmark_action(ctx, ty, &bench)
-                });
-                if let Flow::SkipBenchmark = settle(ctx, &mut quarantine, log, ty, &bench, 1, 0)? {
-                    continue 'bench;
-                }
-                for m in &threads {
-                    self.per_thread_action(ctx, ty, &bench, *m)?;
-                    for rep in 0..reps {
-                        let log = execute_with_retry(&policy, |attempt| {
-                            ctx.attempt = attempt;
-                            self.per_run_action(ctx, ty, &bench, *m, rep)
-                        });
-                        if let Flow::SkipBenchmark =
-                            settle(ctx, &mut quarantine, log, ty, &bench, *m, rep)?
-                        {
-                            continue 'bench;
-                        }
-                    }
-                }
-            }
-        }
-        Ok(())
+        fig4_loop(self, ctx)
     }
 
     /// Runs setup + loop and returns the collected frame.
@@ -259,6 +228,47 @@ pub trait Runner {
 
     /// Extracts the result frame after the loop.
     fn take_frame(&mut self) -> DataFrame;
+}
+
+/// The default sequential Fig 4 loop body, shared by the trait default
+/// and by runners that fall back to it at `--jobs 1`.
+fn fig4_loop<R: Runner + ?Sized>(runner: &mut R, ctx: &mut RunContext<'_>) -> Result<()> {
+    let types = ctx.config.build_types.clone();
+    let threads = ctx.config.threads.clone();
+    let reps = ctx.config.repetitions;
+    let policy = ctx.config.resilience.clone();
+    let mut quarantine = QuarantineBook::new(policy.failure_threshold);
+    for ty in &types {
+        runner.per_type_action(ctx, ty)?;
+        'bench: for bench in runner.benchmarks(ctx) {
+            if quarantine.is_quarantined(&bench) {
+                ctx.log(format!("skipping quarantined `{bench}` [{ty}]"));
+                continue;
+            }
+            let log = execute_with_retry(&policy, |attempt| {
+                ctx.attempt = attempt;
+                runner.per_benchmark_action(ctx, ty, &bench)
+            });
+            if let Flow::SkipBenchmark = settle(ctx, &mut quarantine, log, ty, &bench, 1, 0)? {
+                continue 'bench;
+            }
+            for m in &threads {
+                runner.per_thread_action(ctx, ty, &bench, *m)?;
+                for rep in 0..reps {
+                    let log = execute_with_retry(&policy, |attempt| {
+                        ctx.attempt = attempt;
+                        runner.per_run_action(ctx, ty, &bench, *m, rep)
+                    });
+                    if let Flow::SkipBenchmark =
+                        settle(ctx, &mut quarantine, log, ty, &bench, *m, rep)?
+                    {
+                        continue 'bench;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -310,7 +320,7 @@ impl SuiteRunner {
             .get(&(ty.to_string(), bench.to_string()))
             .cloned()
             .ok_or_else(|| FexError::Config(format!("`{bench}` was not built for `{ty}`")))?;
-        let machine = Machine::new(ctx.machine_config_for(threads, bench));
+        let machine = Machine::new(ctx.machine_config_for(ty, bench, threads, rep));
         let run = machine.load(&artifact.program).run_entry(&args).map_err(|source| {
             FexError::Run { benchmark: bench.to_string(), build_type: ty.to_string(), source }
         })?;
@@ -324,6 +334,147 @@ impl SuiteRunner {
                 rep,
                 &run,
             );
+        }
+        Ok(())
+    }
+
+    /// Builds the executable payload of one run unit: the [`Arc`]-shared
+    /// program out of the build cache plus the unit's derived machine
+    /// configuration (attempt 0; the worker re-salts per retry).
+    fn unit_work(
+        &self,
+        ctx: &RunContext<'_>,
+        ty: &str,
+        bench: &str,
+        threads: usize,
+        rep: Option<usize>,
+        input: InputSize,
+    ) -> Result<UnitWork> {
+        let args: Vec<i64> = self.program(bench)?.args(input).to_vec();
+        let artifact = self
+            .artifacts
+            .get(&(ty.to_string(), bench.to_string()))
+            .ok_or_else(|| FexError::Config(format!("`{bench}` was not built for `{ty}`")))?;
+        Ok(UnitWork {
+            program: artifact.program.clone(),
+            args,
+            config: ctx.config.unit_machine_config(bench, ty, threads, rep, 0),
+        })
+    }
+
+    /// The parallel experiment loop (`--jobs N`, N > 1): builds
+    /// everything up front, expands the matrix into [`RunUnit`]s in
+    /// exact sequential order, executes them across the worker pool, and
+    /// merges the outcomes back in matrix order — applying quarantine
+    /// decisions only at merge time, so results, failure records and
+    /// quarantine choices are byte-identical to the sequential loop.
+    ///
+    /// `sizes` adds the [`VariableInputRunner`] input-size dimension
+    /// between benchmark and thread count; `None` runs the plain Fig 4
+    /// matrix.
+    fn parallel_loop(
+        &mut self,
+        ctx: &mut RunContext<'_>,
+        sizes: Option<Vec<InputSize>>,
+    ) -> Result<()> {
+        let types = ctx.config.build_types.clone();
+        let threads = ctx.config.threads.clone();
+        let reps = ctx.config.repetitions;
+        let policy = ctx.config.resilience.clone();
+        let jobs = ctx.config.effective_jobs();
+
+        // Phase 1: builds, front-loaded (each bench × type compiles
+        // exactly once, same logs as the sequential per-type hook).
+        for ty in &types {
+            self.per_type_action(ctx, ty)?;
+        }
+
+        // Phase 2: expand the matrix in sequential order.
+        let size_axis: Vec<Option<InputSize>> = match &sizes {
+            Some(s) => s.iter().copied().map(Some).collect(),
+            None => vec![None],
+        };
+        let mut units: Vec<RunUnit> = Vec::new();
+        for ty in &types {
+            for bench in self.benchmarks(ctx) {
+                let dry_run = self.program(&bench)?.dry_run;
+                units.push(RunUnit {
+                    ty: ty.clone(),
+                    bench: bench.clone(),
+                    threads: 1,
+                    rep: None,
+                    input: input_name(ctx.config.input),
+                    record: false,
+                    line: dry_run.then(|| format!("dry run for `{bench}`")),
+                    work: if dry_run {
+                        Some(self.unit_work(ctx, ty, &bench, 1, None, ctx.config.input)?)
+                    } else {
+                        None
+                    },
+                });
+                for size in &size_axis {
+                    let input = size.unwrap_or(ctx.config.input);
+                    for m in &threads {
+                        for rep in 0..reps {
+                            units.push(RunUnit {
+                                ty: ty.clone(),
+                                bench: bench.clone(),
+                                threads: *m,
+                                rep: Some(rep),
+                                input: input_name(input),
+                                record: true,
+                                line: None,
+                                work: Some(self.unit_work(
+                                    ctx,
+                                    ty,
+                                    &bench,
+                                    *m,
+                                    Some(rep),
+                                    input,
+                                )?),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase 3: speculative parallel execution.
+        ctx.log(format!("scheduler: {} run units across {jobs} workers", units.len()));
+        let outcomes = execute_units(&units, &policy, jobs);
+
+        // Phase 4: deterministic merge — quarantine applied in matrix
+        // order, exactly where the sequential loop would decide it.
+        let mut quarantine = QuarantineBook::new(policy.failure_threshold);
+        for (unit, outcome) in units.iter().zip(outcomes) {
+            if quarantine.is_quarantined(&unit.bench) {
+                // The sequential loop announces the skip once per
+                // (type, benchmark) — at the per-benchmark unit.
+                if !unit.record {
+                    ctx.log(format!("skipping quarantined `{}` [{}]", unit.bench, unit.ty));
+                }
+                continue;
+            }
+            if let Some(line) = &unit.line {
+                ctx.log(line.clone());
+            }
+            let rep = unit.rep.unwrap_or(0);
+            let recorded = unit.record && outcome.result.is_some();
+            // The returned flow is redundant here: skipping is the
+            // quarantine check at the top of this merge loop.
+            settle(ctx, &mut quarantine, outcome.log, &unit.ty, &unit.bench, unit.threads, rep)?;
+            if recorded {
+                let run = outcome.result.expect("checked above");
+                self.collector.record(
+                    self.suite.name,
+                    &unit.bench,
+                    &unit.ty,
+                    unit.threads,
+                    unit.input,
+                    rep,
+                    &run,
+                );
+            }
         }
         Ok(())
     }
@@ -399,6 +550,17 @@ impl Runner for SuiteRunner {
         self.execute(ctx, ty, bench, threads, Some(rep))
     }
 
+    /// Dispatches to the parallel scheduler when more than one worker is
+    /// configured; otherwise runs the sequential Fig 4 loop. Both paths
+    /// produce byte-identical results and failure reports.
+    fn experiment_loop(&mut self, ctx: &mut RunContext<'_>) -> Result<()> {
+        if ctx.config.effective_jobs() > 1 {
+            self.parallel_loop(ctx, None)
+        } else {
+            fig4_loop(self, ctx)
+        }
+    }
+
     fn take_frame(&mut self) -> DataFrame {
         let tool = self.collector.tool();
         std::mem::replace(&mut self.collector, Collector::new(tool)).into_frame()
@@ -449,8 +611,13 @@ impl Runner for VariableInputRunner {
 
     /// The redefined loop: types → benchmarks → **input sizes** → threads
     /// → repetitions, with the same retry/quarantine resilience as the
-    /// default loop.
+    /// default loop. With more than one worker configured, the matrix —
+    /// including the size dimension — goes through the parallel
+    /// scheduler instead.
     fn experiment_loop(&mut self, ctx: &mut RunContext<'_>) -> Result<()> {
+        if ctx.config.effective_jobs() > 1 {
+            return self.inner.parallel_loop(ctx, Some(self.sizes.clone()));
+        }
         let types = ctx.config.build_types.clone();
         let threads = ctx.config.threads.clone();
         let reps = ctx.config.repetitions;
@@ -803,13 +970,17 @@ mod tests {
     #[test]
     fn transient_faults_recover_without_losing_runs() {
         use crate::config::FaultInjection;
+        use crate::resilience::RunPolicy;
         use fex_vm::{FaultKind, FaultPlan};
 
-        // Seed 4 is chosen so the 50% transient trap fires on attempt 0
-        // and spares attempt 1: every run fails once, then recovers.
+        // Each unit rolls its 50% transient trap with its own derived
+        // seed; a generous retry budget makes exhausting all attempts
+        // (probability 2^-11 per unit at seed 4) practically impossible,
+        // so every troubled run recovers.
         let (config, mut build, mut log) = ctx_parts();
-        let config =
-            config.fault(FaultInjection::everywhere(FaultPlan::spurious(0.5, FaultKind::Trap, 4)));
+        let config = config
+            .fault(FaultInjection::everywhere(FaultPlan::spurious(0.5, FaultKind::Trap, 4)))
+            .resilience(RunPolicy::default().retries(10));
         let mut ctx = RunContext::new(&config, &mut build, &mut log);
         let mut runner = SuiteRunner::new(fex_suites::micro(), &config);
         let df = runner.run(&mut ctx).unwrap();
@@ -820,7 +991,7 @@ mod tests {
         assert!(failures.quarantined_benchmarks().is_empty());
         assert!(!failures.records.is_empty());
         assert!(failures.records.iter().all(|r| r.outcome == RunOutcome::Recovered));
-        assert!(failures.records.iter().all(|r| r.attempts == 2));
+        assert!(failures.records.iter().all(|r| r.attempts >= 2));
         assert!(failures.retry_rate() > 0.0);
     }
 
@@ -886,6 +1057,70 @@ mod tests {
         assert_eq!(df.len(), 12);
         assert!(!df.distinct("benchmark").unwrap().contains(&"arrayread".to_string()));
         assert_eq!(ctx.failures.quarantined_benchmarks(), vec!["arrayread"]);
+    }
+
+    fn run_micro_with_jobs(config: &ExperimentConfig) -> (String, String, Vec<String>) {
+        let mut build = BuildSystem::new(MakefileSet::standard());
+        let mut log = Vec::new();
+        let mut ctx = RunContext::new(config, &mut build, &mut log);
+        let mut runner = SuiteRunner::new(fex_suites::micro(), config);
+        let df = runner.run(&mut ctx).unwrap();
+        (df.to_csv(), ctx.failures.to_csv(), log)
+    }
+
+    #[test]
+    fn parallel_loop_matches_sequential_byte_for_byte() {
+        let (config, _, _) = ctx_parts();
+        let config = config.threads(vec![1, 2]);
+        let (seq_csv, seq_failures, _) = run_micro_with_jobs(&config.clone().jobs(1));
+        let (par_csv, par_failures, _) = run_micro_with_jobs(&config.jobs(8));
+        assert_eq!(seq_csv, par_csv);
+        assert_eq!(seq_failures, par_failures);
+    }
+
+    #[test]
+    fn parallel_loop_quarantines_at_merge_identically() {
+        use crate::config::FaultInjection;
+        use fex_vm::{FaultKind, FaultPlan};
+
+        let (config, _, _) = ctx_parts();
+        let config = config.fault(FaultInjection::for_benchmark(
+            "ptrchase",
+            FaultPlan::persistent(FaultKind::Trap),
+        ));
+        let (seq_csv, seq_failures, seq_log) = run_micro_with_jobs(&config.clone().jobs(1));
+        let (par_csv, par_failures, par_log) = run_micro_with_jobs(&config.jobs(4));
+        assert_eq!(seq_csv, par_csv);
+        assert_eq!(seq_failures, par_failures);
+        assert!(par_csv.len() > 100, "surviving benchmarks still produce rows");
+        // Both loops announce the merge-time skip of the second type.
+        for log in [&seq_log, &par_log] {
+            assert!(log
+                .iter()
+                .any(|l| l.contains("skipping quarantined `ptrchase` [clang_native]")));
+        }
+    }
+
+    #[test]
+    fn parallel_variable_input_runner_matches_sequential() {
+        let (config, _, _) = ctx_parts();
+        let config = config.types(vec!["gcc_native"]);
+        let mut outputs = Vec::new();
+        for jobs in [1, 8] {
+            let config = config.clone().jobs(jobs);
+            let mut build = BuildSystem::new(MakefileSet::standard());
+            let mut log = Vec::new();
+            let mut ctx = RunContext::new(&config, &mut build, &mut log);
+            let mut runner = VariableInputRunner::new(
+                fex_suites::micro(),
+                &config,
+                vec![InputSize::Test, InputSize::Small],
+            );
+            let df = runner.run(&mut ctx).unwrap();
+            assert_eq!(df.distinct("input").unwrap(), vec!["test", "small"]);
+            outputs.push((df.to_csv(), ctx.failures.to_csv()));
+        }
+        assert_eq!(outputs[0], outputs[1]);
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! The parallel run-unit scheduler (`--jobs N`).
+//!
+//! The Fig 4 experiment matrix — build type × benchmark × thread count ×
+//! repetition — is embarrassingly parallel once every run unit owns its
+//! randomness: [`ExperimentConfig::unit_seed`](crate::config::ExperimentConfig::unit_seed)
+//! derives the machine and fault seeds from the unit's coordinates, so a
+//! unit's measurement is a pure function of the unit, never of which
+//! worker ran it or when.
+//!
+//! The design keeps determinism by splitting execution from judgement:
+//!
+//! 1. **Expand** — the runner flattens its loop into a [`RunUnit`] list
+//!    in exact matrix (sequential) order. Each unit carries an
+//!    [`Arc`]-shared program out of the build cache (each bench × type
+//!    compiles exactly once) and a fully-derived
+//!    [`MachineConfig`](fex_vm::MachineConfig).
+//! 2. **Execute** — [`execute_units`] dispatches units over a
+//!    self-scheduling worker pool: workers claim the next unclaimed index
+//!    from a shared atomic counter (work stealing degenerates to this
+//!    with a single shared deque), drive the unit through the full
+//!    retry/backoff policy, and post `(index, outcome)` on a channel.
+//! 3. **Merge** — the runner walks the outcomes back in matrix order and
+//!    only *then* applies quarantine: failures count against a benchmark
+//!    in deterministic order, and units of an already-quarantined
+//!    benchmark are dropped at merge time exactly as the sequential loop
+//!    would have skipped them. CSVs and failure reports come out
+//!    byte-identical to a `--jobs 1` run.
+//!
+//! Units a sequential run would never have executed (they fall after a
+//! quarantine decision) *are* speculatively executed here — that is the
+//! cost of parallelism — but their outcomes are discarded at merge, so
+//! the observable artifacts do not change.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+
+use fex_vm::{Machine, MachineConfig, Program, RunResult};
+
+use crate::error::FexError;
+use crate::resilience::{execute_with_retry_value, AttemptLog, RunPolicy};
+
+/// One cell of the experiment matrix, ready to execute.
+#[derive(Debug)]
+pub struct RunUnit {
+    /// Build type of the run.
+    pub ty: String,
+    /// Benchmark name.
+    pub bench: String,
+    /// Thread (core) count.
+    pub threads: usize,
+    /// Repetition index; `None` for per-benchmark units (dry runs).
+    pub rep: Option<usize>,
+    /// Input-size name recorded in the CSV.
+    pub input: &'static str,
+    /// Whether a successful run is recorded in the result frame
+    /// (dry runs execute but never record).
+    pub record: bool,
+    /// Log line replayed at merge time when the unit is reached
+    /// (e.g. `dry run for `wordcount``).
+    pub line: Option<String>,
+    /// The executable work; `None` for bookkeeping-only units, which
+    /// settle as a clean single attempt.
+    pub work: Option<UnitWork>,
+}
+
+/// The executable payload of a [`RunUnit`].
+#[derive(Debug)]
+pub struct UnitWork {
+    /// The compiled program, shared with the build cache.
+    pub program: Arc<Program>,
+    /// Entry arguments for the chosen input size.
+    pub args: Vec<i64>,
+    /// The unit's machine configuration (per-unit seed, armed fault
+    /// plan, run budget), built for attempt 0; workers re-salt the fault
+    /// plan with the retry attempt.
+    pub config: MachineConfig,
+}
+
+/// What executing one [`RunUnit`] produced.
+#[derive(Debug)]
+pub struct UnitOutcome {
+    /// The retry trail, exactly as the sequential loop would have it.
+    pub log: AttemptLog,
+    /// The successful run's measurement (`None` on exhaustion or for
+    /// work-less units).
+    pub result: Option<RunResult>,
+}
+
+/// Executes one unit through the retry policy, on whatever thread called.
+fn run_unit(unit: &RunUnit, policy: &RunPolicy) -> UnitOutcome {
+    let Some(work) = &unit.work else {
+        return UnitOutcome {
+            log: AttemptLog { attempts: 1, backoff_cycles: 0, errors: Vec::new(), result: Ok(()) },
+            result: None,
+        };
+    };
+    let (log, result) =
+        execute_with_retry_value(policy, |attempt| {
+            let mut mc = work.config.clone();
+            mc.fault_plan = mc.fault_plan.clone().with_attempt(attempt);
+            Machine::new(mc).load(&work.program).run_entry(&work.args).map_err(|source| {
+                FexError::Run { benchmark: unit.bench.clone(), build_type: unit.ty.clone(), source }
+            })
+        });
+    UnitOutcome { log, result }
+}
+
+/// Executes every unit and returns the outcomes **in unit order**,
+/// whatever order workers finished in.
+///
+/// `jobs` is clamped to `1..=units.len()`. With one worker the pool is
+/// skipped entirely and units run inline, in order — the `--jobs 1`
+/// fast path. With more, a scoped worker pool self-schedules over a
+/// shared claim counter; outcomes come home over a channel and are
+/// slotted by index.
+pub fn execute_units(units: &[RunUnit], policy: &RunPolicy, jobs: usize) -> Vec<UnitOutcome> {
+    let jobs = jobs.clamp(1, units.len().max(1));
+    if jobs == 1 {
+        return units.iter().map(|u| run_unit(u, policy)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, UnitOutcome)>();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= units.len() {
+                    break;
+                }
+                if tx.send((i, run_unit(&units[i], policy))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<UnitOutcome>> = Vec::new();
+        slots.resize_with(units.len(), || None);
+        for (i, outcome) in rx {
+            slots[i] = Some(outcome);
+        }
+        slots.into_iter().map(|s| s.expect("every unit posts exactly one outcome")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fex_vm::{FaultKind, FaultPlan, Function, Instr, Reg};
+
+    fn tiny_program(fail: bool) -> Arc<Program> {
+        let mut f = Function::new("main", 0);
+        f.reg_count = 2;
+        f.code = if fail {
+            vec![
+                Instr::Imm { dst: Reg(0), val: 1 },
+                Instr::Imm { dst: Reg(1), val: 0 },
+                Instr::Bin { op: fex_vm::BinOp::Div, dst: Reg(0), a: Reg(0), b: Reg(1) },
+                Instr::Ret { src: Some(Reg(0)) },
+            ]
+        } else {
+            vec![Instr::Imm { dst: Reg(0), val: 7 }, Instr::Ret { src: Some(Reg(0)) }]
+        };
+        let mut p = Program::new();
+        p.push_function(f);
+        Arc::new(p)
+    }
+
+    fn unit(bench: &str, rep: usize, fail: bool) -> RunUnit {
+        RunUnit {
+            ty: "gcc_native".into(),
+            bench: bench.into(),
+            threads: 1,
+            rep: Some(rep),
+            input: "test",
+            record: true,
+            line: None,
+            work: Some(UnitWork {
+                program: tiny_program(fail),
+                args: vec![],
+                config: MachineConfig::default(),
+            }),
+        }
+    }
+
+    #[test]
+    fn workless_units_settle_as_one_clean_attempt() {
+        let u = RunUnit { work: None, record: false, ..unit("x", 0, false) };
+        let outcomes = execute_units(&[u], &RunPolicy::default(), 4);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].log.attempts, 1);
+        assert!(outcomes[0].log.result.is_ok());
+        assert!(outcomes[0].result.is_none());
+    }
+
+    #[test]
+    fn outcomes_come_home_in_unit_order_at_any_worker_count() {
+        let units: Vec<RunUnit> = (0..12).map(|i| unit(&format!("b{i}"), i, false)).collect();
+        for jobs in [1, 2, 4, 8, 64] {
+            let outcomes = execute_units(&units, &RunPolicy::default(), jobs);
+            assert_eq!(outcomes.len(), 12);
+            for o in &outcomes {
+                assert!(o.log.result.is_ok());
+                assert_eq!(o.result.as_ref().unwrap().exit, 7);
+            }
+        }
+    }
+
+    #[test]
+    fn failing_units_exhaust_retries_without_poisoning_neighbours() {
+        let units = vec![unit("good", 0, false), unit("bad", 0, true), unit("good", 1, false)];
+        let policy = RunPolicy::default().retries(1);
+        let outcomes = execute_units(&units, &policy, 2);
+        assert!(outcomes[0].log.result.is_ok());
+        assert!(outcomes[1].log.result.is_err());
+        assert_eq!(outcomes[1].log.attempts, 2, "one retry was spent");
+        assert!(outcomes[1].result.is_none());
+        assert!(outcomes[2].log.result.is_ok());
+    }
+
+    #[test]
+    fn injected_faults_resalt_per_attempt_in_the_pool() {
+        // A 100%-rate transient fault trips every attempt; the retry
+        // trail must show the policy's full budget was spent.
+        let mut u = unit("flaky", 0, false);
+        if let Some(w) = &mut u.work {
+            w.config.fault_plan = FaultPlan::spurious(1.0, FaultKind::Trap, 9);
+        }
+        let outcomes = execute_units(&[u], &RunPolicy::default().retries(2), 2);
+        assert!(outcomes[0].log.result.is_err());
+        assert_eq!(outcomes[0].log.attempts, 3);
+        assert_eq!(outcomes[0].log.errors.len(), 3);
+    }
+}

@@ -1,0 +1,443 @@
+//! Pre-decoded program representation: the interpreter's hot-loop format.
+//!
+//! [`decode_program`] lowers a [`Program`] into a dense, index-threaded
+//! form once per load, so the execution loop never re-derives anything
+//! per step:
+//!
+//! * every [`Instr`] becomes a flat [`DecodedInstr`] whose jump targets
+//!   are **validated** (out-of-range labels are a [`DecodeError`], not a
+//!   runtime surprise) and stored as plain indices;
+//! * function bodies are partitioned into **basic blocks** whose static
+//!   instruction count and cycle cost (from the instance's
+//!   [`CostModel`]) are pre-summed, so the interpreter accrues counters
+//!   and checks the instruction budget once per block instead of once
+//!   per instruction.
+//!
+//! Block leaders are: instruction 0, every jump/branch target, and the
+//! instruction after any `Jmp`/`BrZero`/`BrNonZero`/`Ret` (the places
+//! where straight-line execution can end without reaching the next
+//! instruction). `Call`/`CallInd`/`ParFor` do *not* end a block: control
+//! returns to the next instruction, so the whole surrounding block still
+//! executes exactly once per entry and its pre-summed accrual stays
+//! exact. A branch target equal to the code length is legal — it is the
+//! "fall off the end" implicit return.
+
+use crate::bytecode::{
+    BinOp, FBinOp, FCmpOp, FuncId, Function, Instr, Program, Reg, SysCall, UnOp, Width,
+};
+use crate::cost::CostModel;
+
+/// A decoding failure: a control-transfer target outside the function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Name of the offending function.
+    pub function: String,
+    /// Instruction index of the offending jump or branch.
+    pub pc: usize,
+    /// The out-of-range target.
+    pub target: usize,
+    /// The function's code length (targets up to and including this are
+    /// valid).
+    pub len: usize,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "function `{}`: instruction {} targets {}, past the end of its {}-instruction body",
+            self.function, self.pc, self.target, self.len
+        )
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// One instruction in decoded form.
+///
+/// Mirrors [`Instr`] variant-for-variant; the only representational
+/// change is that jump targets are pre-validated `u32` indices. Keeping
+/// the payloads identical makes [`DecodedInstr::undecode`] a total
+/// inverse, which the round-trip tests rely on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodedInstr {
+    /// `dst <- val`
+    Imm { dst: Reg, val: i64 },
+    /// `dst <- val` (float immediate)
+    FImm { dst: Reg, val: f64 },
+    /// `dst <- src`
+    Mov { dst: Reg, src: Reg },
+    /// `dst <- a op b` (integer)
+    Bin { op: BinOp, dst: Reg, a: Reg, b: Reg },
+    /// `dst <- a op b` (float)
+    FBin { op: FBinOp, dst: Reg, a: Reg, b: Reg },
+    /// `dst <- a * b + c`
+    FMulAdd { dst: Reg, a: Reg, b: Reg, c: Reg },
+    /// `dst <- a * b - c`
+    FMulSub { dst: Reg, a: Reg, b: Reg, c: Reg },
+    /// `dst <- c - a * b`
+    FNegMulAdd { dst: Reg, a: Reg, b: Reg, c: Reg },
+    /// `dst <- a cmp b` (float compare, integer result)
+    FCmp { op: FCmpOp, dst: Reg, a: Reg, b: Reg },
+    /// `dst <- op a`
+    Un { op: UnOp, dst: Reg, a: Reg },
+    /// `dst <- mem[addr + off]`
+    Load { dst: Reg, addr: Reg, off: i64, width: Width },
+    /// `mem[addr + off] <- src`
+    Store { src: Reg, addr: Reg, off: i64, width: Width },
+    /// ASan shadow check for `mem[addr + off]`.
+    AsanCheck { addr: Reg, off: i64, width: Width, is_write: bool },
+    /// Unconditional jump to a validated instruction index.
+    Jmp { target: u32 },
+    /// Jump if `cond` is zero.
+    BrZero { cond: Reg, target: u32 },
+    /// Jump if `cond` is nonzero.
+    BrNonZero { cond: Reg, target: u32 },
+    /// Direct call.
+    Call { func: FuncId, args: Vec<Reg>, dst: Option<Reg> },
+    /// Indirect call through a code address in a register.
+    CallInd { addr: Reg, args: Vec<Reg>, dst: Option<Reg> },
+    /// Data-parallel loop.
+    ParFor { func: FuncId, lo: Reg, hi: Reg, args: Vec<Reg> },
+    /// Return.
+    Ret { src: Option<Reg> },
+    /// System call.
+    Syscall { code: SysCall, args: Vec<Reg>, dst: Option<Reg> },
+    /// `dst <- address of stack array slot `index``.
+    FrameAddr { dst: Reg, index: usize },
+    /// `dst <- load-time address of global `index``.
+    GlobalAddr { dst: Reg, index: usize },
+    /// `dst <- load-time address of read-only data at `offset``.
+    RodataAddr { dst: Reg, offset: u64 },
+    /// No operation.
+    Nop,
+}
+
+impl DecodedInstr {
+    /// Reconstructs the original bytecode instruction (exact inverse of
+    /// decoding; used by tests and disassembly tooling).
+    pub fn undecode(&self) -> Instr {
+        match self.clone() {
+            DecodedInstr::Imm { dst, val } => Instr::Imm { dst, val },
+            DecodedInstr::FImm { dst, val } => Instr::FImm { dst, val },
+            DecodedInstr::Mov { dst, src } => Instr::Mov { dst, src },
+            DecodedInstr::Bin { op, dst, a, b } => Instr::Bin { op, dst, a, b },
+            DecodedInstr::FBin { op, dst, a, b } => Instr::FBin { op, dst, a, b },
+            DecodedInstr::FMulAdd { dst, a, b, c } => Instr::FMulAdd { dst, a, b, c },
+            DecodedInstr::FMulSub { dst, a, b, c } => Instr::FMulSub { dst, a, b, c },
+            DecodedInstr::FNegMulAdd { dst, a, b, c } => Instr::FNegMulAdd { dst, a, b, c },
+            DecodedInstr::FCmp { op, dst, a, b } => Instr::FCmp { op, dst, a, b },
+            DecodedInstr::Un { op, dst, a } => Instr::Un { op, dst, a },
+            DecodedInstr::Load { dst, addr, off, width } => Instr::Load { dst, addr, off, width },
+            DecodedInstr::Store { src, addr, off, width } => Instr::Store { src, addr, off, width },
+            DecodedInstr::AsanCheck { addr, off, width, is_write } => {
+                Instr::AsanCheck { addr, off, width, is_write }
+            }
+            DecodedInstr::Jmp { target } => Instr::Jmp { target: target as usize },
+            DecodedInstr::BrZero { cond, target } => {
+                Instr::BrZero { cond, target: target as usize }
+            }
+            DecodedInstr::BrNonZero { cond, target } => {
+                Instr::BrNonZero { cond, target: target as usize }
+            }
+            DecodedInstr::Call { func, args, dst } => Instr::Call { func, args, dst },
+            DecodedInstr::CallInd { addr, args, dst } => Instr::CallInd { addr, args, dst },
+            DecodedInstr::ParFor { func, lo, hi, args } => Instr::ParFor { func, lo, hi, args },
+            DecodedInstr::Ret { src } => Instr::Ret { src },
+            DecodedInstr::Syscall { code, args, dst } => Instr::Syscall { code, args, dst },
+            DecodedInstr::FrameAddr { dst, index } => Instr::FrameAddr { dst, index },
+            DecodedInstr::GlobalAddr { dst, index } => Instr::GlobalAddr { dst, index },
+            DecodedInstr::RodataAddr { dst, offset } => Instr::RodataAddr { dst, offset },
+            DecodedInstr::Nop => Instr::Nop,
+        }
+    }
+}
+
+/// A basic block: a maximal straight-line run of instructions that is
+/// always entered at its first instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Instruction index of the block leader.
+    pub start: u32,
+    /// Number of instructions in the block.
+    pub instrs: u32,
+    /// Pre-summed static cycle cost of the whole block (memory
+    /// instructions contribute only their base cost; cache latency is
+    /// dynamic).
+    pub cycles: u64,
+}
+
+/// One function in hot-loop form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedFunction {
+    /// The decoded instruction stream, same indices as the source.
+    pub code: Vec<DecodedInstr>,
+    /// The basic-block partition of `code`, in `start` order.
+    pub blocks: Vec<BasicBlock>,
+    /// Per-pc accrual `(instructions, cycles)`: the block totals at each
+    /// leader, `(0, 0)` everywhere else. Same length as `code`.
+    pub accrual: Vec<(u32, u64)>,
+}
+
+/// A whole program in hot-loop form; `FuncId(i)` indexes `functions`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedProgram {
+    /// Decoded functions, parallel to [`Program::functions`].
+    pub functions: Vec<DecodedFunction>,
+}
+
+/// Lowers `program` for execution under `cost`.
+///
+/// # Errors
+///
+/// [`DecodeError`] if any jump or branch targets an index strictly
+/// greater than its function's code length (a target *equal* to the
+/// length is the implicit-return exit and is allowed).
+pub fn decode_program(program: &Program, cost: &CostModel) -> Result<DecodedProgram, DecodeError> {
+    let functions = program
+        .functions
+        .iter()
+        .map(|f| decode_function(f, cost))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(DecodedProgram { functions })
+}
+
+fn decode_function(f: &Function, cost: &CostModel) -> Result<DecodedFunction, DecodeError> {
+    let len = f.code.len();
+    // Pass 1: validate targets and mark block leaders.
+    let mut leader = vec![false; len];
+    if len > 0 {
+        leader[0] = true;
+    }
+    for (pc, instr) in f.code.iter().enumerate() {
+        let target = match instr {
+            Instr::Jmp { target }
+            | Instr::BrZero { target, .. }
+            | Instr::BrNonZero { target, .. } => Some(*target),
+            Instr::Ret { .. } => None,
+            _ => continue,
+        };
+        if let Some(t) = target {
+            if t > len {
+                return Err(DecodeError { function: f.name.clone(), pc, target: t, len });
+            }
+            if t < len {
+                leader[t] = true;
+            }
+        }
+        if pc + 1 < len {
+            leader[pc + 1] = true;
+        }
+    }
+
+    // Pass 2: translate instructions and pre-sum block costs.
+    let mut code = Vec::with_capacity(len);
+    let mut blocks: Vec<BasicBlock> = Vec::new();
+    let mut accrual = vec![(0u32, 0u64); len];
+    for (pc, instr) in f.code.iter().enumerate() {
+        if leader[pc] {
+            blocks.push(BasicBlock { start: pc as u32, instrs: 0, cycles: 0 });
+        }
+        let block = blocks.last_mut().expect("pc 0 is always a leader");
+        block.instrs += 1;
+        block.cycles += cost.instr_cycles(instr);
+        code.push(decode_instr(instr));
+    }
+    for b in &blocks {
+        accrual[b.start as usize] = (b.instrs, b.cycles);
+    }
+    Ok(DecodedFunction { code, blocks, accrual })
+}
+
+fn decode_instr(instr: &Instr) -> DecodedInstr {
+    match instr.clone() {
+        Instr::Imm { dst, val } => DecodedInstr::Imm { dst, val },
+        Instr::FImm { dst, val } => DecodedInstr::FImm { dst, val },
+        Instr::Mov { dst, src } => DecodedInstr::Mov { dst, src },
+        Instr::Bin { op, dst, a, b } => DecodedInstr::Bin { op, dst, a, b },
+        Instr::FBin { op, dst, a, b } => DecodedInstr::FBin { op, dst, a, b },
+        Instr::FMulAdd { dst, a, b, c } => DecodedInstr::FMulAdd { dst, a, b, c },
+        Instr::FMulSub { dst, a, b, c } => DecodedInstr::FMulSub { dst, a, b, c },
+        Instr::FNegMulAdd { dst, a, b, c } => DecodedInstr::FNegMulAdd { dst, a, b, c },
+        Instr::FCmp { op, dst, a, b } => DecodedInstr::FCmp { op, dst, a, b },
+        Instr::Un { op, dst, a } => DecodedInstr::Un { op, dst, a },
+        Instr::Load { dst, addr, off, width } => DecodedInstr::Load { dst, addr, off, width },
+        Instr::Store { src, addr, off, width } => DecodedInstr::Store { src, addr, off, width },
+        Instr::AsanCheck { addr, off, width, is_write } => {
+            DecodedInstr::AsanCheck { addr, off, width, is_write }
+        }
+        Instr::Jmp { target } => DecodedInstr::Jmp { target: target as u32 },
+        Instr::BrZero { cond, target } => DecodedInstr::BrZero { cond, target: target as u32 },
+        Instr::BrNonZero { cond, target } => {
+            DecodedInstr::BrNonZero { cond, target: target as u32 }
+        }
+        Instr::Call { func, args, dst } => DecodedInstr::Call { func, args, dst },
+        Instr::CallInd { addr, args, dst } => DecodedInstr::CallInd { addr, args, dst },
+        Instr::ParFor { func, lo, hi, args } => DecodedInstr::ParFor { func, lo, hi, args },
+        Instr::Ret { src } => DecodedInstr::Ret { src },
+        Instr::Syscall { code, args, dst } => DecodedInstr::Syscall { code, args, dst },
+        Instr::FrameAddr { dst, index } => DecodedInstr::FrameAddr { dst, index },
+        Instr::GlobalAddr { dst, index } => DecodedInstr::GlobalAddr { dst, index },
+        Instr::RodataAddr { dst, offset } => DecodedInstr::RodataAddr { dst, offset },
+        Instr::Nop => DecodedInstr::Nop,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn func(code: Vec<Instr>) -> Function {
+        let mut f = Function::new("t", 0);
+        f.reg_count = 8;
+        f.code = code;
+        f
+    }
+
+    /// One instance of every `Instr` variant (targets valid for a body
+    /// of this length).
+    fn every_variant() -> Vec<Instr> {
+        let r = Reg(0);
+        vec![
+            Instr::Imm { dst: r, val: -7 },
+            Instr::FImm { dst: r, val: 2.5 },
+            Instr::Mov { dst: Reg(1), src: r },
+            Instr::Bin { op: BinOp::Xor, dst: r, a: r, b: Reg(1) },
+            Instr::FBin { op: FBinOp::Div, dst: r, a: r, b: Reg(1) },
+            Instr::FMulAdd { dst: r, a: r, b: Reg(1), c: Reg(2) },
+            Instr::FMulSub { dst: r, a: r, b: Reg(1), c: Reg(2) },
+            Instr::FNegMulAdd { dst: r, a: r, b: Reg(1), c: Reg(2) },
+            Instr::FCmp { op: FCmpOp::Le, dst: r, a: r, b: Reg(1) },
+            Instr::Un { op: UnOp::FSqrt, dst: r, a: Reg(1) },
+            Instr::Load { dst: r, addr: Reg(1), off: -8, width: Width::B1 },
+            Instr::Store { src: r, addr: Reg(1), off: 16, width: Width::B8 },
+            Instr::AsanCheck { addr: r, off: 4, width: Width::B8, is_write: true },
+            Instr::Jmp { target: 14 },
+            Instr::BrZero { cond: r, target: 15 },
+            Instr::BrNonZero { cond: r, target: 16 },
+            Instr::Call { func: FuncId(0), args: vec![r, Reg(1)], dst: Some(Reg(2)) },
+            Instr::CallInd { addr: r, args: vec![Reg(1)], dst: None },
+            Instr::ParFor { func: FuncId(0), lo: r, hi: Reg(1), args: vec![Reg(2)] },
+            Instr::Ret { src: Some(r) },
+            Instr::Syscall { code: SysCall::MemCpy, args: vec![r, Reg(1), Reg(2)], dst: Some(r) },
+            Instr::FrameAddr { dst: r, index: 3 },
+            Instr::GlobalAddr { dst: r, index: 5 },
+            Instr::RodataAddr { dst: r, offset: 96 },
+            Instr::Nop,
+        ]
+    }
+
+    #[test]
+    fn every_instr_round_trips_through_the_decoder() {
+        let original = every_variant();
+        let mut p = Program::new();
+        p.push_function(func(original.clone()));
+        let d = decode_program(&p, &CostModel::default()).expect("valid program decodes");
+        let back: Vec<Instr> = d.functions[0].code.iter().map(|i| i.undecode()).collect();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn decoded_semantics_match_the_source_costs() {
+        // Block cycle sums must equal the per-instruction cost model
+        // applied to the source stream, instruction by instruction.
+        let cost = CostModel::default();
+        let original = every_variant();
+        let mut p = Program::new();
+        p.push_function(func(original.clone()));
+        let d = decode_program(&p, &cost).expect("valid program decodes");
+        let f = &d.functions[0];
+        let block_total: u64 = f.blocks.iter().map(|b| b.cycles).sum();
+        let instr_total: u64 = original.iter().map(|i| cost.instr_cycles(i)).sum();
+        assert_eq!(block_total, instr_total);
+        let block_instrs: u64 = f.blocks.iter().map(|b| u64::from(b.instrs)).sum();
+        assert_eq!(block_instrs, original.len() as u64);
+        // Accrual is the block table flattened onto leader pcs.
+        for b in &f.blocks {
+            assert_eq!(f.accrual[b.start as usize], (b.instrs, b.cycles));
+        }
+        let accrued: u32 = f.accrual.iter().map(|(i, _)| i).sum();
+        assert_eq!(u64::from(accrued), block_instrs);
+    }
+
+    #[test]
+    fn straight_line_code_is_one_block() {
+        let cost = CostModel::default();
+        let code = vec![
+            Instr::Imm { dst: Reg(0), val: 1 },
+            Instr::Imm { dst: Reg(1), val: 2 },
+            Instr::Bin { op: BinOp::Add, dst: Reg(2), a: Reg(0), b: Reg(1) },
+            Instr::Ret { src: Some(Reg(2)) },
+        ];
+        let mut p = Program::new();
+        p.push_function(func(code));
+        let d = decode_program(&p, &cost).expect("decodes");
+        let f = &d.functions[0];
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(
+            f.blocks[0],
+            BasicBlock { start: 0, instrs: 4, cycles: cost.alu * 3 + cost.call }
+        );
+    }
+
+    #[test]
+    fn branch_targets_and_fallthroughs_split_blocks() {
+        // 0: imm            <- leader (entry)
+        // 1: imm            <- leader (target of 3's fallthrough? no: of branch)
+        // 2: bin
+        // 3: brnz -> 1      (1 becomes a leader; 4 is the fallthrough leader)
+        // 4: ret            <- leader
+        let code = vec![
+            Instr::Imm { dst: Reg(0), val: 0 },
+            Instr::Imm { dst: Reg(1), val: 1 },
+            Instr::Bin { op: BinOp::Sub, dst: Reg(0), a: Reg(0), b: Reg(1) },
+            Instr::BrNonZero { cond: Reg(0), target: 1 },
+            Instr::Ret { src: None },
+        ];
+        let mut p = Program::new();
+        p.push_function(func(code));
+        let d = decode_program(&p, &CostModel::default()).expect("decodes");
+        let starts: Vec<u32> = d.functions[0].blocks.iter().map(|b| b.start).collect();
+        assert_eq!(starts, vec![0, 1, 4]);
+        // The loop body block covers pcs 1..=3.
+        assert_eq!(d.functions[0].blocks[1].instrs, 3);
+    }
+
+    #[test]
+    fn out_of_range_targets_are_rejected() {
+        for bad in [
+            Instr::Jmp { target: 3 },
+            Instr::BrZero { cond: Reg(0), target: 9 },
+            Instr::BrNonZero { cond: Reg(0), target: 100 },
+        ] {
+            let code = vec![Instr::Imm { dst: Reg(0), val: 0 }, bad.clone()];
+            let mut p = Program::new();
+            p.push_function(func(code));
+            let err = decode_program(&p, &CostModel::default())
+                .expect_err("out-of-range target must be rejected");
+            assert_eq!(err.pc, 1);
+            assert_eq!(err.len, 2);
+            assert!(err.to_string().contains("past the end"), "{err}");
+        }
+    }
+
+    #[test]
+    fn target_equal_to_length_is_the_implicit_return() {
+        // Jumping to `len` falls off the end: legal, and its own exit —
+        // no block accrues for it.
+        let code = vec![Instr::Jmp { target: 1 }];
+        let mut p = Program::new();
+        p.push_function(func(code));
+        let d = decode_program(&p, &CostModel::default()).expect("target == len decodes");
+        assert_eq!(d.functions[0].blocks.len(), 1);
+    }
+
+    #[test]
+    fn empty_functions_decode_to_empty_bodies() {
+        let mut p = Program::new();
+        p.push_function(func(vec![]));
+        let d = decode_program(&p, &CostModel::default()).expect("empty body decodes");
+        assert!(d.functions[0].code.is_empty());
+        assert!(d.functions[0].blocks.is_empty());
+    }
+}

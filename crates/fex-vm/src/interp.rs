@@ -6,13 +6,15 @@
 //! memory, so memory-corrupting programs corrupt *their own* control state
 //! — exactly the behaviour the RIPE reproduction needs.
 
+use std::sync::Arc;
+
 use crate::branch::BranchPredictor;
 use crate::bytecode::{
-    code_addr, decode_code_addr, BinOp, FBinOp, FCmpOp, FuncId, Instr, Program, Reg, SysCall, UnOp,
-    Width,
+    code_addr, decode_code_addr, BinOp, FBinOp, FCmpOp, FuncId, Program, Reg, SysCall, UnOp, Width,
 };
 use crate::cache::{CacheHierarchy, CacheLevel, CacheStats, HitLevel};
 use crate::counters::PerfCounters;
+use crate::decode::{decode_program, DecodedInstr, DecodedProgram};
 use crate::heap::{Heap, HeapStats};
 use crate::machine::{global_offsets, LoadBases, MachineConfig};
 use crate::memory::{layout, Memory, Perm, SegmentKind};
@@ -113,6 +115,11 @@ enum Flow {
 /// per call).
 pub struct Instance<'p> {
     program: &'p Program,
+    /// Hot-loop form of `program`: validated jump targets and pre-summed
+    /// per-block costs (see [`crate::decode`]). Behind an `Arc` so the
+    /// execution loop can hold the instruction stream while `&mut self`
+    /// methods run.
+    decoded: Arc<DecodedProgram>,
     config: MachineConfig,
     mem: Memory,
     shadow: ShadowMemory,
@@ -218,8 +225,13 @@ impl<'p> Instance<'p> {
         let canary = splitmix(&mut seed) as i64 | 0x0100; // never a plausible code addr
         let cores = config.cores;
         let fault = config.fault_plan.decide();
+        let decoded = Arc::new(
+            decode_program(program, &config.cost)
+                .unwrap_or_else(|e| panic!("program does not decode: {e}")),
+        );
         Instance {
             program,
+            decoded,
             config,
             mem,
             shadow,
@@ -559,29 +571,37 @@ impl<'p> Instance<'p> {
     // ------------------------------------------------------------------
 
     fn exec(&mut self, mut frames: Vec<Frame>) -> Result<i64, Trap> {
+        // A second owner of the decoded program, so instruction borrows
+        // stay independent of the `&mut self` the step handlers need.
+        let decoded = Arc::clone(&self.decoded);
         loop {
             let frame = frames.last_mut().expect("exec frame stack never empty");
-            let func = &self.program.functions[frame.func.0 as usize];
-            let Some(instr) = func.code.get(frame.pc) else {
+            let func = &decoded.functions[frame.func.0 as usize];
+            let pc = frame.pc;
+            if pc >= func.code.len() {
                 // Fell off the end: implicit `return 0`.
                 let flow = self.do_ret(&mut frames, None)?;
                 match flow {
                     Flow::Continue => continue,
                     Flow::Exit(v) => return Ok(v),
                 }
-            };
-            let instr: &'p Instr = instr;
-            frame.pc += 1;
-            self.count_instr(1)?;
-            self.charge(self.config.cost.instr_cycles(instr));
-            match self.step(instr, &mut frames)? {
+            }
+            frame.pc = pc + 1;
+            // Entering a basic block: accrue its whole static cost at
+            // once. Non-leader pcs carry a zero accrual.
+            let (instrs, cycles) = func.accrual[pc];
+            if instrs != 0 {
+                self.count_instr(u64::from(instrs))?;
+                self.charge(cycles);
+            }
+            match self.step(&func.code[pc], &mut frames)? {
                 Flow::Continue => {}
                 Flow::Exit(v) => return Ok(v),
             }
         }
     }
 
-    fn step(&mut self, instr: &'p Instr, frames: &mut Vec<Frame>) -> Result<Flow, Trap> {
+    fn step(&mut self, instr: &DecodedInstr, frames: &mut Vec<Frame>) -> Result<Flow, Trap> {
         macro_rules! frame {
             () => {
                 frames.last_mut().expect("frame stack nonempty")
@@ -593,17 +613,17 @@ impl<'p> Instance<'p> {
             };
         }
         match instr {
-            Instr::Imm { dst, val } => r!(dst) = *val,
-            Instr::FImm { dst, val } => r!(dst) = val.to_bits() as i64,
-            Instr::Mov { dst, src } => {
+            DecodedInstr::Imm { dst, val } => r!(dst) = *val,
+            DecodedInstr::FImm { dst, val } => r!(dst) = val.to_bits() as i64,
+            DecodedInstr::Mov { dst, src } => {
                 let v = r!(src);
                 r!(dst) = v;
             }
-            Instr::Bin { op, dst, a, b } => {
+            DecodedInstr::Bin { op, dst, a, b } => {
                 let (x, y) = (r!(a), r!(b));
                 r!(dst) = int_bin(*op, x, y)?;
             }
-            Instr::FBin { op, dst, a, b } => {
+            DecodedInstr::FBin { op, dst, a, b } => {
                 let (x, y) = (f64::from_bits(r!(a) as u64), f64::from_bits(r!(b) as u64));
                 let v = match op {
                     FBinOp::Add => x + y,
@@ -613,7 +633,7 @@ impl<'p> Instance<'p> {
                 };
                 r!(dst) = v.to_bits() as i64;
             }
-            Instr::FMulAdd { dst, a, b, c } => {
+            DecodedInstr::FMulAdd { dst, a, b, c } => {
                 let x = f64::from_bits(r!(a) as u64);
                 let y = f64::from_bits(r!(b) as u64);
                 let z = f64::from_bits(r!(c) as u64);
@@ -624,19 +644,19 @@ impl<'p> Instance<'p> {
                 // instruction instead of mul + add).
                 r!(dst) = (x * y + z).to_bits() as i64;
             }
-            Instr::FMulSub { dst, a, b, c } => {
+            DecodedInstr::FMulSub { dst, a, b, c } => {
                 let x = f64::from_bits(r!(a) as u64);
                 let y = f64::from_bits(r!(b) as u64);
                 let z = f64::from_bits(r!(c) as u64);
                 r!(dst) = (x * y - z).to_bits() as i64;
             }
-            Instr::FNegMulAdd { dst, a, b, c } => {
+            DecodedInstr::FNegMulAdd { dst, a, b, c } => {
                 let x = f64::from_bits(r!(a) as u64);
                 let y = f64::from_bits(r!(b) as u64);
                 let z = f64::from_bits(r!(c) as u64);
                 r!(dst) = (z - x * y).to_bits() as i64;
             }
-            Instr::FCmp { op, dst, a, b } => {
+            DecodedInstr::FCmp { op, dst, a, b } => {
                 let (x, y) = (f64::from_bits(r!(a) as u64), f64::from_bits(r!(b) as u64));
                 let v = match op {
                     FCmpOp::Eq => x == y,
@@ -648,21 +668,21 @@ impl<'p> Instance<'p> {
                 };
                 r!(dst) = v as i64;
             }
-            Instr::Un { op, dst, a } => {
+            DecodedInstr::Un { op, dst, a } => {
                 let x = r!(a);
                 r!(dst) = un_op(*op, x);
             }
-            Instr::Load { dst, addr, off, width } => {
+            DecodedInstr::Load { dst, addr, off, width } => {
                 let a = (r!(addr)).wrapping_add(*off) as u64;
                 let v = self.mem_load(a, *width)?;
                 r!(dst) = v;
             }
-            Instr::Store { src, addr, off, width } => {
+            DecodedInstr::Store { src, addr, off, width } => {
                 let a = (r!(addr)).wrapping_add(*off) as u64;
                 let v = r!(src);
                 self.mem_store(a, v, *width)?;
             }
-            Instr::AsanCheck { addr, off, width, is_write } => {
+            DecodedInstr::AsanCheck { addr, off, width, is_write } => {
                 let a = (r!(addr)).wrapping_add(*off) as u64;
                 // The check is ~3 dynamic instructions in real ASan.
                 self.count_instr(2)?;
@@ -677,64 +697,64 @@ impl<'p> Instance<'p> {
                     });
                 }
             }
-            Instr::Jmp { target } => frame!().pc = *target,
-            Instr::BrZero { cond, target } => {
+            DecodedInstr::Jmp { target } => frame!().pc = *target as usize,
+            DecodedInstr::BrZero { cond, target } => {
                 let taken = r!(cond) == 0;
                 self.observe_branch(frames, taken);
                 if taken {
-                    frame!().pc = *target;
+                    frame!().pc = *target as usize;
                 }
             }
-            Instr::BrNonZero { cond, target } => {
+            DecodedInstr::BrNonZero { cond, target } => {
                 let taken = r!(cond) != 0;
                 self.observe_branch(frames, taken);
                 if taken {
-                    frame!().pc = *target;
+                    frame!().pc = *target as usize;
                 }
             }
-            Instr::Call { func, args, dst } => {
+            DecodedInstr::Call { func, args, dst } => {
                 let argv: Vec<i64> = args.iter().map(|a| r!(a)).collect();
                 let caller = frame!().func;
                 let ret_pc = frame!().pc;
                 let new = self.push_frame(*func, &argv, *dst, code_addr(caller, ret_pc))?;
                 frames.push(new);
             }
-            Instr::CallInd { addr, args, dst } => {
+            DecodedInstr::CallInd { addr, args, dst } => {
                 let target = r!(addr);
                 let argv: Vec<i64> = args.iter().map(|a| r!(a)).collect();
                 let caller = frame!().func;
                 let ret_pc = frame!().pc;
                 return self.transfer_to(target, &argv, *dst, code_addr(caller, ret_pc), frames);
             }
-            Instr::ParFor { func, lo, hi, args } => {
+            DecodedInstr::ParFor { func, lo, hi, args } => {
                 let (lo, hi) = (r!(lo), r!(hi));
                 let argv: Vec<i64> = args.iter().map(|a| r!(a)).collect();
                 self.par_for(*func, lo, hi, &argv)?;
             }
-            Instr::Ret { src } => {
+            DecodedInstr::Ret { src } => {
                 let v = src.map(|s| r!(s));
                 return self.do_ret(frames, v);
             }
-            Instr::Syscall { code, args, dst } => {
+            DecodedInstr::Syscall { code, args, dst } => {
                 let argv: Vec<i64> = args.iter().map(|a| r!(a)).collect();
                 let out = self.syscall(*code, &argv)?;
                 if let (Some(d), Some(v)) = (dst, out) {
                     r!(d) = v;
                 }
             }
-            Instr::FrameAddr { dst, index } => {
+            DecodedInstr::FrameAddr { dst, index } => {
                 let a = frame!().slot_addrs[*index];
                 r!(dst) = a as i64;
             }
-            Instr::GlobalAddr { dst, index } => {
+            DecodedInstr::GlobalAddr { dst, index } => {
                 let a = self.global_addrs[*index];
                 r!(dst) = a as i64;
             }
-            Instr::RodataAddr { dst, offset } => {
+            DecodedInstr::RodataAddr { dst, offset } => {
                 let a = self.bases.rodata + offset;
                 r!(dst) = a as i64;
             }
-            Instr::Nop => {}
+            DecodedInstr::Nop => {}
         }
         Ok(Flow::Continue)
     }
@@ -1125,7 +1145,7 @@ fn un_op(op: UnOp, x: i64) -> i64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bytecode::{Function, GlobalDef, StackSlot};
+    use crate::bytecode::{Function, GlobalDef, Instr, StackSlot};
     use crate::machine::Machine;
 
     fn machine() -> Machine {

@@ -46,6 +46,7 @@ mod bytecode;
 mod cache;
 mod cost;
 mod counters;
+mod decode;
 mod fault;
 mod heap;
 mod interp;
@@ -63,6 +64,9 @@ pub use bytecode::{
 pub use cache::{Cache, CacheConfig, CacheHierarchy, CacheLevel, CacheStats, HitLevel};
 pub use cost::CostModel;
 pub use counters::PerfCounters;
+pub use decode::{
+    decode_program, BasicBlock, DecodeError, DecodedFunction, DecodedInstr, DecodedProgram,
+};
 pub use fault::{FaultDecision, FaultKind, FaultPlan, FaultSite};
 pub use heap::{Heap, HeapStats};
 pub use interp::{AttackEvent, Instance, RunResult, SHELLCODE};

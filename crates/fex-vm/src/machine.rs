@@ -151,12 +151,19 @@ impl Machine {
     }
 
     /// Loads `program` into a fresh instance (memory initialised, shadow
-    /// poisoned, caches cold).
+    /// poisoned, caches cold). Loading also pre-decodes the program into
+    /// its hot-loop form (see [`crate::decode_program`]).
     ///
     /// # Errors
     ///
     /// Returns [`VmError::NoEntry`] only from [`Instance::run_entry`]; the
     /// load itself cannot fail for well-formed programs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program contains a jump or branch past the end of
+    /// its function (compiler-emitted code never does; hand-assembled
+    /// programs can pre-validate with [`crate::decode_program`]).
     pub fn load<'p>(&self, program: &'p Program) -> Instance<'p> {
         Instance::new(program, self.config.clone())
     }

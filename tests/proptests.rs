@@ -530,6 +530,71 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Scheduler: a parallel run must be observationally identical to a
+// sequential one — same results CSV, same failures CSV, byte for byte —
+// because every run unit derives its seeds from its own coordinates and
+// quarantine is decided at merge time in matrix order.
+// ---------------------------------------------------------------------
+
+fn run_micro_with_failures(config: &fex_core::ExperimentConfig) -> (String, String) {
+    use fex_core::build::{BuildSystem, MakefileSet};
+    use fex_core::runner::{RunContext, Runner, SuiteRunner};
+
+    let mut build = BuildSystem::new(MakefileSet::standard());
+    let mut log = Vec::new();
+    let mut ctx = RunContext::new(config, &mut build, &mut log);
+    let mut runner = SuiteRunner::new(fex_suites::micro(), config);
+    let df = runner.run(&mut ctx).unwrap();
+    (df.to_csv(), ctx.failures.to_csv())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// `--jobs 8` produces byte-identical results and failures CSVs to
+    /// `--jobs 1`, with and without fault injection, whatever the
+    /// transient-fault rate, seed and retry budget.
+    #[test]
+    fn parallel_runs_are_byte_identical_to_sequential(
+        types_pick in 0usize..3,
+        reps in 1usize..3,
+        inject in 0usize..2,
+        rate in 0.0f64..0.8,
+        fault_seed in 0u64..1000,
+        retries in 0usize..4,
+        experiment_seed in 0u64..1000,
+    ) {
+        use fex_core::config::FaultInjection;
+        use fex_core::{ExperimentConfig, RunPolicy};
+        use fex_suites::InputSize;
+        use fex_vm::{FaultKind, FaultPlan};
+
+        let types = match types_pick {
+            0 => vec!["gcc_native"],
+            1 => vec!["clang_native"],
+            _ => vec!["gcc_native", "clang_native"],
+        };
+        let mut base = ExperimentConfig::new("micro")
+            .types(types)
+            .input(InputSize::Test)
+            .repetitions(reps)
+            .resilience(RunPolicy::default().retries(retries));
+        base.seed = experiment_seed;
+        if inject == 1 {
+            base = base.fault(FaultInjection::everywhere(FaultPlan::spurious(
+                rate,
+                FaultKind::Trap,
+                fault_seed,
+            )));
+        }
+        let (seq_csv, seq_failures) = run_micro_with_failures(&base.clone().jobs(1));
+        let (par_csv, par_failures) = run_micro_with_failures(&base.jobs(8));
+        prop_assert_eq!(seq_csv, par_csv);
+        prop_assert_eq!(seq_failures, par_failures);
+    }
+}
+
 #[derive(Debug, Clone)]
 enum CellSeed {
     Str(String),
