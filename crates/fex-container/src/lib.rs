@@ -36,7 +36,7 @@ mod image;
 mod registry;
 
 pub use container::{Container, ContainerError, InstallEvent};
-pub use digest::{digest_bytes, Digest};
+pub use digest::{digest_bytes, Digest, DigestBuilder};
 pub use fs::{FileSystem, Layer};
 pub use image::{Image, ImageBuilder};
 pub use registry::{Package, PackageRegistry};

@@ -20,7 +20,8 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use fex_cc::{BackendProfile, BuildOptions};
-use fex_vm::Program;
+use fex_container::{Digest, DigestBuilder};
+use fex_vm::{decode_program_with, CostModel, DecodedProgram, Program};
 
 use crate::error::{FexError, Result};
 
@@ -179,6 +180,13 @@ impl MakefileSet {
 pub struct Artifact {
     /// The executable program.
     pub program: Arc<Program>,
+    /// Hot-loop (decoded) form of `program`, produced once at build time
+    /// under the default cost model and shared by every run unit that
+    /// executes this artifact — the decoded-artifact cache.
+    pub decoded: Arc<DecodedProgram>,
+    /// Content digest of (benchmark, source, resolved compiler options,
+    /// fusion setting): the cache key.
+    pub digest: Digest,
     /// Benchmark name.
     pub benchmark: String,
     /// Build type name.
@@ -191,14 +199,26 @@ pub struct Artifact {
 #[derive(Debug)]
 pub struct BuildSystem {
     makefiles: MakefileSet,
-    cache: HashMap<(String, String, bool), Artifact>,
+    /// Content-keyed cache: the [`Digest`] is computed from borrowed
+    /// inputs (no per-lookup allocation) and entries are `Arc`-shared,
+    /// so a hit costs a hash and a refcount bump.
+    cache: HashMap<Digest, Arc<Artifact>>,
     builds_performed: usize,
+    decodes_performed: usize,
+    /// Whether artifacts are decoded with superinstruction fusion.
+    fusion: bool,
 }
 
 impl BuildSystem {
     /// Creates a build system over a makefile set.
     pub fn new(makefiles: MakefileSet) -> Self {
-        BuildSystem { makefiles, cache: HashMap::new(), builds_performed: 0 }
+        BuildSystem {
+            makefiles,
+            cache: HashMap::new(),
+            builds_performed: 0,
+            decodes_performed: 0,
+            fusion: true,
+        }
     }
 
     /// The makefile layers (for registration of new types).
@@ -216,11 +236,36 @@ impl BuildSystem {
         self.builds_performed
     }
 
+    /// Number of decode passes performed; every run unit beyond this
+    /// count was served from the decoded-artifact cache.
+    pub fn decodes_performed(&self) -> usize {
+        self.decodes_performed
+    }
+
+    /// Sets whether artifacts are decoded with superinstruction fusion
+    /// (`--no-fusion`). Fusion is part of the cache key, so flipping it
+    /// can never serve a stale decoded form.
+    pub fn set_fusion(&mut self, fusion: bool) {
+        self.fusion = fusion;
+    }
+
     /// Drops all cached binaries — the paper rebuilds everything at the
     /// start of each experiment "otherwise a mix of old and new
     /// compilation flags and/or libraries could skew the results".
     pub fn clean(&mut self) {
         self.cache.clear();
+    }
+
+    /// The content digest an artifact build would be cached under.
+    /// Computed entirely from borrowed inputs — no per-lookup allocation.
+    fn artifact_digest(benchmark: &str, source: &str, opts: &BuildOptions, fusion: bool) -> Digest {
+        DigestBuilder::new()
+            .update_str(benchmark)
+            .update_str(source)
+            .update_str(opts.backend.name)
+            .update_str(opts.backend.version)
+            .update(&[opts.opt_level, u8::from(opts.asan), u8::from(opts.debug), u8::from(fusion)])
+            .finish()
     }
 
     /// Builds `source` as `benchmark` with the given type. With
@@ -238,27 +283,35 @@ impl BuildSystem {
         type_name: &str,
         debug: bool,
         no_build: bool,
-    ) -> Result<Artifact> {
-        let key = (benchmark.to_string(), type_name.to_string(), debug);
+    ) -> Result<Arc<Artifact>> {
+        let opts = self.makefiles.build_options(type_name, debug)?;
+        let digest = Self::artifact_digest(benchmark, source, &opts, self.fusion);
         if no_build {
-            if let Some(a) = self.cache.get(&key) {
-                return Ok(a.clone());
+            if let Some(a) = self.cache.get(&digest) {
+                return Ok(Arc::clone(a));
             }
         }
-        let opts = self.makefiles.build_options(type_name, debug)?;
         let program = fex_cc::compile(source, &opts).map_err(|source| FexError::Build {
             benchmark: benchmark.to_string(),
             build_type: type_name.to_string(),
             source,
         })?;
         self.builds_performed += 1;
-        let artifact = Artifact {
+        // Decode once, at build time, under the default cost model — the
+        // one every experiment-loop machine runs with. A machine whose
+        // config diverges falls back to a fresh decode at load.
+        let decoded = decode_program_with(&program, &CostModel::default(), self.fusion)
+            .unwrap_or_else(|e| panic!("compiler emitted an undecodable program: {e}"));
+        self.decodes_performed += 1;
+        let artifact = Arc::new(Artifact {
             program: Arc::new(program),
+            decoded: Arc::new(decoded),
+            digest,
             benchmark: benchmark.to_string(),
             build_type: type_name.to_string(),
             build_info: opts.build_info(),
-        };
-        self.cache.insert(key, artifact.clone());
+        });
+        self.cache.insert(digest, Arc::clone(&artifact));
         Ok(artifact)
     }
 }
@@ -332,6 +385,28 @@ mod tests {
         b.clean();
         b.build("t", src, "gcc_native", false, true).unwrap();
         assert_eq!(b.builds_performed(), 3, "cache cleaned, must rebuild");
+    }
+
+    #[test]
+    fn decoded_artifacts_are_arc_shared_and_counted() {
+        let mut b = BuildSystem::new(MakefileSet::standard());
+        let src = "fn main() -> int { return 1; }";
+        let a = b.build("t", src, "gcc_native", false, false).unwrap();
+        assert_eq!(b.decodes_performed(), 1);
+        assert!(a.decoded.fused);
+        let cached = b.build("t", src, "gcc_native", false, true).unwrap();
+        assert!(Arc::ptr_eq(&a, &cached), "--no-build returns the shared entry");
+        assert_eq!(b.decodes_performed(), 1, "no re-decode on a cache hit");
+        // Source, build type and fusion setting all key the cache.
+        let other =
+            b.build("t", "fn main() -> int { return 2; }", "gcc_native", false, false).unwrap();
+        assert_ne!(a.digest, other.digest);
+        let clang = b.build("t", src, "clang_native", false, false).unwrap();
+        assert_ne!(a.digest, clang.digest);
+        b.set_fusion(false);
+        let unfused = b.build("t", src, "gcc_native", false, false).unwrap();
+        assert_ne!(a.digest, unfused.digest);
+        assert!(!unfused.decoded.fused);
     }
 
     #[test]

@@ -68,6 +68,11 @@ run options:
   --no-build     reuse cached binaries
   --jobs <n>     parallel run-unit workers; 0 = auto
                  (default: available cores, capped at 16)
+
+debug escape hatches (measured results are identical either way):
+  --no-fusion        disable VM superinstruction fusion
+  --no-mru           disable the cache simulator's MRU fast path
+  --no-decode-cache  re-decode programs on every run unit
 ";
 
 /// Parses `args` (without the program name).
@@ -187,6 +192,9 @@ pub fn parse(args: &[String]) -> Result<Action> {
                             .parse()
                             .map_err(|_| FexError::Config(format!("bad job count `{v}`")))?;
                     }
+                    "--no-fusion" => cfg.fusion = false,
+                    "--no-mru" => cfg.mru_fast_path = false,
+                    "--no-decode-cache" => cfg.decode_cache = false,
                     other => return Err(FexError::Config(format!("unknown run flag `{other}`"))),
                 }
             }
@@ -271,7 +279,7 @@ mod tests {
     #[test]
     fn parses_all_run_flags() {
         let Action::Run(cfg) = parse(&argv(
-            "run -n phoenix -t gcc_native gcc_asan -b histogram -m 1 2 4 -r 10 -i test -v -d --no-build --tool time --jobs 4",
+            "run -n phoenix -t gcc_native gcc_asan -b histogram -m 1 2 4 -r 10 -i test -v -d --no-build --tool time --jobs 4 --no-fusion --no-mru --no-decode-cache",
         ))
         .unwrap() else {
             panic!("expected run");
@@ -282,6 +290,15 @@ mod tests {
         assert!(cfg.verbose && cfg.debug && cfg.no_build);
         assert_eq!(cfg.tool, MeasureTool::Time);
         assert_eq!(cfg.jobs, 4);
+        assert!(!cfg.fusion && !cfg.mru_fast_path && !cfg.decode_cache);
+    }
+
+    #[test]
+    fn hot_path_optimisations_are_on_by_default() {
+        let Action::Run(cfg) = parse(&argv("run -n micro")).unwrap() else {
+            panic!("expected run");
+        };
+        assert!(cfg.fusion && cfg.mru_fast_path && cfg.decode_cache);
     }
 
     #[test]

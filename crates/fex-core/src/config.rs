@@ -75,6 +75,15 @@ pub struct ExperimentConfig {
     /// Worker threads for the run-unit scheduler (`--jobs`); `0` means
     /// auto — available parallelism capped at [`MAX_AUTO_JOBS`].
     pub jobs: usize,
+    /// Superinstruction fusion in the VM's decoded stream
+    /// (`--no-fusion` clears it; measured results are identical).
+    pub fusion: bool,
+    /// MRU line fast path in the cache simulator (`--no-mru` clears it;
+    /// measured results are identical).
+    pub mru_fast_path: bool,
+    /// Share each artifact's decoded form across all its run units
+    /// (`--no-decode-cache` clears it; measured results are identical).
+    pub decode_cache: bool,
 }
 
 impl ExperimentConfig {
@@ -95,6 +104,9 @@ impl ExperimentConfig {
             fault: None,
             resilience: RunPolicy::default(),
             jobs: 0,
+            fusion: true,
+            mru_fast_path: true,
+            decode_cache: true,
         }
     }
 
@@ -152,6 +164,25 @@ impl ExperimentConfig {
         self
     }
 
+    /// Enables or disables superinstruction fusion (`--no-fusion`).
+    pub fn fusion(mut self, on: bool) -> Self {
+        self.fusion = on;
+        self
+    }
+
+    /// Enables or disables the MRU cache fast path (`--no-mru`).
+    pub fn mru(mut self, on: bool) -> Self {
+        self.mru_fast_path = on;
+        self
+    }
+
+    /// Enables or disables the decoded-artifact cache
+    /// (`--no-decode-cache`).
+    pub fn decode_cache(mut self, on: bool) -> Self {
+        self.decode_cache = on;
+        self
+    }
+
     /// The worker count the scheduler actually uses: the configured
     /// `--jobs` value, or (when 0/auto) the host's available parallelism
     /// capped at [`MAX_AUTO_JOBS`].
@@ -206,7 +237,13 @@ impl ExperimentConfig {
         attempt: u64,
     ) -> MachineConfig {
         let seed = self.unit_seed(bench, ty, threads, rep);
-        let mut mc = MachineConfig { cores: threads.max(1), seed, ..MachineConfig::default() };
+        let mut mc = MachineConfig {
+            cores: threads.max(1),
+            seed,
+            fusion: self.fusion,
+            mru_fast_path: self.mru_fast_path,
+            ..MachineConfig::default()
+        };
         if let Some(plan) = self.fault_plan_for(bench) {
             let mut plan = plan.clone();
             plan.seed ^= seed;

@@ -10,6 +10,7 @@
 //! the throughput-latency and RIPE experiments.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use fex_cc::BuildOptions;
 use fex_netsim::{ServerBuild, ServerKind, Simulation, Workload};
@@ -64,7 +65,13 @@ impl<'a> RunContext<'a> {
 
     /// Machine configuration for a run with the given thread count.
     pub fn machine_config(&self, threads: usize) -> MachineConfig {
-        MachineConfig { cores: threads.max(1), seed: self.config.seed, ..MachineConfig::default() }
+        MachineConfig {
+            cores: threads.max(1),
+            seed: self.config.seed,
+            fusion: self.config.fusion,
+            mru_fast_path: self.config.mru_fast_path,
+            ..MachineConfig::default()
+        }
     }
 
     /// Machine configuration for one run unit of `benchmark`: per-unit
@@ -279,7 +286,7 @@ fn fig4_loop<R: Runner + ?Sized>(runner: &mut R, ctx: &mut RunContext<'_>) -> Re
 pub struct SuiteRunner {
     suite: Suite,
     collector: Collector,
-    artifacts: HashMap<(String, String), Artifact>,
+    artifacts: HashMap<(String, String), Arc<Artifact>>,
     input_override: Option<InputSize>,
 }
 
@@ -321,8 +328,15 @@ impl SuiteRunner {
             .cloned()
             .ok_or_else(|| FexError::Config(format!("`{bench}` was not built for `{ty}`")))?;
         let machine = Machine::new(ctx.machine_config_for(ty, bench, threads, rep));
-        let run = machine.load(&artifact.program).run_entry(&args).map_err(|source| {
-            FexError::Run { benchmark: bench.to_string(), build_type: ty.to_string(), source }
+        let mut instance = if ctx.config.decode_cache {
+            machine.load_with(&artifact.program, &artifact.decoded)
+        } else {
+            machine.load(&artifact.program)
+        };
+        let run = instance.run_entry(&args).map_err(|source| FexError::Run {
+            benchmark: bench.to_string(),
+            build_type: ty.to_string(),
+            source,
         })?;
         if let Some(rep) = rep {
             self.collector.record(
@@ -357,6 +371,7 @@ impl SuiteRunner {
             .ok_or_else(|| FexError::Config(format!("`{bench}` was not built for `{ty}`")))?;
         Ok(UnitWork {
             program: artifact.program.clone(),
+            decoded: ctx.config.decode_cache.then(|| artifact.decoded.clone()),
             args,
             config: ctx.config.unit_machine_config(bench, ty, threads, rep, 0),
         })
@@ -442,6 +457,17 @@ impl SuiteRunner {
         // Phase 3: speculative parallel execution.
         ctx.log(format!("scheduler: {} run units across {jobs} workers", units.len()));
         let outcomes = execute_units(&units, &policy, jobs);
+        let served =
+            units.iter().filter(|u| u.work.as_ref().is_some_and(|w| w.decoded.is_some())).count();
+        if served > 0 {
+            let decodes = ctx.build.decodes_performed();
+            let reuses = served.saturating_sub(decodes);
+            ctx.log(format!(
+                "decoded-artifact cache: {decodes} decodes served {served} run units \
+                 ({reuses} reuses, {:.1}% hit rate)",
+                100.0 * reuses as f64 / served as f64
+            ));
+        }
 
         // Phase 4: deterministic merge — quarantine applied in matrix
         // order, exactly where the sequential loop would decide it.
@@ -496,6 +522,9 @@ impl Runner for SuiteRunner {
         if !ctx.config.no_build {
             ctx.build.clean();
         }
+        // Artifacts must be decoded the way this experiment's machines
+        // will run them, or every load falls back to a fresh decode.
+        ctx.build.set_fusion(ctx.config.fusion);
         ctx.log(format!("experiment `{}` setup complete", self.suite.name));
         Ok(())
     }

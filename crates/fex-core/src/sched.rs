@@ -34,7 +34,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 
-use fex_vm::{Machine, MachineConfig, Program, RunResult};
+use fex_vm::{DecodedProgram, Machine, MachineConfig, Program, RunResult};
 
 use crate::error::FexError;
 use crate::resilience::{execute_with_retry_value, AttemptLog, RunPolicy};
@@ -68,6 +68,10 @@ pub struct RunUnit {
 pub struct UnitWork {
     /// The compiled program, shared with the build cache.
     pub program: Arc<Program>,
+    /// Pre-decoded form of `program` out of the decoded-artifact cache,
+    /// shared lock-free across workers; `None` (the `--no-decode-cache`
+    /// escape hatch) makes every load decode afresh.
+    pub decoded: Option<Arc<DecodedProgram>>,
     /// Entry arguments for the chosen input size.
     pub args: Vec<i64>,
     /// The unit's machine configuration (per-unit seed, armed fault
@@ -94,14 +98,20 @@ fn run_unit(unit: &RunUnit, policy: &RunPolicy) -> UnitOutcome {
             result: None,
         };
     };
-    let (log, result) =
-        execute_with_retry_value(policy, |attempt| {
-            let mut mc = work.config.clone();
-            mc.fault_plan = mc.fault_plan.clone().with_attempt(attempt);
-            Machine::new(mc).load(&work.program).run_entry(&work.args).map_err(|source| {
-                FexError::Run { benchmark: unit.bench.clone(), build_type: unit.ty.clone(), source }
-            })
-        });
+    let (log, result) = execute_with_retry_value(policy, |attempt| {
+        let mut mc = work.config.clone();
+        mc.fault_plan = mc.fault_plan.clone().with_attempt(attempt);
+        let machine = Machine::new(mc);
+        let mut instance = match &work.decoded {
+            Some(d) => machine.load_with(&work.program, d),
+            None => machine.load(&work.program),
+        };
+        instance.run_entry(&work.args).map_err(|source| FexError::Run {
+            benchmark: unit.bench.clone(),
+            build_type: unit.ty.clone(),
+            source,
+        })
+    });
     UnitOutcome { log, result }
 }
 
@@ -178,6 +188,7 @@ mod tests {
             line: None,
             work: Some(UnitWork {
                 program: tiny_program(fail),
+                decoded: None,
                 args: vec![],
                 config: MachineConfig::default(),
             }),

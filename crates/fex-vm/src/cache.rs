@@ -79,14 +79,39 @@ impl CacheStats {
     }
 }
 
+/// Sentinel marking an invalid (never filled or flushed) cache way. No
+/// real line can carry it: a tag is `addr / line`, and an address high
+/// enough to produce `u64::MAX` is not representable.
+const INVALID_TAG: u64 = u64::MAX;
+
 /// One set-associative cache with LRU replacement.
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    /// `sets × ways` tags; `None` = invalid line. Per set, index 0 is the
-    /// most recently used way.
-    sets: Vec<Vec<Option<u64>>>,
+    /// `config.ways`, pre-widened for slice indexing.
+    ways: usize,
+    /// `config.sets()`, precomputed so the hot lookup never divides to
+    /// re-derive the geometry.
+    sets_count: u64,
+    /// `log2(line)` when the line size is a power of two (it always is
+    /// for realistic geometries): tag extraction becomes a shift.
+    line_shift: Option<u32>,
+    /// `sets - 1` when the set count is a power of two: set selection
+    /// becomes a mask.
+    set_mask: Option<u64>,
+    /// `sets × ways` tags in one flat row-major allocation;
+    /// [`INVALID_TAG`] = invalid line. Within each set's row, index 0 is
+    /// the most recently used way.
+    tags: Vec<u64>,
     stats: CacheStats,
+    /// Tag of the most recently accessed line, if any. Because *every*
+    /// access updates this memo, the memoized line is always the last
+    /// line touched in its own set too, i.e. it sits at way 0: re-touching
+    /// it cannot change LRU order, so the set walk can be skipped.
+    mru: Option<u64>,
+    /// Whether the MRU memo short-circuit is taken (`--no-mru` disables
+    /// it for debugging; results are identical either way).
+    fast_path: bool,
 }
 
 impl Cache {
@@ -96,11 +121,27 @@ impl Cache {
             config.size.is_multiple_of(config.ways * config.line),
             "size must be sets*ways*line"
         );
-        let sets = config.sets() as usize;
+        let sets_count = config.sets();
+        let ways = config.ways as usize;
         Cache {
             config,
-            sets: vec![vec![None; config.ways as usize]; sets],
+            ways,
+            sets_count,
+            line_shift: config.line.is_power_of_two().then(|| config.line.trailing_zeros()),
+            set_mask: sets_count.is_power_of_two().then(|| sets_count - 1),
+            tags: vec![INVALID_TAG; sets_count as usize * ways],
             stats: CacheStats::default(),
+            mru: None,
+            fast_path: true,
+        }
+    }
+
+    /// Enables or disables the MRU fast path. Disabling also drops the
+    /// memo so the slow path is exercised from the next access on.
+    pub fn set_fast_path(&mut self, on: bool) {
+        self.fast_path = on;
+        if !on {
+            self.mru = None;
         }
     }
 
@@ -117,18 +158,33 @@ impl Cache {
     /// Looks up `addr`; on miss the line is filled. Returns `true` on hit.
     pub fn access(&mut self, addr: u64) -> bool {
         self.stats.accesses += 1;
-        let tag = addr / self.config.line;
-        let set_idx = (tag % self.config.sets()) as usize;
-        let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|t| *t == Some(tag)) {
-            // Move to MRU position.
-            let t = set.remove(pos);
-            set.insert(0, t);
+        let tag = match self.line_shift {
+            Some(s) => addr >> s,
+            None => addr / self.config.line,
+        };
+        if self.fast_path && self.mru == Some(tag) {
+            // The memoized line is already at way 0 of its set; moving it
+            // to the MRU position would be a no-op. Identical stats, no walk.
             self.stats.hits += 1;
+            return true;
+        }
+        let set_idx = match self.set_mask {
+            Some(m) => (tag & m) as usize,
+            None => (tag % self.sets_count) as usize,
+        };
+        let base = set_idx * self.ways;
+        let set = &mut self.tags[base..base + self.ways];
+        if let Some(pos) = set.iter().position(|t| *t == tag) {
+            // Move to MRU position, preserving the order of the rest.
+            set[..=pos].rotate_right(1);
+            self.stats.hits += 1;
+            self.mru = Some(tag);
             true
         } else {
-            set.pop();
-            set.insert(0, Some(tag));
+            // Evict the LRU way: shift everything down, fill way 0.
+            set.rotate_right(1);
+            set[0] = tag;
+            self.mru = Some(tag);
             false
         }
     }
@@ -136,11 +192,8 @@ impl Cache {
     /// Invalidates all lines and keeps statistics (used between parfor
     /// chunks to model cold per-core caches).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            for way in set.iter_mut() {
-                *way = None;
-            }
-        }
+        self.tags.fill(INVALID_TAG);
+        self.mru = None;
     }
 
     /// Resets statistics to zero.
@@ -228,6 +281,14 @@ impl CacheHierarchy {
         self.l1[core].flush();
         self.l2[core].flush();
     }
+
+    /// Enables or disables the MRU fast path on every level.
+    pub fn set_fast_path(&mut self, on: bool) {
+        for c in self.l1.iter_mut().chain(self.l2.iter_mut()) {
+            c.set_fast_path(on);
+        }
+        self.llc.set_fast_path(on);
+    }
 }
 
 fn sum_stats(caches: &[Cache]) -> CacheStats {
@@ -305,6 +366,63 @@ mod tests {
         assert_eq!(h.stats(CacheLevel::L1).accesses, 2);
         assert_eq!(h.stats(CacheLevel::Llc).accesses, 2);
         assert_eq!(h.stats(CacheLevel::Llc).hits, 1);
+    }
+
+    /// A pseudo-random but deterministic address stream with enough
+    /// locality to exercise both the MRU memo and the set walk.
+    fn address_stream(n: usize) -> Vec<u64> {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut addrs = Vec::with_capacity(n);
+        let mut last = 0u64;
+        for i in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // Every other access re-touches the previous line (the MRU
+            // case); the rest jump within a 16 KiB window.
+            last = if i % 2 == 1 { last } else { (state >> 33) % (16 * 1024) };
+            addrs.push(last);
+        }
+        addrs
+    }
+
+    #[test]
+    fn mru_fast_path_is_observationally_identical() {
+        let mut fast = tiny();
+        let mut slow = tiny();
+        slow.set_fast_path(false);
+        for a in address_stream(4096) {
+            assert_eq!(fast.access(a), slow.access(a), "hit/miss diverged at addr {a}");
+        }
+        assert_eq!(fast.stats(), slow.stats());
+        // The internal line state must match too: drain both caches with
+        // a fresh probe pass and compare every outcome.
+        fast.set_fast_path(false);
+        for a in (0..4096).step_by(64) {
+            assert_eq!(fast.access(a), slow.access(a), "line state diverged at addr {a}");
+        }
+    }
+
+    #[test]
+    fn mru_hierarchy_matches_slow_hierarchy() {
+        let mut fast = CacheHierarchy::with_defaults(2);
+        let mut slow = CacheHierarchy::with_defaults(2);
+        slow.set_fast_path(false);
+        for (i, a) in address_stream(4096).into_iter().enumerate() {
+            let core = i % 2;
+            assert_eq!(fast.access(core, a), slow.access(core, a));
+        }
+        for lvl in [CacheLevel::L1, CacheLevel::L2, CacheLevel::Llc] {
+            assert_eq!(fast.stats(lvl), slow.stats(lvl));
+        }
+    }
+
+    #[test]
+    fn flush_drops_the_mru_memo() {
+        let mut c = tiny();
+        c.access(0);
+        assert!(c.access(0), "second touch is the memoized hit");
+        c.flush();
+        // A stale memo would report a hit on invalidated lines.
+        assert!(!c.access(0), "flushed line must miss");
     }
 
     #[test]

@@ -21,6 +21,49 @@
 //! executes exactly once per entry and its pre-summed accrual stays
 //! exact. A branch target equal to the code length is legal — it is the
 //! "fall off the end" implicit return.
+//!
+//! # Superinstruction fusion
+//!
+//! After translation, a peephole pass fuses the dominant dispatch pairs
+//! into single fused variants: integer compare + conditional branch
+//! ([`DecodedInstr::CmpBr`]), load + integer binop
+//! ([`DecodedInstr::LoadBin`]), integer binop + store of its result
+//! ([`DecodedInstr::BinStore`]), integer binop + backedge jump
+//! ([`DecodedInstr::BinJmp`]), integer binop + load
+//! ([`DecodedInstr::BinLoad`]), integer binop + register copy
+//! ([`DecodedInstr::BinMov`]), back-to-back integer binops
+//! ([`DecodedInstr::BinBin`]), ASan shadow check + the guarded
+//! access ([`DecodedInstr::ChkLoad`]/[`DecodedInstr::ChkStore`]),
+//! register copy + unconditional jump ([`DecodedInstr::MovJmp`]), and
+//! one three-wide window — integer binop + register copy + jump
+//! ([`DecodedInstr::BinMovJmp`]), the canonical loop latch.
+//! Fusion is a pure dispatch-count optimisation — measured numbers
+//! cannot change:
+//!
+//! * instruction and cycle accrual stays pre-summed **from the source
+//!   stream per basic block**, so counters, the instruction budget and
+//!   fault-injection trigger points see both constituents exactly as
+//!   before;
+//! * the fused variant carries every constituent's payload and lives at
+//!   the first constituent's index; each later constituent keeps its
+//!   ordinary decoded form at its own index as a *shadow slot* (`pc +
+//!   1`, and `pc + 2` for the three-wide window). The fused handler
+//!   steps over them (or branches away), and no control flow can enter
+//!   one: fusion never crosses a block-leader boundary, and calls —
+//!   whose return lands at `call_pc + 1` — are never a constituent;
+//! * [`DecodedInstr::undecode`] of a fused variant reconstructs the
+//!   first constituent, and each shadow slot undecodes to its own
+//!   constituent, so per-index round-tripping still holds for the whole
+//!   body.
+//!
+//! Only trap-free integer binops (everything but `Div`/`Rem`) are fused
+//! as the *first* half of `CmpBr`/`BinJmp`/`BinMovJmp`, keeping "an
+//! earlier constituent cannot fail after a control transfer was
+//! dispatched" trivially true (`Mov` cannot trap at all); every other
+//! fused window executes its constituents strictly in program order
+//! inside one handler, so trap order and register/memory aliasing
+//! (including `store.addr == bin.dst`, `load.addr == bin.dst` and
+//! `mov.src == bin.dst`) are preserved exactly.
 
 use crate::bytecode::{
     BinOp, FBinOp, FCmpOp, FuncId, Function, Instr, Program, Reg, SysCall, UnOp, Width,
@@ -111,11 +154,49 @@ pub enum DecodedInstr {
     RodataAddr { dst: Reg, offset: u64 },
     /// No operation.
     Nop,
+    /// Fused `Bin` + `BrZero`/`BrNonZero` on the binop's result
+    /// (`neg` = true for `BrZero`). `site` is the original branch's
+    /// instruction index — the branch-predictor key must stay the
+    /// unfused branch pc, not the fused slot.
+    CmpBr { op: BinOp, dst: Reg, a: Reg, b: Reg, neg: bool, target: u32, site: u32 },
+    /// Fused `Load` into `ld` + integer `Bin` reading `ld`.
+    LoadBin { ld: Reg, addr: Reg, off: i64, width: Width, op: BinOp, dst: Reg, a: Reg, b: Reg },
+    /// Fused integer `Bin` + `Store` of its result (`store.src == dst`).
+    BinStore { op: BinOp, dst: Reg, a: Reg, b: Reg, addr: Reg, off: i64, width: Width },
+    /// Fused integer `Bin` + backedge `Jmp`.
+    BinJmp { op: BinOp, dst: Reg, a: Reg, b: Reg, target: u32 },
+    /// Fused integer `Bin` + `Load` (address-chain pattern: the load's
+    /// address register is usually the binop's destination).
+    BinLoad { op: BinOp, dst: Reg, a: Reg, b: Reg, ld: Reg, addr: Reg, off: i64, width: Width },
+    /// Fused integer `Bin` + `Mov` (the compiler's `tmp = a op b;
+    /// x = tmp` copy-back pattern).
+    BinMov { op: BinOp, dst: Reg, a: Reg, b: Reg, mdst: Reg, msrc: Reg },
+    /// Fused integer `Bin` + integer `Bin` (straight-line ALU chains).
+    BinBin { op1: BinOp, dst1: Reg, a1: Reg, b1: Reg, op2: BinOp, dst2: Reg, a2: Reg, b2: Reg },
+    /// Fused `AsanCheck` + the `Load` it guards (same address operands
+    /// by construction of the instrumentation pass).
+    ChkLoad { dst: Reg, addr: Reg, off: i64, width: Width },
+    /// Fused `AsanCheck` + the `Store` it guards (same address operands
+    /// by construction of the instrumentation pass).
+    ChkStore { src: Reg, addr: Reg, off: i64, width: Width },
+    /// Fused `Mov` + `Jmp` (a copy feeding an unconditional exit from a
+    /// diamond arm; `Mov` cannot trap, so any target is safe).
+    MovJmp { dst: Reg, src: Reg, target: u32 },
+    /// Fused three-wide `Bin` + `Mov` + `Jmp`: the canonical loop latch
+    /// (`tmp = i + 1; i = tmp; jmp header`) or a diamond arm's exit.
+    /// Two shadow slots follow.
+    BinMovJmp { op: BinOp, dst: Reg, a: Reg, b: Reg, mdst: Reg, msrc: Reg, target: u32 },
 }
 
 impl DecodedInstr {
     /// Reconstructs the original bytecode instruction (exact inverse of
     /// decoding; used by tests and disassembly tooling).
+    ///
+    /// A fused variant reconstructs its **first** constituent; the
+    /// second constituent is still present, unfused, in the shadow slot
+    /// at the following index — so mapping `undecode` over a decoded
+    /// body reproduces the source stream index for index even with
+    /// fusion enabled.
     pub fn undecode(&self) -> Instr {
         match self.clone() {
             DecodedInstr::Imm { dst, val } => Instr::Imm { dst, val },
@@ -149,6 +230,25 @@ impl DecodedInstr {
             DecodedInstr::GlobalAddr { dst, index } => Instr::GlobalAddr { dst, index },
             DecodedInstr::RodataAddr { dst, offset } => Instr::RodataAddr { dst, offset },
             DecodedInstr::Nop => Instr::Nop,
+            DecodedInstr::CmpBr { op, dst, a, b, .. } => Instr::Bin { op, dst, a, b },
+            DecodedInstr::LoadBin { ld, addr, off, width, .. } => {
+                Instr::Load { dst: ld, addr, off, width }
+            }
+            DecodedInstr::BinStore { op, dst, a, b, .. } => Instr::Bin { op, dst, a, b },
+            DecodedInstr::BinJmp { op, dst, a, b, .. } => Instr::Bin { op, dst, a, b },
+            DecodedInstr::BinLoad { op, dst, a, b, .. } => Instr::Bin { op, dst, a, b },
+            DecodedInstr::BinMov { op, dst, a, b, .. } => Instr::Bin { op, dst, a, b },
+            DecodedInstr::BinBin { op1, dst1, a1, b1, .. } => {
+                Instr::Bin { op: op1, dst: dst1, a: a1, b: b1 }
+            }
+            DecodedInstr::ChkLoad { addr, off, width, .. } => {
+                Instr::AsanCheck { addr, off, width, is_write: false }
+            }
+            DecodedInstr::ChkStore { addr, off, width, .. } => {
+                Instr::AsanCheck { addr, off, width, is_write: true }
+            }
+            DecodedInstr::MovJmp { dst, src, .. } => Instr::Mov { dst, src },
+            DecodedInstr::BinMovJmp { op, dst, a, b, .. } => Instr::Bin { op, dst, a, b },
         }
     }
 }
@@ -184,9 +284,16 @@ pub struct DecodedFunction {
 pub struct DecodedProgram {
     /// Decoded functions, parallel to [`Program::functions`].
     pub functions: Vec<DecodedFunction>,
+    /// The cost model the block accrual was pre-summed under. A cached
+    /// decoded program is only reusable by an instance whose config
+    /// carries the same model.
+    pub cost: CostModel,
+    /// Whether superinstruction fusion ran over the bodies.
+    pub fused: bool,
 }
 
-/// Lowers `program` for execution under `cost`.
+/// Lowers `program` for execution under `cost`, with superinstruction
+/// fusion enabled (the standard pipeline).
 ///
 /// # Errors
 ///
@@ -194,15 +301,34 @@ pub struct DecodedProgram {
 /// greater than its function's code length (a target *equal* to the
 /// length is the implicit-return exit and is allowed).
 pub fn decode_program(program: &Program, cost: &CostModel) -> Result<DecodedProgram, DecodeError> {
+    decode_program_with(program, cost, true)
+}
+
+/// Lowers `program` for execution under `cost`, fusing superinstructions
+/// only when `fusion` is set (`--no-fusion` is the debug escape hatch;
+/// measured results are identical either way).
+///
+/// # Errors
+///
+/// [`DecodeError`] under the same conditions as [`decode_program`].
+pub fn decode_program_with(
+    program: &Program,
+    cost: &CostModel,
+    fusion: bool,
+) -> Result<DecodedProgram, DecodeError> {
     let functions = program
         .functions
         .iter()
-        .map(|f| decode_function(f, cost))
+        .map(|f| decode_function(f, cost, fusion))
         .collect::<Result<Vec<_>, _>>()?;
-    Ok(DecodedProgram { functions })
+    Ok(DecodedProgram { functions, cost: *cost, fused: fusion })
 }
 
-fn decode_function(f: &Function, cost: &CostModel) -> Result<DecodedFunction, DecodeError> {
+fn decode_function(
+    f: &Function,
+    cost: &CostModel,
+    fusion: bool,
+) -> Result<DecodedFunction, DecodeError> {
     let len = f.code.len();
     // Pass 1: validate targets and mark block leaders.
     let mut leader = vec![false; len];
@@ -246,7 +372,151 @@ fn decode_function(f: &Function, cost: &CostModel) -> Result<DecodedFunction, De
     for b in &blocks {
         accrual[b.start as usize] = (b.instrs, b.cycles);
     }
+    if fusion {
+        fuse_superinstructions(&mut code, &f.code, &leader);
+    }
     Ok(DecodedFunction { code, blocks, accrual })
+}
+
+/// The peephole fusion pass: greedy, left to right, non-overlapping.
+///
+/// A pair `(pc, pc + 1)` fuses only when `pc + 1` is *not* a block
+/// leader — then the only way to reach `pc + 1` is falling through from
+/// `pc`, so replacing the pair's dispatch with one fused handler (which
+/// leaves the second constituent behind as a never-executed shadow slot)
+/// is invisible to control flow, counters and fault sites alike. A
+/// three-wide window (same non-leader condition on both followers) is
+/// tried before the pair, so the loop latch collapses to one dispatch.
+fn fuse_superinstructions(code: &mut [DecodedInstr], src: &[Instr], leader: &[bool]) {
+    let mut pc = 0;
+    while pc + 1 < src.len() {
+        if leader[pc + 1] {
+            pc += 1;
+            continue;
+        }
+        if pc + 2 < src.len() && !leader[pc + 2] {
+            if let Some(fused) = fuse_triple(&src[pc], &src[pc + 1], &src[pc + 2]) {
+                code[pc] = fused;
+                // Neither shadow slot can begin another window.
+                pc += 3;
+                continue;
+            }
+        }
+        if let Some(fused) = fuse_pair(&src[pc], &src[pc + 1], pc) {
+            code[pc] = fused;
+            // The shadow slot cannot begin another pair.
+            pc += 2;
+        } else {
+            pc += 1;
+        }
+    }
+}
+
+/// Three-wide fusion: `tmp = i op k; i = tmp; jmp target` — the
+/// canonical loop latch when the jump is a backedge, a diamond arm's
+/// exit when it is forward. The binop must be trap-free because the
+/// handler ends in a control transfer (`Mov` cannot trap at all).
+fn fuse_triple(first: &Instr, second: &Instr, third: &Instr) -> Option<DecodedInstr> {
+    match (first, second, third) {
+        (
+            &Instr::Bin { op, dst, a, b },
+            &Instr::Mov { dst: mdst, src: msrc },
+            &Instr::Jmp { target },
+        ) if trap_free(op) => {
+            Some(DecodedInstr::BinMovJmp { op, dst, a, b, mdst, msrc, target: target as u32 })
+        }
+        _ => None,
+    }
+}
+
+/// Integer binops that cannot trap (everything but `Div`/`Rem`): safe as
+/// the first half of a fused pair whose second half transfers control.
+fn trap_free(op: BinOp) -> bool {
+    !matches!(op, BinOp::Div | BinOp::Rem)
+}
+
+fn fuse_pair(first: &Instr, second: &Instr, pc: usize) -> Option<DecodedInstr> {
+    match (first, second) {
+        // Compare (or any trap-free binop) + conditional branch on its
+        // result: the dominant loop-header pattern.
+        (&Instr::Bin { op, dst, a, b }, &Instr::BrZero { cond, target })
+            if cond == dst && trap_free(op) =>
+        {
+            Some(DecodedInstr::CmpBr {
+                op,
+                dst,
+                a,
+                b,
+                neg: true,
+                target: target as u32,
+                site: (pc + 1) as u32,
+            })
+        }
+        (&Instr::Bin { op, dst, a, b }, &Instr::BrNonZero { cond, target })
+            if cond == dst && trap_free(op) =>
+        {
+            Some(DecodedInstr::CmpBr {
+                op,
+                dst,
+                a,
+                b,
+                neg: false,
+                target: target as u32,
+                site: (pc + 1) as u32,
+            })
+        }
+        // Load + integer binop (usually consuming the loaded value).
+        (&Instr::Load { dst: ld, addr, off, width }, &Instr::Bin { op, dst, a, b }) => {
+            Some(DecodedInstr::LoadBin { ld, addr, off, width, op, dst, a, b })
+        }
+        // Binop + store of its result.
+        (&Instr::Bin { op, dst, a, b }, &Instr::Store { src, addr, off, width }) if src == dst => {
+            Some(DecodedInstr::BinStore { op, dst, a, b, addr, off, width })
+        }
+        // Increment (or any trap-free binop) + backedge jump: the
+        // loop-latch pattern.
+        (&Instr::Bin { op, dst, a, b }, &Instr::Jmp { target })
+            if target <= pc && trap_free(op) =>
+        {
+            Some(DecodedInstr::BinJmp { op, dst, a, b, target: target as u32 })
+        }
+        // Binop + load: the array address-chain pattern
+        // (`addr = base + i*8; v = mem[addr]`).
+        (&Instr::Bin { op, dst, a, b }, &Instr::Load { dst: ld, addr, off, width }) => {
+            Some(DecodedInstr::BinLoad { op, dst, a, b, ld, addr, off, width })
+        }
+        // Binop + register copy (usually of its result).
+        (&Instr::Bin { op, dst, a, b }, &Instr::Mov { dst: mdst, src: msrc }) => {
+            Some(DecodedInstr::BinMov { op, dst, a, b, mdst, msrc })
+        }
+        // Register copy + unconditional jump (a diamond arm's exit; the
+        // copy cannot trap, so any target is safe).
+        (&Instr::Mov { dst, src }, &Instr::Jmp { target }) => {
+            Some(DecodedInstr::MovJmp { dst, src, target: target as u32 })
+        }
+        // Binop + binop: straight-line ALU chains.
+        (
+            &Instr::Bin { op: op1, dst: dst1, a: a1, b: b1 },
+            &Instr::Bin { op: op2, dst: dst2, a: a2, b: b2 },
+        ) => Some(DecodedInstr::BinBin { op1, dst1, a1, b1, op2, dst2, a2, b2 }),
+        // ASan shadow check + the access it guards: the instrumented
+        // memory-access pattern. The check never writes a register, so
+        // the shared address operands evaluate identically in both
+        // halves; fusing only when they match keeps that trivially true.
+        (
+            &Instr::AsanCheck { addr: caddr, off: coff, width: cwidth, is_write: false },
+            &Instr::Load { dst, addr, off, width },
+        ) if caddr == addr && coff == off && cwidth == width => {
+            Some(DecodedInstr::ChkLoad { dst, addr, off, width })
+        }
+        (
+            &Instr::AsanCheck { addr: caddr, off: coff, width: cwidth, is_write: true },
+            &Instr::Store { src, addr, off, width },
+        ) if caddr == addr && coff == off && cwidth == width => {
+            Some(DecodedInstr::ChkStore { src, addr, off, width })
+        }
+        _ => None,
+    }
 }
 
 fn decode_instr(instr: &Instr) -> DecodedInstr {
@@ -439,5 +709,197 @@ mod tests {
         let d = decode_program(&p, &CostModel::default()).expect("empty body decodes");
         assert!(d.functions[0].code.is_empty());
         assert!(d.functions[0].blocks.is_empty());
+    }
+
+    /// A body exercising all four fusion patterns:
+    /// load+bin, bin+store, bin+jmp-backedge, cmp+branch.
+    fn fusable_code() -> Vec<Instr> {
+        vec![
+            Instr::Imm { dst: Reg(1), val: 0 },
+            Instr::Load { dst: Reg(2), addr: Reg(1), off: 0, width: Width::B8 },
+            Instr::Bin { op: BinOp::Add, dst: Reg(3), a: Reg(2), b: Reg(0) },
+            Instr::Bin { op: BinOp::Add, dst: Reg(4), a: Reg(3), b: Reg(0) },
+            Instr::Store { src: Reg(4), addr: Reg(1), off: 8, width: Width::B8 },
+            Instr::Bin { op: BinOp::Add, dst: Reg(0), a: Reg(0), b: Reg(1) },
+            Instr::Jmp { target: 1 },
+            Instr::Bin { op: BinOp::Lt, dst: Reg(5), a: Reg(0), b: Reg(1) },
+            Instr::BrZero { cond: Reg(5), target: 10 },
+            Instr::Nop,
+            Instr::Ret { src: None },
+        ]
+    }
+
+    #[test]
+    fn all_four_fusion_patterns_fire() {
+        let original = fusable_code();
+        let mut p = Program::new();
+        p.push_function(func(original.clone()));
+        let d = decode_program(&p, &CostModel::default()).expect("decodes");
+        assert!(d.fused);
+        assert_eq!(d.cost, CostModel::default());
+        let code = &d.functions[0].code;
+        assert!(matches!(code[1], DecodedInstr::LoadBin { .. }), "{:?}", code[1]);
+        assert!(matches!(code[3], DecodedInstr::BinStore { .. }), "{:?}", code[3]);
+        assert!(matches!(code[5], DecodedInstr::BinJmp { target: 1, .. }), "{:?}", code[5]);
+        assert!(
+            matches!(code[7], DecodedInstr::CmpBr { neg: true, target: 10, site: 8, .. }),
+            "{:?}",
+            code[7]
+        );
+        // Shadow slots keep the ordinary decoded second constituent, so
+        // the whole body still round-trips index for index.
+        let back: Vec<Instr> = code.iter().map(|i| i.undecode()).collect();
+        assert_eq!(back, original);
+        // Block accrual is computed from the source stream and must be
+        // untouched by fusion.
+        let unfused = decode_program_with(&p, &CostModel::default(), false).expect("decodes");
+        assert_eq!(d.functions[0].blocks, unfused.functions[0].blocks);
+        assert_eq!(d.functions[0].accrual, unfused.functions[0].accrual);
+    }
+
+    #[test]
+    fn fusion_off_produces_no_fused_variants() {
+        let mut p = Program::new();
+        p.push_function(func(fusable_code()));
+        let d = decode_program_with(&p, &CostModel::default(), false).expect("decodes");
+        assert!(!d.fused);
+        let fused = |i: &DecodedInstr| {
+            matches!(
+                i,
+                DecodedInstr::CmpBr { .. }
+                    | DecodedInstr::LoadBin { .. }
+                    | DecodedInstr::BinStore { .. }
+                    | DecodedInstr::BinJmp { .. }
+                    | DecodedInstr::BinLoad { .. }
+                    | DecodedInstr::BinMov { .. }
+                    | DecodedInstr::BinBin { .. }
+                    | DecodedInstr::ChkLoad { .. }
+                    | DecodedInstr::ChkStore { .. }
+                    | DecodedInstr::MovJmp { .. }
+                    | DecodedInstr::BinMovJmp { .. }
+            )
+        };
+        assert!(!d.functions[0].code.iter().any(fused));
+    }
+
+    #[test]
+    fn extended_fusion_patterns_fire() {
+        // bin+load (address chain), bin+mov (copy-back), bin+bin (ALU
+        // chain, both halves may trap — in-order execution keeps the
+        // trap order exact).
+        let original = vec![
+            Instr::Bin { op: BinOp::Add, dst: Reg(1), a: Reg(0), b: Reg(2) },
+            Instr::Load { dst: Reg(3), addr: Reg(1), off: 0, width: Width::B8 },
+            Instr::Bin { op: BinOp::Mul, dst: Reg(4), a: Reg(3), b: Reg(3) },
+            Instr::Mov { dst: Reg(5), src: Reg(4) },
+            Instr::Bin { op: BinOp::Div, dst: Reg(6), a: Reg(5), b: Reg(2) },
+            Instr::Bin { op: BinOp::Rem, dst: Reg(7), a: Reg(6), b: Reg(2) },
+            Instr::Ret { src: Some(Reg(7)) },
+        ];
+        let mut p = Program::new();
+        p.push_function(func(original.clone()));
+        let d = decode_program(&p, &CostModel::default()).expect("decodes");
+        let code = &d.functions[0].code;
+        assert!(matches!(code[0], DecodedInstr::BinLoad { .. }), "{:?}", code[0]);
+        assert!(matches!(code[2], DecodedInstr::BinMov { .. }), "{:?}", code[2]);
+        assert!(matches!(code[4], DecodedInstr::BinBin { .. }), "{:?}", code[4]);
+        // Shadow slots still make the body round-trip index for index.
+        let back: Vec<Instr> = code.iter().map(|i| i.undecode()).collect();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn loop_latches_fuse_three_wide() {
+        // The canonical latch `tmp = i + 1; i = tmp; jmp header` becomes
+        // one BinMovJmp with two shadow slots; a bare `mov; jmp` pair
+        // (no preceding binop) becomes MovJmp; a latch whose binop may
+        // trap keeps the control transfer out of the fused window.
+        let original = vec![
+            Instr::Imm { dst: Reg(1), val: 0 },
+            Instr::Bin { op: BinOp::Add, dst: Reg(2), a: Reg(1), b: Reg(0) },
+            Instr::Mov { dst: Reg(1), src: Reg(2) },
+            Instr::Jmp { target: 1 },
+            Instr::Mov { dst: Reg(3), src: Reg(1) },
+            Instr::Jmp { target: 8 },
+            Instr::Bin { op: BinOp::Div, dst: Reg(4), a: Reg(1), b: Reg(0) },
+            Instr::Mov { dst: Reg(5), src: Reg(4) },
+            Instr::Jmp { target: 6 },
+            Instr::Ret { src: None },
+        ];
+        let mut p = Program::new();
+        p.push_function(func(original.clone()));
+        let d = decode_program(&p, &CostModel::default()).expect("decodes");
+        let code = &d.functions[0].code;
+        assert!(matches!(code[1], DecodedInstr::BinMovJmp { target: 1, .. }), "{:?}", code[1]);
+        // Both shadow slots keep their ordinary decoded forms.
+        assert!(matches!(code[2], DecodedInstr::Mov { .. }), "{:?}", code[2]);
+        assert!(matches!(code[3], DecodedInstr::Jmp { .. }), "{:?}", code[3]);
+        assert!(matches!(code[4], DecodedInstr::MovJmp { target: 8, .. }), "{:?}", code[4]);
+        // Div may trap: the triple must not fire, but the trap-order-
+        // preserving BinMov pair still can; the jump stays unfused.
+        assert!(matches!(code[6], DecodedInstr::BinMov { .. }), "{:?}", code[6]);
+        assert!(matches!(code[8], DecodedInstr::Jmp { .. }), "{:?}", code[8]);
+        let back: Vec<Instr> = code.iter().map(|i| i.undecode()).collect();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn asan_checks_fuse_with_the_access_they_guard() {
+        let original = vec![
+            Instr::AsanCheck { addr: Reg(1), off: 8, width: Width::B8, is_write: false },
+            Instr::Load { dst: Reg(2), addr: Reg(1), off: 8, width: Width::B8 },
+            Instr::AsanCheck { addr: Reg(3), off: 0, width: Width::B1, is_write: true },
+            Instr::Store { src: Reg(2), addr: Reg(3), off: 0, width: Width::B1 },
+            // Mismatched address operands must not fuse: this check does
+            // not guard the access that follows it.
+            Instr::AsanCheck { addr: Reg(1), off: 0, width: Width::B8, is_write: false },
+            Instr::Load { dst: Reg(4), addr: Reg(5), off: 0, width: Width::B8 },
+            Instr::Ret { src: None },
+        ];
+        let mut p = Program::new();
+        p.push_function(func(original.clone()));
+        let d = decode_program(&p, &CostModel::default()).expect("decodes");
+        let code = &d.functions[0].code;
+        assert!(matches!(code[0], DecodedInstr::ChkLoad { .. }), "{:?}", code[0]);
+        assert!(matches!(code[2], DecodedInstr::ChkStore { .. }), "{:?}", code[2]);
+        assert!(matches!(code[4], DecodedInstr::AsanCheck { .. }), "{:?}", code[4]);
+        let back: Vec<Instr> = code.iter().map(|i| i.undecode()).collect();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn fusion_never_crosses_a_block_leader() {
+        // The BrZero at 2 is itself a branch target: entering it directly
+        // must not land inside a fused pair, so the pair (1, 2) stays
+        // unfused.
+        let code = vec![
+            Instr::Jmp { target: 2 },
+            Instr::Bin { op: BinOp::Lt, dst: Reg(2), a: Reg(0), b: Reg(1) },
+            Instr::BrZero { cond: Reg(2), target: 1 },
+            Instr::Ret { src: None },
+        ];
+        let mut p = Program::new();
+        p.push_function(func(code));
+        let d = decode_program(&p, &CostModel::default()).expect("decodes");
+        assert!(matches!(d.functions[0].code[1], DecodedInstr::Bin { .. }));
+        assert!(matches!(d.functions[0].code[2], DecodedInstr::BrZero { .. }));
+    }
+
+    #[test]
+    fn trapping_binops_never_fuse_with_control_transfers() {
+        // Div may trap; the pair must stay unfused so the trap surfaces
+        // from a plain Bin step (BinStore is fine: it executes in order).
+        let code = vec![
+            Instr::Bin { op: BinOp::Div, dst: Reg(2), a: Reg(0), b: Reg(1) },
+            Instr::BrZero { cond: Reg(2), target: 4 },
+            Instr::Bin { op: BinOp::Rem, dst: Reg(3), a: Reg(0), b: Reg(1) },
+            Instr::Jmp { target: 0 },
+            Instr::Ret { src: None },
+        ];
+        let mut p = Program::new();
+        p.push_function(func(code));
+        let d = decode_program(&p, &CostModel::default()).expect("decodes");
+        assert!(matches!(d.functions[0].code[0], DecodedInstr::Bin { .. }));
+        assert!(matches!(d.functions[0].code[2], DecodedInstr::Bin { .. }));
     }
 }

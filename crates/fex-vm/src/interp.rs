@@ -14,7 +14,7 @@ use crate::bytecode::{
 };
 use crate::cache::{CacheHierarchy, CacheLevel, CacheStats, HitLevel};
 use crate::counters::PerfCounters;
-use crate::decode::{decode_program, DecodedInstr, DecodedProgram};
+use crate::decode::{decode_program_with, DecodedInstr, DecodedProgram};
 use crate::heap::{Heap, HeapStats};
 use crate::machine::{global_offsets, LoadBases, MachineConfig};
 use crate::memory::{layout, Memory, Perm, SegmentKind};
@@ -162,6 +162,19 @@ fn splitmix(state: &mut u64) -> u64 {
 
 impl<'p> Instance<'p> {
     pub(crate) fn new(program: &'p Program, config: MachineConfig) -> Self {
+        Self::with_decoded(program, config, None)
+    }
+
+    /// Like [`Instance::new`], but reuses `predecoded` — which **must**
+    /// be the decoded form of this `program` — when it matches the
+    /// config's cost model and fusion setting; otherwise the program is
+    /// decoded fresh. This is the decoded-artifact cache entry point: a
+    /// shared `Arc<DecodedProgram>` makes loading free of decode work.
+    pub(crate) fn with_decoded(
+        program: &'p Program,
+        config: MachineConfig,
+        predecoded: Option<Arc<DecodedProgram>>,
+    ) -> Self {
         let mut seed = config.seed ^ 0xF3E5_D00D;
         let slide = |rng: &mut u64, on: bool| {
             if on {
@@ -219,16 +232,20 @@ impl<'p> Instance<'p> {
             }
         }
 
-        let caches =
+        let mut caches =
             CacheHierarchy::new(config.cores, config.l1, config.l2, config.llc, config.mem_latency);
+        caches.set_fast_path(config.mru_fast_path);
         let heap = Heap::new(bases.heap, config.heap_size);
         let canary = splitmix(&mut seed) as i64 | 0x0100; // never a plausible code addr
         let cores = config.cores;
         let fault = config.fault_plan.decide();
-        let decoded = Arc::new(
-            decode_program(program, &config.cost)
-                .unwrap_or_else(|e| panic!("program does not decode: {e}")),
-        );
+        let decoded = match predecoded {
+            Some(d) if d.cost == config.cost && d.fused == config.fusion => d,
+            _ => Arc::new(
+                decode_program_with(program, &config.cost, config.fusion)
+                    .unwrap_or_else(|e| panic!("program does not decode: {e}")),
+            ),
+        };
         Instance {
             program,
             decoded,
@@ -684,18 +701,7 @@ impl<'p> Instance<'p> {
             }
             DecodedInstr::AsanCheck { addr, off, width, is_write } => {
                 let a = (r!(addr)).wrapping_add(*off) as u64;
-                // The check is ~3 dynamic instructions in real ASan.
-                self.count_instr(2)?;
-                self.per_core[self.core].asan_checks += 1;
-                self.shadow_touch(a);
-                if let Some(kind) = self.shadow.check(a, width.bytes()) {
-                    return Err(Trap::AsanViolation {
-                        addr: a,
-                        write: *is_write,
-                        kind,
-                        segment: self.mem.kind_at(a),
-                    });
-                }
+                self.asan_check(a, *width, *is_write)?;
             }
             DecodedInstr::Jmp { target } => frame!().pc = *target as usize,
             DecodedInstr::BrZero { cond, target } => {
@@ -755,6 +761,104 @@ impl<'p> Instance<'p> {
                 r!(dst) = a as i64;
             }
             DecodedInstr::Nop => {}
+            // Fused superinstructions: both constituents execute in
+            // program order with identical trap, aliasing and predictor
+            // behaviour; the second constituent's shadow slot is stepped
+            // over (block accrual already counted both — see decode).
+            DecodedInstr::CmpBr { op, dst, a, b, neg, target, site } => {
+                let (x, y) = (r!(a), r!(b));
+                let v = int_bin(*op, x, y)?;
+                r!(dst) = v;
+                let taken = if *neg { v == 0 } else { v != 0 };
+                let func = frame!().func;
+                // The predictor site is the *original branch* pc, so a
+                // fused and an unfused run train identical tables.
+                self.observe_branch_at(func, *site as usize, taken);
+                let f = frame!();
+                if taken {
+                    f.pc = *target as usize;
+                } else {
+                    f.pc += 1; // step over the shadow slot
+                }
+            }
+            DecodedInstr::LoadBin { ld, addr, off, width, op, dst, a, b } => {
+                let ad = (r!(addr)).wrapping_add(*off) as u64;
+                let v = self.mem_load(ad, *width)?;
+                r!(ld) = v;
+                let (x, y) = (r!(a), r!(b));
+                r!(dst) = int_bin(*op, x, y)?;
+                frame!().pc += 1;
+            }
+            DecodedInstr::BinStore { op, dst, a, b, addr, off, width } => {
+                let (x, y) = (r!(a), r!(b));
+                let v = int_bin(*op, x, y)?;
+                r!(dst) = v;
+                // The address register is read *after* the binop's write,
+                // exactly as the unfused sequence would (addr may alias dst).
+                let ad = (r!(addr)).wrapping_add(*off) as u64;
+                self.mem_store(ad, v, *width)?;
+                frame!().pc += 1;
+            }
+            DecodedInstr::BinJmp { op, dst, a, b, target } => {
+                let (x, y) = (r!(a), r!(b));
+                r!(dst) = int_bin(*op, x, y)?;
+                frame!().pc = *target as usize;
+            }
+            DecodedInstr::BinLoad { op, dst, a, b, ld, addr, off, width } => {
+                let (x, y) = (r!(a), r!(b));
+                r!(dst) = int_bin(*op, x, y)?;
+                // The address register is read *after* the binop's write,
+                // exactly as the unfused sequence would (addr may alias dst).
+                let ad = (r!(addr)).wrapping_add(*off) as u64;
+                let v = self.mem_load(ad, *width)?;
+                r!(ld) = v;
+                frame!().pc += 1;
+            }
+            DecodedInstr::BinMov { op, dst, a, b, mdst, msrc } => {
+                let (x, y) = (r!(a), r!(b));
+                r!(dst) = int_bin(*op, x, y)?;
+                let v = r!(msrc);
+                r!(mdst) = v;
+                frame!().pc += 1;
+            }
+            DecodedInstr::BinBin { op1, dst1, a1, b1, op2, dst2, a2, b2 } => {
+                let (x, y) = (r!(a1), r!(b1));
+                r!(dst1) = int_bin(*op1, x, y)?;
+                let (x, y) = (r!(a2), r!(b2));
+                r!(dst2) = int_bin(*op2, x, y)?;
+                frame!().pc += 1;
+            }
+            DecodedInstr::ChkLoad { dst, addr, off, width } => {
+                // The check never writes a register, so the shared
+                // address operands evaluate identically in both halves.
+                let a = (r!(addr)).wrapping_add(*off) as u64;
+                self.asan_check(a, *width, false)?;
+                let v = self.mem_load(a, *width)?;
+                r!(dst) = v;
+                frame!().pc += 1;
+            }
+            DecodedInstr::ChkStore { src, addr, off, width } => {
+                let a = (r!(addr)).wrapping_add(*off) as u64;
+                self.asan_check(a, *width, true)?;
+                let v = r!(src);
+                self.mem_store(a, v, *width)?;
+                frame!().pc += 1;
+            }
+            DecodedInstr::MovJmp { dst, src, target } => {
+                let v = r!(src);
+                r!(dst) = v;
+                frame!().pc = *target as usize;
+            }
+            DecodedInstr::BinMovJmp { op, dst, a, b, mdst, msrc, target } => {
+                let (x, y) = (r!(a), r!(b));
+                r!(dst) = int_bin(*op, x, y)?;
+                // The copy source is read *after* the binop's write,
+                // exactly as the unfused sequence would (msrc is usually
+                // the binop's dst).
+                let v = r!(msrc);
+                r!(mdst) = v;
+                frame!().pc = *target as usize;
+            }
         }
         Ok(Flow::Continue)
     }
@@ -764,7 +868,33 @@ impl<'p> Instance<'p> {
     fn observe_branch(&mut self, frames: &[Frame], taken: bool) {
         let frame = frames.last().expect("branch inside a frame");
         // `pc` was already advanced past the branch; -1 is the site.
-        let site = code_addr(frame.func, frame.pc.saturating_sub(1));
+        let (func, site_pc) = (frame.func, frame.pc.saturating_sub(1));
+        self.observe_branch_at(func, site_pc, taken);
+    }
+
+    /// The ASan shadow check on a resolved address: accounting, the
+    /// shadow lookup, and the violation trap. Shared by the plain
+    /// `AsanCheck` step and the fused `ChkLoad`/`ChkStore` handlers.
+    fn asan_check(&mut self, a: u64, width: Width, is_write: bool) -> Result<(), Trap> {
+        // The check is ~3 dynamic instructions in real ASan.
+        self.count_instr(2)?;
+        self.per_core[self.core].asan_checks += 1;
+        self.shadow_touch(a);
+        if let Some(kind) = self.shadow.check(a, width.bytes()) {
+            return Err(Trap::AsanViolation {
+                addr: a,
+                write: is_write,
+                kind,
+                segment: self.mem.kind_at(a),
+            });
+        }
+        Ok(())
+    }
+
+    /// [`Instance::observe_branch`] with an explicit site pc — fused
+    /// branches pass the original branch index.
+    fn observe_branch_at(&mut self, func: FuncId, site_pc: usize, taken: bool) {
+        let site = code_addr(func, site_pc);
         self.per_core[self.core].branches += 1;
         if self.predictors[self.core].observe(site, taken) {
             self.per_core[self.core].branch_mispredicts += 1;

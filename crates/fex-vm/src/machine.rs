@@ -1,8 +1,11 @@
 //! Machine configuration and program loading.
 
+use std::sync::Arc;
+
 use crate::bytecode::{GlobalDef, Program};
 use crate::cache::{CacheConfig, DEFAULT_L1, DEFAULT_L2, DEFAULT_LLC, DEFAULT_MEM_LATENCY};
 use crate::cost::CostModel;
+use crate::decode::DecodedProgram;
 use crate::fault::FaultPlan;
 use crate::interp::{Instance, RunResult};
 use crate::memory::layout;
@@ -71,6 +74,12 @@ pub struct MachineConfig {
     pub max_instructions: u64,
     /// Deterministic fault injection (disabled by default).
     pub fault_plan: FaultPlan,
+    /// Superinstruction fusion in the decoded stream (`--no-fusion`
+    /// disables it for debugging; measured results are identical).
+    pub fusion: bool,
+    /// MRU line memo in the cache simulator (`--no-mru` disables it;
+    /// measured results are identical).
+    pub mru_fast_path: bool,
 }
 
 impl Default for MachineConfig {
@@ -89,6 +98,8 @@ impl Default for MachineConfig {
             seed: 42,
             max_instructions: 20_000_000_000,
             fault_plan: FaultPlan::default(),
+            fusion: true,
+            mru_fast_path: true,
         }
     }
 }
@@ -166,6 +177,25 @@ impl Machine {
     /// programs can pre-validate with [`crate::decode_program`]).
     pub fn load<'p>(&self, program: &'p Program) -> Instance<'p> {
         Instance::new(program, self.config.clone())
+    }
+
+    /// Like [`Machine::load`], but reuses a pre-decoded form of the
+    /// *same* `program` (from the decoded-artifact cache) instead of
+    /// decoding again. If `decoded` was produced under a different cost
+    /// model or fusion setting than this machine's config, the program
+    /// is silently decoded fresh — reuse is an optimisation, never a
+    /// semantic change.
+    ///
+    /// # Panics
+    ///
+    /// As [`Machine::load`]. Passing the decoded form of a *different*
+    /// program is a logic error with unspecified (but safe) behaviour.
+    pub fn load_with<'p>(
+        &self,
+        program: &'p Program,
+        decoded: &Arc<DecodedProgram>,
+    ) -> Instance<'p> {
+        Instance::with_decoded(program, self.config.clone(), Some(Arc::clone(decoded)))
     }
 
     /// Loads and runs `program`'s entry function with `args`.

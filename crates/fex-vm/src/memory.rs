@@ -92,12 +92,17 @@ impl Segment {
 #[derive(Debug, Clone)]
 pub struct Memory {
     segments: Vec<Segment>,
+    /// Index of the segment that served the last successful lookup — the
+    /// overwhelmingly common case inside a benchmark loop. Pure
+    /// memoisation of a pure lookup, so observable behaviour is
+    /// unchanged; invalidated whenever the segment list changes.
+    last: std::cell::Cell<usize>,
 }
 
 impl Memory {
     /// Creates an empty memory (segments are added by the machine loader).
     pub fn new() -> Self {
-        Memory { segments: Vec::new() }
+        Memory { segments: Vec::new(), last: std::cell::Cell::new(usize::MAX) }
     }
 
     /// Maps a new segment. Panics if it overlaps an existing one — the
@@ -114,6 +119,7 @@ impl Memory {
         }
         self.segments.push(Segment { base, data: vec![0u8; size as usize], perm, kind });
         self.segments.sort_by_key(|s| s.base);
+        self.last.set(usize::MAX);
     }
 
     /// All segments, ordered by base address.
@@ -122,8 +128,15 @@ impl Memory {
     }
 
     fn seg_index(&self, addr: u64) -> Option<usize> {
+        let memo = self.last.get();
+        if let Some(s) = self.segments.get(memo) {
+            if s.contains(addr) {
+                return Some(memo);
+            }
+        }
         // Binary search over the (sorted, non-overlapping) segment list.
-        self.segments
+        let i = self
+            .segments
             .binary_search_by(|s| {
                 if addr < s.base {
                     std::cmp::Ordering::Greater
@@ -133,7 +146,9 @@ impl Memory {
                     std::cmp::Ordering::Equal
                 }
             })
-            .ok()
+            .ok()?;
+        self.last.set(i);
+        Some(i)
     }
 
     /// The segment containing `addr`, if mapped.

@@ -595,6 +595,64 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Measurement hot path: superinstruction fusion, the MRU cache fast path
+// and the decoded-artifact cache are pure speed — every observable
+// artifact (results CSV, failures CSV, clean/quarantine status) must be
+// byte-identical with the optimisations on and off, under fault
+// injection, at any worker count.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// All hot-path optimisations ON vs all OFF: the suite matrix must
+    /// produce byte-identical results and failures CSVs, with and
+    /// without fault injection, sequentially and with `--jobs 8`.
+    #[test]
+    fn hot_path_optimisations_never_change_measured_numbers(
+        types_pick in 0usize..3,
+        reps in 1usize..3,
+        inject in 0usize..2,
+        rate in 0.0f64..0.8,
+        fault_seed in 0u64..1000,
+        retries in 0usize..4,
+        experiment_seed in 0u64..1000,
+        jobs_pick in 0usize..2,
+    ) {
+        use fex_core::config::FaultInjection;
+        use fex_core::{ExperimentConfig, RunPolicy};
+        use fex_suites::InputSize;
+        use fex_vm::{FaultKind, FaultPlan};
+
+        let types = match types_pick {
+            0 => vec!["gcc_native"],
+            1 => vec!["clang_native", "gcc_asan"],
+            _ => vec!["gcc_native", "clang_native"],
+        };
+        let mut base = ExperimentConfig::new("micro")
+            .types(types)
+            .input(InputSize::Test)
+            .repetitions(reps)
+            .resilience(RunPolicy::default().retries(retries))
+            .jobs(if jobs_pick == 0 { 1 } else { 8 });
+        base.seed = experiment_seed;
+        if inject == 1 {
+            base = base.fault(FaultInjection::everywhere(FaultPlan::spurious(
+                rate,
+                FaultKind::Trap,
+                fault_seed,
+            )));
+        }
+        let (on_csv, on_failures) = run_micro_with_failures(&base.clone());
+        let (off_csv, off_failures) = run_micro_with_failures(
+            &base.fusion(false).mru(false).decode_cache(false),
+        );
+        prop_assert_eq!(on_csv, off_csv);
+        prop_assert_eq!(on_failures, off_failures);
+    }
+}
+
 #[derive(Debug, Clone)]
 enum CellSeed {
     Str(String),
