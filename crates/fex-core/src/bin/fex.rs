@@ -29,7 +29,16 @@ fn run(args: &[String]) -> Result<(), FexError> {
             fex.install("clang-3.8")?;
             print!("{}", fex.selftest(&name)?);
         }
-        Action::Report => print!("{}", fex.report()),
+        Action::Report { journal: Some(path) } => {
+            let jsonl = std::fs::read_to_string(&path)
+                .map_err(|e| FexError::Data(format!("cannot read journal `{path}`: {e}")))?;
+            let rendered = fex_core::journal::render_report(&jsonl);
+            for warning in &rendered.warnings {
+                eprintln!("fex: warning: {warning}");
+            }
+            print!("{}", rendered.report);
+        }
+        Action::Report { journal: None } => print!("{}", fex.report()),
         Action::Install { names } => {
             for name in names {
                 fex.install(&name)?;
@@ -46,6 +55,20 @@ fn run(args: &[String]) -> Result<(), FexError> {
             let frame = fex.run(&config)?;
             println!("collected {} rows for `{}`:", frame.len(), config.name);
             print!("{}", frame.to_csv());
+            // Surface the run journal on the host filesystem so
+            // `fex report <path>` works across processes.
+            if let Some(jsonl) = fex.journal_jsonl(&config.name) {
+                let dir = std::path::Path::new("target/fex-results");
+                let _ = std::fs::create_dir_all(dir);
+                let journal_path = dir.join(format!("{}.journal.jsonl", config.name));
+                if std::fs::write(&journal_path, jsonl).is_ok() {
+                    eprintln!("journal: {}", journal_path.display());
+                }
+                if let Some(metrics) = fex.metrics_json(&config.name) {
+                    let _ =
+                        std::fs::write(dir.join(format!("{}.metrics.json", config.name)), metrics);
+                }
+            }
         }
         Action::Plot { name, request } => {
             // Re-running the experiment in a fresh process would be

@@ -242,6 +242,13 @@ impl BuildSystem {
         self.decodes_performed
     }
 
+    /// Snapshot of `(builds_performed, decodes_performed)` in one call,
+    /// for observability layers that track deltas across an experiment
+    /// (a build whose count does not move was a cache hit).
+    pub fn work_performed(&self) -> (usize, usize) {
+        (self.builds_performed, self.decodes_performed)
+    }
+
     /// Sets whether artifacts are decoded with superinstruction fusion
     /// (`--no-fusion`). Fusion is part of the cache key, so flipping it
     /// can never serve a stale decoded form.

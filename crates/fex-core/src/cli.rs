@@ -40,8 +40,13 @@ pub enum Action {
     },
     /// `fex list`.
     List,
-    /// `fex report`.
-    Report,
+    /// `fex report [journal]`: with a path, render that run journal's
+    /// phase/time breakdown and per-unit timeline; bare, print the
+    /// support matrix + environment.
+    Report {
+        /// Path to a `journal.jsonl` to render.
+        journal: Option<String>,
+    },
 }
 
 /// Usage text.
@@ -54,7 +59,9 @@ actions:
   plot    -n <experiment> -t <perf|tlat|scaling|cache|mem>
   test    -n <suite>              tiny-input self-checks across all types
   list                            list registered experiments
-  report                          print the support matrix + environment
+  report [journal.jsonl]          render a run journal (phase breakdown +
+                                  per-unit timeline); bare: print the
+                                  support matrix + environment
 
 run options:
   -t <type>...   build types (default gcc_native)
@@ -68,6 +75,8 @@ run options:
   --no-build     reuse cached binaries
   --jobs <n>     parallel run-unit workers; 0 = auto
                  (default: available cores, capped at 16)
+  --no-journal   skip the structured run journal (journal.jsonl +
+                 metrics.json); result CSVs are identical either way
 
 debug escape hatches (measured results are identical either way):
   --no-fusion        disable VM superinstruction fusion
@@ -97,7 +106,13 @@ pub fn parse(args: &[String]) -> Result<Action> {
             let name = name.ok_or_else(|| FexError::Config("test needs -n <suite>".into()))?;
             Ok(Action::SelfTest { name })
         }
-        "report" => Ok(Action::Report),
+        "report" => {
+            let journal = it.next().cloned();
+            if let Some(extra) = it.next() {
+                return Err(FexError::Config(format!("unexpected report argument `{extra}`")));
+            }
+            Ok(Action::Report { journal })
+        }
         "install" => {
             let names = take_values(&mut it, "-n")?;
             if names.is_empty() {
@@ -195,6 +210,7 @@ pub fn parse(args: &[String]) -> Result<Action> {
                     "--no-fusion" => cfg.fusion = false,
                     "--no-mru" => cfg.mru_fast_path = false,
                     "--no-decode-cache" => cfg.decode_cache = false,
+                    "--no-journal" => cfg.journal = false,
                     other => return Err(FexError::Config(format!("unknown run flag `{other}`"))),
                 }
             }
@@ -329,6 +345,27 @@ mod tests {
     #[test]
     fn list_and_report_are_bare() {
         assert_eq!(parse(&argv("list")).unwrap(), Action::List);
-        assert_eq!(parse(&argv("report")).unwrap(), Action::Report);
+        assert_eq!(parse(&argv("report")).unwrap(), Action::Report { journal: None });
+    }
+
+    #[test]
+    fn report_takes_an_optional_journal_path() {
+        assert_eq!(
+            parse(&argv("report target/fex-results/micro.journal.jsonl")).unwrap(),
+            Action::Report { journal: Some("target/fex-results/micro.journal.jsonl".into()) }
+        );
+        assert!(parse(&argv("report a.jsonl b.jsonl")).is_err(), "at most one journal");
+    }
+
+    #[test]
+    fn journal_is_on_by_default_with_an_escape_hatch() {
+        let Action::Run(cfg) = parse(&argv("run -n micro")).unwrap() else {
+            panic!("expected run");
+        };
+        assert!(cfg.journal);
+        let Action::Run(cfg) = parse(&argv("run -n micro --no-journal")).unwrap() else {
+            panic!("expected run");
+        };
+        assert!(!cfg.journal);
     }
 }

@@ -84,6 +84,9 @@ pub struct ExperimentConfig {
     /// Share each artifact's decoded form across all its run units
     /// (`--no-decode-cache` clears it; measured results are identical).
     pub decode_cache: bool,
+    /// Record the structured run journal (`--no-journal` clears it;
+    /// results and failure CSVs are byte-identical either way).
+    pub journal: bool,
 }
 
 impl ExperimentConfig {
@@ -107,6 +110,7 @@ impl ExperimentConfig {
             fusion: true,
             mru_fast_path: true,
             decode_cache: true,
+            journal: true,
         }
     }
 
@@ -180,6 +184,12 @@ impl ExperimentConfig {
     /// (`--no-decode-cache`).
     pub fn decode_cache(mut self, on: bool) -> Self {
         self.decode_cache = on;
+        self
+    }
+
+    /// Enables or disables the structured run journal (`--no-journal`).
+    pub fn journal(mut self, on: bool) -> Self {
+        self.journal = on;
         self
     }
 

@@ -1,0 +1,1279 @@
+//! The structured run journal: a machine-readable account of what ran,
+//! where the time went, and why a unit was retried or quarantined.
+//!
+//! Fex's value proposition is trustworthy, reproducible measurement, yet
+//! log lines alone cannot be replayed or audited. This module adds the
+//! missing observability layer:
+//!
+//! * [`JournalEvent`] — the typed event vocabulary. Every run unit leaves
+//!   a trail: build start/end with content digest and cache-hit flag,
+//!   unit claim (which worker picked it up), VM execution with the
+//!   machine's cycle/cache/fault counters, one `run_fault` per faulted
+//!   attempt, the unit's final outcome (clean / recovered / failed /
+//!   quarantined), merge-time quarantine skips, and experiment/phase
+//!   bookkeeping.
+//! * [`Journal`] — the per-experiment event buffer threaded through
+//!   [`RunContext`](crate::runner::RunContext). The parallel scheduler
+//!   keeps its `--jobs N` hot path lock-free by accumulating each unit's
+//!   events in the worker that ran it (carried home inside the unit's
+//!   outcome) and splicing them into the journal at merge time, in
+//!   matrix order — so the journal of a `--jobs 8` run contains exactly
+//!   the events of a `--jobs 1` run, worker ids and wall times aside.
+//! * [`Metrics`] — the roll-up written to `metrics.json` next to the
+//!   results CSV: phase wall times, decode-cache hit rate, the retry
+//!   histogram and per-benchmark cycle totals.
+//! * [`render_report`] — the `fex report <journal>` renderer: rebuilds
+//!   the phase/time breakdown and the per-unit timeline from a
+//!   `journal.jsonl` alone, skipping malformed lines and unknown event
+//!   types with warnings instead of panicking.
+//!
+//! The journal is strictly an observer: journaling on vs off
+//! (`--no-journal`) leaves the results and failure CSVs byte-identical,
+//! which `tests/journal_diff.rs` locks down.
+//!
+//! Events serialize as one flat JSON object per line (`journal.jsonl`).
+//! Serialization is hand-rolled (the workspace builds offline, without
+//! serde); the private parser below understands exactly the flat-object
+//! subset the writer emits.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fex_vm::{RunResult, UnitCounters};
+
+/// Journal format version, recorded in the `experiment_start` event so
+/// future readers can dispatch on schema changes.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// One typed journal event. Field names match the JSON keys.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalEvent {
+    /// The experiment began: identity and effective scheduler width.
+    ExperimentStart {
+        /// Experiment name (`-n`).
+        name: String,
+        /// Effective worker count (`--jobs` after auto resolution).
+        jobs: usize,
+        /// Experiment seed.
+        seed: u64,
+        /// Journal schema version ([`JOURNAL_VERSION`]).
+        version: u64,
+    },
+    /// One benchmark × type compilation finished.
+    Build {
+        /// Benchmark name.
+        benchmark: String,
+        /// Build type.
+        build_type: String,
+        /// Content digest of the artifact (cache key).
+        digest: String,
+        /// Whether the artifact came out of the build cache
+        /// (`--no-build`) instead of a fresh compile.
+        cache_hit: bool,
+        /// Wall time of the build step (volatile; normalized in golden
+        /// snapshots).
+        wall_ns: u64,
+    },
+    /// A worker claimed an executable run unit.
+    UnitClaim {
+        /// Benchmark name.
+        benchmark: String,
+        /// Build type.
+        build_type: String,
+        /// Thread (core) count.
+        threads: usize,
+        /// Repetition index; `None` for benchmark-level units (dry runs).
+        rep: Option<usize>,
+        /// Worker index that ran the unit (0 in the sequential loop;
+        /// volatile across `--jobs`, normalized in differential tests).
+        worker: usize,
+    },
+    /// The VM executed a run unit successfully: the measured counters.
+    VmExec {
+        /// Benchmark name.
+        benchmark: String,
+        /// Build type.
+        build_type: String,
+        /// Thread (core) count.
+        threads: usize,
+        /// Repetition index; `None` for dry runs.
+        rep: Option<usize>,
+        /// Retired instructions.
+        instructions: u64,
+        /// Elapsed cycles on the main timeline.
+        cycles: u64,
+        /// L1D misses.
+        l1_misses: u64,
+        /// LLC misses.
+        llc_misses: u64,
+        /// Mispredicted branches.
+        branch_mispredicts: u64,
+        /// Security/fault events the machine observed during the run.
+        faults: u64,
+        /// Entry-function exit value.
+        exit: i64,
+    },
+    /// One faulted attempt of a run unit (the retry/backoff trail).
+    RunFault {
+        /// Benchmark name.
+        benchmark: String,
+        /// Build type.
+        build_type: String,
+        /// Thread (core) count.
+        threads: usize,
+        /// Repetition index; `None` for benchmark-level units.
+        rep: Option<usize>,
+        /// 0-based attempt index that faulted.
+        attempt: u64,
+        /// The attempt's error message.
+        error: String,
+    },
+    /// A run unit settled: the final resilience verdict.
+    UnitOutcome {
+        /// Benchmark name.
+        benchmark: String,
+        /// Build type.
+        build_type: String,
+        /// Thread (core) count.
+        threads: usize,
+        /// Repetition index; `None` for benchmark-level units.
+        rep: Option<usize>,
+        /// `clean`, `recovered`, `failed` or `quarantined`.
+        outcome: String,
+        /// Attempts spent (1 = clean first try).
+        attempts: usize,
+        /// Simulated backoff cycles charged between attempts.
+        backoff_cycles: u64,
+    },
+    /// A quarantined benchmark was skipped for a whole build type.
+    QuarantineSkip {
+        /// Benchmark name.
+        benchmark: String,
+        /// Build type whose runs were skipped.
+        build_type: String,
+    },
+    /// Decoded-artifact cache accounting for the whole experiment.
+    DecodeCache {
+        /// Decode passes performed.
+        decodes: usize,
+        /// Run-unit executions served a pre-decoded program.
+        served: usize,
+    },
+    /// A pipeline phase finished.
+    PhaseEnd {
+        /// Phase name (`run`, `collect`).
+        phase: String,
+        /// Wall time of the phase (volatile).
+        wall_ns: u64,
+    },
+    /// The experiment finished.
+    ExperimentEnd {
+        /// Rows in the results frame.
+        rows: usize,
+        /// Records in the failure report.
+        failure_records: usize,
+        /// Wall time of the whole experiment (volatile).
+        wall_ns: u64,
+    },
+}
+
+impl JournalEvent {
+    /// The event's `"event"` discriminator string.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JournalEvent::ExperimentStart { .. } => "experiment_start",
+            JournalEvent::Build { .. } => "build",
+            JournalEvent::UnitClaim { .. } => "unit_claim",
+            JournalEvent::VmExec { .. } => "vm_exec",
+            JournalEvent::RunFault { .. } => "run_fault",
+            JournalEvent::UnitOutcome { .. } => "unit_outcome",
+            JournalEvent::QuarantineSkip { .. } => "quarantine_skip",
+            JournalEvent::DecodeCache { .. } => "decode_cache",
+            JournalEvent::PhaseEnd { .. } => "phase_end",
+            JournalEvent::ExperimentEnd { .. } => "experiment_end",
+        }
+    }
+
+    /// A `vm_exec` event from a run unit's measured result, with the
+    /// counters exported by [`fex_vm::UnitCounters`].
+    pub fn vm_exec(
+        benchmark: &str,
+        build_type: &str,
+        threads: usize,
+        rep: Option<usize>,
+        run: &RunResult,
+    ) -> JournalEvent {
+        let c = UnitCounters::of(run);
+        JournalEvent::VmExec {
+            benchmark: benchmark.to_string(),
+            build_type: build_type.to_string(),
+            threads,
+            rep,
+            instructions: c.instructions,
+            cycles: c.cycles,
+            l1_misses: c.l1_misses,
+            llc_misses: c.llc_misses,
+            branch_mispredicts: c.branch_mispredicts,
+            faults: c.fault_events,
+            exit: run.exit,
+        }
+    }
+
+    /// Zeroes the fields that legitimately differ between observationally
+    /// identical runs — wall times, worker ids and the effective job
+    /// count — so differential tests can compare full event streams.
+    pub fn normalize(&mut self) {
+        match self {
+            JournalEvent::ExperimentStart { jobs, .. } => *jobs = 0,
+            JournalEvent::Build { wall_ns, .. } => *wall_ns = 0,
+            JournalEvent::UnitClaim { worker, .. } => *worker = 0,
+            JournalEvent::PhaseEnd { wall_ns, .. } => *wall_ns = 0,
+            JournalEvent::ExperimentEnd { wall_ns, .. } => *wall_ns = 0,
+            _ => {}
+        }
+    }
+
+    /// Serializes the event as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonLine::new(self.kind());
+        match self {
+            JournalEvent::ExperimentStart { name, jobs, seed, version } => {
+                w.str("name", name)
+                    .num("jobs", *jobs as i64)
+                    .num("seed", *seed as i64)
+                    .num("version", *version as i64);
+            }
+            JournalEvent::Build { benchmark, build_type, digest, cache_hit, wall_ns } => {
+                w.str("benchmark", benchmark)
+                    .str("build_type", build_type)
+                    .str("digest", digest)
+                    .bool("cache_hit", *cache_hit)
+                    .num("wall_ns", *wall_ns as i64);
+            }
+            JournalEvent::UnitClaim { benchmark, build_type, threads, rep, worker } => {
+                w.str("benchmark", benchmark)
+                    .str("build_type", build_type)
+                    .num("threads", *threads as i64)
+                    .opt_num("rep", rep.map(|r| r as i64))
+                    .num("worker", *worker as i64);
+            }
+            JournalEvent::VmExec {
+                benchmark,
+                build_type,
+                threads,
+                rep,
+                instructions,
+                cycles,
+                l1_misses,
+                llc_misses,
+                branch_mispredicts,
+                faults,
+                exit,
+            } => {
+                w.str("benchmark", benchmark)
+                    .str("build_type", build_type)
+                    .num("threads", *threads as i64)
+                    .opt_num("rep", rep.map(|r| r as i64))
+                    .num("instructions", *instructions as i64)
+                    .num("cycles", *cycles as i64)
+                    .num("l1_misses", *l1_misses as i64)
+                    .num("llc_misses", *llc_misses as i64)
+                    .num("branch_mispredicts", *branch_mispredicts as i64)
+                    .num("faults", *faults as i64)
+                    .num("exit", *exit);
+            }
+            JournalEvent::RunFault { benchmark, build_type, threads, rep, attempt, error } => {
+                w.str("benchmark", benchmark)
+                    .str("build_type", build_type)
+                    .num("threads", *threads as i64)
+                    .opt_num("rep", rep.map(|r| r as i64))
+                    .num("attempt", *attempt as i64)
+                    .str("error", error);
+            }
+            JournalEvent::UnitOutcome {
+                benchmark,
+                build_type,
+                threads,
+                rep,
+                outcome,
+                attempts,
+                backoff_cycles,
+            } => {
+                w.str("benchmark", benchmark)
+                    .str("build_type", build_type)
+                    .num("threads", *threads as i64)
+                    .opt_num("rep", rep.map(|r| r as i64))
+                    .str("outcome", outcome)
+                    .num("attempts", *attempts as i64)
+                    .num("backoff_cycles", *backoff_cycles as i64);
+            }
+            JournalEvent::QuarantineSkip { benchmark, build_type } => {
+                w.str("benchmark", benchmark).str("build_type", build_type);
+            }
+            JournalEvent::DecodeCache { decodes, served } => {
+                w.num("decodes", *decodes as i64).num("served", *served as i64);
+            }
+            JournalEvent::PhaseEnd { phase, wall_ns } => {
+                w.str("phase", phase).num("wall_ns", *wall_ns as i64);
+            }
+            JournalEvent::ExperimentEnd { rows, failure_records, wall_ns } => {
+                w.num("rows", *rows as i64)
+                    .num("failure_records", *failure_records as i64)
+                    .num("wall_ns", *wall_ns as i64);
+            }
+        }
+        w.finish()
+    }
+}
+
+/// Why a journal line could not be turned into an event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseIssue {
+    /// The line is not a well-formed flat JSON object, or a required
+    /// field is missing or mistyped.
+    Malformed(String),
+    /// The line parses but names an event type this reader does not know
+    /// (e.g. a journal written by a newer version).
+    UnknownEvent(String),
+}
+
+impl std::fmt::Display for ParseIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseIssue::Malformed(m) => write!(f, "malformed journal line: {m}"),
+            ParseIssue::UnknownEvent(k) => write!(f, "unknown event type `{k}`"),
+        }
+    }
+}
+
+/// Parses one `journal.jsonl` line back into an event.
+///
+/// # Errors
+///
+/// [`ParseIssue::Malformed`] on broken JSON or missing fields,
+/// [`ParseIssue::UnknownEvent`] on an unrecognized `"event"` value.
+pub fn parse_line(line: &str) -> std::result::Result<JournalEvent, ParseIssue> {
+    let map = parse_flat_object(line)?;
+    let kind = get_str(&map, "event")?;
+    let ev = match kind {
+        "experiment_start" => JournalEvent::ExperimentStart {
+            name: get_str(&map, "name")?.to_string(),
+            jobs: get_u64(&map, "jobs")? as usize,
+            seed: get_u64(&map, "seed")?,
+            version: get_u64(&map, "version")?,
+        },
+        "build" => JournalEvent::Build {
+            benchmark: get_str(&map, "benchmark")?.to_string(),
+            build_type: get_str(&map, "build_type")?.to_string(),
+            digest: get_str(&map, "digest")?.to_string(),
+            cache_hit: get_bool(&map, "cache_hit")?,
+            wall_ns: get_u64(&map, "wall_ns")?,
+        },
+        "unit_claim" => JournalEvent::UnitClaim {
+            benchmark: get_str(&map, "benchmark")?.to_string(),
+            build_type: get_str(&map, "build_type")?.to_string(),
+            threads: get_u64(&map, "threads")? as usize,
+            rep: get_opt_u64(&map, "rep")?.map(|r| r as usize),
+            worker: get_u64(&map, "worker")? as usize,
+        },
+        "vm_exec" => JournalEvent::VmExec {
+            benchmark: get_str(&map, "benchmark")?.to_string(),
+            build_type: get_str(&map, "build_type")?.to_string(),
+            threads: get_u64(&map, "threads")? as usize,
+            rep: get_opt_u64(&map, "rep")?.map(|r| r as usize),
+            instructions: get_u64(&map, "instructions")?,
+            cycles: get_u64(&map, "cycles")?,
+            l1_misses: get_u64(&map, "l1_misses")?,
+            llc_misses: get_u64(&map, "llc_misses")?,
+            branch_mispredicts: get_u64(&map, "branch_mispredicts")?,
+            faults: get_u64(&map, "faults")?,
+            exit: get_i64(&map, "exit")?,
+        },
+        "run_fault" => JournalEvent::RunFault {
+            benchmark: get_str(&map, "benchmark")?.to_string(),
+            build_type: get_str(&map, "build_type")?.to_string(),
+            threads: get_u64(&map, "threads")? as usize,
+            rep: get_opt_u64(&map, "rep")?.map(|r| r as usize),
+            attempt: get_u64(&map, "attempt")?,
+            error: get_str(&map, "error")?.to_string(),
+        },
+        "unit_outcome" => JournalEvent::UnitOutcome {
+            benchmark: get_str(&map, "benchmark")?.to_string(),
+            build_type: get_str(&map, "build_type")?.to_string(),
+            threads: get_u64(&map, "threads")? as usize,
+            rep: get_opt_u64(&map, "rep")?.map(|r| r as usize),
+            outcome: get_str(&map, "outcome")?.to_string(),
+            attempts: get_u64(&map, "attempts")? as usize,
+            backoff_cycles: get_u64(&map, "backoff_cycles")?,
+        },
+        "quarantine_skip" => JournalEvent::QuarantineSkip {
+            benchmark: get_str(&map, "benchmark")?.to_string(),
+            build_type: get_str(&map, "build_type")?.to_string(),
+        },
+        "decode_cache" => JournalEvent::DecodeCache {
+            decodes: get_u64(&map, "decodes")? as usize,
+            served: get_u64(&map, "served")? as usize,
+        },
+        "phase_end" => JournalEvent::PhaseEnd {
+            phase: get_str(&map, "phase")?.to_string(),
+            wall_ns: get_u64(&map, "wall_ns")?,
+        },
+        "experiment_end" => JournalEvent::ExperimentEnd {
+            rows: get_u64(&map, "rows")? as usize,
+            failure_records: get_u64(&map, "failure_records")? as usize,
+            wall_ns: get_u64(&map, "wall_ns")?,
+        },
+        other => return Err(ParseIssue::UnknownEvent(other.to_string())),
+    };
+    Ok(ev)
+}
+
+// ---------------------------------------------------------------------
+// The journal buffer
+// ---------------------------------------------------------------------
+
+/// The per-experiment event buffer.
+///
+/// Disabled journals (`--no-journal`) drop every emission, so call sites
+/// that would allocate to *construct* an event should guard on
+/// [`enabled`](Journal::enabled) first.
+#[derive(Debug, Default)]
+pub struct Journal {
+    enabled: bool,
+    events: Vec<JournalEvent>,
+    phase_starts: Vec<(&'static str, Instant)>,
+}
+
+impl Journal {
+    /// Creates a journal; a disabled one ignores all emissions.
+    pub fn new(enabled: bool) -> Self {
+        Journal { enabled, events: Vec::new(), phase_starts: Vec::new() }
+    }
+
+    /// Whether events are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends one event (no-op when disabled).
+    pub fn emit(&mut self, event: JournalEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// Splices a batch of events recorded elsewhere (a worker's
+    /// per-unit buffer) into the journal, preserving their order.
+    pub fn extend(&mut self, events: Vec<JournalEvent>) {
+        if self.enabled {
+            self.events.extend(events);
+        }
+    }
+
+    /// Marks the start of a named phase.
+    pub fn phase_start(&mut self, phase: &'static str) {
+        if self.enabled {
+            self.phase_starts.push((phase, Instant::now()));
+        }
+    }
+
+    /// Ends the innermost matching phase, emitting a
+    /// [`JournalEvent::PhaseEnd`] with its wall time.
+    pub fn phase_end(&mut self, phase: &'static str) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(pos) = self.phase_starts.iter().rposition(|(p, _)| *p == phase) {
+            let (_, start) = self.phase_starts.remove(pos);
+            self.emit(JournalEvent::PhaseEnd {
+                phase: phase.to_string(),
+                wall_ns: start.elapsed().as_nanos() as u64,
+            });
+        }
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[JournalEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serializes the journal as JSON lines (one event per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::new();
+        for e in &self.events {
+            s.push_str(&e.to_json());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+// ---------------------------------------------------------------------
+// Metrics roll-up
+// ---------------------------------------------------------------------
+
+/// The aggregate view of one journal, written as `metrics.json` next to
+/// the results CSV.
+///
+/// Pure function of the event stream, so `fex report` can recompute it
+/// from `journal.jsonl` alone.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    /// Experiment name (from `experiment_start`).
+    pub experiment: String,
+    /// Effective scheduler width.
+    pub jobs: usize,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Total events in the journal.
+    pub events: usize,
+    /// Summed build wall time.
+    pub build_wall_ns: u64,
+    /// Run-phase wall time.
+    pub run_wall_ns: u64,
+    /// Collect-phase wall time.
+    pub collect_wall_ns: u64,
+    /// Whole-experiment wall time.
+    pub experiment_wall_ns: u64,
+    /// Builds performed / build-cache hits.
+    pub builds: usize,
+    /// Build-cache hits among them.
+    pub build_cache_hits: usize,
+    /// Decode passes performed.
+    pub decodes: usize,
+    /// Executions served a pre-decoded program.
+    pub decode_served: usize,
+    /// attempts → number of units that settled with that many attempts.
+    pub retry_histogram: BTreeMap<usize, usize>,
+    /// outcome name → unit count.
+    pub unit_outcomes: BTreeMap<String, usize>,
+    /// Quarantined benchmarks, in quarantine order (deduplicated).
+    pub quarantined: Vec<String>,
+    /// benchmark → total measured cycles across its executions.
+    pub per_benchmark_cycles: BTreeMap<String, u64>,
+    /// Rows in the results frame.
+    pub rows: usize,
+    /// Records in the failure report.
+    pub failure_records: usize,
+    /// Total simulated backoff cycles charged.
+    pub backoff_cycles: u64,
+    /// Total faulted attempts (`run_fault` events).
+    pub run_faults: usize,
+}
+
+impl Metrics {
+    /// Aggregates a journal's event stream.
+    pub fn from_journal(events: &[JournalEvent]) -> Metrics {
+        let mut m = Metrics { events: events.len(), ..Metrics::default() };
+        for e in events {
+            match e {
+                JournalEvent::ExperimentStart { name, jobs, seed, .. } => {
+                    m.experiment = name.clone();
+                    m.jobs = *jobs;
+                    m.seed = *seed;
+                }
+                JournalEvent::Build { cache_hit, wall_ns, .. } => {
+                    m.builds += 1;
+                    m.build_cache_hits += usize::from(*cache_hit);
+                    m.build_wall_ns += wall_ns;
+                }
+                JournalEvent::VmExec { benchmark, cycles, .. } => {
+                    *m.per_benchmark_cycles.entry(benchmark.clone()).or_insert(0) += cycles;
+                }
+                JournalEvent::RunFault { .. } => m.run_faults += 1,
+                JournalEvent::UnitOutcome {
+                    benchmark, outcome, attempts, backoff_cycles, ..
+                } => {
+                    *m.retry_histogram.entry(*attempts).or_insert(0) += 1;
+                    *m.unit_outcomes.entry(outcome.clone()).or_insert(0) += 1;
+                    m.backoff_cycles = m.backoff_cycles.saturating_add(*backoff_cycles);
+                    if outcome == "quarantined" && !m.quarantined.contains(benchmark) {
+                        m.quarantined.push(benchmark.clone());
+                    }
+                }
+                JournalEvent::DecodeCache { decodes, served } => {
+                    m.decodes = *decodes;
+                    m.decode_served = *served;
+                }
+                JournalEvent::PhaseEnd { phase, wall_ns } => match phase.as_str() {
+                    "run" => m.run_wall_ns = *wall_ns,
+                    "collect" => m.collect_wall_ns = *wall_ns,
+                    _ => {}
+                },
+                JournalEvent::ExperimentEnd { rows, failure_records, wall_ns } => {
+                    m.rows = *rows;
+                    m.failure_records = *failure_records;
+                    m.experiment_wall_ns = *wall_ns;
+                }
+                _ => {}
+            }
+        }
+        m
+    }
+
+    /// Decode-cache hit rate in `[0, 1]`: the fraction of served
+    /// executions that reused an existing decode pass.
+    pub fn decode_hit_rate(&self) -> f64 {
+        if self.decode_served == 0 {
+            0.0
+        } else {
+            self.decode_served.saturating_sub(self.decodes) as f64 / self.decode_served as f64
+        }
+    }
+
+    /// Serializes as stable, human-diffable JSON. Keys ending in `_ns`
+    /// carry wall times and are the only volatile fields; golden tests
+    /// normalize them to 0.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"experiment\": {},", json_str(&self.experiment));
+        let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        let _ = writeln!(s, "  \"events\": {},", self.events);
+        let _ = writeln!(s, "  \"build_wall_ns\": {},", self.build_wall_ns);
+        let _ = writeln!(s, "  \"run_wall_ns\": {},", self.run_wall_ns);
+        let _ = writeln!(s, "  \"collect_wall_ns\": {},", self.collect_wall_ns);
+        let _ = writeln!(s, "  \"experiment_wall_ns\": {},", self.experiment_wall_ns);
+        let _ = writeln!(s, "  \"builds\": {},", self.builds);
+        let _ = writeln!(s, "  \"build_cache_hits\": {},", self.build_cache_hits);
+        let _ = writeln!(s, "  \"decode_cache\": {{");
+        let _ = writeln!(s, "    \"decodes\": {},", self.decodes);
+        let _ = writeln!(s, "    \"served\": {},", self.decode_served);
+        let _ = writeln!(s, "    \"hit_rate\": {:.4}", self.decode_hit_rate());
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"retry_histogram\": {{");
+        write_map(&mut s, self.retry_histogram.iter().map(|(k, v)| (k.to_string(), v.to_string())));
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"unit_outcomes\": {{");
+        write_map(&mut s, self.unit_outcomes.iter().map(|(k, v)| (k.clone(), v.to_string())));
+        let _ = writeln!(s, "  }},");
+        let quarantined: Vec<String> = self.quarantined.iter().map(|b| json_str(b)).collect();
+        let _ = writeln!(s, "  \"quarantined\": [{}],", quarantined.join(", "));
+        let _ = writeln!(s, "  \"per_benchmark_cycles\": {{");
+        write_map(
+            &mut s,
+            self.per_benchmark_cycles.iter().map(|(k, v)| (k.clone(), v.to_string())),
+        );
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"rows\": {},", self.rows);
+        let _ = writeln!(s, "  \"failure_records\": {},", self.failure_records);
+        let _ = writeln!(s, "  \"backoff_cycles\": {},", self.backoff_cycles);
+        let _ = writeln!(s, "  \"run_faults\": {}", self.run_faults);
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Writes `"key": value,` lines for a JSON sub-object, without a
+/// trailing comma on the last entry.
+fn write_map(s: &mut String, entries: impl Iterator<Item = (String, String)>) {
+    let entries: Vec<(String, String)> = entries.collect();
+    let last = entries.len().saturating_sub(1);
+    for (i, (k, v)) in entries.iter().enumerate() {
+        let comma = if i == last { "" } else { "," };
+        let _ = writeln!(s, "    {}: {}{}", json_str(k), v, comma);
+    }
+}
+
+// ---------------------------------------------------------------------
+// `fex report <journal>` rendering
+// ---------------------------------------------------------------------
+
+/// A rendered journal report plus the warnings produced while reading.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RenderedReport {
+    /// The ASCII phase/time breakdown and per-unit timeline.
+    pub report: String,
+    /// One warning per skipped line (malformed JSON or unknown event).
+    pub warnings: Vec<String>,
+}
+
+/// Formats a nanosecond wall time for the phase table.
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3} ms", ns as f64 / 1e6)
+}
+
+/// Describes a unit's coordinates for the timeline.
+fn unit_coord(benchmark: &str, build_type: &str, threads: usize, rep: Option<usize>) -> String {
+    let rep = rep.map_or_else(|| "-".to_string(), |r| r.to_string());
+    format!("{build_type}/{benchmark} m={threads} rep={rep}")
+}
+
+/// Renders the `fex report <journal>` view from `journal.jsonl` text:
+/// experiment identity, the phase/time table, unit-outcome counts, the
+/// retry histogram, decode-cache accounting and the per-unit timeline
+/// with every unit's retry/quarantine history.
+///
+/// Malformed lines and unknown event types are skipped with a warning —
+/// a truncated or future-versioned journal still renders everything that
+/// can be read.
+pub fn render_report(jsonl: &str) -> RenderedReport {
+    let mut warnings = Vec::new();
+    let mut events = Vec::new();
+    for (i, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line) {
+            Ok(e) => events.push(e),
+            Err(issue) => warnings.push(format!("journal line {}: skipped: {issue}", i + 1)),
+        }
+    }
+    let m = Metrics::from_journal(&events);
+
+    let mut out = String::new();
+    if m.experiment.is_empty() {
+        let _ = writeln!(out, "experiment <unknown> (no experiment_start event)");
+    } else {
+        let _ = writeln!(out, "experiment `{}` — seed {}, jobs {}", m.experiment, m.seed, m.jobs);
+    }
+    let _ = writeln!(out, "journal: {} events, {} lines skipped", m.events, warnings.len());
+    let _ = writeln!(out);
+
+    // Phase/time breakdown.
+    let _ = writeln!(out, "{:<12} {:>14}", "phase", "wall time");
+    let _ = writeln!(out, "{:<12} {:>14}", "build", fmt_ms(m.build_wall_ns));
+    let _ = writeln!(out, "{:<12} {:>14}", "run", fmt_ms(m.run_wall_ns));
+    let _ = writeln!(out, "{:<12} {:>14}", "collect", fmt_ms(m.collect_wall_ns));
+    let _ = writeln!(out, "{:<12} {:>14}", "total", fmt_ms(m.experiment_wall_ns));
+    let _ = writeln!(out);
+
+    // Roll-ups.
+    let units: usize = m.unit_outcomes.values().sum();
+    let counts: Vec<String> = ["clean", "recovered", "failed", "quarantined"]
+        .iter()
+        .filter_map(|k| m.unit_outcomes.get(*k).map(|n| format!("{n} {k}")))
+        .collect();
+    let _ = writeln!(out, "units: {units} settled — {}", counts.join(", "));
+    let histogram: Vec<String> =
+        m.retry_histogram.iter().map(|(attempts, n)| format!("{attempts}\u{d7}{n}")).collect();
+    let _ = writeln!(out, "retry histogram (attempts\u{d7}units): {}", histogram.join("  "));
+    if m.decode_served > 0 {
+        let _ = writeln!(
+            out,
+            "decoded-artifact cache: {} decodes served {} executions ({:.1}% hit rate)",
+            m.decodes,
+            m.decode_served,
+            100.0 * m.decode_hit_rate()
+        );
+    }
+    if !m.quarantined.is_empty() {
+        let _ = writeln!(out, "quarantined: {}", m.quarantined.join(", "));
+    }
+    let _ = writeln!(out, "rows collected: {}, failure records: {}", m.rows, m.failure_records);
+    let _ = writeln!(out);
+
+    // Per-unit timeline: events arrive grouped per unit (claim, exec,
+    // faults, outcome); accumulate the pending unit and flush a line at
+    // its outcome.
+    let _ = writeln!(out, "per-unit timeline:");
+    let mut pending_worker: Option<usize> = None;
+    let mut pending_cycles: Option<u64> = None;
+    let mut pending_faults: Vec<(u64, String)> = Vec::new();
+    for e in &events {
+        match e {
+            JournalEvent::UnitClaim { worker, .. } => pending_worker = Some(*worker),
+            JournalEvent::VmExec { cycles, .. } => pending_cycles = Some(*cycles),
+            JournalEvent::RunFault { attempt, error, .. } => {
+                pending_faults.push((*attempt, error.clone()));
+            }
+            JournalEvent::UnitOutcome {
+                benchmark,
+                build_type,
+                threads,
+                rep,
+                outcome,
+                attempts,
+                ..
+            } => {
+                let coord = unit_coord(benchmark, build_type, *threads, *rep);
+                let mut line = format!("  {coord:<44} {outcome:<12} {attempts} attempt(s)");
+                if let Some(c) = pending_cycles.take() {
+                    let _ = write!(line, "  {c} cycles");
+                }
+                if let Some(w) = pending_worker.take() {
+                    let _ = write!(line, "  [worker {w}]");
+                }
+                let _ = writeln!(out, "{line}");
+                for (attempt, error) in pending_faults.drain(..) {
+                    let _ = writeln!(out, "      attempt {attempt} faulted: {error}");
+                }
+            }
+            JournalEvent::QuarantineSkip { benchmark, build_type } => {
+                let _ = writeln!(
+                    out,
+                    "  {:<44} skipped (benchmark quarantined)",
+                    format!("{build_type}/{benchmark}")
+                );
+            }
+            _ => {}
+        }
+    }
+    RenderedReport { report: out, warnings }
+}
+
+// ---------------------------------------------------------------------
+// Minimal flat-JSON plumbing (the workspace builds offline, no serde)
+// ---------------------------------------------------------------------
+
+/// Escapes a string as a JSON string literal (quotes included).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Builder for one `{"event": "...", ...}` JSON line.
+struct JsonLine {
+    buf: String,
+}
+
+impl JsonLine {
+    fn new(kind: &str) -> Self {
+        JsonLine { buf: format!("{{\"event\": {}", json_str(kind)) }
+    }
+
+    fn str(&mut self, key: &str, val: &str) -> &mut Self {
+        let _ = write!(self.buf, ", {}: {}", json_str(key), json_str(val));
+        self
+    }
+
+    fn num(&mut self, key: &str, val: i64) -> &mut Self {
+        let _ = write!(self.buf, ", {}: {}", json_str(key), val);
+        self
+    }
+
+    fn opt_num(&mut self, key: &str, val: Option<i64>) -> &mut Self {
+        match val {
+            Some(v) => self.num(key, v),
+            None => {
+                let _ = write!(self.buf, ", {}: null", json_str(key));
+                self
+            }
+        }
+    }
+
+    fn bool(&mut self, key: &str, val: bool) -> &mut Self {
+        let _ = write!(self.buf, ", {}: {}", json_str(key), val);
+        self
+    }
+
+    fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// A parsed flat JSON value.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Str(String),
+    Int(i64),
+    Bool(bool),
+    Null,
+}
+
+fn malformed(msg: impl Into<String>) -> ParseIssue {
+    ParseIssue::Malformed(msg.into())
+}
+
+/// Parses a single-line flat JSON object (string / integer / bool / null
+/// values only — exactly what the journal writer emits).
+fn parse_flat_object(line: &str) -> std::result::Result<BTreeMap<String, Json>, ParseIssue> {
+    let mut chars = line.trim().chars().peekable();
+    let mut map = BTreeMap::new();
+    if chars.next() != Some('{') {
+        return Err(malformed("expected `{`"));
+    }
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+        return finishing(chars, map);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return Err(malformed(format!("expected `:` after key `{key}`")));
+        }
+        skip_ws(&mut chars);
+        let val = parse_value(&mut chars)?;
+        map.insert(key, val);
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => return finishing(chars, map),
+            other => return Err(malformed(format!("expected `,` or `}}`, got {other:?}"))),
+        }
+    }
+}
+
+fn finishing(
+    mut chars: std::iter::Peekable<std::str::Chars<'_>>,
+    map: BTreeMap<String, Json>,
+) -> std::result::Result<BTreeMap<String, Json>, ParseIssue> {
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err(malformed("trailing characters after object"));
+    }
+    Ok(map)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(|c| c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> std::result::Result<String, ParseIssue> {
+    if chars.next() != Some('"') {
+        return Err(malformed("expected string"));
+    }
+    let mut s = String::new();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(s),
+            Some('\\') => match chars.next() {
+                Some('"') => s.push('"'),
+                Some('\\') => s.push('\\'),
+                Some('/') => s.push('/'),
+                Some('n') => s.push('\n'),
+                Some('r') => s.push('\r'),
+                Some('t') => s.push('\t'),
+                Some('u') => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16)
+                        .map_err(|_| malformed(format!("bad \\u escape `{hex}`")))?;
+                    s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                }
+                other => return Err(malformed(format!("bad escape {other:?}"))),
+            },
+            Some(c) => s.push(c),
+            None => return Err(malformed("unterminated string")),
+        }
+    }
+}
+
+fn parse_value(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> std::result::Result<Json, ParseIssue> {
+    match chars.peek() {
+        Some('"') => Ok(Json::Str(parse_string(chars)?)),
+        Some('t') | Some('f') | Some('n') => {
+            let mut word = String::new();
+            while chars.peek().is_some_and(|c| c.is_ascii_alphabetic()) {
+                word.push(chars.next().expect("peeked"));
+            }
+            match word.as_str() {
+                "true" => Ok(Json::Bool(true)),
+                "false" => Ok(Json::Bool(false)),
+                "null" => Ok(Json::Null),
+                other => Err(malformed(format!("unknown literal `{other}`"))),
+            }
+        }
+        Some(c) if *c == '-' || c.is_ascii_digit() => {
+            let mut num = String::new();
+            while chars.peek().is_some_and(|c| *c == '-' || c.is_ascii_digit()) {
+                num.push(chars.next().expect("peeked"));
+            }
+            num.parse::<i64>().map(Json::Int).map_err(|_| malformed(format!("bad number `{num}`")))
+        }
+        other => Err(malformed(format!("unexpected value start {other:?}"))),
+    }
+}
+
+fn get_str<'m>(
+    map: &'m BTreeMap<String, Json>,
+    key: &str,
+) -> std::result::Result<&'m str, ParseIssue> {
+    match map.get(key) {
+        Some(Json::Str(s)) => Ok(s),
+        Some(_) => Err(malformed(format!("field `{key}` is not a string"))),
+        None => Err(malformed(format!("missing field `{key}`"))),
+    }
+}
+
+fn get_i64(map: &BTreeMap<String, Json>, key: &str) -> std::result::Result<i64, ParseIssue> {
+    match map.get(key) {
+        Some(Json::Int(n)) => Ok(*n),
+        Some(_) => Err(malformed(format!("field `{key}` is not a number"))),
+        None => Err(malformed(format!("missing field `{key}`"))),
+    }
+}
+
+fn get_u64(map: &BTreeMap<String, Json>, key: &str) -> std::result::Result<u64, ParseIssue> {
+    let n = get_i64(map, key)?;
+    u64::try_from(n).map_err(|_| malformed(format!("field `{key}` is negative")))
+}
+
+fn get_opt_u64(
+    map: &BTreeMap<String, Json>,
+    key: &str,
+) -> std::result::Result<Option<u64>, ParseIssue> {
+    match map.get(key) {
+        Some(Json::Null) | None => Ok(None),
+        Some(Json::Int(n)) => {
+            u64::try_from(*n).map(Some).map_err(|_| malformed(format!("field `{key}` is negative")))
+        }
+        Some(_) => Err(malformed(format!("field `{key}` is not a number or null"))),
+    }
+}
+
+fn get_bool(map: &BTreeMap<String, Json>, key: &str) -> std::result::Result<bool, ParseIssue> {
+    match map.get(key) {
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(_) => Err(malformed(format!("field `{key}` is not a bool"))),
+        None => Err(malformed(format!("missing field `{key}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<JournalEvent> {
+        vec![
+            JournalEvent::ExperimentStart {
+                name: "micro".into(),
+                jobs: 4,
+                seed: 42,
+                version: JOURNAL_VERSION,
+            },
+            JournalEvent::Build {
+                benchmark: "arrayread".into(),
+                build_type: "gcc_native".into(),
+                digest: "fex256:00ff".into(),
+                cache_hit: false,
+                wall_ns: 1200,
+            },
+            JournalEvent::UnitClaim {
+                benchmark: "arrayread".into(),
+                build_type: "gcc_native".into(),
+                threads: 2,
+                rep: Some(0),
+                worker: 3,
+            },
+            JournalEvent::VmExec {
+                benchmark: "arrayread".into(),
+                build_type: "gcc_native".into(),
+                threads: 2,
+                rep: Some(0),
+                instructions: 1000,
+                cycles: 2500,
+                l1_misses: 10,
+                llc_misses: 2,
+                branch_mispredicts: 1,
+                faults: 0,
+                exit: 7,
+            },
+            JournalEvent::UnitOutcome {
+                benchmark: "arrayread".into(),
+                build_type: "gcc_native".into(),
+                threads: 2,
+                rep: Some(0),
+                outcome: "clean".into(),
+                attempts: 1,
+                backoff_cycles: 0,
+            },
+            JournalEvent::RunFault {
+                benchmark: "ptrchase".into(),
+                build_type: "gcc_native".into(),
+                threads: 1,
+                rep: None,
+                attempt: 0,
+                error: "vm trap: injected fault \"quoted\"\n".into(),
+            },
+            JournalEvent::UnitOutcome {
+                benchmark: "ptrchase".into(),
+                build_type: "gcc_native".into(),
+                threads: 1,
+                rep: None,
+                outcome: "quarantined".into(),
+                attempts: 3,
+                backoff_cycles: 3_000_000,
+            },
+            JournalEvent::QuarantineSkip {
+                benchmark: "ptrchase".into(),
+                build_type: "clang_native".into(),
+            },
+            JournalEvent::DecodeCache { decodes: 2, served: 8 },
+            JournalEvent::PhaseEnd { phase: "run".into(), wall_ns: 5_000_000 },
+            JournalEvent::ExperimentEnd { rows: 8, failure_records: 1, wall_ns: 6_000_000 },
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips_through_json() {
+        for e in sample_events() {
+            let line = e.to_json();
+            let back = parse_line(&line).unwrap_or_else(|i| panic!("{i} for {line}"));
+            assert_eq!(e, back, "round trip of {line}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_survive_the_round_trip() {
+        let e = JournalEvent::RunFault {
+            benchmark: "a\\b".into(),
+            build_type: "t\"y".into(),
+            threads: 1,
+            rep: Some(2),
+            attempt: 1,
+            error: "line1\nline2\ttab \u{1} control".into(),
+        };
+        let back = parse_line(&e.to_json()).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_not_panicked() {
+        for bad in [
+            "",
+            "{",
+            "not json at all",
+            "{\"event\": \"vm_exec\"",               // truncated
+            "{\"event\": \"vm_exec\"} trailing",     // garbage after
+            "{\"event\": \"build\", \"wall_ns\": }", // missing value
+            "{\"event\": \"build\"}",                // missing fields
+            "{\"event\": \"phase_end\", \"phase\": \"run\", \"wall_ns\": \"soon\"}", // mistyped
+            "{\"event\": \"phase_end\", \"phase\": \"run\", \"wall_ns\": -5}", // negative
+        ] {
+            match parse_line(bad) {
+                Err(ParseIssue::Malformed(_)) => {}
+                other => panic!("expected Malformed for {bad:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_event_types_are_distinguished_from_malformed() {
+        let line = "{\"event\": \"teleport\", \"to\": \"mars\"}";
+        assert_eq!(parse_line(line), Err(ParseIssue::UnknownEvent("teleport".into())));
+    }
+
+    #[test]
+    fn disabled_journal_drops_everything() {
+        let mut j = Journal::new(false);
+        j.emit(JournalEvent::DecodeCache { decodes: 1, served: 1 });
+        j.phase_start("run");
+        j.phase_end("run");
+        j.extend(sample_events());
+        assert!(j.is_empty());
+        assert_eq!(j.to_jsonl(), "");
+    }
+
+    #[test]
+    fn phase_timing_emits_matched_pairs() {
+        let mut j = Journal::new(true);
+        j.phase_start("run");
+        j.phase_end("run");
+        j.phase_end("never_started"); // silently ignored
+        assert_eq!(j.len(), 1);
+        assert!(matches!(&j.events()[0], JournalEvent::PhaseEnd { phase, .. } if phase == "run"));
+    }
+
+    #[test]
+    fn metrics_aggregate_the_stream() {
+        let m = Metrics::from_journal(&sample_events());
+        assert_eq!(m.experiment, "micro");
+        assert_eq!(m.jobs, 4);
+        assert_eq!(m.events, 11);
+        assert_eq!(m.retry_histogram.get(&1), Some(&1));
+        assert_eq!(m.unit_outcomes.get("clean"), Some(&1));
+        assert_eq!(m.builds, 1);
+        assert_eq!(m.build_wall_ns, 1200);
+        assert_eq!(m.run_wall_ns, 5_000_000);
+        assert_eq!(m.rows, 8);
+        assert_eq!(m.retry_histogram.get(&3), Some(&1));
+        assert_eq!(m.unit_outcomes.get("quarantined"), Some(&1));
+        assert_eq!(m.quarantined, vec!["ptrchase"]);
+        assert_eq!(m.per_benchmark_cycles.get("arrayread"), Some(&2500));
+        assert_eq!(m.run_faults, 1);
+        assert!((m.decode_hit_rate() - 0.75).abs() < 1e-12);
+
+        let json = m.to_json();
+        assert!(json.contains("\"experiment\": \"micro\""));
+        assert!(json.contains("\"hit_rate\": 0.7500"));
+        assert!(json.contains("\"quarantined\": [\"ptrchase\"]"));
+    }
+
+    #[test]
+    fn normalize_zeroes_only_the_volatile_fields() {
+        let mut events = sample_events();
+        for e in &mut events {
+            e.normalize();
+        }
+        let m = Metrics::from_journal(&events);
+        assert_eq!(m.build_wall_ns, 0);
+        assert_eq!(m.run_wall_ns, 0);
+        assert_eq!(m.jobs, 0);
+        // Measured counters are untouched.
+        assert_eq!(m.per_benchmark_cycles.get("arrayread"), Some(&2500));
+        assert_eq!(m.backoff_cycles, 3_000_000);
+    }
+
+    #[test]
+    fn report_renders_phases_and_per_unit_history_from_jsonl_alone() {
+        let jsonl: String = sample_events().iter().map(|e| e.to_json() + "\n").collect::<String>();
+        let rendered = render_report(&jsonl);
+        assert!(rendered.warnings.is_empty(), "{:?}", rendered.warnings);
+        let r = &rendered.report;
+        assert!(r.contains("experiment `micro` — seed 42, jobs 4"), "{r}");
+        assert!(r.contains(&format!("{:<12} {:>14}", "run", "5.000 ms")), "{r}");
+        assert!(r.contains(&format!("{:<12} {:>14}", "total", "6.000 ms")), "{r}");
+        assert!(r.contains("quarantined: ptrchase"), "{r}");
+        assert!(r.contains("gcc_native/arrayread m=2 rep=0"), "{r}");
+        assert!(r.contains("[worker 3]"), "{r}");
+        assert!(r.contains("attempt 0 faulted: vm trap: injected fault"), "{r}");
+        assert!(r.contains("clang_native/ptrchase"), "{r}");
+        assert!(r.contains("skipped (benchmark quarantined)"), "{r}");
+    }
+
+    #[test]
+    fn report_skips_malformed_and_unknown_lines_with_warnings() {
+        let mut jsonl = String::new();
+        jsonl.push_str(&sample_events()[0].to_json());
+        jsonl.push('\n');
+        jsonl.push_str("{\"event\": \"vm_exec\", \"benchmark\": \"trunc"); // truncated JSON
+        jsonl.push('\n');
+        jsonl.push_str("{\"event\": \"from_the_future\", \"x\": 1}\n");
+        jsonl.push('\n'); // blank lines are fine
+        jsonl.push_str(&sample_events()[10].to_json());
+        jsonl.push('\n');
+        let rendered = render_report(&jsonl);
+        assert_eq!(rendered.warnings.len(), 2, "{:?}", rendered.warnings);
+        assert!(rendered.warnings[0].contains("line 2"));
+        assert!(rendered.warnings[0].contains("malformed"));
+        assert!(rendered.warnings[1].contains("unknown event type `from_the_future`"));
+        assert!(rendered.report.contains("experiment `micro`"));
+        assert!(rendered.report.contains("rows collected: 8"));
+    }
+}

@@ -18,6 +18,9 @@
 //!   Welch's t-test),
 //! * [`plot`] — the five generic plot kinds of Table I plus the
 //!   throughput-latency scatterline, rendered to SVG and ASCII,
+//! * [`journal`] — the structured run journal (`journal.jsonl` +
+//!   `metrics.json` next to the results CSV) and the `fex report`
+//!   renderer,
 //! * [`workflow`] — the [`Fex`] orchestrator (`fex.py`), running
 //!   everything inside the simulated [`fex-container`](fex_container)
 //!   with pinned-version [install scripts](install),
@@ -54,6 +57,7 @@ pub mod edd;
 pub mod env;
 mod error;
 pub mod install;
+pub mod journal;
 pub mod plot;
 pub mod registry;
 pub mod resilience;
@@ -63,5 +67,6 @@ pub mod workflow;
 
 pub use config::ExperimentConfig;
 pub use error::{FexError, Result};
+pub use journal::{Journal, JournalEvent, Metrics};
 pub use resilience::{FailureRecord, FailureReport, RunOutcome, RunPolicy};
 pub use workflow::{Fex, PlotRequest};

@@ -23,6 +23,7 @@ use crate::collect::{Collector, DataFrame};
 use crate::config::{input_name, ExperimentConfig};
 use crate::env::environment_for;
 use crate::error::{FexError, Result};
+use crate::journal::{Journal, JournalEvent};
 use crate::resilience::{
     execute_with_retry, AttemptLog, FailureRecord, FailureReport, QuarantineBook, RunOutcome,
 };
@@ -42,6 +43,12 @@ pub struct RunContext<'a> {
     pub attempt: u64,
     /// Failure and retry accounting for this experiment.
     pub failures: FailureReport,
+    /// The structured run journal (disabled under `--no-journal`). A
+    /// strict observer: both loops emit the same per-unit event sequence
+    /// — claim, VM execution, one fault per errored attempt, outcome —
+    /// and never read it back, so CSVs are byte-identical with it on or
+    /// off.
+    pub journal: Journal,
 }
 
 impl<'a> RunContext<'a> {
@@ -51,7 +58,14 @@ impl<'a> RunContext<'a> {
         build: &'a mut BuildSystem,
         log: &'a mut Vec<String>,
     ) -> Self {
-        RunContext { config, build, log, attempt: 0, failures: FailureReport::default() }
+        RunContext {
+            config,
+            build,
+            log,
+            attempt: 0,
+            failures: FailureReport::default(),
+            journal: Journal::new(config.journal),
+        }
     }
 
     /// Appends a log line (printed immediately in verbose mode).
@@ -101,10 +115,14 @@ enum Flow {
     SkipBenchmark,
 }
 
-/// Folds one [`AttemptLog`] into the context's failure accounting and the
-/// quarantine book. Non-run errors propagate and abort the experiment;
-/// run faults are recorded and — at the failure threshold — quarantine
-/// the benchmark.
+/// Folds one [`AttemptLog`] into the context's failure accounting, the
+/// quarantine book and the run journal. Non-run errors propagate and
+/// abort the experiment; run faults are recorded and — at the failure
+/// threshold — quarantine the benchmark.
+///
+/// `rep` is `None` for benchmark-level actions (dry runs); the failure
+/// CSV and log lines keep printing `0` there, exactly as before the
+/// journal existed.
 fn settle(
     ctx: &mut RunContext<'_>,
     quarantine: &mut QuarantineBook,
@@ -112,27 +130,56 @@ fn settle(
     ty: &str,
     bench: &str,
     threads: usize,
-    rep: usize,
+    rep: Option<usize>,
 ) -> Result<Flow> {
     ctx.attempt = 0;
     ctx.failures.note_run(log.attempts, log.backoff_cycles);
+    if ctx.journal.enabled() {
+        for (attempt, error) in log.errors.iter().enumerate() {
+            ctx.journal.emit(JournalEvent::RunFault {
+                benchmark: bench.to_string(),
+                build_type: ty.to_string(),
+                threads,
+                rep,
+                attempt: attempt as u64,
+                error: error.clone(),
+            });
+        }
+    }
+    let outcome_event = |ctx: &mut RunContext<'_>, outcome: &str| {
+        if ctx.journal.enabled() {
+            ctx.journal.emit(JournalEvent::UnitOutcome {
+                benchmark: bench.to_string(),
+                build_type: ty.to_string(),
+                threads,
+                rep,
+                outcome: outcome.to_string(),
+                attempts: log.attempts,
+                backoff_cycles: log.backoff_cycles,
+            });
+        }
+    };
+    let rec_rep = rep.unwrap_or(0);
     let first_error = log.errors.first().cloned().unwrap_or_default();
     match log.result {
         Ok(()) => {
             if log.attempts > 1 {
                 ctx.log(format!(
-                    "`{bench}` [{ty}] m={threads} rep={rep} recovered after {} attempts",
+                    "`{bench}` [{ty}] m={threads} rep={rec_rep} recovered after {} attempts",
                     log.attempts
                 ));
                 ctx.failures.push(FailureRecord {
                     benchmark: bench.to_string(),
                     build_type: ty.to_string(),
                     threads,
-                    rep,
+                    rep: rec_rep,
                     error: first_error,
                     attempts: log.attempts,
                     outcome: RunOutcome::Recovered,
                 });
+                outcome_event(ctx, "recovered");
+            } else {
+                outcome_event(ctx, "clean");
             }
             Ok(Flow::Continue)
         }
@@ -140,18 +187,19 @@ fn settle(
             let quarantined = quarantine.record_failure(bench);
             let outcome = if quarantined { RunOutcome::Quarantined } else { RunOutcome::Failed };
             ctx.log(format!(
-                "`{bench}` [{ty}] m={threads} rep={rep} {outcome} after {} attempts: {e}",
+                "`{bench}` [{ty}] m={threads} rep={rec_rep} {outcome} after {} attempts: {e}",
                 log.attempts
             ));
             ctx.failures.push(FailureRecord {
                 benchmark: bench.to_string(),
                 build_type: ty.to_string(),
                 threads,
-                rep,
+                rep: rec_rep,
                 error: e.to_string(),
                 attempts: log.attempts,
                 outcome,
             });
+            outcome_event(ctx, &outcome.to_string());
             if quarantine.is_quarantined(bench) {
                 Ok(Flow::SkipBenchmark)
             } else {
@@ -250,13 +298,17 @@ fn fig4_loop<R: Runner + ?Sized>(runner: &mut R, ctx: &mut RunContext<'_>) -> Re
         'bench: for bench in runner.benchmarks(ctx) {
             if quarantine.is_quarantined(&bench) {
                 ctx.log(format!("skipping quarantined `{bench}` [{ty}]"));
+                ctx.journal.emit(JournalEvent::QuarantineSkip {
+                    benchmark: bench.clone(),
+                    build_type: ty.clone(),
+                });
                 continue;
             }
             let log = execute_with_retry(&policy, |attempt| {
                 ctx.attempt = attempt;
                 runner.per_benchmark_action(ctx, ty, &bench)
             });
-            if let Flow::SkipBenchmark = settle(ctx, &mut quarantine, log, ty, &bench, 1, 0)? {
+            if let Flow::SkipBenchmark = settle(ctx, &mut quarantine, log, ty, &bench, 1, None)? {
                 continue 'bench;
             }
             for m in &threads {
@@ -267,7 +319,7 @@ fn fig4_loop<R: Runner + ?Sized>(runner: &mut R, ctx: &mut RunContext<'_>) -> Re
                         runner.per_run_action(ctx, ty, &bench, *m, rep)
                     });
                     if let Flow::SkipBenchmark =
-                        settle(ctx, &mut quarantine, log, ty, &bench, *m, rep)?
+                        settle(ctx, &mut quarantine, log, ty, &bench, *m, Some(rep))?
                     {
                         continue 'bench;
                     }
@@ -327,6 +379,19 @@ impl SuiteRunner {
             .get(&(ty.to_string(), bench.to_string()))
             .cloned()
             .ok_or_else(|| FexError::Config(format!("`{bench}` was not built for `{ty}`")))?;
+        // The journal's claim marks the unit being picked up, once — not
+        // once per retry attempt — mirroring the worker pool, where the
+        // claim precedes the whole retry loop. The sequential loop is
+        // "worker 0".
+        if ctx.journal.enabled() && ctx.attempt == 0 {
+            ctx.journal.emit(JournalEvent::UnitClaim {
+                benchmark: bench.to_string(),
+                build_type: ty.to_string(),
+                threads,
+                rep,
+                worker: 0,
+            });
+        }
         let machine = Machine::new(ctx.machine_config_for(ty, bench, threads, rep));
         let mut instance = if ctx.config.decode_cache {
             machine.load_with(&artifact.program, &artifact.decoded)
@@ -338,6 +403,9 @@ impl SuiteRunner {
             build_type: ty.to_string(),
             source,
         })?;
+        if ctx.journal.enabled() {
+            ctx.journal.emit(JournalEvent::vm_exec(bench, ty, threads, rep, &run));
+        }
         if let Some(rep) = rep {
             self.collector.record(
                 self.suite.name,
@@ -456,7 +524,7 @@ impl SuiteRunner {
 
         // Phase 3: speculative parallel execution.
         ctx.log(format!("scheduler: {} run units across {jobs} workers", units.len()));
-        let outcomes = execute_units(&units, &policy, jobs);
+        let outcomes = execute_units(&units, &policy, jobs, ctx.journal.enabled());
         let served =
             units.iter().filter(|u| u.work.as_ref().is_some_and(|w| w.decoded.is_some())).count();
         if served > 0 {
@@ -475,9 +543,16 @@ impl SuiteRunner {
         for (unit, outcome) in units.iter().zip(outcomes) {
             if quarantine.is_quarantined(&unit.bench) {
                 // The sequential loop announces the skip once per
-                // (type, benchmark) — at the per-benchmark unit.
+                // (type, benchmark) — at the per-benchmark unit. A
+                // speculatively executed unit's worker events are
+                // dropped with it, so the journal too matches the
+                // sequential run.
                 if !unit.record {
                     ctx.log(format!("skipping quarantined `{}` [{}]", unit.bench, unit.ty));
+                    ctx.journal.emit(JournalEvent::QuarantineSkip {
+                        benchmark: unit.bench.clone(),
+                        build_type: unit.ty.clone(),
+                    });
                 }
                 continue;
             }
@@ -486,9 +561,20 @@ impl SuiteRunner {
             }
             let rep = unit.rep.unwrap_or(0);
             let recorded = unit.record && outcome.result.is_some();
+            // Splice the worker's per-unit events (claim + execution)
+            // ahead of the fault/outcome events settle emits.
+            ctx.journal.extend(outcome.events);
             // The returned flow is redundant here: skipping is the
             // quarantine check at the top of this merge loop.
-            settle(ctx, &mut quarantine, outcome.log, &unit.ty, &unit.bench, unit.threads, rep)?;
+            settle(
+                ctx,
+                &mut quarantine,
+                outcome.log,
+                &unit.ty,
+                &unit.bench,
+                unit.threads,
+                unit.rep,
+            )?;
             if recorded {
                 let run = outcome.result.expect("checked above");
                 self.collector.record(
@@ -545,9 +631,21 @@ impl Runner for SuiteRunner {
         ctx.log(format!("type `{ty}` environment ({}): {vars:?}", env.name()));
         for bench in self.benchmarks(ctx) {
             let prog = self.program(&bench)?;
+            let started = std::time::Instant::now();
+            let (builds_before, _) = ctx.build.work_performed();
             let artifact =
                 ctx.build.build(&bench, prog.source, ty, ctx.config.debug, ctx.config.no_build)?;
             ctx.log(format!("built `{bench}` [{}]", artifact.build_info));
+            if ctx.journal.enabled() {
+                let (builds_after, _) = ctx.build.work_performed();
+                ctx.journal.emit(JournalEvent::Build {
+                    benchmark: bench.clone(),
+                    build_type: ty.to_string(),
+                    digest: artifact.digest.to_string(),
+                    cache_hit: builds_after == builds_before,
+                    wall_ns: started.elapsed().as_nanos() as u64,
+                });
+            }
             self.artifacts.insert((ty.to_string(), bench), artifact);
         }
         Ok(())
@@ -658,13 +756,18 @@ impl Runner for VariableInputRunner {
             'bench: for bench in self.benchmarks(ctx) {
                 if quarantine.is_quarantined(&bench) {
                     ctx.log(format!("skipping quarantined `{bench}` [{ty}]"));
+                    ctx.journal.emit(JournalEvent::QuarantineSkip {
+                        benchmark: bench.clone(),
+                        build_type: ty.clone(),
+                    });
                     continue;
                 }
                 let log = execute_with_retry(&policy, |attempt| {
                     ctx.attempt = attempt;
                     self.inner.per_benchmark_action(ctx, ty, &bench)
                 });
-                if let Flow::SkipBenchmark = settle(ctx, &mut quarantine, log, ty, &bench, 1, 0)? {
+                if let Flow::SkipBenchmark = settle(ctx, &mut quarantine, log, ty, &bench, 1, None)?
+                {
                     self.inner.input_override = None;
                     continue 'bench;
                 }
@@ -678,7 +781,7 @@ impl Runner for VariableInputRunner {
                                 self.inner.per_run_action(ctx, ty, &bench, *m, rep)
                             });
                             if let Flow::SkipBenchmark =
-                                settle(ctx, &mut quarantine, log, ty, &bench, *m, rep)?
+                                settle(ctx, &mut quarantine, log, ty, &bench, *m, Some(rep))?
                             {
                                 self.inner.input_override = None;
                                 continue 'bench;

@@ -37,6 +37,7 @@ use std::sync::{mpsc, Arc};
 use fex_vm::{DecodedProgram, Machine, MachineConfig, Program, RunResult};
 
 use crate::error::FexError;
+use crate::journal::JournalEvent;
 use crate::resilience::{execute_with_retry_value, AttemptLog, RunPolicy};
 
 /// One cell of the experiment matrix, ready to execute.
@@ -88,16 +89,34 @@ pub struct UnitOutcome {
     /// The successful run's measurement (`None` on exhaustion or for
     /// work-less units).
     pub result: Option<RunResult>,
+    /// Journal events recorded by the worker that ran this unit (claim +
+    /// VM execution). Each worker buffers into its unit's outcome — no
+    /// shared journal state on the hot path — and the merge loop splices
+    /// the buffers into the experiment journal in matrix order,
+    /// discarding those of speculative units a sequential run would have
+    /// skipped.
+    pub events: Vec<JournalEvent>,
 }
 
 /// Executes one unit through the retry policy, on whatever thread called.
-fn run_unit(unit: &RunUnit, policy: &RunPolicy) -> UnitOutcome {
+fn run_unit(unit: &RunUnit, policy: &RunPolicy, journal: bool, worker: usize) -> UnitOutcome {
     let Some(work) = &unit.work else {
         return UnitOutcome {
             log: AttemptLog { attempts: 1, backoff_cycles: 0, errors: Vec::new(), result: Ok(()) },
             result: None,
+            events: Vec::new(),
         };
     };
+    let mut events = Vec::new();
+    if journal {
+        events.push(JournalEvent::UnitClaim {
+            benchmark: unit.bench.clone(),
+            build_type: unit.ty.clone(),
+            threads: unit.threads,
+            rep: unit.rep,
+            worker,
+        });
+    }
     let (log, result) = execute_with_retry_value(policy, |attempt| {
         let mut mc = work.config.clone();
         mc.fault_plan = mc.fault_plan.clone().with_attempt(attempt);
@@ -112,7 +131,12 @@ fn run_unit(unit: &RunUnit, policy: &RunPolicy) -> UnitOutcome {
             source,
         })
     });
-    UnitOutcome { log, result }
+    if journal {
+        if let Some(run) = &result {
+            events.push(JournalEvent::vm_exec(&unit.bench, &unit.ty, unit.threads, unit.rep, run));
+        }
+    }
+    UnitOutcome { log, result, events }
 }
 
 /// Executes every unit and returns the outcomes **in unit order**,
@@ -123,15 +147,20 @@ fn run_unit(unit: &RunUnit, policy: &RunPolicy) -> UnitOutcome {
 /// fast path. With more, a scoped worker pool self-schedules over a
 /// shared claim counter; outcomes come home over a channel and are
 /// slotted by index.
-pub fn execute_units(units: &[RunUnit], policy: &RunPolicy, jobs: usize) -> Vec<UnitOutcome> {
+pub fn execute_units(
+    units: &[RunUnit],
+    policy: &RunPolicy,
+    jobs: usize,
+    journal: bool,
+) -> Vec<UnitOutcome> {
     let jobs = jobs.clamp(1, units.len().max(1));
     if jobs == 1 {
-        return units.iter().map(|u| run_unit(u, policy)).collect();
+        return units.iter().map(|u| run_unit(u, policy, journal, 0)).collect();
     }
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, UnitOutcome)>();
     std::thread::scope(|scope| {
-        for _ in 0..jobs {
+        for worker in 0..jobs {
             let tx = tx.clone();
             let next = &next;
             scope.spawn(move || loop {
@@ -139,7 +168,7 @@ pub fn execute_units(units: &[RunUnit], policy: &RunPolicy, jobs: usize) -> Vec<
                 if i >= units.len() {
                     break;
                 }
-                if tx.send((i, run_unit(&units[i], policy))).is_err() {
+                if tx.send((i, run_unit(&units[i], policy, journal, worker))).is_err() {
                     break;
                 }
             });
@@ -198,22 +227,24 @@ mod tests {
     #[test]
     fn workless_units_settle_as_one_clean_attempt() {
         let u = RunUnit { work: None, record: false, ..unit("x", 0, false) };
-        let outcomes = execute_units(&[u], &RunPolicy::default(), 4);
+        let outcomes = execute_units(&[u], &RunPolicy::default(), 4, true);
         assert_eq!(outcomes.len(), 1);
         assert_eq!(outcomes[0].log.attempts, 1);
         assert!(outcomes[0].log.result.is_ok());
         assert!(outcomes[0].result.is_none());
+        assert!(outcomes[0].events.is_empty(), "bookkeeping units leave no worker events");
     }
 
     #[test]
     fn outcomes_come_home_in_unit_order_at_any_worker_count() {
         let units: Vec<RunUnit> = (0..12).map(|i| unit(&format!("b{i}"), i, false)).collect();
         for jobs in [1, 2, 4, 8, 64] {
-            let outcomes = execute_units(&units, &RunPolicy::default(), jobs);
+            let outcomes = execute_units(&units, &RunPolicy::default(), jobs, false);
             assert_eq!(outcomes.len(), 12);
             for o in &outcomes {
                 assert!(o.log.result.is_ok());
                 assert_eq!(o.result.as_ref().unwrap().exit, 7);
+                assert!(o.events.is_empty(), "journaling off leaves no events");
             }
         }
     }
@@ -222,7 +253,7 @@ mod tests {
     fn failing_units_exhaust_retries_without_poisoning_neighbours() {
         let units = vec![unit("good", 0, false), unit("bad", 0, true), unit("good", 1, false)];
         let policy = RunPolicy::default().retries(1);
-        let outcomes = execute_units(&units, &policy, 2);
+        let outcomes = execute_units(&units, &policy, 2, false);
         assert!(outcomes[0].log.result.is_ok());
         assert!(outcomes[1].log.result.is_err());
         assert_eq!(outcomes[1].log.attempts, 2, "one retry was spent");
@@ -238,9 +269,25 @@ mod tests {
         if let Some(w) = &mut u.work {
             w.config.fault_plan = FaultPlan::spurious(1.0, FaultKind::Trap, 9);
         }
-        let outcomes = execute_units(&[u], &RunPolicy::default().retries(2), 2);
+        let outcomes = execute_units(&[u], &RunPolicy::default().retries(2), 2, false);
         assert!(outcomes[0].log.result.is_err());
         assert_eq!(outcomes[0].log.attempts, 3);
         assert_eq!(outcomes[0].log.errors.len(), 3);
+    }
+
+    #[test]
+    fn workers_buffer_claim_and_exec_events_per_unit() {
+        let units = vec![unit("ok", 0, false), unit("bad", 0, true)];
+        let outcomes = execute_units(&units, &RunPolicy::default().retries(0), 4, true);
+        // Successful unit: a claim then the VM execution counters.
+        assert_eq!(outcomes[0].events.len(), 2);
+        assert!(matches!(
+            &outcomes[0].events[0],
+            JournalEvent::UnitClaim { benchmark, .. } if benchmark == "ok"
+        ));
+        assert!(matches!(&outcomes[0].events[1], JournalEvent::VmExec { exit: 7, .. }));
+        // Exhausted unit: the claim alone — no successful execution.
+        assert_eq!(outcomes[1].events.len(), 1);
+        assert!(matches!(&outcomes[1].events[0], JournalEvent::UnitClaim { .. }));
     }
 }

@@ -19,6 +19,7 @@ use crate::collect::DataFrame;
 use crate::config::ExperimentConfig;
 use crate::error::{FexError, Result};
 use crate::install::{required_scripts, run_script};
+use crate::journal::{JournalEvent, Metrics, JOURNAL_VERSION};
 use crate::plot::{
     barplot_from_frame, lineplot_from_frame, normalize_against, Plot, PlotKind, Series,
 };
@@ -158,28 +159,75 @@ impl Fex {
             ExperimentKind::Server => Box::new(ServerRunner::new(server_kind(&config.name)?)),
             ExperimentKind::Security => Box::new(SecurityRunner::new()),
         };
-        let (frame, failures) = {
+        let experiment_started = std::time::Instant::now();
+        let (_, decodes_before) = self.build.work_performed();
+        let (frame, failures, mut journal) = {
             let mut ctx = RunContext::new(config, &mut self.build, &mut self.log);
+            ctx.journal.emit(JournalEvent::ExperimentStart {
+                name: config.name.clone(),
+                jobs: config.effective_jobs(),
+                seed: config.seed,
+                version: JOURNAL_VERSION,
+            });
+            ctx.journal.phase_start("run");
             let frame = runner.run(&mut ctx)?;
-            (frame, std::mem::take(&mut ctx.failures))
+            ctx.journal.phase_end("run");
+            (frame, std::mem::take(&mut ctx.failures), std::mem::take(&mut ctx.journal))
         };
         if !failures.is_clean() {
             self.log.push(failures.summary());
+        }
+        if journal.enabled() {
+            // Decoded-artifact cache accounting for the whole experiment:
+            // decodes happened at build time; every successful execution
+            // with the cache on was served a pre-decoded program.
+            let (_, decodes_after) = self.build.work_performed();
+            let served = if config.decode_cache {
+                journal.events().iter().filter(|e| matches!(e, JournalEvent::VmExec { .. })).count()
+            } else {
+                0
+            };
+            journal.emit(JournalEvent::DecodeCache {
+                decodes: decodes_after - decodes_before,
+                served,
+            });
         }
         // Persist the CSV and the logs into the container's filesystem,
         // like the paper's collect stage. The failure report rides along
         // (header-only when the run was clean) so partial results are
         // always accompanied by the account of what is missing and why.
+        journal.phase_start("collect");
+        let results_csv = frame.to_csv();
+        let failures_csv = failures.to_csv();
+        journal.phase_end("collect");
+        journal.emit(JournalEvent::ExperimentEnd {
+            rows: frame.len(),
+            failure_records: failures.records.len(),
+            wall_ns: experiment_started.elapsed().as_nanos() as u64,
+        });
         self.container
             .fs_mut()
-            .write(format!("/fex/results/{}.csv", config.name), frame.to_csv().into_bytes());
-        self.container.fs_mut().write(
-            format!("/fex/results/{}.failures.csv", config.name),
-            failures.to_csv().into_bytes(),
-        );
+            .write(format!("/fex/results/{}.csv", config.name), results_csv.into_bytes());
+        self.container
+            .fs_mut()
+            .write(format!("/fex/results/{}.failures.csv", config.name), failures_csv.into_bytes());
         let log_blob =
             (self.log.join("\n") + "\n" + &self.container.environment_report()).into_bytes();
         self.container.fs_mut().write(format!("/fex/results/{}.log", config.name), log_blob);
+        if journal.enabled() {
+            // The journal and its metrics roll-up land next to the
+            // results CSV; both are derived observations and never feed
+            // back into the CSVs.
+            let metrics = Metrics::from_journal(journal.events());
+            self.container.fs_mut().write(
+                format!("/fex/results/{}.journal.jsonl", config.name),
+                journal.to_jsonl().into_bytes(),
+            );
+            self.container.fs_mut().write(
+                format!("/fex/results/{}.metrics.json", config.name),
+                metrics.to_json().into_bytes(),
+            );
+        }
         self.results.insert(config.name.clone(), frame);
         self.failure_reports.insert(config.name.clone(), failures);
         Ok(&self.results[&config.name])
@@ -209,6 +257,25 @@ impl Fex {
         self.container
             .fs()
             .read(&format!("/fex/results/{name}.failures.csv"))
+            .map(|b| String::from_utf8_lossy(b).into_owned())
+    }
+
+    /// The run journal stored in the container for an experiment
+    /// (`/fex/results/<name>.journal.jsonl`); `None` when the run used
+    /// `--no-journal` (or never happened).
+    pub fn journal_jsonl(&self, name: &str) -> Option<String> {
+        self.container
+            .fs()
+            .read(&format!("/fex/results/{name}.journal.jsonl"))
+            .map(|b| String::from_utf8_lossy(b).into_owned())
+    }
+
+    /// The metrics roll-up stored in the container for an experiment
+    /// (`/fex/results/<name>.metrics.json`).
+    pub fn metrics_json(&self, name: &str) -> Option<String> {
+        self.container
+            .fs()
+            .read(&format!("/fex/results/{name}.metrics.json"))
             .map(|b| String::from_utf8_lossy(b).into_owned())
     }
 

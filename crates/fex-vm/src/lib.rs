@@ -73,6 +73,6 @@ pub use heap::{Heap, HeapStats};
 pub use interp::{AttackEvent, Instance, RunResult, SHELLCODE};
 pub use machine::{global_offsets, LoadBases, Machine, MachineConfig, Mitigations};
 pub use memory::{layout, Memory, Perm, SegmentKind};
-pub use perf::{MeasureTool, Measurement};
+pub use perf::{MeasureTool, Measurement, UnitCounters};
 pub use shadow::{PoisonKind, ShadowMemory, GRANULE as SHADOW_GRANULE};
 pub use trap::{Trap, VmError};

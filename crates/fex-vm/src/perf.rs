@@ -97,6 +97,43 @@ impl Measurement {
     }
 }
 
+/// The per-run counter snapshot exported to observability layers (the
+/// fex-core run journal): the handful of machine counters worth keeping
+/// per run unit, without dragging the whole [`RunResult`] along.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UnitCounters {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Elapsed cycles on the main timeline.
+    pub cycles: u64,
+    /// L1D misses.
+    pub l1_misses: u64,
+    /// Last-level cache misses.
+    pub llc_misses: u64,
+    /// Mispredicted branches.
+    pub branch_mispredicts: u64,
+    /// Security events the machine observed (attack events + control-flow
+    /// hijacks).
+    pub fault_events: u64,
+    /// Entry-function exit value.
+    pub exit: i64,
+}
+
+impl UnitCounters {
+    /// Snapshots the journal-relevant counters of one run.
+    pub fn of(run: &RunResult) -> UnitCounters {
+        UnitCounters {
+            instructions: run.counters.instructions,
+            cycles: run.elapsed_cycles,
+            l1_misses: run.counters.l1_misses,
+            llc_misses: run.counters.llc_misses,
+            branch_mispredicts: run.counters.branch_mispredicts,
+            fault_events: (run.attack_events.len() + run.hijacks.len()) as u64,
+            exit: run.exit,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +186,15 @@ mod tests {
         let m = Measurement::extract(MeasureTool::Time, &fake_run());
         assert_eq!(m.get("maxrss_bytes"), Some(4096.0));
         assert_eq!(m.get("heap_allocs"), Some(3.0));
+    }
+
+    #[test]
+    fn unit_counters_snapshot_the_run() {
+        let c = UnitCounters::of(&fake_run());
+        assert_eq!(c.instructions, 1000);
+        assert_eq!(c.cycles, 2000);
+        assert_eq!(c.fault_events, 0);
+        assert_eq!(c.exit, 0);
     }
 
     #[test]
