@@ -1,0 +1,63 @@
+//! End-to-end exercise of the lab subsystem: run the micro suite twice
+//! with adaptive repetitions into a throwaway store, then drive the
+//! `fex compare` regression gate between the two archived runs and — as
+//! a sanity check of the gate's teeth — against an artificially slowed
+//! copy of the baseline.
+//!
+//! `cargo run --release -p fex-bench --bin lab_gate`
+
+use fex_bench::write_artifact;
+use fex_core::collect::DataFrame;
+use fex_core::lab::{Comparison, RunStore};
+use fex_core::{ExperimentConfig, Fex};
+use fex_suites::InputSize;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("fex-lab-gate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut fex = Fex::new();
+    fex.install("gcc-6.1").expect("install gcc");
+    fex.install("clang-3.8").expect("install clang");
+    let cfg = ExperimentConfig::new("micro")
+        .types(vec!["gcc_native", "clang_native"])
+        .input(InputSize::Test)
+        .adaptive_repetitions(3, 8, 0.05)
+        .lab(dir.to_string_lossy());
+    fex.run(&cfg).expect("baseline run");
+    fex.run(&cfg).expect("candidate run");
+
+    let store = RunStore::open(&dir).expect("open store");
+    let entries = store.list().expect("index parses");
+    println!("{}", RunStore::render_list(&entries));
+    assert_eq!(entries.len(), 2, "two archived runs");
+
+    let base_csv = store.results_csv(&store.resolve("prev").expect("prev")).expect("baseline csv");
+    let cand_csv =
+        store.results_csv(&store.resolve("latest").expect("latest")).expect("candidate csv");
+    let base = DataFrame::from_csv(&base_csv).expect("baseline frame");
+    let cand = DataFrame::from_csv(&cand_csv).expect("candidate frame");
+
+    let same = Comparison::compare(&base, &cand, "time", "prev", "latest").expect("compare");
+    print!("{}", same.to_table());
+    assert!(!same.has_regression(), "identical reruns must not trip the gate");
+
+    // Slow every sample by 50%: the gate must fire.
+    let mut slowed = DataFrame::new(base.columns().to_vec());
+    let ti = base.col("time").expect("time column");
+    for row in base.iter() {
+        let mut row = row.to_vec();
+        if let Some(v) = row[ti].as_num() {
+            row[ti] = (v * 1.5).into();
+        }
+        slowed.push(row);
+    }
+    let slow = Comparison::compare(&base, &slowed, "time", "prev", "slowed").expect("compare");
+    print!("{}", slow.to_table());
+    assert!(slow.has_regression(), "a 50% slowdown must trip the gate");
+
+    write_artifact("lab_gate_compare.txt", &same.to_table());
+    write_artifact("lab_gate_compare.svg", &same.to_plot().to_svg());
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("lab gate: OK");
+}

@@ -2,13 +2,14 @@
 
 use std::process::ExitCode;
 
-use fex_core::cli::{parse, Action, USAGE};
+use fex_core::cli::{parse, Action, LabCommand, USAGE};
+use fex_core::lab::{Comparison, RunStore};
 use fex_core::{Fex, FexError};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("fex: {e}");
             if matches!(e, FexError::Config(_)) {
@@ -19,7 +20,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<(), FexError> {
+fn run(args: &[String]) -> Result<ExitCode, FexError> {
     let action = parse(args)?;
     let mut fex = Fex::new();
     match action {
@@ -55,6 +56,9 @@ fn run(args: &[String]) -> Result<(), FexError> {
             let frame = fex.run(&config)?;
             println!("collected {} rows for `{}`:", frame.len(), config.name);
             print!("{}", frame.to_csv());
+            for line in fex.log().iter().filter(|l| l.contains("stored run")) {
+                eprintln!("{line}");
+            }
             // Surface the run journal on the host filesystem so
             // `fex report <path>` works across processes.
             if let Some(jsonl) = fex.journal_jsonl(&config.name) {
@@ -88,6 +92,57 @@ fn run(args: &[String]) -> Result<(), FexError> {
                 }
             }
         }
+        Action::Lab { cmd, dir } => {
+            let store = RunStore::open(&dir)?;
+            match cmd {
+                LabCommand::List => print!("{}", RunStore::render_list(&store.list()?)),
+                LabCommand::Show { selector } => {
+                    let entry = store.resolve(&selector)?;
+                    print!("{}", store.render_show(&entry)?);
+                }
+                LabCommand::Gc { keep } => {
+                    let removed = store.gc(keep)?;
+                    println!("removed {removed} stored runs (kept {keep} per experiment key)");
+                }
+            }
+        }
+        Action::Compare { baseline, candidate, dir, metric, svg } => {
+            let store = RunStore::open(&dir)?;
+            let (base_label, base_csv) = load_side(&store, &baseline)?;
+            let (cand_label, cand_csv) = load_side(&store, &candidate)?;
+            let base = fex_core::collect::DataFrame::from_csv(&base_csv)?;
+            let cand = fex_core::collect::DataFrame::from_csv(&cand_csv)?;
+            let cmp = Comparison::compare(&base, &cand, &metric, base_label, cand_label)?;
+            print!("{}", cmp.to_table());
+            let plot = cmp.to_plot();
+            println!("\n{}", plot.to_ascii());
+            let svg_path = svg.unwrap_or_else(|| "target/fex-results/compare.svg".to_string());
+            if let Some(parent) = std::path::Path::new(&svg_path).parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            std::fs::write(&svg_path, plot.to_svg())
+                .map_err(|e| FexError::Data(format!("cannot write `{svg_path}`: {e}")))?;
+            eprintln!("comparison plot: {svg_path}");
+            if cmp.has_regression() {
+                eprintln!("fex: significant regression detected");
+                return Ok(ExitCode::from(2));
+            }
+        }
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Resolves one side of a comparison: an on-disk CSV path wins, anything
+/// else is a store selector (`latest`, `prev`, or a run-id prefix).
+fn load_side(store: &RunStore, selector: &str) -> Result<(String, String), FexError> {
+    let path = std::path::Path::new(selector);
+    if path.is_file() {
+        let csv = std::fs::read_to_string(path)
+            .map_err(|e| FexError::Data(format!("cannot read `{selector}`: {e}")))?;
+        return Ok((selector.to_string(), csv));
+    }
+    let entry = store.resolve(selector)?;
+    let short = entry.run_id.trim_start_matches("fex256:");
+    let label = format!("{selector} ({}…)", &short[..12.min(short.len())]);
+    Ok((label, store.results_csv(&entry)?))
 }

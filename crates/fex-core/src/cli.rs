@@ -12,7 +12,7 @@
 use fex_suites::InputSize;
 use fex_vm::MeasureTool;
 
-use crate::config::ExperimentConfig;
+use crate::config::{ExperimentConfig, Repetitions};
 use crate::error::{FexError, Result};
 use crate::workflow::PlotRequest;
 
@@ -47,6 +47,46 @@ pub enum Action {
         /// Path to a `journal.jsonl` to render.
         journal: Option<String>,
     },
+    /// `fex lab <list|show|gc>`: inspect the on-disk run store.
+    Lab {
+        /// Subcommand.
+        cmd: LabCommand,
+        /// Store directory (`--lab`, default `.fex-lab`).
+        dir: String,
+    },
+    /// `fex compare <baseline> <candidate>`: per-benchmark Welch's
+    /// t-test with a verdict table and comparison plots.
+    Compare {
+        /// Baseline selector: a CSV path, a run-id prefix, `latest` or
+        /// `prev`.
+        baseline: String,
+        /// Candidate selector, same forms.
+        candidate: String,
+        /// Store directory selectors resolve in (`--lab`).
+        dir: String,
+        /// Metric column compared (`--metric`, default `time`).
+        metric: String,
+        /// Where the SVG comparison plot is written (`--svg`).
+        svg: Option<String>,
+    },
+}
+
+/// A `fex lab` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LabCommand {
+    /// `fex lab list`: one line per archived run.
+    List,
+    /// `fex lab show <selector>`: summary statistics of one run.
+    Show {
+        /// Run-id prefix, `latest` or `prev`.
+        selector: String,
+    },
+    /// `fex lab gc --keep <n>`: drop all but the newest `n` runs per
+    /// experiment key.
+    Gc {
+        /// Runs kept per key.
+        keep: usize,
+    },
 }
 
 /// Usage text.
@@ -62,12 +102,18 @@ actions:
   report [journal.jsonl]          render a run journal (phase breakdown +
                                   per-unit timeline); bare: print the
                                   support matrix + environment
+  lab <list|show|gc>              inspect the result store (see --lab)
+  compare <baseline> <candidate>  per-benchmark Welch's t-test between two
+                                  runs; exits 2 on significant regression
 
 run options:
   -t <type>...   build types (default gcc_native)
   -b <name>      single benchmark
   -m <n>...      thread counts (default 1)
-  -r <n>         repetitions (default 1)
+  -r <n>         repetitions (default 1; with --adaptive: the minimum)
+  --adaptive <pct>  adaptive repetitions: repeat each cell until the 95%
+                 CI half-width is <= pct% of the mean, or --max-reps
+  --max-reps <n> adaptive repetition budget per cell (default 16)
   -i <size>      input size: test | small | native (default native)
   --tool <t>     perf-stat | perf-stat-mem | time (default perf-stat)
   -v             verbose
@@ -77,6 +123,17 @@ run options:
                  (default: available cores, capped at 16)
   --no-journal   skip the structured run journal (journal.jsonl +
                  metrics.json); result CSVs are identical either way
+  --lab [dir]    archive results into the run store (default .fex-lab)
+
+lab / compare options:
+  --lab <dir>    result store directory (default .fex-lab)
+  --keep <n>     lab gc: runs kept per experiment key (default 1)
+  --metric <m>   compare: metric column to test (default time)
+  --svg <path>   compare: write the SVG comparison plot here
+                 (default target/fex-results/compare.svg)
+
+compare selectors are CSV paths, archived run-id prefixes, `latest`, or
+`prev` (the two newest store entries).
 
 debug escape hatches (measured results are identical either way):
   --no-fusion        disable VM superinstruction fusion
@@ -113,6 +170,89 @@ pub fn parse(args: &[String]) -> Result<Action> {
             }
             Ok(Action::Report { journal })
         }
+        "lab" => {
+            let sub = it.next().cloned().ok_or_else(|| {
+                FexError::Config("lab needs a subcommand: list | show | gc".into())
+            })?;
+            let mut dir = String::from(".fex-lab");
+            let mut keep: Option<usize> = None;
+            let mut positional: Vec<String> = Vec::new();
+            while let Some(tok) = it.next() {
+                match tok.as_str() {
+                    "--lab" => {
+                        dir = it
+                            .next()
+                            .cloned()
+                            .ok_or_else(|| FexError::Config("--lab needs a directory".into()))?;
+                    }
+                    "--keep" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| FexError::Config("--keep needs a count".into()))?;
+                        keep = Some(
+                            v.parse()
+                                .map_err(|_| FexError::Config(format!("bad keep count `{v}`")))?,
+                        );
+                    }
+                    other if !other.starts_with('-') => positional.push(other.to_string()),
+                    other => return Err(FexError::Config(format!("unknown lab flag `{other}`"))),
+                }
+            }
+            let cmd = match sub.as_str() {
+                "list" => LabCommand::List,
+                "show" => {
+                    let selector = positional
+                        .pop()
+                        .ok_or_else(|| FexError::Config("lab show needs a run selector".into()))?;
+                    LabCommand::Show { selector }
+                }
+                "gc" => LabCommand::Gc { keep: keep.unwrap_or(1) },
+                other => return Err(FexError::Config(format!("unknown lab subcommand `{other}`"))),
+            };
+            if !positional.is_empty() {
+                return Err(FexError::Config(format!("unexpected `{}`", positional[0])));
+            }
+            Ok(Action::Lab { cmd, dir })
+        }
+        "compare" => {
+            let mut dir = String::from(".fex-lab");
+            let mut metric = String::from("time");
+            let mut svg: Option<String> = None;
+            let mut positional: Vec<String> = Vec::new();
+            while let Some(tok) = it.next() {
+                match tok.as_str() {
+                    "--lab" => {
+                        dir = it
+                            .next()
+                            .cloned()
+                            .ok_or_else(|| FexError::Config("--lab needs a directory".into()))?;
+                    }
+                    "--metric" => {
+                        metric = it
+                            .next()
+                            .cloned()
+                            .ok_or_else(|| FexError::Config("--metric needs a name".into()))?;
+                    }
+                    "--svg" => {
+                        svg = Some(
+                            it.next()
+                                .cloned()
+                                .ok_or_else(|| FexError::Config("--svg needs a path".into()))?,
+                        );
+                    }
+                    other if !other.starts_with('-') => positional.push(other.to_string()),
+                    other => {
+                        return Err(FexError::Config(format!("unknown compare flag `{other}`")))
+                    }
+                }
+            }
+            if positional.len() != 2 {
+                return Err(FexError::Config("compare needs <baseline> <candidate>".into()));
+            }
+            let candidate = positional.pop().expect("length checked");
+            let baseline = positional.pop().expect("length checked");
+            Ok(Action::Compare { baseline, candidate, dir, metric, svg })
+        }
         "install" => {
             let names = take_values(&mut it, "-n")?;
             if names.is_empty() {
@@ -140,6 +280,9 @@ pub fn parse(args: &[String]) -> Result<Action> {
             let mut name: Option<String> = None;
             let mut config_types: Vec<String> = Vec::new();
             let mut threads: Vec<usize> = Vec::new();
+            let mut reps: Option<usize> = None;
+            let mut adaptive_pct: Option<f64> = None;
+            let mut max_reps: Option<usize> = None;
             let mut cfg = ExperimentConfig::new("");
             while let Some(flag) = it.next() {
                 match flag.as_str() {
@@ -165,9 +308,34 @@ pub fn parse(args: &[String]) -> Result<Action> {
                     "-r" => {
                         let v =
                             it.next().ok_or_else(|| FexError::Config("-r needs a count".into()))?;
-                        cfg.repetitions = v
-                            .parse()
-                            .map_err(|_| FexError::Config(format!("bad repetitions `{v}`")))?;
+                        reps = Some(
+                            v.parse()
+                                .map_err(|_| FexError::Config(format!("bad repetitions `{v}`")))?,
+                        );
+                    }
+                    "--adaptive" => {
+                        let v = it.next().ok_or_else(|| {
+                            FexError::Config("--adaptive needs a precision percentage".into())
+                        })?;
+                        adaptive_pct = Some(
+                            v.parse::<f64>()
+                                .map_err(|_| FexError::Config(format!("bad precision `{v}`")))?,
+                        );
+                    }
+                    "--max-reps" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| FexError::Config("--max-reps needs a count".into()))?;
+                        max_reps = Some(
+                            v.parse()
+                                .map_err(|_| FexError::Config(format!("bad rep budget `{v}`")))?,
+                        );
+                    }
+                    "--lab" => {
+                        cfg.lab = Some(match it.peek() {
+                            Some(v) if !v.starts_with('-') => it.next().expect("peeked").clone(),
+                            _ => String::from(".fex-lab"),
+                        });
                     }
                     "-i" => {
                         let v =
@@ -221,6 +389,19 @@ pub fn parse(args: &[String]) -> Result<Action> {
             if !threads.is_empty() {
                 cfg.threads = threads;
             }
+            cfg.repetitions = match adaptive_pct {
+                Some(pct) => Repetitions::Adaptive {
+                    // `-r` is the floor under --adaptive; variance needs
+                    // at least 2 samples.
+                    min: reps.unwrap_or(2).max(2),
+                    max: max_reps.unwrap_or(16),
+                    rel_precision: pct / 100.0,
+                },
+                None if max_reps.is_some() => {
+                    return Err(FexError::Config("--max-reps needs --adaptive".into()));
+                }
+                None => Repetitions::Fixed(reps.unwrap_or(1)),
+            };
             cfg.validate()?;
             Ok(Action::Run(Box::new(cfg)))
         }
@@ -302,11 +483,93 @@ mod tests {
         };
         assert_eq!(cfg.benchmark.as_deref(), Some("histogram"));
         assert_eq!(cfg.threads, vec![1, 2, 4]);
-        assert_eq!(cfg.repetitions, 10);
+        assert_eq!(cfg.repetitions, Repetitions::Fixed(10));
         assert!(cfg.verbose && cfg.debug && cfg.no_build);
         assert_eq!(cfg.tool, MeasureTool::Time);
         assert_eq!(cfg.jobs, 4);
         assert!(!cfg.fusion && !cfg.mru_fast_path && !cfg.decode_cache);
+        assert_eq!(cfg.lab, None, "runs stay ephemeral unless --lab is given");
+    }
+
+    #[test]
+    fn parses_adaptive_repetition_flags() {
+        let Action::Run(cfg) = parse(&argv("run -n micro --adaptive 5")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(cfg.repetitions, Repetitions::Adaptive { min: 2, max: 16, rel_precision: 0.05 });
+        let Action::Run(cfg) =
+            parse(&argv("run -n micro -r 3 --adaptive 2.5 --max-reps 8")).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(cfg.repetitions, Repetitions::Adaptive { min: 3, max: 8, rel_precision: 0.025 });
+        // --max-reps is meaningless without --adaptive; garbage rejected.
+        assert!(parse(&argv("run -n micro --max-reps 8")).is_err());
+        assert!(parse(&argv("run -n micro --adaptive never")).is_err());
+        assert!(parse(&argv("run -n micro --adaptive 0")).is_err(), "validation rejects pct 0");
+    }
+
+    #[test]
+    fn lab_flag_takes_an_optional_directory() {
+        let Action::Run(cfg) = parse(&argv("run -n micro --lab")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(cfg.lab.as_deref(), Some(".fex-lab"));
+        let Action::Run(cfg) = parse(&argv("run -n micro --lab /tmp/store -v")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(cfg.lab.as_deref(), Some("/tmp/store"));
+        assert!(cfg.verbose, "flags after --lab still parse");
+    }
+
+    #[test]
+    fn parses_lab_subcommands() {
+        assert_eq!(
+            parse(&argv("lab list")).unwrap(),
+            Action::Lab { cmd: LabCommand::List, dir: ".fex-lab".into() }
+        );
+        assert_eq!(
+            parse(&argv("lab show latest --lab /tmp/store")).unwrap(),
+            Action::Lab {
+                cmd: LabCommand::Show { selector: "latest".into() },
+                dir: "/tmp/store".into()
+            }
+        );
+        assert_eq!(
+            parse(&argv("lab gc --keep 3")).unwrap(),
+            Action::Lab { cmd: LabCommand::Gc { keep: 3 }, dir: ".fex-lab".into() }
+        );
+        assert!(parse(&argv("lab")).is_err());
+        assert!(parse(&argv("lab show")).is_err(), "show needs a selector");
+        assert!(parse(&argv("lab frobnicate")).is_err());
+        assert!(parse(&argv("lab list extra")).is_err());
+    }
+
+    #[test]
+    fn parses_compare() {
+        assert_eq!(
+            parse(&argv("compare prev latest")).unwrap(),
+            Action::Compare {
+                baseline: "prev".into(),
+                candidate: "latest".into(),
+                dir: ".fex-lab".into(),
+                metric: "time".into(),
+                svg: None,
+            }
+        );
+        assert_eq!(
+            parse(&argv("compare a.csv b.csv --lab /s --metric cycles --svg out.svg")).unwrap(),
+            Action::Compare {
+                baseline: "a.csv".into(),
+                candidate: "b.csv".into(),
+                dir: "/s".into(),
+                metric: "cycles".into(),
+                svg: Some("out.svg".into()),
+            }
+        );
+        assert!(parse(&argv("compare onlyone")).is_err());
+        assert!(parse(&argv("compare a b c")).is_err());
+        assert!(parse(&argv("compare a b --sparkle")).is_err());
     }
 
     #[test]

@@ -74,6 +74,68 @@ impl Collector {
     pub fn frame(&self) -> &DataFrame {
         &self.frame
     }
+
+    /// The value of metric `name` in the most recently recorded row, if
+    /// any — the adaptive repetition controller reads its sample here
+    /// right after [`record`](Self::record).
+    pub fn last_metric(&self, name: &str) -> Option<f64> {
+        let i = self.frame.col(name).ok()?;
+        self.frame.iter().last().and_then(|r| r[i].as_num())
+    }
+}
+
+/// The canonical scalar sample of one run: the `time` metric as the
+/// collector would record it (every tool reports `time`; a missing value
+/// records as 0, exactly like [`Collector::record`]).
+///
+/// Both the sequential runner and the parallel scheduler's adaptive
+/// controller derive convergence decisions from this one function, which
+/// keeps their rep counts — and therefore their CSVs — identical.
+pub fn run_sample(tool: MeasureTool, run: &RunResult) -> f64 {
+    Measurement::extract(tool, run).get("time").unwrap_or(0.0)
+}
+
+/// Per-group summary statistics of `metric`: one row per distinct key
+/// combination (first-appearance order, like
+/// [`DataFrame::group_agg`]) with `n`, `mean`, `stddev`, and `ci95`
+/// (half-width) columns appended after the keys.
+///
+/// # Errors
+///
+/// [`FexError`](crate::FexError) on unknown columns or non-numeric
+/// metric cells.
+pub fn summarize(df: &DataFrame, keys: &[&str], metric: &str) -> crate::Result<DataFrame> {
+    let key_idx: Vec<usize> = keys.iter().map(|k| df.col(k)).collect::<crate::Result<_>>()?;
+    let vi = df.col(metric)?;
+    let mut groups: std::collections::BTreeMap<Vec<String>, Vec<f64>> =
+        std::collections::BTreeMap::new();
+    let mut order: Vec<Vec<String>> = Vec::new();
+    for r in df.iter() {
+        let key: Vec<String> = key_idx.iter().map(|i| r[*i].to_cell_string()).collect();
+        let v = r[vi]
+            .as_num()
+            .ok_or_else(|| crate::FexError::Data(format!("non-numeric `{metric}`")))?;
+        if !groups.contains_key(&key) {
+            order.push(key.clone());
+        }
+        groups.entry(key).or_default().push(v);
+    }
+    let columns: Vec<String> = keys
+        .iter()
+        .map(|k| k.to_string())
+        .chain(["n".into(), "mean".into(), "stddev".into(), "ci95".into()])
+        .collect();
+    let mut out = DataFrame::new(columns);
+    for key in order {
+        let vals = &groups[&key];
+        let mut row: Vec<Value> = key.into_iter().map(Value::Str).collect();
+        row.push(Value::Num(vals.len() as f64));
+        row.push(Value::Num(stats::mean(vals)));
+        row.push(Value::Num(stats::stddev(vals)));
+        row.push(Value::Num(stats::ci95_half_width(vals)));
+        out.push(row);
+    }
+    Ok(out)
 }
 
 fn metric_names(tool: MeasureTool) -> Vec<String> {
@@ -130,6 +192,34 @@ mod tests {
         assert!(df.columns().iter().any(|c| c == "instructions"));
         // Keys come first.
         assert_eq!(&df.columns()[..6], &Collector::KEY_COLUMNS);
+    }
+
+    #[test]
+    fn last_metric_tracks_the_latest_row() {
+        let mut c = Collector::new(MeasureTool::PerfStat);
+        assert_eq!(c.last_metric("time"), None, "empty collector has no sample");
+        let run = run_trivial();
+        c.record("micro", "noop", "gcc_native", 1, "test", 0, &run);
+        let t = c.last_metric("time").expect("time recorded");
+        assert_eq!(t, run_sample(MeasureTool::PerfStat, &run));
+        assert_eq!(c.last_metric("no_such_metric"), None);
+    }
+
+    #[test]
+    fn summarize_appends_group_statistics() {
+        let mut df = DataFrame::new(vec!["bench", "type", "time"]);
+        for (b, t, v) in
+            [("a", "gcc", 1.0), ("a", "gcc", 3.0), ("b", "gcc", 5.0), ("a", "clang", 2.0)]
+        {
+            df.push(vec![b.into(), t.into(), Value::Num(v)]);
+        }
+        let s = summarize(&df, &["bench", "type"], "time").unwrap();
+        assert_eq!(s.columns(), &["bench", "type", "n", "mean", "stddev", "ci95"]);
+        assert_eq!(s.len(), 3, "one row per distinct group");
+        let first: Vec<Value> = s.iter().next().unwrap().to_vec();
+        assert_eq!(first[2].as_num(), Some(2.0));
+        assert_eq!(first[3].as_num(), Some(2.0));
+        assert!(summarize(&df, &["bench"], "no_such").is_err());
     }
 
     #[test]

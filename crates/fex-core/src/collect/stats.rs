@@ -1,9 +1,11 @@
 //! Statistics for the collect stage.
 //!
-//! The paper's Fex ships only basic statistics (mean, standard deviation)
-//! and names advanced statistical methods and hypothesis testing as future
-//! work (§VI) — this module implements both the shipped basics and that
-//! future work: confidence intervals and Welch's t-test.
+//! The paper's Fex ships only basic statistics (mean, standard deviation);
+//! this module additionally provides the confidence intervals and Welch's
+//! t-test that back the adaptive repetition controller and the
+//! `fex compare` regression gate. Every function here is total: degenerate
+//! inputs (empty or single-sample groups) yield 0 or a non-significant
+//! verdict, never NaN.
 
 /// Arithmetic mean (0 for empty input).
 pub fn mean(xs: &[f64]) -> f64 {
@@ -93,21 +95,27 @@ pub struct WelchResult {
 
 /// Welch's t-test for the difference of two sample means.
 ///
-/// # Panics
-///
-/// Panics if either sample has fewer than 2 points.
+/// Degenerate inputs never panic: with fewer than 2 points in either
+/// group there is no variance estimate, so the result is `t = 0`,
+/// `dof = 0`, not significant — the caller should treat it as
+/// inconclusive. When both groups have zero variance the test collapses
+/// to an exact comparison of the (constant) means.
 pub fn welch_t_test(a: &[f64], b: &[f64]) -> WelchResult {
-    assert!(a.len() >= 2 && b.len() >= 2, "welch test needs ≥2 samples per group");
+    if a.len() < 2 || b.len() < 2 {
+        return WelchResult { t: 0.0, dof: 0.0, significant_05: false };
+    }
     let (ma, mb) = (mean(a), mean(b));
     let (va, vb) = (stddev(a).powi(2), stddev(b).powi(2));
     let (na, nb) = (a.len() as f64, b.len() as f64);
     let se2 = va / na + vb / nb;
-    let t = if se2 == 0.0 { 0.0 } else { (ma - mb) / se2.sqrt() };
-    let dof = if se2 == 0.0 {
-        na + nb - 2.0
-    } else {
-        se2 * se2 / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0))
-    };
+    if se2 == 0.0 {
+        // Both groups are constant: any difference of means is exact.
+        let differs = ma != mb;
+        let t = if differs { (ma - mb).signum() * f64::INFINITY } else { 0.0 };
+        return WelchResult { t, dof: na + nb - 2.0, significant_05: differs };
+    }
+    let t = (ma - mb) / se2.sqrt();
+    let dof = se2 * se2 / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
     // Two-sided 5% critical values of the t distribution, coarse table.
     let crit = t_critical_05(dof);
     WelchResult { t, dof, significant_05: t.abs() > crit }
@@ -187,5 +195,38 @@ mod tests {
         let few = [1.0, 2.0, 3.0];
         let many: Vec<f64> = (0..30).map(|i| 1.0 + (i % 3) as f64).collect();
         assert!(ci95_half_width(&many) < ci95_half_width(&few));
+    }
+
+    #[test]
+    fn welch_is_total_on_degenerate_groups() {
+        // Under 2 samples per group: no variance estimate, never NaN,
+        // never significant.
+        for (a, b) in [(&[][..], &[][..]), (&[1.0][..], &[2.0][..]), (&[1.0, 2.0][..], &[9.0][..])]
+        {
+            let r = welch_t_test(a, b);
+            assert_eq!(r, WelchResult { t: 0.0, dof: 0.0, significant_05: false }, "{a:?} {b:?}");
+            assert!(!r.t.is_nan() && !r.dof.is_nan());
+        }
+    }
+
+    #[test]
+    fn welch_on_zero_variance_groups_compares_means_exactly() {
+        // Equal constants: no difference.
+        let same = welch_t_test(&[5.0, 5.0, 5.0], &[5.0, 5.0]);
+        assert!(!same.significant_05);
+        assert_eq!(same.t, 0.0);
+        // Different constants: the difference is exact, hence significant.
+        let diff = welch_t_test(&[5.0, 5.0, 5.0], &[6.0, 6.0]);
+        assert!(diff.significant_05, "{diff:?}");
+        assert_eq!(diff.t, f64::NEG_INFINITY);
+        assert!(!diff.dof.is_nan());
+    }
+
+    #[test]
+    fn stddev_and_ci_are_zero_below_two_samples() {
+        assert_eq!(stddev(&[7.0]), 0.0);
+        assert_eq!(ci95_half_width(&[]), 0.0);
+        assert_eq!(ci95_half_width(&[7.0]), 0.0);
+        assert!(!stddev(&[7.0]).is_nan());
     }
 }

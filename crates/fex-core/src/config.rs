@@ -43,6 +43,90 @@ impl FaultInjection {
     }
 }
 
+/// Repetition policy for each cell of the experiment matrix.
+///
+/// `Fixed(n)` is the classic `-r n`. `Adaptive` repeats a cell until the
+/// 95% confidence interval of its successful samples is tight enough —
+/// half-width ≤ `rel_precision` × |mean| — or the `max` budget is
+/// exhausted, never stopping before `min` reps.
+///
+/// The controller is deterministic across `--jobs`: measurements are pure
+/// functions of the unit coordinates (see
+/// [`ExperimentConfig::unit_seed`]), so the decision to run rep `k+1` is
+/// a pure function of the cell's first `k` samples, identical whether
+/// those samples were produced sequentially or by the parallel scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Repetitions {
+    /// Exactly `n` repetitions per cell.
+    Fixed(usize),
+    /// Repeat until converged or out of budget.
+    Adaptive {
+        /// Floor: always run at least this many reps (≥ 2 to estimate
+        /// variance).
+        min: usize,
+        /// Budget: never run more than this many reps.
+        max: usize,
+        /// Convergence target: CI95 half-width ≤ this fraction of |mean|.
+        rel_precision: f64,
+    },
+}
+
+impl Default for Repetitions {
+    fn default() -> Self {
+        Repetitions::Fixed(1)
+    }
+}
+
+impl Repetitions {
+    /// Reps every cell runs regardless of convergence.
+    pub fn min_reps(&self) -> usize {
+        match *self {
+            Repetitions::Fixed(n) => n,
+            Repetitions::Adaptive { min, .. } => min,
+        }
+    }
+
+    /// The hard per-cell rep budget.
+    pub fn max_reps(&self) -> usize {
+        match *self {
+            Repetitions::Fixed(n) => n,
+            Repetitions::Adaptive { max, .. } => max,
+        }
+    }
+
+    /// Whether a cell that has executed `done` reps, yielding the
+    /// successful measurements `samples`, should run another rep.
+    ///
+    /// `done` counts executed reps (including failed ones — failures
+    /// consume budget); `samples` holds only the successful
+    /// measurements, in rep order.
+    pub fn wants_more(&self, done: usize, samples: &[f64]) -> bool {
+        match *self {
+            Repetitions::Fixed(n) => done < n,
+            Repetitions::Adaptive { min, max, rel_precision } => {
+                if done < min {
+                    return true;
+                }
+                if done >= max {
+                    return false;
+                }
+                !converged(samples, rel_precision)
+            }
+        }
+    }
+}
+
+/// Whether the CI95 half-width of `samples` is within `rel_precision` of
+/// the magnitude of the mean. Fewer than 2 samples never converge (no
+/// variance estimate yet).
+fn converged(samples: &[f64], rel_precision: f64) -> bool {
+    if samples.len() < 2 {
+        return false;
+    }
+    let m = crate::collect::stats::mean(samples);
+    crate::collect::stats::ci95_half_width(samples) <= rel_precision * m.abs()
+}
+
 /// One experiment invocation (`fex run -n <name> -t <types> …`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentConfig {
@@ -54,8 +138,9 @@ pub struct ExperimentConfig {
     pub benchmark: Option<String>,
     /// Thread counts to sweep (`-m`), default `[1]`.
     pub threads: Vec<usize>,
-    /// Repetitions per point (`-r`), default 1.
-    pub repetitions: usize,
+    /// Repetition policy per matrix cell (`-r` / `--adaptive`), default
+    /// one fixed rep.
+    pub repetitions: Repetitions,
     /// Input size (`-i`), default native.
     pub input: InputSize,
     /// Verbose output (`-v`).
@@ -87,6 +172,9 @@ pub struct ExperimentConfig {
     /// Record the structured run journal (`--no-journal` clears it;
     /// results and failure CSVs are byte-identical either way).
     pub journal: bool,
+    /// Archive the completed run into a [`RunStore`](crate::lab::RunStore)
+    /// at this directory (`--lab [dir]`); `None` keeps runs ephemeral.
+    pub lab: Option<String>,
 }
 
 impl ExperimentConfig {
@@ -97,7 +185,7 @@ impl ExperimentConfig {
             build_types: vec!["gcc_native".into()],
             benchmark: None,
             threads: vec![1],
-            repetitions: 1,
+            repetitions: Repetitions::Fixed(1),
             input: InputSize::Native,
             verbose: false,
             debug: false,
@@ -111,6 +199,7 @@ impl ExperimentConfig {
             mru_fast_path: true,
             decode_cache: true,
             journal: true,
+            lab: None,
         }
     }
 
@@ -126,9 +215,23 @@ impl ExperimentConfig {
         self
     }
 
-    /// Sets repetitions (`-r`).
+    /// Sets a fixed repetition count (`-r`).
     pub fn repetitions(mut self, r: usize) -> Self {
-        self.repetitions = r;
+        self.repetitions = Repetitions::Fixed(r);
+        self
+    }
+
+    /// Sets the adaptive repetition policy (`--adaptive <pct>`): repeat
+    /// each cell from `min` up to `max` reps until the CI95 half-width
+    /// is within `rel_precision` of the mean.
+    pub fn adaptive_repetitions(mut self, min: usize, max: usize, rel_precision: f64) -> Self {
+        self.repetitions = Repetitions::Adaptive { min, max, rel_precision };
+        self
+    }
+
+    /// Archives the completed run into the store at `dir` (`--lab`).
+    pub fn lab(mut self, dir: impl Into<String>) -> Self {
+        self.lab = Some(dir.into());
         self
     }
 
@@ -147,6 +250,12 @@ impl ExperimentConfig {
     /// Selects the measurement tool.
     pub fn tool(mut self, tool: MeasureTool) -> Self {
         self.tool = tool;
+        self
+    }
+
+    /// Sets the deterministic seed (`--seed`).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
         self
     }
 
@@ -277,8 +386,28 @@ impl ExperimentConfig {
         if self.threads.is_empty() || self.threads.contains(&0) {
             return Err(FexError::Config("thread counts must be positive".into()));
         }
-        if self.repetitions == 0 {
-            return Err(FexError::Config("repetitions must be at least 1".into()));
+        match self.repetitions {
+            Repetitions::Fixed(0) => {
+                return Err(FexError::Config("repetitions must be at least 1".into()));
+            }
+            Repetitions::Fixed(_) => {}
+            Repetitions::Adaptive { min, max, rel_precision } => {
+                if min < 2 {
+                    return Err(FexError::Config(
+                        "adaptive repetitions need min ≥ 2 to estimate variance".into(),
+                    ));
+                }
+                if max < min {
+                    return Err(FexError::Config(
+                        "adaptive repetition budget must be ≥ the minimum".into(),
+                    ));
+                }
+                if rel_precision.is_nan() || rel_precision <= 0.0 {
+                    return Err(FexError::Config(
+                        "adaptive precision must be a positive fraction".into(),
+                    ));
+                }
+            }
         }
         Ok(())
     }
@@ -320,6 +449,32 @@ mod tests {
         assert!(ExperimentConfig::new("x").types(Vec::<String>::new()).validate().is_err());
         assert!(ExperimentConfig::new("x").threads(vec![0]).validate().is_err());
         assert!(ExperimentConfig::new("x").repetitions(0).validate().is_err());
+        assert!(ExperimentConfig::new("x").adaptive_repetitions(1, 8, 0.05).validate().is_err());
+        assert!(ExperimentConfig::new("x").adaptive_repetitions(4, 2, 0.05).validate().is_err());
+        assert!(ExperimentConfig::new("x").adaptive_repetitions(2, 8, 0.0).validate().is_err());
+        assert!(ExperimentConfig::new("x").adaptive_repetitions(2, 8, 0.05).validate().is_ok());
+    }
+
+    #[test]
+    fn repetition_policies_decide_when_to_stop() {
+        let fixed = Repetitions::Fixed(3);
+        assert!(fixed.wants_more(0, &[]) && fixed.wants_more(2, &[1.0, 2.0]));
+        assert!(!fixed.wants_more(3, &[1.0, 2.0, 3.0]));
+        assert_eq!((fixed.min_reps(), fixed.max_reps()), (3, 3));
+
+        let adaptive = Repetitions::Adaptive { min: 2, max: 5, rel_precision: 0.05 };
+        assert_eq!((adaptive.min_reps(), adaptive.max_reps()), (2, 5));
+        // Below the floor it always continues, even on identical samples.
+        assert!(adaptive.wants_more(1, &[10.0]));
+        // Tight samples converge at the floor…
+        assert!(!adaptive.wants_more(2, &[10.0, 10.0]));
+        // …noisy samples keep going…
+        assert!(adaptive.wants_more(2, &[10.0, 20.0]));
+        // …until the budget runs out.
+        assert!(!adaptive.wants_more(5, &[10.0, 20.0, 10.0, 20.0, 10.0]));
+        // Failed reps consume budget: `done` may exceed the sample count.
+        assert!(adaptive.wants_more(3, &[10.0]));
+        assert!(!adaptive.wants_more(5, &[10.0]));
     }
 
     #[test]

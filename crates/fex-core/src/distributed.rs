@@ -172,7 +172,10 @@ impl DistributedRun {
                     })?;
                     let artifact =
                         build.build(bench, prog.source, ty, config.debug, config.no_build)?;
-                    for rep in 0..config.repetitions {
+                    // The distributed path has no adaptive controller:
+                    // every host runs the policy's floor count (which is
+                    // the exact count for `Fixed` policies).
+                    for rep in 0..config.repetitions.min_reps() {
                         let machine = Machine::new(host.machine_config(config.seed));
                         let run = machine
                             .load(&artifact.program)

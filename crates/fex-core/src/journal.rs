@@ -44,7 +44,10 @@ use fex_vm::{RunResult, UnitCounters};
 
 /// Journal format version, recorded in the `experiment_start` event so
 /// future readers can dispatch on schema changes.
-pub const JOURNAL_VERSION: u64 = 1;
+///
+/// Version 2 added the `store_write` event (the run was archived into
+/// the result store).
+pub const JOURNAL_VERSION: u64 = 2;
 
 /// One typed journal event. Field names match the JSON keys.
 #[derive(Debug, Clone, PartialEq)]
@@ -160,6 +163,15 @@ pub enum JournalEvent {
         /// Run-unit executions served a pre-decoded program.
         served: usize,
     },
+    /// The completed experiment was archived into the result store.
+    StoreWrite {
+        /// Experiment name.
+        experiment: String,
+        /// Content-addressed run id (`fex256:…`).
+        run_id: String,
+        /// Monotonic sequence number assigned by the store index.
+        seq: u64,
+    },
     /// A pipeline phase finished.
     PhaseEnd {
         /// Phase name (`run`, `collect`).
@@ -190,6 +202,7 @@ impl JournalEvent {
             JournalEvent::UnitOutcome { .. } => "unit_outcome",
             JournalEvent::QuarantineSkip { .. } => "quarantine_skip",
             JournalEvent::DecodeCache { .. } => "decode_cache",
+            JournalEvent::StoreWrite { .. } => "store_write",
             JournalEvent::PhaseEnd { .. } => "phase_end",
             JournalEvent::ExperimentEnd { .. } => "experiment_end",
         }
@@ -314,6 +327,9 @@ impl JournalEvent {
             JournalEvent::DecodeCache { decodes, served } => {
                 w.num("decodes", *decodes as i64).num("served", *served as i64);
             }
+            JournalEvent::StoreWrite { experiment, run_id, seq } => {
+                w.str("experiment", experiment).str("run_id", run_id).num("seq", *seq as i64);
+            }
             JournalEvent::PhaseEnd { phase, wall_ns } => {
                 w.str("phase", phase).num("wall_ns", *wall_ns as i64);
             }
@@ -414,6 +430,11 @@ pub fn parse_line(line: &str) -> std::result::Result<JournalEvent, ParseIssue> {
         "decode_cache" => JournalEvent::DecodeCache {
             decodes: get_u64(&map, "decodes")? as usize,
             served: get_u64(&map, "served")? as usize,
+        },
+        "store_write" => JournalEvent::StoreWrite {
+            experiment: get_str(&map, "experiment")?.to_string(),
+            run_id: get_str(&map, "run_id")?.to_string(),
+            seq: get_u64(&map, "seq")?,
         },
         "phase_end" => JournalEvent::PhaseEnd {
             phase: get_str(&map, "phase")?.to_string(),
@@ -828,7 +849,7 @@ pub fn render_report(jsonl: &str) -> RenderedReport {
 // ---------------------------------------------------------------------
 
 /// Escapes a string as a JSON string literal (quotes included).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -849,26 +870,31 @@ fn json_str(s: &str) -> String {
 }
 
 /// Builder for one `{"event": "...", ...}` JSON line.
-struct JsonLine {
+pub(crate) struct JsonLine {
     buf: String,
 }
 
 impl JsonLine {
-    fn new(kind: &str) -> Self {
+    pub(crate) fn new(kind: &str) -> Self {
         JsonLine { buf: format!("{{\"event\": {}", json_str(kind)) }
     }
 
-    fn str(&mut self, key: &str, val: &str) -> &mut Self {
+    /// Starts an object whose first key is `key` rather than `"event"`.
+    pub(crate) fn object(key: &str, val: &str) -> Self {
+        JsonLine { buf: format!("{{{}: {}", json_str(key), json_str(val)) }
+    }
+
+    pub(crate) fn str(&mut self, key: &str, val: &str) -> &mut Self {
         let _ = write!(self.buf, ", {}: {}", json_str(key), json_str(val));
         self
     }
 
-    fn num(&mut self, key: &str, val: i64) -> &mut Self {
+    pub(crate) fn num(&mut self, key: &str, val: i64) -> &mut Self {
         let _ = write!(self.buf, ", {}: {}", json_str(key), val);
         self
     }
 
-    fn opt_num(&mut self, key: &str, val: Option<i64>) -> &mut Self {
+    pub(crate) fn opt_num(&mut self, key: &str, val: Option<i64>) -> &mut Self {
         match val {
             Some(v) => self.num(key, v),
             None => {
@@ -878,12 +904,12 @@ impl JsonLine {
         }
     }
 
-    fn bool(&mut self, key: &str, val: bool) -> &mut Self {
+    pub(crate) fn bool(&mut self, key: &str, val: bool) -> &mut Self {
         let _ = write!(self.buf, ", {}: {}", json_str(key), val);
         self
     }
 
-    fn finish(mut self) -> String {
+    pub(crate) fn finish(mut self) -> String {
         self.buf.push('}');
         self.buf
     }
@@ -891,7 +917,7 @@ impl JsonLine {
 
 /// A parsed flat JSON value.
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub(crate) enum Json {
     Str(String),
     Int(i64),
     Bool(bool),
@@ -904,7 +930,9 @@ fn malformed(msg: impl Into<String>) -> ParseIssue {
 
 /// Parses a single-line flat JSON object (string / integer / bool / null
 /// values only — exactly what the journal writer emits).
-fn parse_flat_object(line: &str) -> std::result::Result<BTreeMap<String, Json>, ParseIssue> {
+pub(crate) fn parse_flat_object(
+    line: &str,
+) -> std::result::Result<BTreeMap<String, Json>, ParseIssue> {
     let mut chars = line.trim().chars().peekable();
     let mut map = BTreeMap::new();
     if chars.next() != Some('{') {
@@ -1010,7 +1038,7 @@ fn parse_value(
     }
 }
 
-fn get_str<'m>(
+pub(crate) fn get_str<'m>(
     map: &'m BTreeMap<String, Json>,
     key: &str,
 ) -> std::result::Result<&'m str, ParseIssue> {
@@ -1021,7 +1049,10 @@ fn get_str<'m>(
     }
 }
 
-fn get_i64(map: &BTreeMap<String, Json>, key: &str) -> std::result::Result<i64, ParseIssue> {
+pub(crate) fn get_i64(
+    map: &BTreeMap<String, Json>,
+    key: &str,
+) -> std::result::Result<i64, ParseIssue> {
     match map.get(key) {
         Some(Json::Int(n)) => Ok(*n),
         Some(_) => Err(malformed(format!("field `{key}` is not a number"))),
@@ -1029,7 +1060,10 @@ fn get_i64(map: &BTreeMap<String, Json>, key: &str) -> std::result::Result<i64, 
     }
 }
 
-fn get_u64(map: &BTreeMap<String, Json>, key: &str) -> std::result::Result<u64, ParseIssue> {
+pub(crate) fn get_u64(
+    map: &BTreeMap<String, Json>,
+    key: &str,
+) -> std::result::Result<u64, ParseIssue> {
     let n = get_i64(map, key)?;
     u64::try_from(n).map_err(|_| malformed(format!("field `{key}` is negative")))
 }
@@ -1137,6 +1171,18 @@ mod tests {
             let back = parse_line(&line).unwrap_or_else(|i| panic!("{i} for {line}"));
             assert_eq!(e, back, "round trip of {line}");
         }
+    }
+
+    #[test]
+    fn store_write_round_trips_through_json() {
+        let e = JournalEvent::StoreWrite {
+            experiment: "micro".into(),
+            run_id: "fex256:00000000000000000000000000abcdef".into(),
+            seq: 7,
+        };
+        assert_eq!(e.kind(), "store_write");
+        let back = parse_line(&e.to_json()).unwrap();
+        assert_eq!(e, back);
     }
 
     #[test]

@@ -1,0 +1,389 @@
+//! The `fex compare` engine.
+//!
+//! Takes two collected result frames (from the [store](super::store) or
+//! straight from CSV files), groups the chosen metric per
+//! (benchmark, build type) cell, and runs Welch's t-test per cell. Each
+//! cell gets a relative delta, a Cohen's d effect size and a four-way
+//! [`Verdict`]; the whole comparison renders as an aligned verdict table
+//! and as a grouped-bar plot with 95% CI whiskers. Lower metric values
+//! are better (runtimes), so a significant *increase* is a regression.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::collect::{stats, DataFrame};
+use crate::error::{FexError, Result};
+use crate::plot::{Plot, PlotKind, Series};
+
+/// Per-cell verdict of the regression gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Significantly lower metric in the candidate.
+    Improved,
+    /// Significantly higher metric in the candidate.
+    Regressed,
+    /// No statistically significant difference.
+    Unchanged,
+    /// Not enough samples to decide (and the means differ).
+    Inconclusive,
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Verdict::Improved => "improved",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::Unchanged => "unchanged",
+            Verdict::Inconclusive => "inconclusive",
+        })
+    }
+}
+
+/// Summary statistics of one side of one cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Sample count.
+    pub n: usize,
+    /// Sample mean (0 when empty).
+    pub mean: f64,
+    /// 95% CI half-width (0 below two samples).
+    pub ci95: f64,
+}
+
+impl SampleStats {
+    fn of(samples: &[f64]) -> Self {
+        SampleStats {
+            n: samples.len(),
+            mean: stats::mean(samples),
+            ci95: stats::ci95_half_width(samples),
+        }
+    }
+}
+
+/// One (benchmark, build type) cell of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellComparison {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Build type.
+    pub build_type: String,
+    /// Baseline-side statistics.
+    pub baseline: SampleStats,
+    /// Candidate-side statistics.
+    pub candidate: SampleStats,
+    /// Welch's t statistic (0 when undecidable).
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub dof: f64,
+    /// Relative delta of the means in percent (candidate vs baseline).
+    pub delta_pct: f64,
+    /// Cohen's d effect size (pooled standard deviation).
+    pub effect_size: f64,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// A full baseline-vs-candidate comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Label of the baseline run (selector or path).
+    pub baseline_label: String,
+    /// Label of the candidate run.
+    pub candidate_label: String,
+    /// Compared metric column.
+    pub metric: String,
+    /// Per-cell results, in baseline first-appearance order (cells only
+    /// the candidate has come last).
+    pub cells: Vec<CellComparison>,
+}
+
+impl Comparison {
+    /// Compares two collected frames on `metric`.
+    ///
+    /// # Errors
+    ///
+    /// [`FexError::Data`] when a frame lacks the `benchmark`, `type` or
+    /// metric column, or when both frames are empty.
+    pub fn compare(
+        baseline: &DataFrame,
+        candidate: &DataFrame,
+        metric: &str,
+        baseline_label: impl Into<String>,
+        candidate_label: impl Into<String>,
+    ) -> Result<Comparison> {
+        let (base_order, base) = samples_by_cell(baseline, metric)?;
+        let (cand_order, cand) = samples_by_cell(candidate, metric)?;
+        if base.is_empty() && cand.is_empty() {
+            return Err(FexError::Data("nothing to compare: both runs are empty".into()));
+        }
+        let mut order = base_order;
+        for key in cand_order {
+            if !order.contains(&key) {
+                order.push(key);
+            }
+        }
+        let empty: Vec<f64> = Vec::new();
+        let cells = order
+            .into_iter()
+            .map(|key| {
+                let a = base.get(&key).unwrap_or(&empty);
+                let b = cand.get(&key).unwrap_or(&empty);
+                compare_cell(key, a, b)
+            })
+            .collect();
+        Ok(Comparison {
+            baseline_label: baseline_label.into(),
+            candidate_label: candidate_label.into(),
+            metric: metric.to_string(),
+            cells,
+        })
+    }
+
+    /// True when any cell regressed — the gate's exit-status condition.
+    pub fn has_regression(&self) -> bool {
+        self.cells.iter().any(|c| c.verdict == Verdict::Regressed)
+    }
+
+    /// Count of cells with a given verdict.
+    pub fn count(&self, v: Verdict) -> usize {
+        self.cells.iter().filter(|c| c.verdict == v).count()
+    }
+
+    /// The aligned verdict table.
+    pub fn to_table(&self) -> String {
+        let mut s = format!(
+            "fex compare: `{}` (baseline) vs `{}` (candidate), metric `{}`\n\n",
+            self.baseline_label, self.candidate_label, self.metric
+        );
+        let _ = writeln!(
+            s,
+            "{:<16} {:<14} {:>5} {:>12} {:>12} {:>8} {:>8} {:>7}  verdict",
+            "benchmark", "type", "n", "base mean", "cand mean", "delta%", "t", "effect"
+        );
+        for c in &self.cells {
+            let _ = writeln!(
+                s,
+                "{:<16} {:<14} {:>5} {:>12.6} {:>12.6} {:>+8.2} {:>8.2} {:>7.2}  {}",
+                c.benchmark,
+                c.build_type,
+                format!("{}/{}", c.baseline.n, c.candidate.n),
+                c.baseline.mean,
+                c.candidate.mean,
+                c.delta_pct,
+                c.t,
+                c.effect_size,
+                c.verdict
+            );
+        }
+        let _ = write!(
+            s,
+            "\n{} improved, {} regressed, {} unchanged, {} inconclusive\n",
+            self.count(Verdict::Improved),
+            self.count(Verdict::Regressed),
+            self.count(Verdict::Unchanged),
+            self.count(Verdict::Inconclusive)
+        );
+        s
+    }
+
+    /// The grouped-bar comparison plot with 95% CI whiskers.
+    pub fn to_plot(&self) -> Plot {
+        let mut plot = Plot::new(
+            PlotKind::GroupedBarCi,
+            format!("compare: {} vs {}", self.baseline_label, self.candidate_label),
+        );
+        plot.xlabel = "benchmark [build type]".into();
+        plot.ylabel = self.metric.clone();
+        plot.categories =
+            self.cells.iter().map(|c| format!("{} [{}]", c.benchmark, c.build_type)).collect();
+        let side = |pick: fn(&CellComparison) -> SampleStats, name: &str| {
+            Series::bars_with_ci(
+                name,
+                self.cells.iter().map(|c| pick(c).mean).collect(),
+                self.cells.iter().map(|c| pick(c).ci95).collect(),
+            )
+        };
+        plot.series.push(side(|c| c.baseline, "baseline"));
+        plot.series.push(side(|c| c.candidate, "candidate"));
+        plot
+    }
+}
+
+fn compare_cell(key: (String, String), a: &[f64], b: &[f64]) -> CellComparison {
+    let (baseline, candidate) = (SampleStats::of(a), SampleStats::of(b));
+    let delta_pct = if baseline.mean == 0.0 {
+        if candidate.mean == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (candidate.mean - baseline.mean) / baseline.mean * 100.0
+    };
+    let w = stats::welch_t_test(b, a); // t > 0 ⇒ candidate larger (slower)
+    let verdict = if a.is_empty() || b.is_empty() {
+        Verdict::Inconclusive
+    } else if a.len() < 2 || b.len() < 2 {
+        // A single sample cannot carry a significance claim.
+        if baseline.mean == candidate.mean {
+            Verdict::Unchanged
+        } else {
+            Verdict::Inconclusive
+        }
+    } else if w.significant_05 && candidate.mean > baseline.mean {
+        Verdict::Regressed
+    } else if w.significant_05 && candidate.mean < baseline.mean {
+        Verdict::Improved
+    } else {
+        Verdict::Unchanged
+    };
+    CellComparison {
+        benchmark: key.0,
+        build_type: key.1,
+        baseline,
+        candidate,
+        t: w.t,
+        dof: w.dof,
+        delta_pct,
+        effect_size: cohens_d(a, b),
+        verdict,
+    }
+}
+
+/// Cohen's d with pooled standard deviation; 0 for degenerate inputs
+/// with equal means, ±∞ when the means differ at zero pooled variance.
+fn cohens_d(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() < 2 || b.len() < 2 {
+        return 0.0;
+    }
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let (ma, mb) = (stats::mean(a), stats::mean(b));
+    let (sa, sb) = (stats::stddev(a), stats::stddev(b));
+    let pooled = (((na - 1.0) * sa * sa + (nb - 1.0) * sb * sb) / (na + nb - 2.0)).sqrt();
+    if pooled == 0.0 {
+        if ma == mb {
+            0.0
+        } else {
+            (mb - ma).signum() * f64::INFINITY
+        }
+    } else {
+        (mb - ma) / pooled
+    }
+}
+
+type CellSamples = (Vec<(String, String)>, BTreeMap<(String, String), Vec<f64>>);
+
+fn samples_by_cell(df: &DataFrame, metric: &str) -> Result<CellSamples> {
+    if df.is_empty() {
+        return Ok((Vec::new(), BTreeMap::new()));
+    }
+    let bi = df.col("benchmark")?;
+    let ti = df.col("type")?;
+    let vi = df.col(metric)?;
+    let mut order = Vec::new();
+    let mut map: BTreeMap<(String, String), Vec<f64>> = BTreeMap::new();
+    for r in df.iter() {
+        let key = (r[bi].to_cell_string(), r[ti].to_cell_string());
+        let v =
+            r[vi].as_num().ok_or_else(|| FexError::Data(format!("non-numeric `{metric}` cell")))?;
+        if !map.contains_key(&key) {
+            order.push(key.clone());
+        }
+        map.entry(key).or_default().push(v);
+    }
+    Ok((order, map))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::Value;
+
+    fn frame(rows: &[(&str, &str, f64)]) -> DataFrame {
+        let mut df = DataFrame::new(vec!["benchmark", "type", "time"]);
+        for (b, t, v) in rows {
+            df.push(vec![(*b).into(), (*t).into(), Value::Num(*v)]);
+        }
+        df
+    }
+
+    #[test]
+    fn identical_runs_are_unchanged() {
+        let base = frame(&[
+            ("fft", "gcc", 1.0),
+            ("fft", "gcc", 1.0),
+            ("lu", "gcc", 2.0),
+            ("lu", "gcc", 2.0),
+        ]);
+        let cmp = Comparison::compare(&base, &base.clone(), "time", "a", "b").unwrap();
+        assert_eq!(cmp.cells.len(), 2);
+        assert!(cmp.cells.iter().all(|c| c.verdict == Verdict::Unchanged));
+        assert!(!cmp.has_regression());
+        assert!(cmp.to_table().contains("2 unchanged"));
+    }
+
+    #[test]
+    fn a_clear_slowdown_regresses() {
+        let base = frame(&[("fft", "gcc", 1.00), ("fft", "gcc", 1.01), ("fft", "gcc", 0.99)]);
+        let cand = frame(&[("fft", "gcc", 2.00), ("fft", "gcc", 2.01), ("fft", "gcc", 1.99)]);
+        let cmp = Comparison::compare(&base, &cand, "time", "a", "b").unwrap();
+        let c = &cmp.cells[0];
+        assert_eq!(c.verdict, Verdict::Regressed);
+        assert!(c.t > 0.0, "candidate-larger convention: t = {}", c.t);
+        assert!((c.delta_pct - 100.0).abs() < 5.0, "delta {}", c.delta_pct);
+        assert!(c.effect_size > 5.0, "effect {}", c.effect_size);
+        assert!(cmp.has_regression());
+        // The mirror image improves.
+        let cmp = Comparison::compare(&cand, &base, "time", "a", "b").unwrap();
+        assert_eq!(cmp.cells[0].verdict, Verdict::Improved);
+        assert!(!cmp.has_regression());
+    }
+
+    #[test]
+    fn missing_cells_and_single_samples_are_inconclusive() {
+        let base = frame(&[("fft", "gcc", 1.0), ("lu", "gcc", 2.0)]);
+        let cand = frame(&[("fft", "gcc", 1.5)]);
+        let cmp = Comparison::compare(&base, &cand, "time", "a", "b").unwrap();
+        let by_bench = |name: &str| cmp.cells.iter().find(|c| c.benchmark == name).unwrap();
+        // fft: one sample per side, differing means → inconclusive.
+        assert_eq!(by_bench("fft").verdict, Verdict::Inconclusive);
+        // lu: candidate side missing entirely.
+        assert_eq!(by_bench("lu").verdict, Verdict::Inconclusive);
+        assert_eq!(by_bench("lu").candidate.n, 0);
+        assert!(!cmp.has_regression());
+        // But identical single samples are unchanged.
+        let cmp = Comparison::compare(
+            &frame(&[("fft", "gcc", 1.0)]),
+            &frame(&[("fft", "gcc", 1.0)]),
+            "time",
+            "a",
+            "b",
+        )
+        .unwrap();
+        assert_eq!(cmp.cells[0].verdict, Verdict::Unchanged);
+    }
+
+    #[test]
+    fn comparison_plot_pairs_bars_with_whiskers() {
+        let base = frame(&[("fft", "gcc", 1.0), ("fft", "gcc", 3.0)]);
+        let cand = frame(&[("fft", "gcc", 2.0), ("fft", "gcc", 2.0)]);
+        let cmp = Comparison::compare(&base, &cand, "time", "base", "cand").unwrap();
+        let plot = cmp.to_plot();
+        assert_eq!(plot.kind, PlotKind::GroupedBarCi);
+        assert_eq!(plot.categories, vec!["fft [gcc]"]);
+        assert_eq!(plot.series.len(), 2);
+        assert_eq!(plot.series[0].values, vec![2.0]);
+        let w = plot.series[0].whiskers.as_ref().unwrap();
+        assert!(w[0] > 0.0, "baseline spread gives a whisker");
+        assert_eq!(plot.series[1].whiskers.as_ref().unwrap(), &vec![0.0]);
+        assert!(plot.to_ascii().contains('±'));
+    }
+
+    #[test]
+    fn empty_inputs_and_bad_columns_error() {
+        let empty = DataFrame::new(vec!["benchmark", "type", "time"]);
+        assert!(Comparison::compare(&empty, &empty.clone(), "time", "a", "b").is_err());
+        let base = frame(&[("fft", "gcc", 1.0)]);
+        assert!(Comparison::compare(&base, &base.clone(), "no_such", "a", "b").is_err());
+    }
+}

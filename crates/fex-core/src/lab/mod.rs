@@ -1,0 +1,25 @@
+//! The lab subsystem: a persistent, content-addressed result store plus
+//! the statistical comparison workflow built on top of it.
+//!
+//! The paper treats every `fex run` as ephemeral — results live in the
+//! simulated container and vanish with the process. The lab closes the
+//! loop for the paper's "evaluation-driven development" vision: completed
+//! experiments are archived on the real filesystem (default `.fex-lab/`)
+//! keyed by a content digest of their configuration and results, and
+//! `fex compare <baseline> <candidate>` replays Welch's t-test over any
+//! two archived (or on-disk CSV) runs to produce a per-benchmark verdict
+//! table, a CI-whisker comparison plot, and a nonzero exit status on a
+//! statistically significant regression — a regression gate that drops
+//! straight into CI.
+//!
+//! * [`store`] — the [`RunStore`]: append-only flat-JSON index plus one
+//!   directory per archived run,
+//! * [`compare`] — the [`Comparison`] engine: per-(benchmark, build type)
+//!   Welch's t-test, relative delta, Cohen's d effect size and a
+//!   four-way [`Verdict`].
+
+pub mod compare;
+pub mod store;
+
+pub use compare::{CellComparison, Comparison, SampleStats, Verdict};
+pub use store::{IndexEntry, RunArtifacts, RunStore};

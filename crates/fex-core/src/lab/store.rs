@@ -1,0 +1,426 @@
+//! The on-disk run store.
+//!
+//! Layout (everything under the store root, default `.fex-lab/`):
+//!
+//! ```text
+//! .fex-lab/
+//!   index.json                 # one flat JSON object per line, append-only
+//!   runs/<digest>/results.csv  # the collected frame
+//!   runs/<digest>/failures.csv # the failure report
+//!   runs/<digest>/metrics.json # journal metrics roll-up (when journaled)
+//!   runs/<digest>/record.json  # the index line again, self-describing
+//! ```
+//!
+//! Runs are **content addressed**: the run id is a digest over the
+//! experiment key (name, build matrix, benchmark filter, thread sweep,
+//! repetition policy, input, seed, tool, debug) *and* the result bytes, so
+//! re-running a deterministic configuration produces the same id. The
+//! index is append-only with a monotonic `seq` per line — no wall-clock
+//! timestamps, so stored artifacts stay byte-reproducible. Duplicate run
+//! ids are allowed (two identical runs are two index lines), which is
+//! exactly what a "compare the same commit twice, expect unchanged" CI
+//! smoke test needs.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use fex_container::DigestBuilder;
+
+use crate::config::ExperimentConfig;
+use crate::error::{FexError, Result};
+use crate::journal::{self, Json, JsonLine};
+
+/// Artifacts of one completed experiment, borrowed from the workflow.
+#[derive(Debug, Clone, Copy)]
+pub struct RunArtifacts<'a> {
+    /// The results frame as CSV.
+    pub results_csv: &'a str,
+    /// The failure report as CSV (header-only when clean).
+    pub failures_csv: &'a str,
+    /// The journal metrics roll-up, when journaling was on.
+    pub metrics_json: Option<&'a str>,
+    /// Digest of the journal stream, when journaling was on.
+    pub journal_digest: Option<&'a str>,
+}
+
+/// One line of the store index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Monotonic sequence number (insertion order).
+    pub seq: u64,
+    /// Content-addressed run id (`fex256:…`).
+    pub run_id: String,
+    /// Experiment name.
+    pub experiment: String,
+    /// Human-readable experiment key (the digested configuration axes).
+    pub key: String,
+    /// Rows in the stored results CSV.
+    pub rows: usize,
+    /// Records in the stored failure report.
+    pub failures: usize,
+}
+
+impl IndexEntry {
+    fn to_json(&self) -> String {
+        let mut w = JsonLine::object("run_id", &self.run_id);
+        w.num("seq", self.seq as i64)
+            .str("experiment", &self.experiment)
+            .str("key", &self.key)
+            .num("rows", self.rows as i64)
+            .num("failures", self.failures as i64);
+        w.finish()
+    }
+
+    fn parse(line: &str) -> Result<IndexEntry> {
+        let bad = |i: journal::ParseIssue| FexError::Data(format!("corrupt store index: {i}"));
+        let map = journal::parse_flat_object(line).map_err(bad)?;
+        let get = |k| journal::get_str(&map, k).map(str::to_string).map_err(bad);
+        Ok(IndexEntry {
+            seq: journal::get_u64(&map, "seq").map_err(bad)?,
+            run_id: get("run_id")?,
+            experiment: get("experiment")?,
+            key: get("key")?,
+            rows: journal::get_u64(&map, "rows").map_err(bad)? as usize,
+            failures: journal::get_u64(&map, "failures").map_err(bad)? as usize,
+        })
+    }
+}
+
+/// The content-addressed archive of completed experiments.
+#[derive(Debug, Clone)]
+pub struct RunStore {
+    root: PathBuf,
+}
+
+impl RunStore {
+    /// Default store directory, relative to the working directory.
+    pub const DEFAULT_DIR: &'static str = ".fex-lab";
+
+    /// Opens (creating if necessary) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`FexError::Data`] when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        let root = dir.into();
+        fs::create_dir_all(root.join("runs")).map_err(|e| {
+            FexError::Data(format!("cannot create store at `{}`: {e}", root.display()))
+        })?;
+        Ok(RunStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The human-readable experiment key digested into the run id.
+    pub fn experiment_key(config: &ExperimentConfig) -> String {
+        let mut key = String::new();
+        let _ = write!(
+            key,
+            "{} types={:?} bench={} threads={:?} reps={:?} input={:?} seed={} tool={:?} debug={}",
+            config.name,
+            config.build_types,
+            config.benchmark.as_deref().unwrap_or("*"),
+            config.threads,
+            config.repetitions,
+            config.input,
+            config.seed,
+            config.tool,
+            config.debug,
+        );
+        key
+    }
+
+    /// The content-addressed run id of a configuration + its results.
+    pub fn run_id(config: &ExperimentConfig, art: &RunArtifacts<'_>) -> String {
+        let mut d = DigestBuilder::new();
+        d.update_str(&Self::experiment_key(config))
+            .update_str(art.results_csv)
+            .update_str(art.failures_csv);
+        d.finish().to_string()
+    }
+
+    /// Archives one completed run: writes its artifact directory and
+    /// appends an index line. Returns the new entry.
+    ///
+    /// # Errors
+    ///
+    /// [`FexError::Data`] on filesystem failures or a corrupt index.
+    pub fn save(&self, config: &ExperimentConfig, art: &RunArtifacts<'_>) -> Result<IndexEntry> {
+        let run_id = Self::run_id(config, art);
+        let entry = IndexEntry {
+            seq: self.next_seq()?,
+            run_id: run_id.clone(),
+            experiment: config.name.clone(),
+            key: Self::experiment_key(config),
+            rows: art.results_csv.lines().count().saturating_sub(1),
+            failures: art.failures_csv.lines().count().saturating_sub(1),
+        };
+        let dir = self.run_dir(&run_id);
+        let io = |e: std::io::Error| FexError::Data(format!("store write failed: {e}"));
+        fs::create_dir_all(&dir).map_err(io)?;
+        fs::write(dir.join("results.csv"), art.results_csv).map_err(io)?;
+        fs::write(dir.join("failures.csv"), art.failures_csv).map_err(io)?;
+        if let Some(m) = art.metrics_json {
+            fs::write(dir.join("metrics.json"), m).map_err(io)?;
+        }
+        let mut record = JsonLine::object("run_id", &run_id);
+        record
+            .num("seq", entry.seq as i64)
+            .str("experiment", &entry.experiment)
+            .str("key", &entry.key)
+            .num("rows", entry.rows as i64)
+            .num("failures", entry.failures as i64)
+            .str("journal_digest", art.journal_digest.unwrap_or(""));
+        fs::write(dir.join("record.json"), record.finish() + "\n").map_err(io)?;
+        let mut index = fs::read_to_string(self.index_path()).unwrap_or_default();
+        index.push_str(&entry.to_json());
+        index.push('\n');
+        fs::write(self.index_path(), index).map_err(io)?;
+        Ok(entry)
+    }
+
+    /// All index entries in insertion order.
+    ///
+    /// # Errors
+    ///
+    /// [`FexError::Data`] on a corrupt index line.
+    pub fn list(&self) -> Result<Vec<IndexEntry>> {
+        let Ok(text) = fs::read_to_string(self.index_path()) else {
+            return Ok(Vec::new());
+        };
+        text.lines().filter(|l| !l.trim().is_empty()).map(IndexEntry::parse).collect()
+    }
+
+    /// Resolves a selector to an index entry: `latest` (newest entry),
+    /// `prev` (second newest), or a unique `run_id` prefix (with or
+    /// without the `fex256:` prefix).
+    ///
+    /// # Errors
+    ///
+    /// [`FexError::Data`] when the store is empty, nothing matches, or a
+    /// prefix is ambiguous.
+    pub fn resolve(&self, selector: &str) -> Result<IndexEntry> {
+        let entries = self.list()?;
+        if entries.is_empty() {
+            return Err(FexError::Data(format!(
+                "store `{}` is empty; run with --lab first",
+                self.root.display()
+            )));
+        }
+        match selector {
+            "latest" => Ok(entries[entries.len() - 1].clone()),
+            "prev" => entries
+                .len()
+                .checked_sub(2)
+                .map(|i| entries[i].clone())
+                .ok_or_else(|| FexError::Data("store has only one run; no `prev`".into())),
+            prefix => {
+                let wanted = prefix.trim_start_matches("fex256:");
+                let mut matches: Vec<&IndexEntry> = entries
+                    .iter()
+                    .filter(|e| e.run_id.trim_start_matches("fex256:").starts_with(wanted))
+                    .collect();
+                // The same run id may be stored several times; those are
+                // interchangeable, so keep the newest.
+                matches.dedup_by(|a, b| a.run_id == b.run_id);
+                match matches[..] {
+                    [] => Err(FexError::Data(format!("no stored run matches `{selector}`"))),
+                    [one] => Ok(one.clone()),
+                    _ => Err(FexError::Data(format!(
+                        "run id prefix `{selector}` is ambiguous ({} matches)",
+                        matches.len()
+                    ))),
+                }
+            }
+        }
+    }
+
+    /// Reads the stored results CSV of an entry.
+    ///
+    /// # Errors
+    ///
+    /// [`FexError::Data`] when the artifact is missing.
+    pub fn results_csv(&self, entry: &IndexEntry) -> Result<String> {
+        let path = self.run_dir(&entry.run_id).join("results.csv");
+        fs::read_to_string(&path)
+            .map_err(|e| FexError::Data(format!("cannot read `{}`: {e}", path.display())))
+    }
+
+    /// Garbage-collects the store: per experiment key, keeps the newest
+    /// `keep` entries and deletes the rest (index lines and, when no
+    /// surviving entry references them, artifact directories). Returns
+    /// the number of index entries removed.
+    ///
+    /// # Errors
+    ///
+    /// [`FexError::Data`] on filesystem failures or a corrupt index.
+    pub fn gc(&self, keep: usize) -> Result<usize> {
+        let entries = self.list()?;
+        let mut kept: Vec<&IndexEntry> = Vec::new();
+        // Walk newest-first so "the newest `keep` per key" is a simple
+        // counter; then restore insertion order.
+        let mut seen: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+        for e in entries.iter().rev() {
+            let n = seen.entry(e.key.as_str()).or_insert(0);
+            if *n < keep {
+                kept.push(e);
+                *n += 1;
+            }
+        }
+        kept.reverse();
+        let removed = entries.len() - kept.len();
+        let live: std::collections::BTreeSet<&str> =
+            kept.iter().map(|e| e.run_id.as_str()).collect();
+        for e in &entries {
+            if !live.contains(e.run_id.as_str()) {
+                let _ = fs::remove_dir_all(self.run_dir(&e.run_id));
+            }
+        }
+        let index: String = kept.iter().map(|e| e.to_json() + "\n").collect();
+        fs::write(self.index_path(), index)
+            .map_err(|e| FexError::Data(format!("store write failed: {e}")))?;
+        Ok(removed)
+    }
+
+    /// Renders `fex lab list` output.
+    pub fn render_list(entries: &[IndexEntry]) -> String {
+        if entries.is_empty() {
+            return "(store is empty)\n".to_string();
+        }
+        let mut s = format!(
+            "{:<5} {:<40} {:<12} {:>6} {:>9}\n",
+            "seq", "run id", "experiment", "rows", "failures"
+        );
+        for e in entries {
+            let _ = writeln!(
+                s,
+                "{:<5} {:<40} {:<12} {:>6} {:>9}",
+                e.seq, e.run_id, e.experiment, e.rows, e.failures
+            );
+        }
+        s
+    }
+
+    /// Renders `fex lab show <selector>` output.
+    pub fn render_show(&self, entry: &IndexEntry) -> Result<String> {
+        let mut s = String::new();
+        let _ = writeln!(s, "run id:     {}", entry.run_id);
+        let _ = writeln!(s, "seq:        {}", entry.seq);
+        let _ = writeln!(s, "experiment: {}", entry.experiment);
+        let _ = writeln!(s, "key:        {}", entry.key);
+        let _ = writeln!(s, "rows:       {}", entry.rows);
+        let _ = writeln!(s, "failures:   {}", entry.failures);
+        let record = self.run_dir(&entry.run_id).join("record.json");
+        if let Ok(text) = fs::read_to_string(&record) {
+            if let Ok(map) = journal::parse_flat_object(text.trim()) {
+                if let Some(Json::Str(d)) = map.get("journal_digest") {
+                    if !d.is_empty() {
+                        let _ = writeln!(s, "journal:    {d}");
+                    }
+                }
+            }
+        }
+        Ok(s)
+    }
+
+    fn index_path(&self) -> PathBuf {
+        self.root.join("index.json")
+    }
+
+    fn run_dir(&self, run_id: &str) -> PathBuf {
+        self.root.join("runs").join(run_id.trim_start_matches("fex256:"))
+    }
+
+    pub(crate) fn next_seq(&self) -> Result<u64> {
+        Ok(self.list()?.iter().map(|e| e.seq).max().map_or(0, |m| m + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fex_suites::InputSize;
+
+    fn temp_store(tag: &str) -> RunStore {
+        let dir = std::env::temp_dir().join(format!("fex-lab-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        RunStore::open(dir).unwrap()
+    }
+
+    fn art(results: &'static str) -> RunArtifacts<'static> {
+        RunArtifacts {
+            results_csv: results,
+            failures_csv: "benchmark,type,threads,rep,error,attempts,outcome\n",
+            metrics_json: Some("{}"),
+            journal_digest: Some("fex256:00000000000000000000000000000abc"),
+        }
+    }
+
+    #[test]
+    fn save_list_resolve_roundtrip() {
+        let store = temp_store("roundtrip");
+        let cfg = ExperimentConfig::new("micro").input(InputSize::Test);
+        let a = store.save(&cfg, &art("h\n1\n2\n")).unwrap();
+        let b = store.save(&cfg.clone().seed(43), &art("h\n3\n")).unwrap();
+        assert_eq!((a.seq, b.seq), (0, 1));
+        assert_ne!(a.run_id, b.run_id, "different seeds, different ids");
+        assert_eq!(a.rows, 2);
+
+        let entries = store.list().unwrap();
+        assert_eq!(entries, vec![a.clone(), b.clone()]);
+        assert_eq!(store.resolve("latest").unwrap(), b);
+        assert_eq!(store.resolve("prev").unwrap(), a);
+        assert_eq!(store.resolve(&a.run_id).unwrap(), a);
+        let prefix = &a.run_id.trim_start_matches("fex256:")[..12];
+        assert_eq!(store.resolve(prefix).unwrap(), a);
+        assert!(store.resolve("zzzz").is_err());
+        assert_eq!(store.results_csv(&a).unwrap(), "h\n1\n2\n");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn identical_runs_share_an_id_but_not_an_index_line() {
+        let store = temp_store("dup");
+        let cfg = ExperimentConfig::new("micro").input(InputSize::Test);
+        let a = store.save(&cfg, &art("h\n1\n")).unwrap();
+        let b = store.save(&cfg, &art("h\n1\n")).unwrap();
+        assert_eq!(a.run_id, b.run_id);
+        assert_eq!(store.list().unwrap().len(), 2);
+        // A shared id resolves to the duplicate, not an ambiguity error.
+        assert_eq!(store.resolve(&a.run_id).unwrap().run_id, a.run_id);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn gc_keeps_the_newest_per_key() {
+        let store = temp_store("gc");
+        let cfg = ExperimentConfig::new("micro").input(InputSize::Test);
+        store.save(&cfg, &art("h\n1\n")).unwrap();
+        store.save(&cfg, &art("h\n2\n")).unwrap();
+        let other = store.save(&cfg.clone().seed(99), &art("h\n3\n")).unwrap();
+        let removed = store.gc(1).unwrap();
+        assert_eq!(removed, 1, "one of the two same-key entries goes");
+        let left = store.list().unwrap();
+        assert_eq!(left.len(), 2);
+        assert!(left.iter().any(|e| e.run_id == other.run_id));
+        // Survivors keep their artifacts readable.
+        for e in &left {
+            assert!(store.results_csv(e).is_ok());
+        }
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn empty_store_reports_clearly() {
+        let store = temp_store("empty");
+        assert!(store.list().unwrap().is_empty());
+        let err = store.resolve("latest").unwrap_err().to_string();
+        assert!(err.contains("empty"), "{err}");
+        assert!(RunStore::render_list(&[]).contains("empty"));
+        let _ = fs::remove_dir_all(store.root());
+    }
+}

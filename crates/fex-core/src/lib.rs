@@ -21,6 +21,9 @@
 //! * [`journal`] — the structured run journal (`journal.jsonl` +
 //!   `metrics.json` next to the results CSV) and the `fex report`
 //!   renderer,
+//! * [`lab`] — the persistent content-addressed result store, the
+//!   adaptive repetition policy's statistics and the `fex compare`
+//!   regression gate,
 //! * [`workflow`] — the [`Fex`] orchestrator (`fex.py`), running
 //!   everything inside the simulated [`fex-container`](fex_container)
 //!   with pinned-version [install scripts](install),
@@ -58,6 +61,7 @@ pub mod env;
 mod error;
 pub mod install;
 pub mod journal;
+pub mod lab;
 pub mod plot;
 pub mod registry;
 pub mod resilience;
@@ -65,8 +69,9 @@ pub mod runner;
 pub mod sched;
 pub mod workflow;
 
-pub use config::ExperimentConfig;
+pub use config::{ExperimentConfig, Repetitions};
 pub use error::{FexError, Result};
 pub use journal::{Journal, JournalEvent, Metrics};
+pub use lab::{Comparison, RunStore, Verdict};
 pub use resilience::{FailureRecord, FailureReport, RunOutcome, RunPolicy};
 pub use workflow::{Fex, PlotRequest};

@@ -43,7 +43,20 @@ fn render_bars(s: &mut String, plot: &Plot) {
             } else {
                 format!("{cat:label_w$}")
             };
-            let _ = writeln!(s, "{tag} |{}{} {v:.4}", "#".repeat(n), " ".repeat(BAR_WIDTH - n));
+            let whisker = series
+                .whiskers
+                .as_ref()
+                .and_then(|w| w.get(ci))
+                .copied()
+                .filter(|hw| plot.kind == PlotKind::GroupedBarCi && *hw > 0.0)
+                .map(|hw| format!(" ±{hw:.4}"))
+                .unwrap_or_default();
+            let _ = writeln!(
+                s,
+                "{tag} |{}{} {v:.4}{whisker}",
+                "#".repeat(n),
+                " ".repeat(BAR_WIDTH - n)
+            );
         }
     }
     if let Some(hl) = plot.hline {
@@ -109,6 +122,17 @@ mod tests {
         assert!(out.contains('*'));
         assert!(out.contains('o'));
         assert!(out.contains("= a"));
+    }
+
+    #[test]
+    fn comparison_bars_annotate_whiskers() {
+        let mut p = Plot::new(PlotKind::GroupedBarCi, "cmp");
+        p.categories = vec!["fft [gcc]".into()];
+        p.series.push(Series::bars_with_ci("baseline", vec![2.0], vec![0.5]));
+        p.series.push(Series::bars_with_ci("candidate", vec![1.0], vec![0.0]));
+        let out = render(&p);
+        assert!(out.contains("±0.5000"), "nonzero whisker annotated:\n{out}");
+        assert_eq!(out.matches('±').count(), 1, "zero whiskers are omitted");
     }
 
     #[test]

@@ -32,6 +32,9 @@ pub enum PlotKind {
     Line,
     /// X-Y lines with point markers (throughput-latency curves).
     ScatterLine,
+    /// Grouped bars with 95% CI whiskers — the `fex compare`
+    /// baseline-vs-candidate comparison plot.
+    GroupedBarCi,
 }
 
 /// One plotted series.
@@ -45,18 +48,26 @@ pub struct Series {
     pub xs: Option<Vec<f64>>,
     /// Stack group for [`PlotKind::StackedGroupedBar`].
     pub stack: Option<String>,
+    /// Per-value error-bar half-widths (e.g. 95% CI) for
+    /// [`PlotKind::GroupedBarCi`]; `None` draws no whiskers.
+    pub whiskers: Option<Vec<f64>>,
 }
 
 impl Series {
     /// A bar series.
     pub fn bars(name: impl Into<String>, values: Vec<f64>) -> Self {
-        Series { name: name.into(), values, xs: None, stack: None }
+        Series { name: name.into(), values, xs: None, stack: None, whiskers: None }
+    }
+
+    /// A bar series with error-bar half-widths per value.
+    pub fn bars_with_ci(name: impl Into<String>, values: Vec<f64>, whiskers: Vec<f64>) -> Self {
+        Series { name: name.into(), values, xs: None, stack: None, whiskers: Some(whiskers) }
     }
 
     /// A line series.
     pub fn line(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
         let (xs, values) = points.into_iter().unzip();
-        Series { name: name.into(), values, xs: Some(xs), stack: None }
+        Series { name: name.into(), values, xs: Some(xs), stack: None, whiskers: None }
     }
 }
 
@@ -116,6 +127,17 @@ impl Plot {
                     }
                 }
                 totals.values().copied().fold(0.0, f64::max)
+            }
+            PlotKind::GroupedBarCi => {
+                // Whiskers must fit inside the plot area.
+                self.series
+                    .iter()
+                    .flat_map(|s| {
+                        s.values.iter().enumerate().map(move |(i, v)| {
+                            v + s.whiskers.as_ref().and_then(|w| w.get(i)).copied().unwrap_or(0.0)
+                        })
+                    })
+                    .fold(0.0, f64::max)
             }
             _ => self.series.iter().flat_map(|s| s.values.iter().copied()).fold(0.0, f64::max),
         }
@@ -296,6 +318,15 @@ mod tests {
         p.series.push(Series::bars("l1", vec![2.0]));
         p.series.push(Series::bars("l2", vec![3.0]));
         assert_eq!(p.max_value(), 5.0);
+    }
+
+    #[test]
+    fn ci_whiskers_extend_the_value_range() {
+        let mut p = Plot::new(PlotKind::GroupedBarCi, "c");
+        p.categories = vec!["a".into(), "b".into()];
+        p.series.push(Series::bars_with_ci("base", vec![2.0, 4.0], vec![0.5, 1.5]));
+        p.series.push(Series::bars("cand", vec![3.0]));
+        assert_eq!(p.max_value(), 5.5, "value + whisker half-width");
     }
 
     #[test]

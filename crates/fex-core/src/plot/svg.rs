@@ -84,7 +84,7 @@ pub fn render(plot: &Plot, width: u32, height: u32) -> String {
     }
 
     match plot.kind {
-        PlotKind::Bar | PlotKind::GroupedBar => {
+        PlotKind::Bar | PlotKind::GroupedBar | PlotKind::GroupedBarCi => {
             render_bars(&mut s, plot, x0, y0, inner_w, inner_h, max_y, false)
         }
         PlotKind::StackedBar | PlotKind::StackedGroupedBar => {
@@ -202,6 +202,26 @@ fn render_bars(
                     s,
                     r#"<rect x="{bx:.2}" y="{by:.2}" width="{bar_w:.2}" height="{bh:.2}" fill="{color}"/>"#
                 );
+                // CI whiskers: a vertical error bar with end caps.
+                let whisker = series.whiskers.as_ref().and_then(|w| w.get(ci)).copied();
+                if let Some(hw) = whisker.filter(|hw| *hw > 0.0) {
+                    let wx = bx + bar_w / 2.0;
+                    let wh = inner_h * (hw / max_y);
+                    let (top, bot) = (by - wh, (by + wh).min(y0));
+                    let cap = (bar_w * 0.3).min(6.0);
+                    let _ = writeln!(
+                        s,
+                        r#"<line x1="{wx:.2}" y1="{top:.2}" x2="{wx:.2}" y2="{bot:.2}" stroke="black" stroke-width="1"/>"#
+                    );
+                    for y in [top, bot] {
+                        let _ = writeln!(
+                            s,
+                            r#"<line x1="{:.2}" y1="{y:.2}" x2="{:.2}" y2="{y:.2}" stroke="black" stroke-width="1"/>"#,
+                            wx - cap,
+                            wx + cap
+                        );
+                    }
+                }
             }
         }
     }
@@ -293,6 +313,19 @@ mod tests {
         let svg = p.to_svg();
         assert!(svg.contains("<polyline"));
         assert!(svg.contains("<circle"));
+    }
+
+    #[test]
+    fn comparison_bars_draw_error_whiskers() {
+        let mut p = Plot::new(PlotKind::GroupedBarCi, "cmp");
+        p.categories = vec!["fft [gcc]".into()];
+        p.series.push(Series::bars_with_ci("baseline", vec![2.0], vec![0.4]));
+        p.series.push(Series::bars_with_ci("candidate", vec![1.5], vec![0.0]));
+        let svg = p.to_svg();
+        // One whisker spine + two caps for the baseline bar; zero-width
+        // whiskers draw nothing.
+        let error_bars = svg.matches(r#"stroke="black" stroke-width="1""#).count();
+        assert_eq!(error_bars, 3);
     }
 
     #[test]

@@ -27,7 +27,7 @@ use crate::journal::{Journal, JournalEvent};
 use crate::resilience::{
     execute_with_retry, AttemptLog, FailureRecord, FailureReport, QuarantineBook, RunOutcome,
 };
-use crate::sched::{execute_units, RunUnit, UnitWork};
+use crate::sched::{execute_units, RunUnit, UnitOutcome, UnitWork};
 
 /// Shared state handed to runner hooks.
 pub struct RunContext<'a> {
@@ -260,6 +260,16 @@ pub trait Runner {
         rep: usize,
     ) -> Result<()>;
 
+    /// Hook: the scalar sample of the most recent successful
+    /// [`per_run_action`](Self::per_run_action), fed to the adaptive
+    /// repetition controller
+    /// ([`Repetitions::Adaptive`](crate::config::Repetitions)). The
+    /// default `None` gives the controller no convergence signal, so
+    /// adaptive policies run their full budget.
+    fn last_sample(&self) -> Option<f64> {
+        None
+    }
+
     /// The Fig 4 loop, made resilient: per-run actions are driven through
     /// the experiment's [`RunPolicy`](crate::resilience::RunPolicy)
     /// (retry with exponential simulated
@@ -313,16 +323,29 @@ fn fig4_loop<R: Runner + ?Sized>(runner: &mut R, ctx: &mut RunContext<'_>) -> Re
             }
             for m in &threads {
                 runner.per_thread_action(ctx, ty, &bench, *m)?;
-                for rep in 0..reps {
+                // The repetition controller: fixed policies count reps,
+                // adaptive ones watch the cell's successful samples for
+                // CI convergence. Failed reps consume budget but add no
+                // sample.
+                let mut samples: Vec<f64> = Vec::new();
+                let mut rep = 0;
+                while reps.wants_more(rep, &samples) {
                     let log = execute_with_retry(&policy, |attempt| {
                         ctx.attempt = attempt;
                         runner.per_run_action(ctx, ty, &bench, *m, rep)
                     });
+                    let succeeded = log.result.is_ok();
                     if let Flow::SkipBenchmark =
                         settle(ctx, &mut quarantine, log, ty, &bench, *m, Some(rep))?
                     {
                         continue 'bench;
                     }
+                    if succeeded {
+                        if let Some(v) = runner.last_sample() {
+                            samples.push(v);
+                        }
+                    }
+                    rep += 1;
                 }
             }
         }
@@ -472,121 +495,251 @@ impl SuiteRunner {
             self.per_type_action(ctx, ty)?;
         }
 
-        // Phase 2: expand the matrix in sequential order.
+        // Phase 2: expand the matrix into per-(type, benchmark) groups
+        // and measurement cells, in exact sequential order.
         let size_axis: Vec<Option<InputSize>> = match &sizes {
             Some(s) => s.iter().copied().map(Some).collect(),
             None => vec![None],
         };
-        let mut units: Vec<RunUnit> = Vec::new();
+        struct Cell {
+            ty: String,
+            bench: String,
+            input: InputSize,
+            threads: usize,
+            /// Executed rep count (failures included — they consume the
+            /// adaptive budget, exactly as in the sequential loop).
+            done: usize,
+            /// Successful samples, in rep order.
+            samples: Vec<f64>,
+            /// Executed units with their outcomes, in rep order.
+            executed: Vec<(RunUnit, UnitOutcome)>,
+        }
+        struct Group {
+            ty: String,
+            bench: String,
+            dry_run: bool,
+            cells: std::ops::Range<usize>,
+            dry: Option<(RunUnit, UnitOutcome)>,
+        }
+        let mut cells: Vec<Cell> = Vec::new();
+        let mut groups: Vec<Group> = Vec::new();
         for ty in &types {
             for bench in self.benchmarks(ctx) {
                 let dry_run = self.program(&bench)?.dry_run;
-                units.push(RunUnit {
-                    ty: ty.clone(),
-                    bench: bench.clone(),
-                    threads: 1,
-                    rep: None,
-                    input: input_name(ctx.config.input),
-                    record: false,
-                    line: dry_run.then(|| format!("dry run for `{bench}`")),
-                    work: if dry_run {
-                        Some(self.unit_work(ctx, ty, &bench, 1, None, ctx.config.input)?)
-                    } else {
-                        None
-                    },
-                });
+                let first_cell = cells.len();
                 for size in &size_axis {
                     let input = size.unwrap_or(ctx.config.input);
                     for m in &threads {
-                        for rep in 0..reps {
-                            units.push(RunUnit {
-                                ty: ty.clone(),
-                                bench: bench.clone(),
-                                threads: *m,
+                        cells.push(Cell {
+                            ty: ty.clone(),
+                            bench: bench.clone(),
+                            input,
+                            threads: *m,
+                            done: 0,
+                            samples: Vec::new(),
+                            executed: Vec::new(),
+                        });
+                    }
+                }
+                groups.push(Group {
+                    ty: ty.clone(),
+                    bench: bench.clone(),
+                    dry_run,
+                    cells: first_cell..cells.len(),
+                    dry: None,
+                });
+            }
+        }
+
+        // Phase 3: speculative parallel execution, in rounds. Round 0
+        // covers the per-benchmark dry units plus every rep the policy
+        // wants before seeing any sample (all of them, for `Fixed`);
+        // each later round gives every unconverged cell exactly one more
+        // rep, mirroring the sequential controller's one-at-a-time
+        // re-check. Measurements are pure functions of unit coordinates,
+        // so each cell's sample sequence — and therefore its rep count —
+        // matches the sequential loop exactly; a `Fixed` policy
+        // terminates after round 0, which is the classic single-batch
+        // schedule.
+        enum Origin {
+            Dry(usize),
+            Rep(usize),
+        }
+        let mut round = 0usize;
+        let mut executed_with_decode = 0usize;
+        loop {
+            let mut batch: Vec<RunUnit> = Vec::new();
+            let mut origins: Vec<Origin> = Vec::new();
+            if round == 0 {
+                for (g, group) in groups.iter().enumerate() {
+                    batch.push(RunUnit {
+                        ty: group.ty.clone(),
+                        bench: group.bench.clone(),
+                        threads: 1,
+                        rep: None,
+                        input: input_name(ctx.config.input),
+                        record: false,
+                        line: group.dry_run.then(|| format!("dry run for `{}`", group.bench)),
+                        work: if group.dry_run {
+                            Some(self.unit_work(
+                                ctx,
+                                &group.ty,
+                                &group.bench,
+                                1,
+                                None,
+                                ctx.config.input,
+                            )?)
+                        } else {
+                            None
+                        },
+                    });
+                    origins.push(Origin::Dry(g));
+                    for ci in group.cells.clone() {
+                        let cell = &cells[ci];
+                        for rep in 0..reps.min_reps() {
+                            batch.push(RunUnit {
+                                ty: cell.ty.clone(),
+                                bench: cell.bench.clone(),
+                                threads: cell.threads,
                                 rep: Some(rep),
-                                input: input_name(input),
+                                input: input_name(cell.input),
                                 record: true,
                                 line: None,
                                 work: Some(self.unit_work(
                                     ctx,
-                                    ty,
-                                    &bench,
-                                    *m,
+                                    &cell.ty,
+                                    &cell.bench,
+                                    cell.threads,
                                     Some(rep),
-                                    input,
+                                    cell.input,
                                 )?),
                             });
+                            origins.push(Origin::Rep(ci));
                         }
                     }
                 }
+                ctx.log(format!("scheduler: {} run units across {jobs} workers", batch.len()));
+            } else {
+                for (ci, cell) in cells.iter().enumerate() {
+                    if !reps.wants_more(cell.done, &cell.samples) {
+                        continue;
+                    }
+                    let rep = cell.done;
+                    batch.push(RunUnit {
+                        ty: cell.ty.clone(),
+                        bench: cell.bench.clone(),
+                        threads: cell.threads,
+                        rep: Some(rep),
+                        input: input_name(cell.input),
+                        record: true,
+                        line: None,
+                        work: Some(self.unit_work(
+                            ctx,
+                            &cell.ty,
+                            &cell.bench,
+                            cell.threads,
+                            Some(rep),
+                            cell.input,
+                        )?),
+                    });
+                    origins.push(Origin::Rep(ci));
+                }
+                if batch.is_empty() {
+                    break;
+                }
+                ctx.log(format!("scheduler: adaptive round {round}: {} run units", batch.len()));
             }
+            let outcomes = execute_units(&batch, &policy, jobs, ctx.journal.enabled());
+            executed_with_decode += batch
+                .iter()
+                .filter(|u| u.work.as_ref().is_some_and(|w| w.decoded.is_some()))
+                .count();
+            for ((unit, outcome), origin) in batch.into_iter().zip(outcomes).zip(origins) {
+                match origin {
+                    Origin::Dry(g) => groups[g].dry = Some((unit, outcome)),
+                    Origin::Rep(ci) => {
+                        let cell = &mut cells[ci];
+                        if let Some(run) = &outcome.result {
+                            cell.samples.push(crate::collect::run_sample(ctx.config.tool, run));
+                        }
+                        cell.done += 1;
+                        cell.executed.push((unit, outcome));
+                    }
+                }
+            }
+            round += 1;
         }
-
-        // Phase 3: speculative parallel execution.
-        ctx.log(format!("scheduler: {} run units across {jobs} workers", units.len()));
-        let outcomes = execute_units(&units, &policy, jobs, ctx.journal.enabled());
-        let served =
-            units.iter().filter(|u| u.work.as_ref().is_some_and(|w| w.decoded.is_some())).count();
-        if served > 0 {
+        if executed_with_decode > 0 {
             let decodes = ctx.build.decodes_performed();
-            let reuses = served.saturating_sub(decodes);
+            let reuses = executed_with_decode.saturating_sub(decodes);
             ctx.log(format!(
-                "decoded-artifact cache: {decodes} decodes served {served} run units \
-                 ({reuses} reuses, {:.1}% hit rate)",
-                100.0 * reuses as f64 / served as f64
+                "decoded-artifact cache: {decodes} decodes served {executed_with_decode} run \
+                 units ({reuses} reuses, {:.1}% hit rate)",
+                100.0 * reuses as f64 / executed_with_decode as f64
             ));
         }
 
         // Phase 4: deterministic merge — quarantine applied in matrix
         // order, exactly where the sequential loop would decide it.
         let mut quarantine = QuarantineBook::new(policy.failure_threshold);
-        for (unit, outcome) in units.iter().zip(outcomes) {
-            if quarantine.is_quarantined(&unit.bench) {
-                // The sequential loop announces the skip once per
-                // (type, benchmark) — at the per-benchmark unit. A
-                // speculatively executed unit's worker events are
-                // dropped with it, so the journal too matches the
-                // sequential run.
-                if !unit.record {
-                    ctx.log(format!("skipping quarantined `{}` [{}]", unit.bench, unit.ty));
-                    ctx.journal.emit(JournalEvent::QuarantineSkip {
-                        benchmark: unit.bench.clone(),
-                        build_type: unit.ty.clone(),
-                    });
+        for group in groups {
+            let (unit, outcome) = group.dry.expect("round 0 executes every per-benchmark unit");
+            self.merge_unit(ctx, &mut quarantine, unit, outcome)?;
+            for ci in group.cells {
+                for (unit, outcome) in std::mem::take(&mut cells[ci].executed) {
+                    self.merge_unit(ctx, &mut quarantine, unit, outcome)?;
                 }
-                continue;
             }
-            if let Some(line) = &unit.line {
-                ctx.log(line.clone());
+        }
+        Ok(())
+    }
+
+    /// Merges one speculatively executed unit back into the experiment:
+    /// quarantine check, log replay, journal splice, settle, record.
+    fn merge_unit(
+        &mut self,
+        ctx: &mut RunContext<'_>,
+        quarantine: &mut QuarantineBook,
+        unit: RunUnit,
+        outcome: UnitOutcome,
+    ) -> Result<()> {
+        if quarantine.is_quarantined(&unit.bench) {
+            // The sequential loop announces the skip once per
+            // (type, benchmark) — at the per-benchmark unit. A
+            // speculatively executed unit's worker events are
+            // dropped with it, so the journal too matches the
+            // sequential run.
+            if !unit.record {
+                ctx.log(format!("skipping quarantined `{}` [{}]", unit.bench, unit.ty));
+                ctx.journal.emit(JournalEvent::QuarantineSkip {
+                    benchmark: unit.bench.clone(),
+                    build_type: unit.ty.clone(),
+                });
             }
-            let rep = unit.rep.unwrap_or(0);
-            let recorded = unit.record && outcome.result.is_some();
-            // Splice the worker's per-unit events (claim + execution)
-            // ahead of the fault/outcome events settle emits.
-            ctx.journal.extend(outcome.events);
-            // The returned flow is redundant here: skipping is the
-            // quarantine check at the top of this merge loop.
-            settle(
-                ctx,
-                &mut quarantine,
-                outcome.log,
-                &unit.ty,
+            return Ok(());
+        }
+        if let Some(line) = &unit.line {
+            ctx.log(line.clone());
+        }
+        let rep = unit.rep.unwrap_or(0);
+        let recorded = unit.record && outcome.result.is_some();
+        // Splice the worker's per-unit events (claim + execution)
+        // ahead of the fault/outcome events settle emits.
+        ctx.journal.extend(outcome.events);
+        // The returned flow is redundant here: skipping is the
+        // quarantine check at the top of this method.
+        settle(ctx, quarantine, outcome.log, &unit.ty, &unit.bench, unit.threads, unit.rep)?;
+        if recorded {
+            let run = outcome.result.expect("checked above");
+            self.collector.record(
+                self.suite.name,
                 &unit.bench,
+                &unit.ty,
                 unit.threads,
-                unit.rep,
-            )?;
-            if recorded {
-                let run = outcome.result.expect("checked above");
-                self.collector.record(
-                    self.suite.name,
-                    &unit.bench,
-                    &unit.ty,
-                    unit.threads,
-                    unit.input,
-                    rep,
-                    &run,
-                );
-            }
+                unit.input,
+                rep,
+                &run,
+            );
         }
         Ok(())
     }
@@ -677,6 +830,14 @@ impl Runner for SuiteRunner {
         self.execute(ctx, ty, bench, threads, Some(rep))
     }
 
+    /// The adaptive controller's convergence signal: the `time` cell of
+    /// the most recently collected row — the same value
+    /// [`run_sample`](crate::collect::run_sample) derives for the
+    /// parallel scheduler.
+    fn last_sample(&self) -> Option<f64> {
+        self.collector.last_metric("time")
+    }
+
     /// Dispatches to the parallel scheduler when more than one worker is
     /// configured; otherwise runs the sequential Fig 4 loop. Both paths
     /// produce byte-identical results and failure reports.
@@ -736,6 +897,10 @@ impl Runner for VariableInputRunner {
         self.inner.per_run_action(ctx, ty, bench, threads, rep)
     }
 
+    fn last_sample(&self) -> Option<f64> {
+        self.inner.last_sample()
+    }
+
     /// The redefined loop: types → benchmarks → **input sizes** → threads
     /// → repetitions, with the same retry/quarantine resilience as the
     /// default loop. With more than one worker configured, the matrix —
@@ -775,17 +940,29 @@ impl Runner for VariableInputRunner {
                     self.inner.input_override = Some(*size);
                     for m in &threads {
                         self.inner.per_thread_action(ctx, ty, &bench, *m)?;
-                        for rep in 0..reps {
+                        // Same repetition controller as the default loop:
+                        // each (size, threads) cell converges on its own
+                        // successful samples.
+                        let mut samples: Vec<f64> = Vec::new();
+                        let mut rep = 0;
+                        while reps.wants_more(rep, &samples) {
                             let log = execute_with_retry(&policy, |attempt| {
                                 ctx.attempt = attempt;
                                 self.inner.per_run_action(ctx, ty, &bench, *m, rep)
                             });
+                            let succeeded = log.result.is_ok();
                             if let Flow::SkipBenchmark =
                                 settle(ctx, &mut quarantine, log, ty, &bench, *m, Some(rep))?
                             {
                                 self.inner.input_override = None;
                                 continue 'bench;
                             }
+                            if succeeded {
+                                if let Some(v) = self.inner.last_sample() {
+                                    samples.push(v);
+                                }
+                            }
+                            rep += 1;
                         }
                     }
                 }
@@ -1231,6 +1408,45 @@ mod tests {
                 .iter()
                 .any(|l| l.contains("skipping quarantined `ptrchase` [clang_native]")));
         }
+    }
+
+    #[test]
+    fn adaptive_repetitions_match_across_schedulers() {
+        let (config, _, _) = ctx_parts();
+        let config = config.threads(vec![1, 2]).adaptive_repetitions(2, 6, 0.05);
+        let (seq_csv, seq_failures, _) = run_micro_with_jobs(&config.clone().jobs(1));
+        let (par_csv, par_failures, _) = run_micro_with_jobs(&config.jobs(8));
+        assert_eq!(seq_csv, par_csv);
+        assert_eq!(seq_failures, par_failures);
+    }
+
+    #[test]
+    fn adaptive_repetitions_respect_floor_and_budget() {
+        let (config, mut build, mut log) = ctx_parts();
+        let config = config.types(vec!["gcc_native"]).adaptive_repetitions(2, 4, 0.25);
+        let mut ctx = RunContext::new(&config, &mut build, &mut log);
+        let mut runner = SuiteRunner::new(fex_suites::micro(), &config);
+        let df = runner.run(&mut ctx).unwrap();
+        for bench in df.distinct("benchmark").unwrap() {
+            let n = df.filter_eq("benchmark", &bench).unwrap().len();
+            assert!((2..=4).contains(&n), "`{bench}` ran {n} reps outside the [2, 4] policy");
+        }
+    }
+
+    #[test]
+    fn adaptive_repetitions_match_across_schedulers_under_faults() {
+        use crate::config::FaultInjection;
+        use fex_vm::{FaultKind, FaultPlan};
+
+        let (config, _, _) = ctx_parts();
+        let config = config.adaptive_repetitions(2, 5, 0.10).fault(FaultInjection::for_benchmark(
+            "ptrchase",
+            FaultPlan::persistent(FaultKind::Trap),
+        ));
+        let (seq_csv, seq_failures, _) = run_micro_with_jobs(&config.clone().jobs(1));
+        let (par_csv, par_failures, _) = run_micro_with_jobs(&config.jobs(4));
+        assert_eq!(seq_csv, par_csv);
+        assert_eq!(seq_failures, par_failures);
     }
 
     #[test]

@@ -205,6 +205,53 @@ impl Fex {
             failure_records: failures.records.len(),
             wall_ns: experiment_started.elapsed().as_nanos() as u64,
         });
+        // Archive into the lab store, if requested. The store-write event
+        // is emitted before the journal is serialized so the recorded
+        // stream (in the container and in the store) accounts for the
+        // archive itself.
+        let lab_store = match &config.lab {
+            Some(dir) => Some(crate::lab::RunStore::open(dir)?),
+            None => None,
+        };
+        if let Some(store) = &lab_store {
+            if journal.enabled() {
+                let art = crate::lab::RunArtifacts {
+                    results_csv: &results_csv,
+                    failures_csv: &failures_csv,
+                    metrics_json: None,
+                    journal_digest: None,
+                };
+                journal.emit(JournalEvent::StoreWrite {
+                    experiment: config.name.clone(),
+                    run_id: crate::lab::RunStore::run_id(config, &art),
+                    seq: store.next_seq()?,
+                });
+            }
+        }
+        let (journal_jsonl, metrics_json) = if journal.enabled() {
+            let metrics = Metrics::from_journal(journal.events());
+            (Some(journal.to_jsonl()), Some(metrics.to_json()))
+        } else {
+            (None, None)
+        };
+        if let Some(store) = &lab_store {
+            let digest = journal_jsonl
+                .as_deref()
+                .map(|j| fex_container::digest_bytes(j.as_bytes()).to_string());
+            let art = crate::lab::RunArtifacts {
+                results_csv: &results_csv,
+                failures_csv: &failures_csv,
+                metrics_json: metrics_json.as_deref(),
+                journal_digest: digest.as_deref(),
+            };
+            let entry = store.save(config, &art)?;
+            self.log.push(format!(
+                "stored run {} (seq {}) in `{}`",
+                entry.run_id,
+                entry.seq,
+                store.root().display()
+            ));
+        }
         self.container
             .fs_mut()
             .write(format!("/fex/results/{}.csv", config.name), results_csv.into_bytes());
@@ -214,19 +261,16 @@ impl Fex {
         let log_blob =
             (self.log.join("\n") + "\n" + &self.container.environment_report()).into_bytes();
         self.container.fs_mut().write(format!("/fex/results/{}.log", config.name), log_blob);
-        if journal.enabled() {
+        if let (Some(jsonl), Some(metrics)) = (journal_jsonl, metrics_json) {
             // The journal and its metrics roll-up land next to the
             // results CSV; both are derived observations and never feed
             // back into the CSVs.
-            let metrics = Metrics::from_journal(journal.events());
-            self.container.fs_mut().write(
-                format!("/fex/results/{}.journal.jsonl", config.name),
-                journal.to_jsonl().into_bytes(),
-            );
-            self.container.fs_mut().write(
-                format!("/fex/results/{}.metrics.json", config.name),
-                metrics.to_json().into_bytes(),
-            );
+            self.container
+                .fs_mut()
+                .write(format!("/fex/results/{}.journal.jsonl", config.name), jsonl.into_bytes());
+            self.container
+                .fs_mut()
+                .write(format!("/fex/results/{}.metrics.json", config.name), metrics.into_bytes());
         }
         self.results.insert(config.name.clone(), frame);
         self.failure_reports.insert(config.name.clone(), failures);
@@ -357,6 +401,7 @@ impl Fex {
                             values,
                             xs: None,
                             stack: Some(ty.clone()),
+                            whiskers: None,
                         });
                     }
                 }
@@ -683,6 +728,30 @@ mod tests {
             .edd_flakiness_check("micro", &crate::edd::FlakinessGate::default())
             .unwrap()
             .passed());
+    }
+
+    #[test]
+    fn lab_flag_archives_runs_and_journals_the_store_write() {
+        let dir = std::env::temp_dir().join(format!("fex-lab-wf-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut fex = fex_with_compilers();
+        let cfg = ExperimentConfig::new("micro")
+            .types(vec!["gcc_native"])
+            .benchmark("arrayread")
+            .input(InputSize::Test)
+            .lab(dir.to_string_lossy());
+        fex.run(&cfg).unwrap();
+        fex.run(&cfg).unwrap();
+        let store = crate::lab::RunStore::open(&dir).unwrap();
+        let entries = store.list().unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].run_id, entries[1].run_id, "deterministic rerun, same content id");
+        // The journal records the archive, and the stored artifacts match
+        // the container's.
+        assert!(fex.journal_jsonl("micro").unwrap().contains("\"store_write\""));
+        assert_eq!(store.results_csv(&entries[1]).unwrap(), fex.result_csv("micro").unwrap());
+        assert!(fex.log().iter().any(|l| l.contains("stored run")));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

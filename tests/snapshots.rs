@@ -126,6 +126,25 @@ fn metrics_json_matches_golden_after_normalization() {
     assert_golden("micro.metrics.json", &normalize_metrics(&metrics));
 }
 
+/// Two deterministic runs of the golden experiment at different seeds:
+/// the compare output (verdict table + ASCII comparison plot) is as much
+/// a user-visible artifact as the CSVs, so it is pinned too.
+#[test]
+fn compare_verdict_table_and_plot_match_goldens() {
+    use fex_core::lab::Comparison;
+
+    let mut fex = golden_fex();
+    fex.run(&golden_config()).expect("baseline run");
+    let base = fex.result("micro").expect("baseline frame").clone();
+    let mut fex = golden_fex();
+    fex.run(&golden_config().seed(43)).expect("candidate run");
+    let cand = fex.result("micro").expect("candidate frame").clone();
+
+    let cmp = Comparison::compare(&base, &cand, "time", "seed-42", "seed-43").expect("compare");
+    assert_golden("micro.compare.txt", &cmp.to_table());
+    assert_golden("micro.compare.plot.txt", &cmp.to_plot().to_ascii());
+}
+
 #[test]
 fn journal_artifacts_exist_and_metrics_are_recomputable() {
     // The stored metrics.json must be exactly the roll-up of the stored
