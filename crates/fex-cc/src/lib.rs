@@ -46,6 +46,7 @@ pub mod ast;
 mod backend;
 mod codegen;
 mod compile;
+pub mod emit;
 mod errors;
 pub mod ir;
 pub mod layout;

@@ -95,7 +95,13 @@ fn run(args: &[String]) -> Result<ExitCode, FexError> {
         Action::Lab { cmd, dir } => {
             let store = RunStore::open(&dir)?;
             match cmd {
-                LabCommand::List => print!("{}", RunStore::render_list(&store.list()?)),
+                LabCommand::List => {
+                    let (entries, warnings) = store.scan();
+                    for w in &warnings {
+                        eprintln!("fex: warning: {w}");
+                    }
+                    print!("{}", RunStore::render_list(&entries));
+                }
                 LabCommand::Show { selector } => {
                     let entry = store.resolve(&selector)?;
                     print!("{}", store.render_show(&entry)?);
@@ -104,6 +110,32 @@ fn run(args: &[String]) -> Result<ExitCode, FexError> {
                     let removed = store.gc(keep)?;
                     println!("removed {removed} stored runs (kept {keep} per experiment key)");
                 }
+                LabCommand::Fsck { quarantine } => {
+                    let report = if quarantine {
+                        fex_core::lab::fsck::fsck(&store, true)?
+                    } else {
+                        fex_core::lab::fsck::check(&store)
+                    };
+                    print!("{}", report.render());
+                    if !report.clean() && !quarantine {
+                        eprintln!("fex: run `fex lab fsck --quarantine` to repair");
+                        return Ok(ExitCode::FAILURE);
+                    }
+                }
+            }
+        }
+        Action::Fuzz { opts, regressions } => {
+            let mut opts = opts;
+            opts.break_mode = fex_core::BreakMode::from_env();
+            let report = match regressions {
+                Some(path) => {
+                    fex_core::fuzz::replay_regressions(std::path::Path::new(&path), &opts)?
+                }
+                None => fex_core::fuzz::fuzz(&opts)?,
+            };
+            print!("{}", report.render());
+            if !report.ok() {
+                return Ok(ExitCode::FAILURE);
             }
         }
         Action::Compare { baseline, candidate, dir, metric, svg } => {

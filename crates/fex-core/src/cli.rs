@@ -54,6 +54,15 @@ pub enum Action {
         /// Store directory (`--lab`, default `.fex-lab`).
         dir: String,
     },
+    /// `fex fuzz [--seed S] [--cases N]`: seeded scenario fuzzing of the
+    /// whole pipeline against the invariant oracle, or
+    /// `--regressions <file>` to replay committed seeds.
+    Fuzz {
+        /// Fuzzing options (seed, case count, bundle dir, shrink cap).
+        opts: crate::fuzz::FuzzOptions,
+        /// Replay a `<seed> <case>` regression file instead of fuzzing.
+        regressions: Option<String>,
+    },
     /// `fex compare <baseline> <candidate>`: per-benchmark Welch's
     /// t-test with a verdict table and comparison plots.
     Compare {
@@ -87,6 +96,13 @@ pub enum LabCommand {
         /// Runs kept per key.
         keep: usize,
     },
+    /// `fex lab fsck [--quarantine]`: check store integrity; with
+    /// `--quarantine`, move damaged runs aside and rewrite the index.
+    Fsck {
+        /// Repair mode: quarantine damaged runs instead of just
+        /// reporting.
+        quarantine: bool,
+    },
 }
 
 /// Usage text.
@@ -102,9 +118,11 @@ actions:
   report [journal.jsonl]          render a run journal (phase breakdown +
                                   per-unit timeline); bare: print the
                                   support matrix + environment
-  lab <list|show|gc>              inspect the result store (see --lab)
+  lab <list|show|gc|fsck>         inspect / repair the result store
   compare <baseline> <candidate>  per-benchmark Welch's t-test between two
                                   runs; exits 2 on significant regression
+  fuzz [opts]                     seeded scenario fuzzing with an invariant
+                                  oracle; exits 1 on an oracle violation
 
 run options:
   -t <type>...   build types (default gcc_native)
@@ -128,9 +146,17 @@ run options:
 lab / compare options:
   --lab <dir>    result store directory (default .fex-lab)
   --keep <n>     lab gc: runs kept per experiment key (default 1)
+  --quarantine   lab fsck: move damaged runs aside and rewrite the index
   --metric <m>   compare: metric column to test (default time)
   --svg <path>   compare: write the SVG comparison plot here
                  (default target/fex-results/compare.svg)
+
+fuzz options:
+  --seed <n>          master seed (default 42)
+  --cases <n>         scenarios to generate and check (default 25)
+  --bundle <dir>      repro bundle directory (default target/fex-fuzz)
+  --max-shrink <n>    shrink-candidate evaluation cap (default 48)
+  --regressions <f>   replay `<seed> <case>` lines from a file instead
 
 compare selectors are CSV paths, archived run-id prefixes, `latest`, or
 `prev` (the two newest store entries).
@@ -172,13 +198,15 @@ pub fn parse(args: &[String]) -> Result<Action> {
         }
         "lab" => {
             let sub = it.next().cloned().ok_or_else(|| {
-                FexError::Config("lab needs a subcommand: list | show | gc".into())
+                FexError::Config("lab needs a subcommand: list | show | gc | fsck".into())
             })?;
             let mut dir = String::from(".fex-lab");
             let mut keep: Option<usize> = None;
+            let mut quarantine = false;
             let mut positional: Vec<String> = Vec::new();
             while let Some(tok) = it.next() {
                 match tok.as_str() {
+                    "--quarantine" => quarantine = true,
                     "--lab" => {
                         dir = it
                             .next()
@@ -207,12 +235,48 @@ pub fn parse(args: &[String]) -> Result<Action> {
                     LabCommand::Show { selector }
                 }
                 "gc" => LabCommand::Gc { keep: keep.unwrap_or(1) },
+                "fsck" => LabCommand::Fsck { quarantine },
                 other => return Err(FexError::Config(format!("unknown lab subcommand `{other}`"))),
             };
             if !positional.is_empty() {
                 return Err(FexError::Config(format!("unexpected `{}`", positional[0])));
             }
             Ok(Action::Lab { cmd, dir })
+        }
+        "fuzz" => {
+            let mut opts = crate::fuzz::FuzzOptions::default();
+            let mut regressions = None;
+            while let Some(tok) = it.next() {
+                let value = |it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
+                             flag: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| FexError::Config(format!("{flag} needs a value")))
+                };
+                match tok.as_str() {
+                    "--seed" => {
+                        let v = value(&mut it, "--seed")?;
+                        opts.seed =
+                            v.parse().map_err(|_| FexError::Config(format!("bad seed `{v}`")))?;
+                    }
+                    "--cases" => {
+                        let v = value(&mut it, "--cases")?;
+                        opts.cases = v
+                            .parse()
+                            .map_err(|_| FexError::Config(format!("bad case count `{v}`")))?;
+                    }
+                    "--bundle" => opts.bundle_dir = value(&mut it, "--bundle")?.into(),
+                    "--max-shrink" => {
+                        let v = value(&mut it, "--max-shrink")?;
+                        opts.max_shrink = v
+                            .parse()
+                            .map_err(|_| FexError::Config(format!("bad shrink cap `{v}`")))?;
+                    }
+                    "--regressions" => regressions = Some(value(&mut it, "--regressions")?),
+                    other => return Err(FexError::Config(format!("unknown fuzz flag `{other}`"))),
+                }
+            }
+            Ok(Action::Fuzz { opts, regressions })
         }
         "compare" => {
             let mut dir = String::from(".fex-lab");
@@ -543,6 +607,45 @@ mod tests {
         assert!(parse(&argv("lab show")).is_err(), "show needs a selector");
         assert!(parse(&argv("lab frobnicate")).is_err());
         assert!(parse(&argv("lab list extra")).is_err());
+    }
+
+    #[test]
+    fn parses_lab_fsck() {
+        assert_eq!(
+            parse(&argv("lab fsck")).unwrap(),
+            Action::Lab { cmd: LabCommand::Fsck { quarantine: false }, dir: ".fex-lab".into() }
+        );
+        assert_eq!(
+            parse(&argv("lab fsck --quarantine --lab /tmp/store")).unwrap(),
+            Action::Lab { cmd: LabCommand::Fsck { quarantine: true }, dir: "/tmp/store".into() }
+        );
+        assert!(parse(&argv("lab fsck extra")).is_err());
+    }
+
+    #[test]
+    fn parses_fuzz() {
+        let Action::Fuzz { opts, regressions } = parse(&argv("fuzz")).unwrap() else {
+            panic!("expected fuzz");
+        };
+        assert_eq!((opts.seed, opts.cases), (42, 25), "CI smoke defaults");
+        assert_eq!(regressions, None);
+
+        let Action::Fuzz { opts, regressions } = parse(&argv(
+            "fuzz --seed 7 --cases 3 --bundle /tmp/bundles --max-shrink 10 \
+             --regressions tests/fuzz_regressions.txt",
+        ))
+        .unwrap() else {
+            panic!("expected fuzz");
+        };
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.cases, 3);
+        assert_eq!(opts.bundle_dir, std::path::PathBuf::from("/tmp/bundles"));
+        assert_eq!(opts.max_shrink, 10);
+        assert_eq!(regressions.as_deref(), Some("tests/fuzz_regressions.txt"));
+
+        assert!(parse(&argv("fuzz --seed")).is_err());
+        assert!(parse(&argv("fuzz --cases soon")).is_err());
+        assert!(parse(&argv("fuzz --sparkle")).is_err());
     }
 
     #[test]

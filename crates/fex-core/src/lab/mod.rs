@@ -16,10 +16,14 @@
 //!   directory per archived run,
 //! * [`compare`] — the [`Comparison`] engine: per-(benchmark, build type)
 //!   Welch's t-test, relative delta, Cohen's d effect size and a
-//!   four-way [`Verdict`].
+//!   four-way [`Verdict`],
+//! * [`fsck`] — `fex lab fsck`: integrity checking, quarantine, and the
+//!   deterministic disk-corruption injector that exercises both.
 
 pub mod compare;
+pub mod fsck;
 pub mod store;
 
 pub use compare::{CellComparison, Comparison, SampleStats, Verdict};
+pub use fsck::{Corruption, FsckIssue, FsckReport, IssueKind};
 pub use store::{IndexEntry, RunArtifacts, RunStore};

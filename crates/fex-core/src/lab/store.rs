@@ -62,7 +62,7 @@ pub struct IndexEntry {
 }
 
 impl IndexEntry {
-    fn to_json(&self) -> String {
+    pub(crate) fn to_json(&self) -> String {
         let mut w = JsonLine::object("run_id", &self.run_id);
         w.num("seq", self.seq as i64)
             .str("experiment", &self.experiment)
@@ -72,7 +72,7 @@ impl IndexEntry {
         w.finish()
     }
 
-    fn parse(line: &str) -> Result<IndexEntry> {
+    pub(crate) fn parse(line: &str) -> Result<IndexEntry> {
         let bad = |i: journal::ParseIssue| FexError::Data(format!("corrupt store index: {i}"));
         let map = journal::parse_flat_object(line).map_err(bad)?;
         let get = |k| journal::get_str(&map, k).map(str::to_string).map_err(bad);
@@ -136,10 +136,15 @@ impl RunStore {
 
     /// The content-addressed run id of a configuration + its results.
     pub fn run_id(config: &ExperimentConfig, art: &RunArtifacts<'_>) -> String {
+        Self::run_id_from_parts(&Self::experiment_key(config), art.results_csv, art.failures_csv)
+    }
+
+    /// The run id recomputed from its stored parts: the experiment key
+    /// (as archived in the index) and the artifact bytes. `fex lab fsck`
+    /// uses this to detect silently-edited artifacts.
+    pub fn run_id_from_parts(key: &str, results_csv: &str, failures_csv: &str) -> String {
         let mut d = DigestBuilder::new();
-        d.update_str(&Self::experiment_key(config))
-            .update_str(art.results_csv)
-            .update_str(art.failures_csv);
+        d.update_str(key).update_str(results_csv).update_str(failures_csv);
         d.finish().to_string()
     }
 
@@ -177,6 +182,11 @@ impl RunStore {
             .str("journal_digest", art.journal_digest.unwrap_or(""));
         fs::write(dir.join("record.json"), record.finish() + "\n").map_err(io)?;
         let mut index = fs::read_to_string(self.index_path()).unwrap_or_default();
+        if !index.is_empty() && !index.ends_with('\n') {
+            // A previous append was torn mid-line (crash); seal the torn
+            // fragment onto its own line so the new entry stays parseable.
+            index.push('\n');
+        }
         index.push_str(&entry.to_json());
         index.push('\n');
         fs::write(self.index_path(), index).map_err(io)?;
@@ -185,14 +195,37 @@ impl RunStore {
 
     /// All index entries in insertion order.
     ///
+    /// Corrupt lines are skipped (see [`RunStore::scan`]); an interrupted
+    /// append — a truncated or garbage trailing line — must not take the
+    /// whole store down with it.
+    ///
     /// # Errors
     ///
-    /// [`FexError::Data`] on a corrupt index line.
+    /// Kept for API stability; the skip-and-warn reader never fails.
     pub fn list(&self) -> Result<Vec<IndexEntry>> {
+        Ok(self.scan().0)
+    }
+
+    /// Reads the index with per-line fault isolation: every parseable
+    /// entry, plus one warning per skipped line — the same discipline as
+    /// the journal reader. A store whose last append was torn by a crash
+    /// stays listable, resolvable and appendable.
+    pub fn scan(&self) -> (Vec<IndexEntry>, Vec<String>) {
         let Ok(text) = fs::read_to_string(self.index_path()) else {
-            return Ok(Vec::new());
+            return (Vec::new(), Vec::new());
         };
-        text.lines().filter(|l| !l.trim().is_empty()).map(IndexEntry::parse).collect()
+        let mut entries = Vec::new();
+        let mut warnings = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match IndexEntry::parse(line) {
+                Ok(e) => entries.push(e),
+                Err(e) => warnings.push(format!("skipping index line {}: {e}", i + 1)),
+            }
+        }
+        (entries, warnings)
     }
 
     /// Resolves a selector to an index entry: `latest` (newest entry),
@@ -243,11 +276,18 @@ impl RunStore {
     ///
     /// # Errors
     ///
-    /// [`FexError::Data`] when the artifact is missing.
+    /// [`FexError::Data`] naming the corrupt run when the artifact is
+    /// missing or unreadable (`fex lab fsck` finds and quarantines such
+    /// runs).
     pub fn results_csv(&self, entry: &IndexEntry) -> Result<String> {
         let path = self.run_dir(&entry.run_id).join("results.csv");
-        fs::read_to_string(&path)
-            .map_err(|e| FexError::Data(format!("cannot read `{}`: {e}", path.display())))
+        fs::read_to_string(&path).map_err(|e| {
+            FexError::Data(format!(
+                "run {} is corrupt: cannot read `{}`: {e}; try `fex lab fsck`",
+                entry.run_id,
+                path.display()
+            ))
+        })
     }
 
     /// Garbage-collects the store: per experiment key, keeps the newest
@@ -327,11 +367,11 @@ impl RunStore {
         Ok(s)
     }
 
-    fn index_path(&self) -> PathBuf {
+    pub(crate) fn index_path(&self) -> PathBuf {
         self.root.join("index.json")
     }
 
-    fn run_dir(&self, run_id: &str) -> PathBuf {
+    pub(crate) fn run_dir(&self, run_id: &str) -> PathBuf {
         self.root.join("runs").join(run_id.trim_start_matches("fex256:"))
     }
 
@@ -411,6 +451,58 @@ mod tests {
         for e in &left {
             assert!(store.results_csv(e).is_ok());
         }
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn truncated_trailing_index_line_is_skipped_with_a_warning() {
+        let store = temp_store("truncated");
+        let cfg = ExperimentConfig::new("micro").input(InputSize::Test);
+        let a = store.save(&cfg, &art("h\n1\n")).unwrap();
+        let b = store.save(&cfg.clone().seed(99), &art("h\n2\n")).unwrap();
+
+        // Tear the last append mid-byte, as a crash during `save` would.
+        let index = fs::read_to_string(store.index_path()).unwrap();
+        fs::write(store.index_path(), &index[..index.len() - 9]).unwrap();
+
+        let (entries, warnings) = store.scan();
+        assert_eq!(entries, vec![a.clone()], "the intact entry survives");
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("index line 2"), "{warnings:?}");
+
+        // Every reader path stays functional on the torn store.
+        assert_eq!(store.list().unwrap(), vec![a.clone()]);
+        assert_eq!(store.resolve("latest").unwrap(), a);
+        assert_eq!(store.next_seq().unwrap(), b.seq, "torn seq is reusable");
+        let c = store.save(&cfg.clone().seed(7), &art("h\n3\n")).unwrap();
+        assert_eq!(store.list().unwrap(), vec![a, c], "appends still work");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn garbage_index_lines_do_not_poison_the_store() {
+        let store = temp_store("garbage");
+        let cfg = ExperimentConfig::new("micro").input(InputSize::Test);
+        let a = store.save(&cfg, &art("h\n1\n")).unwrap();
+        let mut index = fs::read_to_string(store.index_path()).unwrap();
+        index.push_str("{\"run_id\": 12, not json at all\n");
+        index.push('\n'); // blank lines are fine, not warnings
+        fs::write(store.index_path(), index).unwrap();
+        let (entries, warnings) = store.scan();
+        assert_eq!(entries, vec![a]);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn missing_artifact_error_names_the_run() {
+        let store = temp_store("missing-artifact");
+        let cfg = ExperimentConfig::new("micro").input(InputSize::Test);
+        let a = store.save(&cfg, &art("h\n1\n")).unwrap();
+        fs::remove_file(store.run_dir(&a.run_id).join("results.csv")).unwrap();
+        let err = store.results_csv(&a).unwrap_err().to_string();
+        assert!(err.contains(&a.run_id), "{err}");
+        assert!(err.contains("fsck"), "{err}");
         let _ = fs::remove_dir_all(store.root());
     }
 

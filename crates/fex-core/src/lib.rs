@@ -22,8 +22,11 @@
 //!   `metrics.json` next to the results CSV) and the `fex report`
 //!   renderer,
 //! * [`lab`] — the persistent content-addressed result store, the
-//!   adaptive repetition policy's statistics and the `fex compare`
-//!   regression gate,
+//!   adaptive repetition policy's statistics, the `fex compare`
+//!   regression gate and the `fex lab fsck` integrity checker,
+//! * [`fuzz`] — `fex fuzz`: seeded scenario fuzzing of the whole
+//!   pipeline against a golden-free invariant oracle, with shrinking
+//!   and repro bundles,
 //! * [`workflow`] — the [`Fex`] orchestrator (`fex.py`), running
 //!   everything inside the simulated [`fex-container`](fex_container)
 //!   with pinned-version [install scripts](install),
@@ -59,6 +62,7 @@ pub mod distributed;
 pub mod edd;
 pub mod env;
 mod error;
+pub mod fuzz;
 pub mod install;
 pub mod journal;
 pub mod lab;
@@ -71,6 +75,7 @@ pub mod workflow;
 
 pub use config::{ExperimentConfig, Repetitions};
 pub use error::{FexError, Result};
+pub use fuzz::{BreakMode, FuzzOptions, FuzzReport};
 pub use journal::{Journal, JournalEvent, Metrics};
 pub use lab::{Comparison, RunStore, Verdict};
 pub use resilience::{FailureRecord, FailureReport, RunOutcome, RunPolicy};

@@ -134,17 +134,7 @@ impl Fex {
                 )));
             }
         }
-        // Record environment details in the log (reproducibility, §VI).
-        for ty in &config.build_types {
-            let env = crate::env::environment_for(ty);
-            self.container.set_env("BUILD_TYPE", ty.clone());
-            for (k, v) in env.spec().resolve(config.debug) {
-                self.container.set_env(k, v);
-            }
-        }
-        self.log.push(format!("environment digest: {}", self.container.environment_digest()));
-
-        let mut runner: Box<dyn Runner> = match entry.kind {
+        let runner: Box<dyn Runner> = match entry.kind {
             ExperimentKind::SuitePerformance => {
                 Box::new(SuiteRunner::new(suite_by_name(&config.name)?, config))
             }
@@ -159,6 +149,49 @@ impl Fex {
             ExperimentKind::Server => Box::new(ServerRunner::new(server_kind(&config.name)?)),
             ExperimentKind::Security => Box::new(SecurityRunner::new()),
         };
+        self.run_pipeline(config, runner)
+    }
+
+    /// Runs an ad-hoc [`Suite`](fex_suites::Suite) through the exact
+    /// pipeline `fex run` uses — build, run, collect, journal, store —
+    /// without requiring the suite to be in the experiment registry or
+    /// backed by install scripts (the build system needs no container
+    /// packages). This is the entry point `fex fuzz` pushes generated
+    /// scenarios through, so fuzzed runs exercise the same code paths as
+    /// ordinary experiments.
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors, build failures and run faults, exactly as
+    /// [`Fex::run`].
+    pub fn run_suite(
+        &mut self,
+        config: &ExperimentConfig,
+        suite: fex_suites::Suite,
+    ) -> Result<&DataFrame> {
+        config.validate()?;
+        let runner: Box<dyn Runner> = Box::new(SuiteRunner::new(suite, config));
+        self.run_pipeline(config, runner)
+    }
+
+    /// The shared tail of every experiment: environment recording, the
+    /// journalled run phase, collection, store archival and container
+    /// filesystem writes.
+    fn run_pipeline(
+        &mut self,
+        config: &ExperimentConfig,
+        mut runner: Box<dyn Runner>,
+    ) -> Result<&DataFrame> {
+        // Record environment details in the log (reproducibility, §VI).
+        for ty in &config.build_types {
+            let env = crate::env::environment_for(ty);
+            self.container.set_env("BUILD_TYPE", ty.clone());
+            for (k, v) in env.spec().resolve(config.debug) {
+                self.container.set_env(k, v);
+            }
+        }
+        self.log.push(format!("environment digest: {}", self.container.environment_digest()));
+
         let experiment_started = std::time::Instant::now();
         let (_, decodes_before) = self.build.work_performed();
         let (frame, failures, mut journal) = {

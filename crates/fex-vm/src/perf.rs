@@ -132,6 +132,29 @@ impl UnitCounters {
             exit: run.exit,
         }
     }
+
+    /// Names the counters where two snapshots disagree, as
+    /// `name: self→other` fragments. Differential oracles (run the same
+    /// unit under two configurations that must not change measurements)
+    /// use this to report *which* counter drifted, not just that one did.
+    pub fn diff(&self, other: &UnitCounters) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut field = |name: &str, a: u64, b: u64| {
+            if a != b {
+                out.push(format!("{name}: {a}\u{2192}{b}"));
+            }
+        };
+        field("instructions", self.instructions, other.instructions);
+        field("cycles", self.cycles, other.cycles);
+        field("l1_misses", self.l1_misses, other.l1_misses);
+        field("llc_misses", self.llc_misses, other.llc_misses);
+        field("branch_mispredicts", self.branch_mispredicts, other.branch_mispredicts);
+        field("fault_events", self.fault_events, other.fault_events);
+        if self.exit != other.exit {
+            out.push(format!("exit: {}\u{2192}{}", self.exit, other.exit));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +186,19 @@ mod tests {
             attack_events: vec![],
             hijacks: vec![],
         }
+    }
+
+    #[test]
+    fn unit_counter_diff_names_the_drifting_fields() {
+        let a = UnitCounters::of(&fake_run());
+        assert!(a.diff(&a).is_empty(), "identical snapshots have no diff");
+        let mut b = a;
+        b.cycles += 1;
+        b.exit = 7;
+        let diff = a.diff(&b);
+        assert_eq!(diff.len(), 2, "{diff:?}");
+        assert!(diff[0].starts_with("cycles: "), "{diff:?}");
+        assert!(diff[1].starts_with("exit: "), "{diff:?}");
     }
 
     #[test]
