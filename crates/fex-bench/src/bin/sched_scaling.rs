@@ -6,8 +6,10 @@
 //! CI-sized variant (smaller matrix, jobs ∈ {1, 2}).
 //!
 //! On a single-core host the jobs > 1 rows measure scheduling overhead,
-//! not speedup — the JSON records `host_cores` so consumers can judge
-//! the speedup figures accordingly.
+//! not speedup — those rows carry `"advisory": true` and the JSON
+//! records `host_cores` so consumers can judge the speedup figures
+//! accordingly. On a multi-core host the bench self-gates: it aborts
+//! unless jobs=2 beats jobs=1.
 
 use std::time::Instant;
 
@@ -19,15 +21,17 @@ use fex_core::{ExperimentConfig, RunPolicy};
 use fex_suites::InputSize;
 use fex_vm::{Machine, MachineConfig};
 
-/// One timed pass over the experiment matrix at the given worker count.
-/// Returns (seconds, result CSV, run units driven).
-fn run_matrix(reps: usize, jobs: usize) -> (f64, String, usize) {
+/// One timed pass over the experiment matrix at the given worker count
+/// and claim-chunk size (0 = auto). Returns (seconds, result CSV, run
+/// units driven).
+fn run_matrix(reps: usize, jobs: usize, chunk: usize) -> (f64, String, usize) {
     let config = ExperimentConfig::new("micro")
         .types(vec!["gcc_native", "clang_native", "gcc_asan"])
         .input(InputSize::Test)
         .repetitions(reps)
         .resilience(RunPolicy::default())
-        .jobs(jobs);
+        .jobs(jobs)
+        .chunk(chunk);
     let mut build = BuildSystem::new(MakefileSet::standard());
     let mut log = Vec::new();
     let mut ctx = RunContext::new(&config, &mut build, &mut log);
@@ -72,8 +76,9 @@ fn main() {
     let mut rows = Vec::new();
     let mut baseline_csv = None;
     let mut baseline_secs = 0.0;
+    let mut jobs2_speedup = None;
     for &jobs in jobs_axis {
-        let (seconds, csv, units) = run_matrix(reps, jobs);
+        let (seconds, csv, units) = run_matrix(reps, jobs, 0);
         match &baseline_csv {
             None => {
                 baseline_csv = Some(csv);
@@ -83,15 +88,42 @@ fn main() {
         }
         let throughput = units as f64 / seconds;
         let speedup = baseline_secs / seconds;
+        if jobs == 2 {
+            jobs2_speedup = Some(speedup);
+        }
+        // A jobs > 1 row on a single-core host cannot show real scaling;
+        // mark it advisory so downstream gates skip its speedup figure.
+        let advisory = jobs > 1 && host_cores == 1;
         println!(
-            "  jobs={jobs}: {units} units in {seconds:.3}s  ({throughput:.1} units/s, {speedup:.2}x vs jobs=1)"
+            "  jobs={jobs}: {units} units in {seconds:.3}s  ({throughput:.1} units/s, {speedup:.2}x vs jobs=1{})",
+            if advisory { ", advisory: single-core host" } else { "" }
         );
         rows.push(format!(
             "    {{\"jobs\": {jobs}, \"units\": {units}, \"seconds\": {seconds:.6}, \
-             \"units_per_sec\": {throughput:.3}, \"speedup\": {speedup:.4}}}"
+             \"units_per_sec\": {throughput:.3}, \"speedup\": {speedup:.4}, \
+             \"advisory\": {advisory}}}"
         ));
     }
-    println!("  (all job counts produced byte-identical CSVs)");
+    // Explicit chunk overrides must not change results either: re-run the
+    // widest worker count with forced small and large claim chunks.
+    let max_jobs = *jobs_axis.last().unwrap();
+    for chunk in [1usize, 8] {
+        let (_, csv, _) = run_matrix(reps, max_jobs, chunk);
+        assert_eq!(
+            baseline_csv.as_ref().unwrap(),
+            &csv,
+            "jobs={max_jobs} chunk={chunk} diverged from jobs=1"
+        );
+    }
+    println!("  (all job counts and chunk overrides produced byte-identical CSVs)");
+    if host_cores >= 2 {
+        let speedup = jobs2_speedup.expect("jobs axis includes 2");
+        assert!(
+            speedup > 1.0,
+            "multi-core host ({host_cores} cores) but jobs=2 speedup is {speedup:.4} (expected > 1.0)"
+        );
+        println!("  (gate: jobs=2 speedup {speedup:.2}x > 1.0 on {host_cores}-core host)");
+    }
 
     let (instructions, seconds) = dispatch_microbench(dispatch_iters);
     let mips = instructions as f64 / seconds / 1e6;

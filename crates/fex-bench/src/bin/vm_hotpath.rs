@@ -9,8 +9,11 @@
 //!    speedup is the headline number. A full experiment-pipeline pass
 //!    additionally asserts byte-identical CSVs on vs off.
 //! 2. **dispatch** — interpreter dispatch rate on a branchy loop kernel
-//!    under each toggle combination (all-on, no-fusion, no-mru,
-//!    all-off), with identical counters asserted across all four.
+//!    under each toggle combination, with per-pass attribution rows:
+//!    all-on, leave-one-out for every decode pass (`no_pass:trace`,
+//!    `no_pass:fuse`, `no_pass:immfold`), the whole-pipeline-off
+//!    `no_fusion` alias, `no_mru` and `all_off` — identical counters
+//!    asserted across every configuration.
 //! 3. **decode_cache** — decoded-artifact cache hit rate on a
 //!    `--jobs 8` matrix, parsed from the runner's own accounting line.
 //!
@@ -23,7 +26,7 @@ use fex_core::build::{BuildSystem, MakefileSet};
 use fex_core::runner::{RunContext, Runner, SuiteRunner};
 use fex_core::{ExperimentConfig, RunPolicy};
 use fex_suites::InputSize;
-use fex_vm::{Machine, MachineConfig};
+use fex_vm::{Machine, MachineConfig, PassMask};
 
 /// On-CPU seconds for the calling thread, from `/proc/self/schedstat`
 /// (`sum_exec_runtime`, nanosecond resolution). On a small shared host,
@@ -102,7 +105,7 @@ impl UnitSweep {
     /// identical under every toggle combination).
     fn pass(&self, optimised: bool) -> (Vec<f64>, Vec<u64>) {
         let config = MachineConfig {
-            fusion: optimised,
+            passes: if optimised { PassMask::all() } else { PassMask::none() },
             mru_fast_path: optimised,
             ..MachineConfig::default()
         };
@@ -136,8 +139,8 @@ fn dispatch_kernel(iters: i64) -> fex_vm::Program {
     compile(&src, &BuildOptions::gcc()).expect("kernel compiles")
 }
 
-fn dispatch_bench(program: &fex_vm::Program, fusion: bool, mru: bool) -> (u64, i64, f64) {
-    let config = MachineConfig { fusion, mru_fast_path: mru, ..MachineConfig::default() };
+fn dispatch_bench(program: &fex_vm::Program, passes: PassMask, mru: bool) -> (u64, i64, f64) {
+    let config = MachineConfig { passes, mru_fast_path: mru, ..MachineConfig::default() };
     let start = cpu_seconds();
     let run = Machine::new(config).run(program, &[]).expect("kernel runs");
     (run.counters.instructions, run.exit, cpu_seconds() - start)
@@ -225,22 +228,30 @@ fn main() {
     assert_eq!(on_csv, off_csv, "toggles changed the experiment results CSV");
     println!("  full-pipeline CSVs: byte-identical on vs off");
 
-    // 2. Dispatch rate under each toggle combination. Passes interleave
-    // the configurations (like section 1) so host speed drift between
+    // 2. Dispatch rate under each toggle combination, with per-pass
+    // attribution: leave-one-out rows isolate each decode pass's
+    // contribution to the all-on rate. Passes interleave the
+    // configurations (like section 1) so host speed drift between
     // configurations cancels; best-of-N per configuration.
     let kernel = dispatch_kernel(dispatch_iters);
-    let configs = [
-        ("all_on", true, true),
-        ("no_fusion", false, true),
-        ("no_mru", true, false),
-        ("all_off", false, false),
-    ];
-    let mut best = [f64::INFINITY; 4];
+    let all = PassMask::all();
+    let mut configs: Vec<(String, PassMask, bool)> = vec![("all_on".into(), all, true)];
+    for info in fex_vm::PASSES {
+        configs.push((
+            format!("no_pass:{}", info.name),
+            all.without(info.name).expect("registry name"),
+            true,
+        ));
+    }
+    configs.push(("no_fusion".into(), PassMask::none(), true));
+    configs.push(("no_mru".into(), all, false));
+    configs.push(("all_off".into(), PassMask::none(), false));
+    let mut best = vec![f64::INFINITY; configs.len()];
     let mut pinned: Option<(u64, i64)> = None;
     let mut instructions = 0;
     for _ in 0..passes {
-        for (slot, (name, fusion, mru)) in configs.iter().enumerate() {
-            let (i, e, s) = dispatch_bench(&kernel, *fusion, *mru);
+        for (slot, (name, mask, mru)) in configs.iter().enumerate() {
+            let (i, e, s) = dispatch_bench(&kernel, *mask, *mru);
             match &pinned {
                 None => pinned = Some((i, e)),
                 Some(p) => {
@@ -251,16 +262,22 @@ fn main() {
             best[slot] = best[slot].min(s);
         }
     }
+    let all_on_mips = instructions as f64 / best[0] / 1e6;
     let mut dispatch_rows = Vec::new();
-    for (slot, (name, _, _)) in configs.iter().enumerate() {
+    for (slot, (name, mask, _)) in configs.iter().enumerate() {
         let seconds = best[slot];
         let mips = instructions as f64 / seconds / 1e6;
+        // A leave-one-out row's delta is what the missing pass buys the
+        // all-on configuration; informational for the other rows.
+        let delta = all_on_mips - mips;
         println!(
-            "  dispatch [{name}]: {instructions} instr in {seconds:.3}s  ({mips:.1} Minstr/s)"
+            "  dispatch [{name}]: {instructions} instr in {seconds:.3}s  ({mips:.1} Minstr/s, \
+             passes {mask}, delta vs all_on {delta:+.1})"
         );
         dispatch_rows.push(format!(
-            "    {{\"config\": \"{name}\", \"instructions\": {instructions}, \
-             \"seconds\": {seconds:.6}, \"minstr_per_sec\": {mips:.3}}}"
+            "    {{\"config\": \"{name}\", \"passes\": \"{mask}\", \
+             \"instructions\": {instructions}, \"seconds\": {seconds:.6}, \
+             \"minstr_per_sec\": {mips:.3}, \"delta_vs_all_on\": {delta:.3}}}"
         ));
     }
 

@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use fex_cc::{BackendProfile, BuildOptions};
 use fex_container::{Digest, DigestBuilder};
-use fex_vm::{decode_program_with, CostModel, DecodedProgram, Program};
+use fex_vm::{decode_program_passes, CostModel, DecodedProgram, PassMask, Program};
 
 use crate::error::{FexError, Result};
 
@@ -185,7 +185,7 @@ pub struct Artifact {
     /// executes this artifact — the decoded-artifact cache.
     pub decoded: Arc<DecodedProgram>,
     /// Content digest of (benchmark, source, resolved compiler options,
-    /// fusion setting): the cache key.
+    /// decode pass subset): the cache key.
     pub digest: Digest,
     /// Benchmark name.
     pub benchmark: String,
@@ -205,8 +205,8 @@ pub struct BuildSystem {
     cache: HashMap<Digest, Arc<Artifact>>,
     builds_performed: usize,
     decodes_performed: usize,
-    /// Whether artifacts are decoded with superinstruction fusion.
-    fusion: bool,
+    /// The peephole pass subset artifacts are decoded with.
+    passes: PassMask,
 }
 
 impl BuildSystem {
@@ -217,7 +217,7 @@ impl BuildSystem {
             cache: HashMap::new(),
             builds_performed: 0,
             decodes_performed: 0,
-            fusion: true,
+            passes: PassMask::all(),
         }
     }
 
@@ -249,11 +249,17 @@ impl BuildSystem {
         (self.builds_performed, self.decodes_performed)
     }
 
-    /// Sets whether artifacts are decoded with superinstruction fusion
-    /// (`--no-fusion`). Fusion is part of the cache key, so flipping it
-    /// can never serve a stale decoded form.
+    /// Sets the peephole pass subset artifacts are decoded with
+    /// (`--passes`/`--no-pass`). The subset is part of the cache key, so
+    /// changing it can never serve a stale decoded form.
+    pub fn set_passes(&mut self, passes: PassMask) {
+        self.passes = passes;
+    }
+
+    /// Alias for [`BuildSystem::set_passes`] with the all-or-nothing
+    /// historical switch (`--no-fusion`).
     pub fn set_fusion(&mut self, fusion: bool) {
-        self.fusion = fusion;
+        self.passes = if fusion { PassMask::all() } else { PassMask::none() };
     }
 
     /// Drops all cached binaries — the paper rebuilds everything at the
@@ -265,13 +271,18 @@ impl BuildSystem {
 
     /// The content digest an artifact build would be cached under.
     /// Computed entirely from borrowed inputs — no per-lookup allocation.
-    fn artifact_digest(benchmark: &str, source: &str, opts: &BuildOptions, fusion: bool) -> Digest {
+    fn artifact_digest(
+        benchmark: &str,
+        source: &str,
+        opts: &BuildOptions,
+        passes: PassMask,
+    ) -> Digest {
         DigestBuilder::new()
             .update_str(benchmark)
             .update_str(source)
             .update_str(opts.backend.name)
             .update_str(opts.backend.version)
-            .update(&[opts.opt_level, u8::from(opts.asan), u8::from(opts.debug), u8::from(fusion)])
+            .update(&[opts.opt_level, u8::from(opts.asan), u8::from(opts.debug), passes.bits()])
             .finish()
     }
 
@@ -292,7 +303,7 @@ impl BuildSystem {
         no_build: bool,
     ) -> Result<Arc<Artifact>> {
         let opts = self.makefiles.build_options(type_name, debug)?;
-        let digest = Self::artifact_digest(benchmark, source, &opts, self.fusion);
+        let digest = Self::artifact_digest(benchmark, source, &opts, self.passes);
         if no_build {
             if let Some(a) = self.cache.get(&digest) {
                 return Ok(Arc::clone(a));
@@ -307,7 +318,7 @@ impl BuildSystem {
         // Decode once, at build time, under the default cost model — the
         // one every experiment-loop machine runs with. A machine whose
         // config diverges falls back to a fresh decode at load.
-        let decoded = decode_program_with(&program, &CostModel::default(), self.fusion)
+        let decoded = decode_program_passes(&program, &CostModel::default(), self.passes)
             .unwrap_or_else(|e| panic!("compiler emitted an undecodable program: {e}"));
         self.decodes_performed += 1;
         let artifact = Arc::new(Artifact {
@@ -400,11 +411,11 @@ mod tests {
         let src = "fn main() -> int { return 1; }";
         let a = b.build("t", src, "gcc_native", false, false).unwrap();
         assert_eq!(b.decodes_performed(), 1);
-        assert!(a.decoded.fused);
+        assert_eq!(a.decoded.passes, PassMask::all());
         let cached = b.build("t", src, "gcc_native", false, true).unwrap();
         assert!(Arc::ptr_eq(&a, &cached), "--no-build returns the shared entry");
         assert_eq!(b.decodes_performed(), 1, "no re-decode on a cache hit");
-        // Source, build type and fusion setting all key the cache.
+        // Source, build type and pass subset all key the cache.
         let other =
             b.build("t", "fn main() -> int { return 2; }", "gcc_native", false, false).unwrap();
         assert_ne!(a.digest, other.digest);
@@ -413,7 +424,13 @@ mod tests {
         b.set_fusion(false);
         let unfused = b.build("t", src, "gcc_native", false, false).unwrap();
         assert_ne!(a.digest, unfused.digest);
-        assert!(!unfused.decoded.fused);
+        assert_eq!(unfused.decoded.passes, PassMask::none());
+        // A strict subset keys differently from both all and none.
+        b.set_passes(PassMask::all().without("fuse").unwrap());
+        let subset = b.build("t", src, "gcc_native", false, false).unwrap();
+        assert_ne!(subset.digest, a.digest);
+        assert_ne!(subset.digest, unfused.digest);
+        assert!(!subset.decoded.passes.enables("fuse"));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! ```
 
 use fex_suites::InputSize;
-use fex_vm::MeasureTool;
+use fex_vm::{MeasureTool, PassMask};
 
 use crate::config::{ExperimentConfig, Repetitions};
 use crate::error::{FexError, Result};
@@ -139,6 +139,8 @@ run options:
   --no-build     reuse cached binaries
   --jobs <n>     parallel run-unit workers; 0 = auto
                  (default: available cores, capped at 16)
+  --chunk <n>    units each worker claims per grab; 0 = auto
+                 (tuned from the matrix width)
   --no-journal   skip the structured run journal (journal.jsonl +
                  metrics.json); result CSVs are identical either way
   --lab [dir]    archive results into the run store (default .fex-lab)
@@ -162,7 +164,10 @@ compare selectors are CSV paths, archived run-id prefixes, `latest`, or
 `prev` (the two newest store entries).
 
 debug escape hatches (measured results are identical either way):
-  --no-fusion        disable VM superinstruction fusion
+  --passes <list>    decode pass pipeline subset, comma-separated in
+                     pipeline order (trace,fuse,immfold), or all/none
+  --no-pass <name>   drop one pass from the pipeline (repeatable)
+  --no-fusion        disable the whole pass pipeline (= --passes none)
   --no-mru           disable the cache simulator's MRU fast path
   --no-decode-cache  re-decode programs on every run unit
 ";
@@ -439,7 +444,31 @@ pub fn parse(args: &[String]) -> Result<Action> {
                             .parse()
                             .map_err(|_| FexError::Config(format!("bad job count `{v}`")))?;
                     }
-                    "--no-fusion" => cfg.fusion = false,
+                    "--chunk" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| FexError::Config("--chunk needs a size".into()))?;
+                        cfg.chunk = v
+                            .parse()
+                            .map_err(|_| FexError::Config(format!("bad chunk size `{v}`")))?;
+                    }
+                    "--passes" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| FexError::Config("--passes needs a list".into()))?;
+                        let names: Vec<&str> =
+                            v.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+                        cfg.passes = PassMask::from_names(names)
+                            .map_err(|e| FexError::Config(e.to_string()))?;
+                    }
+                    "--no-pass" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| FexError::Config("--no-pass needs a name".into()))?;
+                        cfg.passes =
+                            cfg.passes.without(v).map_err(|e| FexError::Config(e.to_string()))?;
+                    }
+                    "--no-fusion" => cfg.passes = PassMask::none(),
                     "--no-mru" => cfg.mru_fast_path = false,
                     "--no-decode-cache" => cfg.decode_cache = false,
                     "--no-journal" => cfg.journal = false,
@@ -551,8 +580,45 @@ mod tests {
         assert!(cfg.verbose && cfg.debug && cfg.no_build);
         assert_eq!(cfg.tool, MeasureTool::Time);
         assert_eq!(cfg.jobs, 4);
-        assert!(!cfg.fusion && !cfg.mru_fast_path && !cfg.decode_cache);
+        assert_eq!(cfg.passes, PassMask::none());
+        assert!(!cfg.mru_fast_path && !cfg.decode_cache);
         assert_eq!(cfg.lab, None, "runs stay ephemeral unless --lab is given");
+    }
+
+    #[test]
+    fn pass_pipeline_flags_select_subsets() {
+        let Action::Run(cfg) = parse(&argv("run -n micro --passes trace,immfold")).unwrap() else {
+            panic!("expected run");
+        };
+        assert!(cfg.passes.enables("trace") && cfg.passes.enables("immfold"));
+        assert!(!cfg.passes.enables("fuse"));
+        let Action::Run(cfg) = parse(&argv("run -n micro --no-pass fuse")).unwrap() else {
+            panic!("expected run");
+        };
+        assert!(!cfg.passes.enables("fuse"));
+        assert!(cfg.passes.enables("trace") && cfg.passes.enables("immfold"));
+        let Action::Run(cfg) = parse(&argv("run -n micro --passes none")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(cfg.passes, PassMask::none());
+        let Action::Run(cfg) = parse(&argv("run -n micro --chunk 8")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(cfg.chunk, 8);
+    }
+
+    #[test]
+    fn pass_pipeline_flags_reject_malformed_selections() {
+        let err = parse(&argv("run -n micro --passes bogus")).unwrap_err();
+        assert!(err.to_string().contains("unknown pass `bogus`"), "{err}");
+        let err = parse(&argv("run -n micro --passes fuse,fuse")).unwrap_err();
+        assert!(err.to_string().contains("duplicate pass"), "{err}");
+        let err = parse(&argv("run -n micro --passes immfold,trace")).unwrap_err();
+        assert!(err.to_string().contains("out of pipeline order"), "{err}");
+        assert!(parse(&argv("run -n micro --no-pass bogus")).is_err());
+        assert!(parse(&argv("run -n micro --passes")).is_err());
+        assert!(parse(&argv("run -n micro --chunk many")).is_err());
+        assert!(parse(&argv("run -n micro --chunk")).is_err());
     }
 
     #[test]
@@ -680,7 +746,8 @@ mod tests {
         let Action::Run(cfg) = parse(&argv("run -n micro")).unwrap() else {
             panic!("expected run");
         };
-        assert!(cfg.fusion && cfg.mru_fast_path && cfg.decode_cache);
+        assert_eq!(cfg.passes, PassMask::all());
+        assert!(cfg.mru_fast_path && cfg.decode_cache);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Experiment configuration: the typed form of `fex.py`'s command line.
 
 use fex_suites::InputSize;
-use fex_vm::{FaultPlan, MachineConfig, MeasureTool};
+use fex_vm::{FaultPlan, MachineConfig, MeasureTool, PassMask};
 
 use crate::error::{FexError, Result};
 use crate::resilience::RunPolicy;
@@ -160,9 +160,13 @@ pub struct ExperimentConfig {
     /// Worker threads for the run-unit scheduler (`--jobs`); `0` means
     /// auto — available parallelism capped at [`MAX_AUTO_JOBS`].
     pub jobs: usize,
-    /// Superinstruction fusion in the VM's decoded stream
-    /// (`--no-fusion` clears it; measured results are identical).
-    pub fusion: bool,
+    /// Units each scheduler worker claims per grab (`--chunk`); `0`
+    /// means auto — tuned from the matrix width and worker count.
+    pub chunk: usize,
+    /// The peephole pass subset run over the VM's decoded stream
+    /// (`--passes`/`--no-pass` select it; `--no-fusion` clears it;
+    /// measured results are identical for any subset).
+    pub passes: PassMask,
     /// MRU line fast path in the cache simulator (`--no-mru` clears it;
     /// measured results are identical).
     pub mru_fast_path: bool,
@@ -195,7 +199,8 @@ impl ExperimentConfig {
             fault: None,
             resilience: RunPolicy::default(),
             jobs: 0,
-            fusion: true,
+            chunk: 0,
+            passes: PassMask::all(),
             mru_fast_path: true,
             decode_cache: true,
             journal: true,
@@ -277,9 +282,22 @@ impl ExperimentConfig {
         self
     }
 
-    /// Enables or disables superinstruction fusion (`--no-fusion`).
+    /// Enables or disables the whole peephole pipeline (`--no-fusion`).
+    /// Alias for `passes(PassMask::all())` / `passes(PassMask::none())`.
     pub fn fusion(mut self, on: bool) -> Self {
-        self.fusion = on;
+        self.passes = if on { PassMask::all() } else { PassMask::none() };
+        self
+    }
+
+    /// Selects the peephole pass subset (`--passes`/`--no-pass`).
+    pub fn passes(mut self, passes: PassMask) -> Self {
+        self.passes = passes;
+        self
+    }
+
+    /// Sets the scheduler chunk size (`--chunk`); `0` means auto.
+    pub fn chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk;
         self
     }
 
@@ -359,7 +377,7 @@ impl ExperimentConfig {
         let mut mc = MachineConfig {
             cores: threads.max(1),
             seed,
-            fusion: self.fusion,
+            passes: self.passes,
             mru_fast_path: self.mru_fast_path,
             ..MachineConfig::default()
         };

@@ -19,7 +19,7 @@ use fex_cc::ast::{
 };
 use fex_cc::Pos;
 use fex_suites::{BenchProgram, Suite};
-use fex_vm::{FaultKind, FaultPlan, MeasureTool};
+use fex_vm::{FaultKind, FaultPlan, MeasureTool, PassMask};
 
 use crate::config::{ExperimentConfig, FaultInjection, Repetitions};
 use crate::resilience::RunPolicy;
@@ -131,6 +131,11 @@ pub struct Scenario {
     pub fault: Option<FaultInjection>,
     /// The experiment seed fed to the framework.
     pub experiment_seed: u64,
+    /// Decode pass subset of the base run (any of the 8 combinations;
+    /// the toggles oracle compares against an everything-off rerun).
+    pub passes: PassMask,
+    /// Scheduler claim-chunk size (0 = auto-tuned).
+    pub chunk: usize,
 }
 
 /// All standard build types the generator samples from.
@@ -177,6 +182,9 @@ impl Scenario {
             None
         };
         let experiment_seed = r.below(1000);
+        // Drawn last so older case seeds regenerate the same programs.
+        let passes = PassMask::from_bits(r.below(8) as u8);
+        let chunk = r.below(5) as usize;
 
         Scenario {
             case_seed: cs,
@@ -188,6 +196,8 @@ impl Scenario {
             tool,
             fault,
             experiment_seed,
+            passes,
+            chunk,
         }
     }
 
@@ -201,6 +211,8 @@ impl Scenario {
             .tool(self.tool)
             .seed(self.experiment_seed)
             .jobs(self.jobs)
+            .passes(self.passes)
+            .chunk(self.chunk)
             .resilience(RunPolicy::default().budget(FUZZ_INSTRUCTION_BUDGET));
         cfg.repetitions = self.repetitions;
         if let Some(f) = &self.fault {
@@ -240,13 +252,15 @@ impl Scenario {
     pub fn describe(&self) -> String {
         let mut s = format!(
             "case seed {:#018x}: {} program(s), types {:?}, threads {:?}, reps {:?}, \
-             jobs {}, tool {}, experiment seed {}\n",
+             jobs {}, chunk {}, passes {}, tool {}, experiment seed {}\n",
             self.case_seed,
             self.programs.len(),
             self.build_types,
             self.threads,
             self.repetitions,
             self.jobs,
+            self.chunk,
+            self.passes,
             self.tool,
             self.experiment_seed,
         );
@@ -680,6 +694,18 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn generator_exercises_pass_and_chunk_axes() {
+        let scenarios: Vec<Scenario> = (0..40).map(|i| Scenario::generate(42, i)).collect();
+        assert!(scenarios.iter().any(|s| s.passes == PassMask::all()));
+        assert!(scenarios.iter().any(|s| s.passes == PassMask::none()));
+        assert!(scenarios
+            .iter()
+            .any(|s| s.passes != PassMask::all() && s.passes != PassMask::none()));
+        assert!(scenarios.iter().any(|s| s.chunk == 0));
+        assert!(scenarios.iter().any(|s| s.chunk > 0));
     }
 
     #[test]

@@ -44,6 +44,7 @@ use crate::error::{FexError, Result};
 use crate::journal::{self, JournalEvent, Metrics};
 use crate::lab::{fsck, Comparison, RunStore};
 use crate::workflow::Fex;
+use fex_vm::PassMask;
 
 pub use gen::{GenProgram, Rng, Scenario};
 
@@ -564,6 +565,18 @@ fn shrink_candidates(s: &Scenario) -> Vec<Scenario> {
     if s.jobs > 2 {
         let mut c = s.clone();
         c.jobs = 2;
+        out.push(c);
+    }
+    // Neutralise the decode pass subset.
+    if s.passes != PassMask::all() {
+        let mut c = s.clone();
+        c.passes = PassMask::all();
+        out.push(c);
+    }
+    // Restore auto chunk sizing.
+    if s.chunk != 0 {
+        let mut c = s.clone();
+        c.chunk = 0;
         out.push(c);
     }
     // Drop statement blocks from each program's `main` (the fixed

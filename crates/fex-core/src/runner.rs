@@ -82,7 +82,7 @@ impl<'a> RunContext<'a> {
         MachineConfig {
             cores: threads.max(1),
             seed: self.config.seed,
-            fusion: self.config.fusion,
+            passes: self.config.passes,
             mru_fast_path: self.config.mru_fast_path,
             ..MachineConfig::default()
         }
@@ -649,7 +649,8 @@ impl SuiteRunner {
                 }
                 ctx.log(format!("scheduler: adaptive round {round}: {} run units", batch.len()));
             }
-            let outcomes = execute_units(&batch, &policy, jobs, ctx.journal.enabled());
+            let outcomes =
+                execute_units(&batch, &policy, jobs, ctx.journal.enabled(), ctx.config.chunk);
             executed_with_decode += batch
                 .iter()
                 .filter(|u| u.work.as_ref().is_some_and(|w| w.decoded.is_some()))
@@ -763,7 +764,7 @@ impl Runner for SuiteRunner {
         }
         // Artifacts must be decoded the way this experiment's machines
         // will run them, or every load falls back to a fresh decode.
-        ctx.build.set_fusion(ctx.config.fusion);
+        ctx.build.set_passes(ctx.config.passes);
         ctx.log(format!("experiment `{}` setup complete", self.suite.name));
         Ok(())
     }

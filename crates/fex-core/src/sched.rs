@@ -15,10 +15,16 @@
 //!    compiles exactly once) and a fully-derived
 //!    [`MachineConfig`](fex_vm::MachineConfig).
 //! 2. **Execute** — [`execute_units`] dispatches units over a
-//!    self-scheduling worker pool: workers claim the next unclaimed index
-//!    from a shared atomic counter (work stealing degenerates to this
-//!    with a single shared deque), drive the unit through the full
-//!    retry/backoff policy, and post `(index, outcome)` on a channel.
+//!    self-scheduling worker pool: workers claim the next unclaimed
+//!    **contiguous chunk** of indices from a shared atomic counter (work
+//!    stealing degenerates to this with a single shared deque), drive
+//!    each unit through the full retry/backoff policy with its journal
+//!    events buffered in the unit's outcome, and post one
+//!    `(start, outcomes)` batch per chunk on a channel. The chunk size
+//!    is auto-tuned from the matrix width and worker count — wide
+//!    matrices amortise the claim/channel overhead over many units while
+//!    keeping enough chunks in flight for load balance — and is
+//!    overridable with `--chunk`.
 //! 3. **Merge** — the runner walks the outcomes back in matrix order and
 //!    only *then* applies quarantine: failures count against a benchmark
 //!    in deterministic order, and units of an already-quarantined
@@ -139,36 +145,59 @@ fn run_unit(unit: &RunUnit, policy: &RunPolicy, journal: bool, worker: usize) ->
     UnitOutcome { log, result, events }
 }
 
+/// The chunk size workers claim per grab: the `--chunk` override when
+/// nonzero, otherwise auto-tuned so each worker sees about four chunks —
+/// wide matrices amortise claim/channel overhead over many units, narrow
+/// ones still hand every worker work — capped so one slow chunk cannot
+/// serialise the tail.
+fn effective_chunk(chunk: usize, units: usize, jobs: usize) -> usize {
+    if chunk != 0 {
+        return chunk;
+    }
+    (units / (jobs * 4)).clamp(1, 32)
+}
+
 /// Executes every unit and returns the outcomes **in unit order**,
 /// whatever order workers finished in.
 ///
 /// `jobs` is clamped to `1..=units.len()`. With one worker the pool is
 /// skipped entirely and units run inline, in order — the `--jobs 1`
 /// fast path. With more, a scoped worker pool self-schedules over a
-/// shared claim counter; outcomes come home over a channel and are
-/// slotted by index.
+/// shared claim counter, grabbing `chunk` contiguous units per claim
+/// (`0` auto-tunes from the matrix width; see `--chunk`): each chunk's
+/// outcomes — journal events buffered per unit — come home as one
+/// channel message and are scattered into their slots by index, so the
+/// merged order is the matrix order regardless of worker count or chunk
+/// size.
 pub fn execute_units(
     units: &[RunUnit],
     policy: &RunPolicy,
     jobs: usize,
     journal: bool,
+    chunk: usize,
 ) -> Vec<UnitOutcome> {
     let jobs = jobs.clamp(1, units.len().max(1));
     if jobs == 1 {
         return units.iter().map(|u| run_unit(u, policy, journal, 0)).collect();
     }
+    let chunk = effective_chunk(chunk, units.len(), jobs);
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, UnitOutcome)>();
+    let (tx, rx) = mpsc::channel::<(usize, Vec<UnitOutcome>)>();
     std::thread::scope(|scope| {
         for worker in 0..jobs {
             let tx = tx.clone();
             let next = &next;
             scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= units.len() {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= units.len() {
                     break;
                 }
-                if tx.send((i, run_unit(&units[i], policy, journal, worker))).is_err() {
+                let end = (start + chunk).min(units.len());
+                let batch: Vec<UnitOutcome> = units[start..end]
+                    .iter()
+                    .map(|u| run_unit(u, policy, journal, worker))
+                    .collect();
+                if tx.send((start, batch)).is_err() {
                     break;
                 }
             });
@@ -176,8 +205,10 @@ pub fn execute_units(
         drop(tx);
         let mut slots: Vec<Option<UnitOutcome>> = Vec::new();
         slots.resize_with(units.len(), || None);
-        for (i, outcome) in rx {
-            slots[i] = Some(outcome);
+        for (start, batch) in rx {
+            for (k, outcome) in batch.into_iter().enumerate() {
+                slots[start + k] = Some(outcome);
+            }
         }
         slots.into_iter().map(|s| s.expect("every unit posts exactly one outcome")).collect()
     })
@@ -227,7 +258,7 @@ mod tests {
     #[test]
     fn workless_units_settle_as_one_clean_attempt() {
         let u = RunUnit { work: None, record: false, ..unit("x", 0, false) };
-        let outcomes = execute_units(&[u], &RunPolicy::default(), 4, true);
+        let outcomes = execute_units(&[u], &RunPolicy::default(), 4, true, 0);
         assert_eq!(outcomes.len(), 1);
         assert_eq!(outcomes[0].log.attempts, 1);
         assert!(outcomes[0].log.result.is_ok());
@@ -237,23 +268,69 @@ mod tests {
 
     #[test]
     fn outcomes_come_home_in_unit_order_at_any_worker_count() {
+        // Every (jobs, chunk) combination — including chunks larger than
+        // the unit list and the auto size — must scatter outcomes back
+        // into exact matrix order.
         let units: Vec<RunUnit> = (0..12).map(|i| unit(&format!("b{i}"), i, false)).collect();
         for jobs in [1, 2, 4, 8, 64] {
-            let outcomes = execute_units(&units, &RunPolicy::default(), jobs, false);
-            assert_eq!(outcomes.len(), 12);
-            for o in &outcomes {
-                assert!(o.log.result.is_ok());
-                assert_eq!(o.result.as_ref().unwrap().exit, 7);
-                assert!(o.events.is_empty(), "journaling off leaves no events");
+            for chunk in [0, 1, 3, 5, 12, 100] {
+                let outcomes = execute_units(&units, &RunPolicy::default(), jobs, false, chunk);
+                assert_eq!(outcomes.len(), 12);
+                for o in &outcomes {
+                    assert!(o.log.result.is_ok());
+                    assert_eq!(o.result.as_ref().unwrap().exit, 7);
+                    assert!(o.events.is_empty(), "journaling off leaves no events");
+                }
             }
         }
+    }
+
+    #[test]
+    fn chunked_workers_keep_distinct_unit_results_in_order() {
+        // Units with distinguishable exits: chunked batching must not
+        // permute outcomes within or across chunks.
+        let units: Vec<RunUnit> = (0..17)
+            .map(|i| {
+                let mut u = unit(&format!("b{i}"), i, false);
+                if let Some(w) = &mut u.work {
+                    let mut f = Function::new("main", 0);
+                    f.reg_count = 1;
+                    f.code = vec![
+                        Instr::Imm { dst: Reg(0), val: i as i64 },
+                        Instr::Ret { src: Some(Reg(0)) },
+                    ];
+                    let mut p = Program::new();
+                    p.push_function(f);
+                    w.program = Arc::new(p);
+                }
+                u
+            })
+            .collect();
+        for (jobs, chunk) in [(2, 0), (3, 2), (4, 5), (8, 3)] {
+            let outcomes = execute_units(&units, &RunPolicy::default(), jobs, false, chunk);
+            let exits: Vec<i64> =
+                outcomes.iter().map(|o| o.result.as_ref().unwrap().exit).collect();
+            assert_eq!(exits, (0..17).collect::<Vec<i64>>(), "jobs {jobs} chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn auto_chunk_scales_with_matrix_width() {
+        // Explicit override wins untouched.
+        assert_eq!(effective_chunk(7, 100, 4), 7);
+        // Narrow matrices keep per-unit claims for load balance.
+        assert_eq!(effective_chunk(0, 12, 8), 1);
+        // Wide matrices amortise: ~4 chunks per worker.
+        assert_eq!(effective_chunk(0, 160, 4), 10);
+        // Capped so one chunk cannot serialise a huge tail.
+        assert_eq!(effective_chunk(0, 10_000, 2), 32);
     }
 
     #[test]
     fn failing_units_exhaust_retries_without_poisoning_neighbours() {
         let units = vec![unit("good", 0, false), unit("bad", 0, true), unit("good", 1, false)];
         let policy = RunPolicy::default().retries(1);
-        let outcomes = execute_units(&units, &policy, 2, false);
+        let outcomes = execute_units(&units, &policy, 2, false, 0);
         assert!(outcomes[0].log.result.is_ok());
         assert!(outcomes[1].log.result.is_err());
         assert_eq!(outcomes[1].log.attempts, 2, "one retry was spent");
@@ -269,7 +346,7 @@ mod tests {
         if let Some(w) = &mut u.work {
             w.config.fault_plan = FaultPlan::spurious(1.0, FaultKind::Trap, 9);
         }
-        let outcomes = execute_units(&[u], &RunPolicy::default().retries(2), 2, false);
+        let outcomes = execute_units(&[u], &RunPolicy::default().retries(2), 2, false, 0);
         assert!(outcomes[0].log.result.is_err());
         assert_eq!(outcomes[0].log.attempts, 3);
         assert_eq!(outcomes[0].log.errors.len(), 3);
@@ -278,7 +355,7 @@ mod tests {
     #[test]
     fn workers_buffer_claim_and_exec_events_per_unit() {
         let units = vec![unit("ok", 0, false), unit("bad", 0, true)];
-        let outcomes = execute_units(&units, &RunPolicy::default().retries(0), 4, true);
+        let outcomes = execute_units(&units, &RunPolicy::default().retries(0), 4, true, 0);
         // Successful unit: a claim then the VM execution counters.
         assert_eq!(outcomes[0].events.len(), 2);
         assert!(matches!(

@@ -22,11 +22,17 @@
 //! exact. A branch target equal to the code length is legal — it is the
 //! "fall off the end" implicit return.
 //!
-//! # Superinstruction fusion
+//! # The peephole pass pipeline
 //!
-//! After translation, a peephole pass fuses the dominant dispatch pairs
-//! into single fused variants: integer compare + conditional branch
-//! ([`DecodedInstr::CmpBr`]), load + integer binop
+//! After translation and accrual, an ordered pipeline of optional
+//! peephole passes ([`crate::passes`], selected by a
+//! [`PassMask`]) rewrites dispatch-dominant windows into single fused
+//! variants: the `trace` pass fuses trace-length windows — load +
+//! integer binop + store of its result
+//! ([`DecodedInstr::LoadBinStore`]) and integer binop + load + integer
+//! binop + store ([`DecodedInstr::BinLoadBinStore`]); the `fuse` pass
+//! fuses the classic pairs/triples — integer compare + conditional
+//! branch ([`DecodedInstr::CmpBr`]), load + integer binop
 //! ([`DecodedInstr::LoadBin`]), integer binop + store of its result
 //! ([`DecodedInstr::BinStore`]), integer binop + backedge jump
 //! ([`DecodedInstr::BinJmp`]), integer binop + load
@@ -36,8 +42,10 @@
 //! access ([`DecodedInstr::ChkLoad`]/[`DecodedInstr::ChkStore`]),
 //! register copy + unconditional jump ([`DecodedInstr::MovJmp`]), and
 //! one three-wide window — integer binop + register copy + jump
-//! ([`DecodedInstr::BinMovJmp`]), the canonical loop latch.
-//! Fusion is a pure dispatch-count optimisation — measured numbers
+//! ([`DecodedInstr::BinMovJmp`]), the canonical loop latch; and the
+//! `immfold` pass caches immediates into the following binop
+//! ([`DecodedInstr::ImmBin`]).
+//! Every pass is a pure dispatch-count optimisation — measured numbers
 //! cannot change:
 //!
 //! * instruction and cycle accrual stays pre-summed **from the source
@@ -47,9 +55,10 @@
 //! * the fused variant carries every constituent's payload and lives at
 //!   the first constituent's index; each later constituent keeps its
 //!   ordinary decoded form at its own index as a *shadow slot* (`pc +
-//!   1`, and `pc + 2` for the three-wide window). The fused handler
+//!   1` through `pc + 3` for the widest window). The fused handler
 //!   steps over them (or branches away), and no control flow can enter
-//!   one: fusion never crosses a block-leader boundary, and calls —
+//!   one: fusion never crosses a block-leader boundary, passes claim
+//!   non-overlapping windows through a shared bitmap, and calls —
 //!   whose return lands at `call_pc + 1` — are never a constituent;
 //! * [`DecodedInstr::undecode`] of a fused variant reconstructs the
 //!   first constituent, and each shadow slot undecodes to its own
@@ -57,8 +66,8 @@
 //!   body.
 //!
 //! Only trap-free integer binops (everything but `Div`/`Rem`) are fused
-//! as the *first* half of `CmpBr`/`BinJmp`/`BinMovJmp`, keeping "an
-//! earlier constituent cannot fail after a control transfer was
+//! as an *earlier* constituent of `CmpBr`/`BinJmp`/`BinMovJmp`, keeping
+//! "an earlier constituent cannot fail after a control transfer was
 //! dispatched" trivially true (`Mov` cannot trap at all); every other
 //! fused window executes its constituents strictly in program order
 //! inside one handler, so trap order and register/memory aliasing
@@ -69,6 +78,7 @@ use crate::bytecode::{
     BinOp, FBinOp, FCmpOp, FuncId, Function, Instr, Program, Reg, SysCall, UnOp, Width,
 };
 use crate::cost::CostModel;
+use crate::passes::{self, PassCtx, PassMask};
 
 /// A decoding failure: a control-transfer target outside the function.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -186,6 +196,61 @@ pub enum DecodedInstr {
     /// (`tmp = i + 1; i = tmp; jmp header`) or a diamond arm's exit.
     /// Two shadow slots follow.
     BinMovJmp { op: BinOp, dst: Reg, a: Reg, b: Reg, mdst: Reg, msrc: Reg, target: u32 },
+    /// Fused three-wide `Load` + integer `Bin` + `Store` of the binop's
+    /// result (`store.src == dst`): the read-modify-write window
+    /// (`trace` pass). Two shadow slots follow; no constituent
+    /// transfers control, so trapping binops are fine — execution is
+    /// strictly in order.
+    LoadBinStore {
+        ld: Reg,
+        laddr: Reg,
+        loff: i64,
+        lwidth: Width,
+        op: BinOp,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+        saddr: Reg,
+        soff: i64,
+        swidth: Width,
+    },
+    /// Fused four-wide integer `Bin` + `Load` + integer `Bin` + `Store`
+    /// of the second binop's result: the indexed-update window
+    /// `addr = base op idx; v = mem[..]; v' = v op x; mem[..] = v'`
+    /// (`trace` pass). Three shadow slots follow.
+    BinLoadBinStore {
+        op1: BinOp,
+        dst1: Reg,
+        a1: Reg,
+        b1: Reg,
+        ld: Reg,
+        laddr: Reg,
+        loff: i64,
+        lwidth: Width,
+        op2: BinOp,
+        dst2: Reg,
+        a2: Reg,
+        b2: Reg,
+        saddr: Reg,
+        soff: i64,
+        swidth: Width,
+    },
+    /// Fused `Imm` + integer `Bin` reading the immediate's register
+    /// (`immfold` pass). The handler still writes `idst` but feeds the
+    /// literal straight into the matching ALU operand.
+    ImmBin { idst: Reg, val: i64, op: BinOp, dst: Reg, a: Reg, b: Reg },
+    /// A trace-length straight-line superinstruction (`trace` pass): a
+    /// run of ≥ 3 consecutive non-control instructions (register ALU
+    /// ops, immediates, moves, address materialisation, loads and
+    /// stores) executed under a single dispatch with the frame borrow
+    /// hoisted out of the per-instruction loop. `run` holds the plain
+    /// decoded form of every constituent in a contiguous boxed slice
+    /// (head included), so execution never re-touches the function body;
+    /// the `run.len() - 1` shadow slots after the head keep their
+    /// ordinary forms for `undecode`. Execution is strictly in program
+    /// order with early-out, so traps and aliasing behave exactly as
+    /// unfused.
+    TraceRun { run: Box<[DecodedInstr]> },
 }
 
 impl DecodedInstr {
@@ -249,6 +314,14 @@ impl DecodedInstr {
             }
             DecodedInstr::MovJmp { dst, src, .. } => Instr::Mov { dst, src },
             DecodedInstr::BinMovJmp { op, dst, a, b, .. } => Instr::Bin { op, dst, a, b },
+            DecodedInstr::LoadBinStore { ld, laddr, loff, lwidth, .. } => {
+                Instr::Load { dst: ld, addr: laddr, off: loff, width: lwidth }
+            }
+            DecodedInstr::BinLoadBinStore { op1, dst1, a1, b1, .. } => {
+                Instr::Bin { op: op1, dst: dst1, a: a1, b: b1 }
+            }
+            DecodedInstr::ImmBin { idst, val, .. } => Instr::Imm { dst: idst, val },
+            DecodedInstr::TraceRun { run } => run[0].undecode(),
         }
     }
 }
@@ -288,12 +361,13 @@ pub struct DecodedProgram {
     /// decoded program is only reusable by an instance whose config
     /// carries the same model.
     pub cost: CostModel,
-    /// Whether superinstruction fusion ran over the bodies.
-    pub fused: bool,
+    /// The peephole pass subset that ran over the bodies (part of the
+    /// decode-cache key, like `cost`).
+    pub passes: PassMask,
 }
 
-/// Lowers `program` for execution under `cost`, with superinstruction
-/// fusion enabled (the standard pipeline).
+/// Lowers `program` for execution under `cost` with every peephole pass
+/// enabled (the standard pipeline).
 ///
 /// # Errors
 ///
@@ -301,12 +375,14 @@ pub struct DecodedProgram {
 /// greater than its function's code length (a target *equal* to the
 /// length is the implicit-return exit and is allowed).
 pub fn decode_program(program: &Program, cost: &CostModel) -> Result<DecodedProgram, DecodeError> {
-    decode_program_with(program, cost, true)
+    decode_program_passes(program, cost, PassMask::all())
 }
 
-/// Lowers `program` for execution under `cost`, fusing superinstructions
-/// only when `fusion` is set (`--no-fusion` is the debug escape hatch;
-/// measured results are identical either way).
+/// Lowers `program` for execution under `cost`, running the full pass
+/// pipeline only when `fusion` is set — the historical all-or-nothing
+/// switch behind `--no-fusion`, kept as an alias for
+/// [`decode_program_passes`] (measured results are identical either
+/// way).
 ///
 /// # Errors
 ///
@@ -316,18 +392,35 @@ pub fn decode_program_with(
     cost: &CostModel,
     fusion: bool,
 ) -> Result<DecodedProgram, DecodeError> {
+    let mask = if fusion { PassMask::all() } else { PassMask::none() };
+    decode_program_passes(program, cost, mask)
+}
+
+/// Lowers `program` for execution under `cost`, running exactly the
+/// peephole passes enabled in `mask` (in registry order). Structural
+/// decoding — translation, jump-target validation, block accrual — is
+/// unconditional; an empty mask yields the plain unfused stream.
+///
+/// # Errors
+///
+/// [`DecodeError`] under the same conditions as [`decode_program`].
+pub fn decode_program_passes(
+    program: &Program,
+    cost: &CostModel,
+    mask: PassMask,
+) -> Result<DecodedProgram, DecodeError> {
     let functions = program
         .functions
         .iter()
-        .map(|f| decode_function(f, cost, fusion))
+        .map(|f| decode_function(f, cost, mask))
         .collect::<Result<Vec<_>, _>>()?;
-    Ok(DecodedProgram { functions, cost: *cost, fused: fusion })
+    Ok(DecodedProgram { functions, cost: *cost, passes: mask })
 }
 
 fn decode_function(
     f: &Function,
     cost: &CostModel,
-    fusion: bool,
+    mask: PassMask,
 ) -> Result<DecodedFunction, DecodeError> {
     let len = f.code.len();
     // Pass 1: validate targets and mark block leaders.
@@ -372,151 +465,13 @@ fn decode_function(
     for b in &blocks {
         accrual[b.start as usize] = (b.instrs, b.cycles);
     }
-    if fusion {
-        fuse_superinstructions(&mut code, &f.code, &leader);
-    }
+    // Pass 3: the peephole pipeline (window fusion; see crate::passes).
+    let mut claimed = vec![false; len];
+    passes::run_pipeline(
+        mask,
+        &mut PassCtx { src: &f.code, code: &mut code, leader: &leader, claimed: &mut claimed },
+    );
     Ok(DecodedFunction { code, blocks, accrual })
-}
-
-/// The peephole fusion pass: greedy, left to right, non-overlapping.
-///
-/// A pair `(pc, pc + 1)` fuses only when `pc + 1` is *not* a block
-/// leader — then the only way to reach `pc + 1` is falling through from
-/// `pc`, so replacing the pair's dispatch with one fused handler (which
-/// leaves the second constituent behind as a never-executed shadow slot)
-/// is invisible to control flow, counters and fault sites alike. A
-/// three-wide window (same non-leader condition on both followers) is
-/// tried before the pair, so the loop latch collapses to one dispatch.
-fn fuse_superinstructions(code: &mut [DecodedInstr], src: &[Instr], leader: &[bool]) {
-    let mut pc = 0;
-    while pc + 1 < src.len() {
-        if leader[pc + 1] {
-            pc += 1;
-            continue;
-        }
-        if pc + 2 < src.len() && !leader[pc + 2] {
-            if let Some(fused) = fuse_triple(&src[pc], &src[pc + 1], &src[pc + 2]) {
-                code[pc] = fused;
-                // Neither shadow slot can begin another window.
-                pc += 3;
-                continue;
-            }
-        }
-        if let Some(fused) = fuse_pair(&src[pc], &src[pc + 1], pc) {
-            code[pc] = fused;
-            // The shadow slot cannot begin another pair.
-            pc += 2;
-        } else {
-            pc += 1;
-        }
-    }
-}
-
-/// Three-wide fusion: `tmp = i op k; i = tmp; jmp target` — the
-/// canonical loop latch when the jump is a backedge, a diamond arm's
-/// exit when it is forward. The binop must be trap-free because the
-/// handler ends in a control transfer (`Mov` cannot trap at all).
-fn fuse_triple(first: &Instr, second: &Instr, third: &Instr) -> Option<DecodedInstr> {
-    match (first, second, third) {
-        (
-            &Instr::Bin { op, dst, a, b },
-            &Instr::Mov { dst: mdst, src: msrc },
-            &Instr::Jmp { target },
-        ) if trap_free(op) => {
-            Some(DecodedInstr::BinMovJmp { op, dst, a, b, mdst, msrc, target: target as u32 })
-        }
-        _ => None,
-    }
-}
-
-/// Integer binops that cannot trap (everything but `Div`/`Rem`): safe as
-/// the first half of a fused pair whose second half transfers control.
-fn trap_free(op: BinOp) -> bool {
-    !matches!(op, BinOp::Div | BinOp::Rem)
-}
-
-fn fuse_pair(first: &Instr, second: &Instr, pc: usize) -> Option<DecodedInstr> {
-    match (first, second) {
-        // Compare (or any trap-free binop) + conditional branch on its
-        // result: the dominant loop-header pattern.
-        (&Instr::Bin { op, dst, a, b }, &Instr::BrZero { cond, target })
-            if cond == dst && trap_free(op) =>
-        {
-            Some(DecodedInstr::CmpBr {
-                op,
-                dst,
-                a,
-                b,
-                neg: true,
-                target: target as u32,
-                site: (pc + 1) as u32,
-            })
-        }
-        (&Instr::Bin { op, dst, a, b }, &Instr::BrNonZero { cond, target })
-            if cond == dst && trap_free(op) =>
-        {
-            Some(DecodedInstr::CmpBr {
-                op,
-                dst,
-                a,
-                b,
-                neg: false,
-                target: target as u32,
-                site: (pc + 1) as u32,
-            })
-        }
-        // Load + integer binop (usually consuming the loaded value).
-        (&Instr::Load { dst: ld, addr, off, width }, &Instr::Bin { op, dst, a, b }) => {
-            Some(DecodedInstr::LoadBin { ld, addr, off, width, op, dst, a, b })
-        }
-        // Binop + store of its result.
-        (&Instr::Bin { op, dst, a, b }, &Instr::Store { src, addr, off, width }) if src == dst => {
-            Some(DecodedInstr::BinStore { op, dst, a, b, addr, off, width })
-        }
-        // Increment (or any trap-free binop) + backedge jump: the
-        // loop-latch pattern.
-        (&Instr::Bin { op, dst, a, b }, &Instr::Jmp { target })
-            if target <= pc && trap_free(op) =>
-        {
-            Some(DecodedInstr::BinJmp { op, dst, a, b, target: target as u32 })
-        }
-        // Binop + load: the array address-chain pattern
-        // (`addr = base + i*8; v = mem[addr]`).
-        (&Instr::Bin { op, dst, a, b }, &Instr::Load { dst: ld, addr, off, width }) => {
-            Some(DecodedInstr::BinLoad { op, dst, a, b, ld, addr, off, width })
-        }
-        // Binop + register copy (usually of its result).
-        (&Instr::Bin { op, dst, a, b }, &Instr::Mov { dst: mdst, src: msrc }) => {
-            Some(DecodedInstr::BinMov { op, dst, a, b, mdst, msrc })
-        }
-        // Register copy + unconditional jump (a diamond arm's exit; the
-        // copy cannot trap, so any target is safe).
-        (&Instr::Mov { dst, src }, &Instr::Jmp { target }) => {
-            Some(DecodedInstr::MovJmp { dst, src, target: target as u32 })
-        }
-        // Binop + binop: straight-line ALU chains.
-        (
-            &Instr::Bin { op: op1, dst: dst1, a: a1, b: b1 },
-            &Instr::Bin { op: op2, dst: dst2, a: a2, b: b2 },
-        ) => Some(DecodedInstr::BinBin { op1, dst1, a1, b1, op2, dst2, a2, b2 }),
-        // ASan shadow check + the access it guards: the instrumented
-        // memory-access pattern. The check never writes a register, so
-        // the shared address operands evaluate identically in both
-        // halves; fusing only when they match keeps that trivially true.
-        (
-            &Instr::AsanCheck { addr: caddr, off: coff, width: cwidth, is_write: false },
-            &Instr::Load { dst, addr, off, width },
-        ) if caddr == addr && coff == off && cwidth == width => {
-            Some(DecodedInstr::ChkLoad { dst, addr, off, width })
-        }
-        (
-            &Instr::AsanCheck { addr: caddr, off: coff, width: cwidth, is_write: true },
-            &Instr::Store { src, addr, off, width },
-        ) if caddr == addr && coff == off && cwidth == width => {
-            Some(DecodedInstr::ChkStore { src, addr, off, width })
-        }
-        _ => None,
-    }
 }
 
 fn decode_instr(instr: &Instr) -> DecodedInstr {
@@ -734,8 +689,11 @@ mod tests {
         let original = fusable_code();
         let mut p = Program::new();
         p.push_function(func(original.clone()));
-        let d = decode_program(&p, &CostModel::default()).expect("decodes");
-        assert!(d.fused);
+        // Pin the `fuse` pass's own patterns: with the whole pipeline on,
+        // `trace` claims the straight-line windows first.
+        let fuse_only = PassMask::from_names(["fuse"]).unwrap();
+        let d = decode_program_passes(&p, &CostModel::default(), fuse_only).expect("decodes");
+        assert_eq!(d.passes, fuse_only);
         assert_eq!(d.cost, CostModel::default());
         let code = &d.functions[0].code;
         assert!(matches!(code[1], DecodedInstr::LoadBin { .. }), "{:?}", code[1]);
@@ -757,29 +715,191 @@ mod tests {
         assert_eq!(d.functions[0].accrual, unfused.functions[0].accrual);
     }
 
+    fn is_fused(i: &DecodedInstr) -> bool {
+        matches!(
+            i,
+            DecodedInstr::CmpBr { .. }
+                | DecodedInstr::LoadBin { .. }
+                | DecodedInstr::BinStore { .. }
+                | DecodedInstr::BinJmp { .. }
+                | DecodedInstr::BinLoad { .. }
+                | DecodedInstr::BinMov { .. }
+                | DecodedInstr::BinBin { .. }
+                | DecodedInstr::ChkLoad { .. }
+                | DecodedInstr::ChkStore { .. }
+                | DecodedInstr::MovJmp { .. }
+                | DecodedInstr::BinMovJmp { .. }
+                | DecodedInstr::LoadBinStore { .. }
+                | DecodedInstr::BinLoadBinStore { .. }
+                | DecodedInstr::ImmBin { .. }
+        )
+    }
+
     #[test]
     fn fusion_off_produces_no_fused_variants() {
         let mut p = Program::new();
         p.push_function(func(fusable_code()));
         let d = decode_program_with(&p, &CostModel::default(), false).expect("decodes");
-        assert!(!d.fused);
-        let fused = |i: &DecodedInstr| {
-            matches!(
-                i,
-                DecodedInstr::CmpBr { .. }
-                    | DecodedInstr::LoadBin { .. }
-                    | DecodedInstr::BinStore { .. }
-                    | DecodedInstr::BinJmp { .. }
-                    | DecodedInstr::BinLoad { .. }
-                    | DecodedInstr::BinMov { .. }
-                    | DecodedInstr::BinBin { .. }
-                    | DecodedInstr::ChkLoad { .. }
-                    | DecodedInstr::ChkStore { .. }
-                    | DecodedInstr::MovJmp { .. }
-                    | DecodedInstr::BinMovJmp { .. }
-            )
+        assert_eq!(d.passes, PassMask::none());
+        assert!(!d.functions[0].code.iter().any(is_fused));
+    }
+
+    #[test]
+    fn empty_pipeline_is_byte_identical_to_the_fusion_off_alias() {
+        let mut p = Program::new();
+        p.push_function(func(fusable_code()));
+        p.push_function(func(every_variant()));
+        let none = decode_program_passes(&p, &CostModel::default(), PassMask::none());
+        let off = decode_program_with(&p, &CostModel::default(), false);
+        assert_eq!(none.expect("decodes"), off.expect("decodes"));
+    }
+
+    /// The `a[k] = a[k] op x` shape: address calc, load, modify, store —
+    /// plus a trailing RMW without the address binop.
+    fn trace_code() -> Vec<Instr> {
+        vec![
+            Instr::Bin { op: BinOp::Add, dst: Reg(1), a: Reg(0), b: Reg(2) },
+            Instr::Load { dst: Reg(3), addr: Reg(1), off: 0, width: Width::B8 },
+            Instr::Bin { op: BinOp::Add, dst: Reg(4), a: Reg(3), b: Reg(5) },
+            Instr::Store { src: Reg(4), addr: Reg(1), off: 0, width: Width::B8 },
+            Instr::Load { dst: Reg(6), addr: Reg(2), off: 8, width: Width::B1 },
+            Instr::Bin { op: BinOp::Xor, dst: Reg(6), a: Reg(6), b: Reg(5) },
+            Instr::Store { src: Reg(6), addr: Reg(2), off: 8, width: Width::B1 },
+            Instr::Ret { src: None },
+        ]
+    }
+
+    #[test]
+    fn trace_windows_fuse_four_and_three_wide() {
+        let original = trace_code();
+        let mut p = Program::new();
+        p.push_function(func(original.clone()));
+        let d = decode_program(&p, &CostModel::default()).expect("decodes");
+        let code = &d.functions[0].code;
+        assert!(matches!(code[0], DecodedInstr::BinLoadBinStore { .. }), "{:?}", code[0]);
+        // The three shadow slots keep their ordinary decoded forms.
+        assert!(matches!(code[1], DecodedInstr::Load { .. }), "{:?}", code[1]);
+        assert!(matches!(code[2], DecodedInstr::Bin { .. }), "{:?}", code[2]);
+        assert!(matches!(code[3], DecodedInstr::Store { .. }), "{:?}", code[3]);
+        assert!(matches!(code[4], DecodedInstr::LoadBinStore { .. }), "{:?}", code[4]);
+        let back: Vec<Instr> = code.iter().map(|i| i.undecode()).collect();
+        assert_eq!(back, original);
+        // Accrual is pass-independent.
+        let none = decode_program_passes(&p, &CostModel::default(), PassMask::none()).unwrap();
+        assert_eq!(d.functions[0].blocks, none.functions[0].blocks);
+        assert_eq!(d.functions[0].accrual, none.functions[0].accrual);
+    }
+
+    #[test]
+    fn trace_outranks_fuse_on_shared_windows() {
+        // With only `fuse`, the same body collapses into pairs; with the
+        // full pipeline the four-wide window wins because `trace` runs
+        // first and claims the slots.
+        let mut p = Program::new();
+        p.push_function(func(trace_code()));
+        let only_fuse = PassMask::from_names(["fuse"]).unwrap();
+        let d = decode_program_passes(&p, &CostModel::default(), only_fuse).expect("decodes");
+        let code = &d.functions[0].code;
+        assert!(matches!(code[0], DecodedInstr::BinLoad { .. }), "{:?}", code[0]);
+        assert!(matches!(code[2], DecodedInstr::BinStore { .. }), "{:?}", code[2]);
+        assert!(matches!(code[4], DecodedInstr::LoadBin { .. }), "{:?}", code[4]);
+    }
+
+    #[test]
+    fn straight_line_runs_fuse_into_trace_runs() {
+        // Three-plus consecutive straight-line instructions collapse into
+        // one TraceRun head whose shadows keep their plain decoded forms;
+        // a control transfer ends the run and stays unfused.
+        let original = vec![
+            Instr::Imm { dst: Reg(1), val: 2 },
+            Instr::Bin { op: BinOp::Add, dst: Reg(2), a: Reg(0), b: Reg(1) },
+            Instr::Mov { dst: Reg(3), src: Reg(2) },
+            Instr::Un { op: UnOp::Neg, dst: Reg(4), a: Reg(3) },
+            Instr::Jmp { target: 5 },
+            Instr::Ret { src: Some(Reg(4)) },
+        ];
+        let mut p = Program::new();
+        p.push_function(func(original.clone()));
+        let only_trace = PassMask::from_names(["trace"]).unwrap();
+        let d = decode_program_passes(&p, &CostModel::default(), only_trace).expect("decodes");
+        let code = &d.functions[0].code;
+        assert!(
+            matches!(&code[0], DecodedInstr::TraceRun { run } if run.len() == 4),
+            "{:?}",
+            code[0]
+        );
+        assert!(matches!(code[1], DecodedInstr::Bin { .. }), "{:?}", code[1]);
+        assert!(matches!(code[3], DecodedInstr::Un { .. }), "{:?}", code[3]);
+        assert!(matches!(code[4], DecodedInstr::Jmp { .. }), "{:?}", code[4]);
+        let back: Vec<Instr> = code.iter().map(|i| i.undecode()).collect();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn immfold_caches_immediates_into_binops() {
+        // `k = i % 256` materialises the modulus right before the binop;
+        // immfold folds the pair. An immediate feeding nothing stays
+        // unfused, as does one whose binop reads other registers only.
+        let original = vec![
+            Instr::Imm { dst: Reg(1), val: 256 },
+            Instr::Bin { op: BinOp::Rem, dst: Reg(2), a: Reg(0), b: Reg(1) },
+            Instr::Imm { dst: Reg(3), val: 7 },
+            Instr::Bin { op: BinOp::Add, dst: Reg(4), a: Reg(0), b: Reg(2) },
+            Instr::Ret { src: Some(Reg(4)) },
+        ];
+        let mut p = Program::new();
+        p.push_function(func(original.clone()));
+        let only_immfold = PassMask::from_names(["immfold"]).unwrap();
+        let d = decode_program_passes(&p, &CostModel::default(), only_immfold).expect("decodes");
+        let code = &d.functions[0].code;
+        assert!(matches!(code[0], DecodedInstr::ImmBin { val: 256, .. }), "{:?}", code[0]);
+        assert!(matches!(code[1], DecodedInstr::Bin { .. }), "{:?}", code[1]);
+        assert!(matches!(code[2], DecodedInstr::Imm { .. }), "{:?}", code[2]);
+        assert!(matches!(code[3], DecodedInstr::Bin { .. }), "{:?}", code[3]);
+        let back: Vec<Instr> = code.iter().map(|i| i.undecode()).collect();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn single_pass_subsets_produce_only_their_variants() {
+        // One body with a window for each pass; each singleton mask must
+        // rewrite its own pattern and nothing else.
+        let mut body = trace_code();
+        body.truncate(7); // drop the Ret; keep both trace windows
+        body.push(Instr::Imm { dst: Reg(1), val: 3 });
+        body.push(Instr::Bin { op: BinOp::Mul, dst: Reg(4), a: Reg(1), b: Reg(0) });
+        body.push(Instr::Ret { src: None });
+        let mut p = Program::new();
+        p.push_function(func(body));
+        let cost = CostModel::default();
+        let decode = |names: &[&str]| {
+            let mask = PassMask::from_names(names.iter().copied()).unwrap();
+            decode_program_passes(&p, &cost, mask).expect("decodes").functions[0].code.clone()
         };
-        assert!(!d.functions[0].code.iter().any(fused));
+        let trace = decode(&["trace"]);
+        assert!(trace.iter().any(|i| matches!(i, DecodedInstr::BinLoadBinStore { .. })));
+        assert!(!trace.iter().any(|i| matches!(
+            i,
+            DecodedInstr::ImmBin { .. }
+                | DecodedInstr::BinLoad { .. }
+                | DecodedInstr::BinBin { .. }
+        )));
+        let fuse = decode(&["fuse"]);
+        assert!(fuse.iter().any(|i| matches!(i, DecodedInstr::BinLoad { .. })));
+        assert!(!fuse.iter().any(|i| matches!(
+            i,
+            DecodedInstr::ImmBin { .. }
+                | DecodedInstr::BinLoadBinStore { .. }
+                | DecodedInstr::LoadBinStore { .. }
+        )));
+        let immfold = decode(&["immfold"]);
+        assert!(immfold.iter().any(|i| matches!(i, DecodedInstr::ImmBin { .. })));
+        assert!(!immfold.iter().any(|i| matches!(
+            i,
+            DecodedInstr::BinLoad { .. }
+                | DecodedInstr::BinLoadBinStore { .. }
+                | DecodedInstr::LoadBinStore { .. }
+        )));
     }
 
     #[test]
@@ -798,7 +918,10 @@ mod tests {
         ];
         let mut p = Program::new();
         p.push_function(func(original.clone()));
-        let d = decode_program(&p, &CostModel::default()).expect("decodes");
+        // Pin the `fuse` pass's own patterns: with the whole pipeline on,
+        // `trace` claims the straight-line window first.
+        let fuse_only = PassMask::from_names(["fuse"]).unwrap();
+        let d = decode_program_passes(&p, &CostModel::default(), fuse_only).expect("decodes");
         let code = &d.functions[0].code;
         assert!(matches!(code[0], DecodedInstr::BinLoad { .. }), "{:?}", code[0]);
         assert!(matches!(code[2], DecodedInstr::BinMov { .. }), "{:?}", code[2]);

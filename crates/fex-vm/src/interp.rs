@@ -14,7 +14,7 @@ use crate::bytecode::{
 };
 use crate::cache::{CacheHierarchy, CacheLevel, CacheStats, HitLevel};
 use crate::counters::PerfCounters;
-use crate::decode::{decode_program_with, DecodedInstr, DecodedProgram};
+use crate::decode::{decode_program_passes, DecodedInstr, DecodedProgram};
 use crate::heap::{Heap, HeapStats};
 use crate::machine::{global_offsets, LoadBases, MachineConfig};
 use crate::memory::{layout, Memory, Perm, SegmentKind};
@@ -240,9 +240,9 @@ impl<'p> Instance<'p> {
         let cores = config.cores;
         let fault = config.fault_plan.decide();
         let decoded = match predecoded {
-            Some(d) if d.cost == config.cost && d.fused == config.fusion => d,
+            Some(d) if d.cost == config.cost && d.passes == config.passes => d,
             _ => Arc::new(
-                decode_program_with(program, &config.cost, config.fusion)
+                decode_program_passes(program, &config.cost, config.passes)
                     .unwrap_or_else(|e| panic!("program does not decode: {e}")),
             ),
         };
@@ -618,6 +618,61 @@ impl<'p> Instance<'p> {
         }
     }
 
+    /// Executes one straight-line (non-control) instruction against a
+    /// pre-borrowed frame. The [`DecodedInstr::TraceRun`] handler loops
+    /// over its constituents through this, hoisting the frame lookup
+    /// that [`Interp::step`]'s register macro performs per access out of
+    /// the run entirely. Each arm mirrors the corresponding `step` arm
+    /// exactly.
+    #[inline]
+    fn exec_straight(&mut self, instr: &DecodedInstr, fr: &mut Frame) -> Result<(), Trap> {
+        macro_rules! r {
+            ($reg:expr) => {
+                fr.regs[$reg.0 as usize]
+            };
+        }
+        match instr {
+            DecodedInstr::Imm { dst, val } => r!(dst) = *val,
+            DecodedInstr::FImm { dst, val } => r!(dst) = val.to_bits() as i64,
+            DecodedInstr::Mov { dst, src } => {
+                let v = r!(src);
+                r!(dst) = v;
+            }
+            DecodedInstr::Un { op, dst, a } => {
+                let x = r!(a);
+                r!(dst) = un_op(*op, x);
+            }
+            DecodedInstr::Bin { op, dst, a, b } => {
+                let (x, y) = (r!(a), r!(b));
+                r!(dst) = int_bin(*op, x, y)?;
+            }
+            DecodedInstr::Load { dst, addr, off, width } => {
+                let a = (r!(addr)).wrapping_add(*off) as u64;
+                let v = self.mem_load(a, *width)?;
+                r!(dst) = v;
+            }
+            DecodedInstr::Store { src, addr, off, width } => {
+                let a = (r!(addr)).wrapping_add(*off) as u64;
+                let v = r!(src);
+                self.mem_store(a, v, *width)?;
+            }
+            DecodedInstr::FrameAddr { dst, index } => {
+                let a = fr.slot_addrs[*index];
+                r!(dst) = a as i64;
+            }
+            DecodedInstr::GlobalAddr { dst, index } => {
+                let a = self.global_addrs[*index];
+                r!(dst) = a as i64;
+            }
+            DecodedInstr::RodataAddr { dst, offset } => {
+                let a = self.bases.rodata + offset;
+                r!(dst) = a as i64;
+            }
+            other => unreachable!("non-straight-line instruction in a trace run: {other:?}"),
+        }
+        Ok(())
+    }
+
     fn step(&mut self, instr: &DecodedInstr, frames: &mut Vec<Frame>) -> Result<Flow, Trap> {
         macro_rules! frame {
             () => {
@@ -858,6 +913,87 @@ impl<'p> Instance<'p> {
                 let v = r!(msrc);
                 r!(mdst) = v;
                 frame!().pc = *target as usize;
+            }
+            DecodedInstr::LoadBinStore {
+                ld,
+                laddr,
+                loff,
+                lwidth,
+                op,
+                dst,
+                a,
+                b,
+                saddr,
+                soff,
+                swidth,
+            } => {
+                let ad = (r!(laddr)).wrapping_add(*loff) as u64;
+                let v = self.mem_load(ad, *lwidth)?;
+                r!(ld) = v;
+                let (x, y) = (r!(a), r!(b));
+                let v = int_bin(*op, x, y)?;
+                r!(dst) = v;
+                // The store address is read *after* the earlier writes,
+                // exactly as the unfused sequence would (saddr may alias
+                // ld or dst); store.src == dst by construction.
+                let ad = (r!(saddr)).wrapping_add(*soff) as u64;
+                self.mem_store(ad, v, *swidth)?;
+                frame!().pc += 2;
+            }
+            DecodedInstr::BinLoadBinStore {
+                op1,
+                dst1,
+                a1,
+                b1,
+                ld,
+                laddr,
+                loff,
+                lwidth,
+                op2,
+                dst2,
+                a2,
+                b2,
+                saddr,
+                soff,
+                swidth,
+            } => {
+                let (x, y) = (r!(a1), r!(b1));
+                r!(dst1) = int_bin(*op1, x, y)?;
+                // Every address and operand register is read at its
+                // original program point relative to the earlier writes
+                // (laddr is usually dst1; saddr may alias ld or dst2).
+                let ad = (r!(laddr)).wrapping_add(*loff) as u64;
+                let v = self.mem_load(ad, *lwidth)?;
+                r!(ld) = v;
+                let (x, y) = (r!(a2), r!(b2));
+                let v = int_bin(*op2, x, y)?;
+                r!(dst2) = v;
+                let ad = (r!(saddr)).wrapping_add(*soff) as u64;
+                self.mem_store(ad, v, *swidth)?;
+                frame!().pc += 3;
+            }
+            DecodedInstr::ImmBin { idst, val, op, dst, a, b } => {
+                // The immediate's register is still written (it may be
+                // live past the pair), but the literal feeds the ALU
+                // operand directly instead of bouncing through it.
+                r!(idst) = *val;
+                let x = if a == idst { *val } else { r!(a) };
+                let y = if b == idst { *val } else { r!(b) };
+                r!(dst) = int_bin(*op, x, y)?;
+                frame!().pc += 1;
+            }
+            DecodedInstr::TraceRun { run } => {
+                // `run` is borrowed from the exec loop's own owner of the
+                // decoded program, so the constituent borrows stay
+                // independent of `&mut self`; the frame borrow is hoisted
+                // out of the whole run.
+                let fr = frames.last_mut().expect("frame stack nonempty");
+                for constituent in run.iter() {
+                    self.exec_straight(constituent, fr)?;
+                }
+                // `pc` was already advanced past the head; skip the
+                // `run.len() - 1` shadow slots.
+                fr.pc += run.len() - 1;
             }
         }
         Ok(Flow::Continue)

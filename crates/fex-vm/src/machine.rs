@@ -9,6 +9,7 @@ use crate::decode::DecodedProgram;
 use crate::fault::FaultPlan;
 use crate::interp::{Instance, RunResult};
 use crate::memory::layout;
+use crate::passes::PassMask;
 use crate::trap::VmError;
 
 /// Exploit mitigations, matching the knobs the paper's RIPE experiment
@@ -74,9 +75,10 @@ pub struct MachineConfig {
     pub max_instructions: u64,
     /// Deterministic fault injection (disabled by default).
     pub fault_plan: FaultPlan,
-    /// Superinstruction fusion in the decoded stream (`--no-fusion`
-    /// disables it for debugging; measured results are identical).
-    pub fusion: bool,
+    /// The peephole pass subset run over the decoded stream
+    /// (`--passes`/`--no-pass` select it; `--no-fusion` empties it for
+    /// debugging; measured results are identical for any subset).
+    pub passes: PassMask,
     /// MRU line memo in the cache simulator (`--no-mru` disables it;
     /// measured results are identical).
     pub mru_fast_path: bool,
@@ -98,7 +100,7 @@ impl Default for MachineConfig {
             seed: 42,
             max_instructions: 20_000_000_000,
             fault_plan: FaultPlan::default(),
-            fusion: true,
+            passes: PassMask::all(),
             mru_fast_path: true,
         }
     }
@@ -182,8 +184,8 @@ impl Machine {
     /// Like [`Machine::load`], but reuses a pre-decoded form of the
     /// *same* `program` (from the decoded-artifact cache) instead of
     /// decoding again. If `decoded` was produced under a different cost
-    /// model or fusion setting than this machine's config, the program
-    /// is silently decoded fresh — reuse is an optimisation, never a
+    /// model or pass subset than this machine's config, the program is
+    /// silently decoded fresh — reuse is an optimisation, never a
     /// semantic change.
     ///
     /// # Panics

@@ -237,6 +237,29 @@ fn fuzz_binary_smoke_is_clean_and_break_mode_fails_with_bundle() {
     let _ = std::fs::remove_dir_all(&bundle);
 }
 
+/// A bad pass selection is a clean configuration error: exit code 1, a
+/// message naming the offending pass, no panic, no partial run.
+#[test]
+fn bad_pass_selections_exit_one_with_a_clean_message() {
+    let cases: [(&[&str], &str); 4] = [
+        (&["run", "-n", "micro", "--passes", "bogus"], "unknown pass `bogus`"),
+        (&["run", "-n", "micro", "--passes", "trace,trace"], "duplicate pass `trace`"),
+        (&["run", "-n", "micro", "--passes", "fuse,trace"], "out of pipeline order"),
+        (&["run", "-n", "micro", "--no-pass", "bogus"], "unknown pass `bogus`"),
+    ];
+    for (args, needle) in cases {
+        let out = fex_bin().args(args).output().unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{args:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{args:?} stderr missing `{needle}`:\n{stderr}");
+    }
+}
+
 #[test]
 fn fuzz_binary_replays_regressions() {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fuzz_regressions.txt");

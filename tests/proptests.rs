@@ -554,7 +554,7 @@ proptest! {
 
     /// `--jobs 8` produces byte-identical results and failures CSVs to
     /// `--jobs 1`, with and without fault injection, whatever the
-    /// transient-fault rate, seed and retry budget.
+    /// transient-fault rate, seed, retry budget and claim-chunk size.
     #[test]
     fn parallel_runs_are_byte_identical_to_sequential(
         types_pick in 0usize..3,
@@ -564,6 +564,7 @@ proptest! {
         fault_seed in 0u64..1000,
         retries in 0usize..4,
         experiment_seed in 0u64..1000,
+        chunk in 0usize..5,
     ) {
         use fex_core::config::FaultInjection;
         use fex_core::{ExperimentConfig, RunPolicy};
@@ -589,7 +590,7 @@ proptest! {
             )));
         }
         let (seq_csv, seq_failures) = run_micro_with_failures(&base.clone().jobs(1));
-        let (par_csv, par_failures) = run_micro_with_failures(&base.jobs(8));
+        let (par_csv, par_failures) = run_micro_with_failures(&base.jobs(8).chunk(chunk));
         prop_assert_eq!(seq_csv, par_csv);
         prop_assert_eq!(seq_failures, par_failures);
     }
@@ -606,9 +607,11 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
-    /// All hot-path optimisations ON vs all OFF: the suite matrix must
+    /// Any decode pass subset (plus the MRU and decoded-artifact caches
+    /// off) vs all hot-path optimisations ON: the suite matrix must
     /// produce byte-identical results and failures CSVs, with and
-    /// without fault injection, sequentially and with `--jobs 8`.
+    /// without fault injection, sequentially and with `--jobs 8`, at any
+    /// claim-chunk size.
     #[test]
     fn hot_path_optimisations_never_change_measured_numbers(
         types_pick in 0usize..3,
@@ -619,11 +622,13 @@ proptest! {
         retries in 0usize..4,
         experiment_seed in 0u64..1000,
         jobs_pick in 0usize..2,
+        mask_bits in 0u8..8,
+        chunk in 0usize..5,
     ) {
         use fex_core::config::FaultInjection;
         use fex_core::{ExperimentConfig, RunPolicy};
         use fex_suites::InputSize;
-        use fex_vm::{FaultKind, FaultPlan};
+        use fex_vm::{FaultKind, FaultPlan, PassMask};
 
         let types = match types_pick {
             0 => vec!["gcc_native"],
@@ -646,7 +651,11 @@ proptest! {
         }
         let (on_csv, on_failures) = run_micro_with_failures(&base.clone());
         let (off_csv, off_failures) = run_micro_with_failures(
-            &base.fusion(false).mru(false).decode_cache(false),
+            &base
+                .passes(PassMask::from_bits(mask_bits))
+                .chunk(chunk)
+                .mru(false)
+                .decode_cache(false),
         );
         prop_assert_eq!(on_csv, off_csv);
         prop_assert_eq!(on_failures, off_failures);
