@@ -64,6 +64,18 @@ impl BuildOptions {
     }
 }
 
+/// The content digest of one compilation input: the benchmark's name and
+/// its Cmm source bytes, nothing else.
+///
+/// This is the root of the evaluator's artifact graph — compiled and
+/// decoded program keys, run-unit keys and aggregate keys all chain off
+/// it, so editing a benchmark's source dirties exactly its own subtree.
+pub fn source_digest(benchmark: &str, source: &str) -> fex_container::Digest {
+    let mut d = fex_container::DigestBuilder::new();
+    d.update_str(benchmark).update_str(source);
+    d.finish()
+}
+
 /// Compiles Cmm source into an executable VM program.
 ///
 /// # Errors
@@ -194,6 +206,14 @@ mod tests {
         let o0 = compile(src, &BuildOptions::gcc().with_opt_level(0)).unwrap();
         let o2 = compile(src, &BuildOptions::gcc()).unwrap();
         assert!(o0.static_instruction_count() > o2.static_instruction_count());
+    }
+
+    #[test]
+    fn source_digest_keys_on_name_and_bytes_only() {
+        let a = source_digest("fft", "fn main() -> int { return 0; }");
+        assert_eq!(a, source_digest("fft", "fn main() -> int { return 0; }"), "pure function");
+        assert_ne!(a, source_digest("lu", "fn main() -> int { return 0; }"));
+        assert_ne!(a, source_digest("fft", "fn main() -> int { return 1; }"));
     }
 
     #[test]

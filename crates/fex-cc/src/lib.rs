@@ -57,6 +57,6 @@ pub mod pretty;
 mod token;
 
 pub use backend::{BackendProfile, LayoutPolicy};
-pub use compile::{compile, compile_ir, BuildOptions};
+pub use compile::{compile, compile_ir, source_digest, BuildOptions};
 pub use errors::CompileError;
 pub use token::Pos;

@@ -124,6 +124,13 @@ fn run(args: &[String]) -> Result<ExitCode, FexError> {
                 }
             }
         }
+        Action::Graph { dir } => {
+            let graph = fex_core::ArtifactGraph::open(&dir)?;
+            for w in graph.warnings() {
+                eprintln!("fex: warning: {w}");
+            }
+            print!("{}", graph.render_stats());
+        }
         Action::Fuzz { opts, regressions } => {
             let mut opts = opts;
             opts.break_mode = fex_core::BreakMode::from_env();

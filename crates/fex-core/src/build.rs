@@ -20,7 +20,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use fex_cc::{BackendProfile, BuildOptions};
-use fex_container::{Digest, DigestBuilder};
+use fex_container::Digest;
 use fex_vm::{decode_program_passes, CostModel, DecodedProgram, PassMask, Program};
 
 use crate::error::{FexError, Result};
@@ -185,7 +185,8 @@ pub struct Artifact {
     /// executes this artifact — the decoded-artifact cache.
     pub decoded: Arc<DecodedProgram>,
     /// Content digest of (benchmark, source, resolved compiler options,
-    /// decode pass subset): the cache key.
+    /// decode pass subset, cost-model fingerprint): the cache key, equal
+    /// to the artifact graph's decoded-node key for this build.
     pub digest: Digest,
     /// Benchmark name.
     pub benchmark: String,
@@ -269,21 +270,29 @@ impl BuildSystem {
         self.cache.clear();
     }
 
-    /// The content digest an artifact build would be cached under.
-    /// Computed entirely from borrowed inputs — no per-lookup allocation.
+    /// The content digest an artifact build would be cached under: the
+    /// artifact graph's *decoded*-level key, derived source → compiled →
+    /// decoded so every layer of configuration dirties exactly its own
+    /// subtree (see [`crate::graph`]). Computed entirely from borrowed
+    /// inputs — no per-lookup allocation.
     fn artifact_digest(
         benchmark: &str,
         source: &str,
         opts: &BuildOptions,
         passes: PassMask,
     ) -> Digest {
-        DigestBuilder::new()
-            .update_str(benchmark)
-            .update_str(source)
-            .update_str(opts.backend.name)
-            .update_str(opts.backend.version)
-            .update(&[opts.opt_level, u8::from(opts.asan), u8::from(opts.debug), passes.bits()])
-            .finish()
+        let source_key = fex_cc::source_digest(benchmark, source);
+        let compiled = crate::graph::compiled_key(
+            source_key,
+            opts.backend.name,
+            opts.backend.version,
+            opts.opt_level,
+            opts.asan,
+            opts.debug,
+        );
+        // Artifacts are decoded under the default cost model (below), so
+        // its fingerprint is the one baked into the key.
+        crate::graph::decoded_key(compiled, passes.bits(), CostModel::default().fingerprint())
     }
 
     /// Builds `source` as `benchmark` with the given type. With
@@ -431,6 +440,27 @@ mod tests {
         assert_ne!(subset.digest, a.digest);
         assert_ne!(subset.digest, unfused.digest);
         assert!(!subset.decoded.passes.enables("fuse"));
+    }
+
+    #[test]
+    fn artifact_digest_is_the_layered_graph_key() {
+        let mut b = BuildSystem::new(MakefileSet::standard());
+        let src = "fn main() -> int { return 1; }";
+        let a = b.build("t", src, "gcc_asan", false, false).unwrap();
+        let opts = MakefileSet::standard().build_options("gcc_asan", false).unwrap();
+        let expected = crate::graph::decoded_key(
+            crate::graph::compiled_key(
+                fex_cc::source_digest("t", src),
+                opts.backend.name,
+                opts.backend.version,
+                opts.opt_level,
+                opts.asan,
+                opts.debug,
+            ),
+            PassMask::all().bits(),
+            CostModel::default().fingerprint(),
+        );
+        assert_eq!(a.digest, expected);
     }
 
     #[test]

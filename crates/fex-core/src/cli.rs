@@ -63,6 +63,13 @@ pub enum Action {
         /// Replay a `<seed> <case>` regression file instead of fuzzing.
         regressions: Option<String>,
     },
+    /// `fex graph stats`: per-kind node counts and size of the
+    /// content-addressed artifact graph inside a lab directory.
+    Graph {
+        /// Lab directory holding the graph (`--lab`, default
+        /// `.fex-lab`).
+        dir: String,
+    },
     /// `fex compare <baseline> <candidate>`: per-benchmark Welch's
     /// t-test with a verdict table and comparison plots.
     Compare {
@@ -119,6 +126,8 @@ actions:
                                   per-unit timeline); bare: print the
                                   support matrix + environment
   lab <list|show|gc|fsck>         inspect / repair the result store
+  graph stats                     artifact-graph node counts (incremental
+                                  evaluation cache inside the lab)
   compare <baseline> <candidate>  per-benchmark Welch's t-test between two
                                   runs; exits 2 on significant regression
   fuzz [opts]                     seeded scenario fuzzing with an invariant
@@ -144,6 +153,9 @@ run options:
   --no-journal   skip the structured run journal (journal.jsonl +
                  metrics.json); result CSVs are identical either way
   --lab [dir]    archive results into the run store (default .fex-lab)
+  --no-graph     skip the artifact graph: execute every run unit even
+                 when its cached result is bit-identical (results are
+                 the same either way; warm re-runs just get slower)
 
 lab / compare options:
   --lab <dir>    result store directory (default .fex-lab)
@@ -247,6 +259,28 @@ pub fn parse(args: &[String]) -> Result<Action> {
                 return Err(FexError::Config(format!("unexpected `{}`", positional[0])));
             }
             Ok(Action::Lab { cmd, dir })
+        }
+        "graph" => {
+            let sub = it
+                .next()
+                .cloned()
+                .ok_or_else(|| FexError::Config("graph needs a subcommand: stats".into()))?;
+            if sub != "stats" {
+                return Err(FexError::Config(format!("unknown graph subcommand `{sub}`")));
+            }
+            let mut dir = String::from(".fex-lab");
+            while let Some(tok) = it.next() {
+                match tok.as_str() {
+                    "--lab" => {
+                        dir = it
+                            .next()
+                            .cloned()
+                            .ok_or_else(|| FexError::Config("--lab needs a directory".into()))?;
+                    }
+                    other => return Err(FexError::Config(format!("unknown graph flag `{other}`"))),
+                }
+            }
+            Ok(Action::Graph { dir })
         }
         "fuzz" => {
             let mut opts = crate::fuzz::FuzzOptions::default();
@@ -472,6 +506,7 @@ pub fn parse(args: &[String]) -> Result<Action> {
                     "--no-mru" => cfg.mru_fast_path = false,
                     "--no-decode-cache" => cfg.decode_cache = false,
                     "--no-journal" => cfg.journal = false,
+                    "--no-graph" => cfg.graph = false,
                     other => return Err(FexError::Config(format!("unknown run flag `{other}`"))),
                 }
             }
@@ -686,6 +721,30 @@ mod tests {
             Action::Lab { cmd: LabCommand::Fsck { quarantine: true }, dir: "/tmp/store".into() }
         );
         assert!(parse(&argv("lab fsck extra")).is_err());
+    }
+
+    #[test]
+    fn parses_graph_stats() {
+        assert_eq!(parse(&argv("graph stats")).unwrap(), Action::Graph { dir: ".fex-lab".into() });
+        assert_eq!(
+            parse(&argv("graph stats --lab /tmp/store")).unwrap(),
+            Action::Graph { dir: "/tmp/store".into() }
+        );
+        assert!(parse(&argv("graph")).is_err());
+        assert!(parse(&argv("graph prune")).is_err());
+        assert!(parse(&argv("graph stats --frob")).is_err());
+    }
+
+    #[test]
+    fn parses_no_graph() {
+        let Action::Run(cfg) = parse(&argv("run -n micro")).unwrap() else {
+            panic!("expected run");
+        };
+        assert!(cfg.graph, "the artifact graph is on by default");
+        let Action::Run(cfg) = parse(&argv("run -n micro --no-graph")).unwrap() else {
+            panic!("expected run");
+        };
+        assert!(!cfg.graph);
     }
 
     #[test]

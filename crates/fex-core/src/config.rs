@@ -176,6 +176,10 @@ pub struct ExperimentConfig {
     /// Record the structured run journal (`--no-journal` clears it;
     /// results and failure CSVs are byte-identical either way).
     pub journal: bool,
+    /// Serve clean run units from the artifact graph's node cache on warm
+    /// re-runs (`--no-graph` clears it; only takes effect with `--lab`,
+    /// and warm results are byte-identical to cold).
+    pub graph: bool,
     /// Archive the completed run into a [`RunStore`](crate::lab::RunStore)
     /// at this directory (`--lab [dir]`); `None` keeps runs ephemeral.
     pub lab: Option<String>,
@@ -204,6 +208,7 @@ impl ExperimentConfig {
             mru_fast_path: true,
             decode_cache: true,
             journal: true,
+            graph: true,
             lab: None,
         }
     }
@@ -237,6 +242,12 @@ impl ExperimentConfig {
     /// Archives the completed run into the store at `dir` (`--lab`).
     pub fn lab(mut self, dir: impl Into<String>) -> Self {
         self.lab = Some(dir.into());
+        self
+    }
+
+    /// Toggles artifact-graph reuse for warm re-runs (`--no-graph`).
+    pub fn graph(mut self, on: bool) -> Self {
+        self.graph = on;
         self
     }
 

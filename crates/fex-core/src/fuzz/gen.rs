@@ -136,6 +136,10 @@ pub struct Scenario {
     pub passes: PassMask,
     /// Scheduler claim-chunk size (0 = auto-tuned).
     pub chunk: usize,
+    /// Whether the `warm` oracle also replays a dirtied suite (one
+    /// program's source gets a semantically neutral trailing newline)
+    /// against the populated artifact graph.
+    pub dirty_rerun: bool,
 }
 
 /// All standard build types the generator samples from.
@@ -185,6 +189,7 @@ impl Scenario {
         // Drawn last so older case seeds regenerate the same programs.
         let passes = PassMask::from_bits(r.below(8) as u8);
         let chunk = r.below(5) as usize;
+        let dirty_rerun = r.chance(1, 3);
 
         Scenario {
             case_seed: cs,
@@ -198,6 +203,7 @@ impl Scenario {
             experiment_seed,
             passes,
             chunk,
+            dirty_rerun,
         }
     }
 
@@ -252,7 +258,7 @@ impl Scenario {
     pub fn describe(&self) -> String {
         let mut s = format!(
             "case seed {:#018x}: {} program(s), types {:?}, threads {:?}, reps {:?}, \
-             jobs {}, chunk {}, passes {}, tool {}, experiment seed {}\n",
+             jobs {}, chunk {}, passes {}, tool {}, experiment seed {}, dirty rerun {}\n",
             self.case_seed,
             self.programs.len(),
             self.build_types,
@@ -263,6 +269,7 @@ impl Scenario {
             self.passes,
             self.tool,
             self.experiment_seed,
+            self.dirty_rerun,
         );
         match &self.fault {
             Some(f) => s.push_str(&format!(
@@ -706,6 +713,8 @@ mod tests {
             .any(|s| s.passes != PassMask::all() && s.passes != PassMask::none()));
         assert!(scenarios.iter().any(|s| s.chunk == 0));
         assert!(scenarios.iter().any(|s| s.chunk > 0));
+        assert!(scenarios.iter().any(|s| s.dirty_rerun));
+        assert!(scenarios.iter().any(|s| !s.dirty_rerun));
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! | `metrics`  | journal roll-up jobs-invariant and consistent with CSV totals   |
 //! | `store`    | write→read lossless, identical reruns share a run id, no false  |
 //! |            | regression from the compare gate                                |
+//! | `warm`     | a rerun against the populated artifact graph is byte-identical  |
+//! |            | to cold (CSVs + normalized journal), as is a dirty rerun after  |
+//! |            | a semantically neutral source edit                              |
 //! | `recovery` | every injected disk corruption is detected by `fex lab fsck`    |
 //! |            | and quarantine restores a clean store                           |
 //!
@@ -105,8 +108,8 @@ impl Default for FuzzOptions {
 #[derive(Debug, Clone)]
 pub struct OracleFailure {
     /// Which oracle fired (`toggles`, `jobs`, `metrics`, `store`,
-    /// `recovery`, or `pipeline` for a scenario that errored the
-    /// pipeline outright).
+    /// `warm`, `recovery`, or `pipeline` for a scenario that errored
+    /// the pipeline outright).
     pub oracle: &'static str,
     /// What disagreed.
     pub detail: String,
@@ -409,7 +412,7 @@ fn store_and_recovery_oracles(
     let fail = |oracle: &'static str, detail: String| Ok(Some(OracleFailure { oracle, detail }));
     let store_cfg = scenario.config().lab(lab_dir.to_string_lossy());
     let s1 = run_scenario(suite, store_cfg.clone())?;
-    let s2 = run_scenario(suite, store_cfg)?;
+    let s2 = run_scenario(suite, store_cfg.clone())?;
     if s1.results != base.results || s2.results != base.results {
         return fail("store", "archival changed the collected results".into());
     }
@@ -442,6 +445,49 @@ fn store_and_recovery_oracles(
             return fail(
                 "store",
                 "compare gate flagged a regression between identical runs".into(),
+            );
+        }
+    }
+
+    // Oracle `warm`: the s2 rerun above replayed against the artifact
+    // graph s1 populated — its CSVs already matched; the normalized
+    // journal streams (graph hits rewrite to misses) must match too.
+    {
+        let mut w1: Vec<String> =
+            normalized(&s1.events).iter().map(JournalEvent::to_json).collect();
+        let mut w2: Vec<String> =
+            normalized(&s2.events).iter().map(JournalEvent::to_json).collect();
+        w1.sort();
+        w2.sort();
+        if w1 != w2 {
+            let witness = w1
+                .iter()
+                .zip(&w2)
+                .find(|(a, b)| a != b)
+                .map(|(a, b)| format!("`{a}` vs `{b}`"))
+                .unwrap_or_else(|| "stream lengths differ".into());
+            return fail("warm", format!("warm journal stream drifted from cold: {witness}"));
+        }
+    }
+    // Dirty-rerun axis: a semantically neutral source edit (trailing
+    // newline) re-keys one program's whole node chain; the recomputed
+    // cells must merge with the served ones into byte-identical CSVs.
+    if scenario.dirty_rerun {
+        let mut dirty_suite = suite.clone();
+        if let Some(p) = dirty_suite.programs.first_mut() {
+            p.source = Box::leak(format!("{}\n", p.source).into_boxed_str());
+        }
+        let dirty = run_scenario(&dirty_suite, store_cfg)?;
+        if dirty.results != base.results {
+            return fail(
+                "warm",
+                first_diff("dirty-rerun results.csv", &dirty.results, &base.results),
+            );
+        }
+        if dirty.failures != base.failures {
+            return fail(
+                "warm",
+                first_diff("dirty-rerun failures.csv", &dirty.failures, &base.failures),
             );
         }
     }
@@ -577,6 +623,12 @@ fn shrink_candidates(s: &Scenario) -> Vec<Scenario> {
     if s.chunk != 0 {
         let mut c = s.clone();
         c.chunk = 0;
+        out.push(c);
+    }
+    // Skip the dirty rerun.
+    if s.dirty_rerun {
+        let mut c = s.clone();
+        c.dirty_rerun = false;
         out.push(c);
     }
     // Drop statement blocks from each program's `main` (the fixed

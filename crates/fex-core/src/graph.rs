@@ -1,0 +1,697 @@
+//! The content-addressed artifact graph: incremental evaluation's
+//! memoization table.
+//!
+//! Every artifact the pipeline produces — a benchmark's source, its
+//! compiled program, the decoded form, one run unit's measured result,
+//! the aggregate frame — is a *node* keyed by a `fex256` digest over the
+//! digests of its inputs plus exactly the configuration bits that affect
+//! it. The key derivation is layered so a change dirties precisely its
+//! own subtree and nothing else:
+//!
+//! | node kind  | key = digest over                                        |
+//! |------------|----------------------------------------------------------|
+//! | `source`   | benchmark name, Cmm source bytes ([`fex_cc::source_digest`]) |
+//! | `compiled` | source key, backend name+version, `-O` level, asan, debug |
+//! | `decoded`  | compiled key, pass mask bits, cost-model fingerprint      |
+//! | `run_unit` | decoded key, unit seed, threads, rep, input, args, budget |
+//! | `aggregate`| run-unit keys in matrix order, repetition policy, tool    |
+//! | `plot`     | aggregate key, plot request                               |
+//!
+//! The graph lives under `<lab>/graph/` with the same append-only
+//! flat-JSON index discipline as [`lab::store`](crate::lab::store): one
+//! object per line, monotonic `seq`, no wall clocks, torn appends sealed
+//! onto their own line, per-line fault isolation on read. `fex lab fsck`
+//! walks it (orphaned node dirs, payload digest mismatches) with the same
+//! detect/quarantine treatment as run dirs.
+//!
+//! Only *clean* run units are cached: first-attempt successes of
+//! fault-free units. Fault-armed or failing units bypass the graph
+//! entirely and re-execute on warm runs, so retry, backoff and
+//! quarantine behaviour is identical cold and warm — which is what makes
+//! warm CSVs, normalized journal streams and metrics roll-ups
+//! byte-identical to cold ones (locked by `tests/graph_diff.rs` and the
+//! fuzzer's `warm` oracle).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use fex_container::{digest_bytes, Digest, DigestBuilder};
+use fex_vm::{CacheStats, HeapStats, PerfCounters, RunResult};
+
+use crate::error::{FexError, Result};
+use crate::journal::{self, JsonLine};
+
+/// What a graph node is, and therefore what its payload holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NodeKind {
+    /// A benchmark's source bytes (provenance only; sources live in the
+    /// suite).
+    Source,
+    /// A compiled program for one build type.
+    Compiled,
+    /// A decoded program for one pass mask and cost model.
+    Decoded,
+    /// One run unit's measured [`RunResult`].
+    RunUnit,
+    /// One experiment's aggregate results frame.
+    Aggregate,
+    /// A rendered plot.
+    Plot,
+}
+
+impl NodeKind {
+    /// Every kind, in display order.
+    pub const ALL: [NodeKind; 6] = [
+        NodeKind::Source,
+        NodeKind::Compiled,
+        NodeKind::Decoded,
+        NodeKind::RunUnit,
+        NodeKind::Aggregate,
+        NodeKind::Plot,
+    ];
+
+    /// The stable name recorded in the graph index.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NodeKind::Source => "source",
+            NodeKind::Compiled => "compiled",
+            NodeKind::Decoded => "decoded",
+            NodeKind::RunUnit => "run_unit",
+            NodeKind::Aggregate => "aggregate",
+            NodeKind::Plot => "plot",
+        }
+    }
+
+    /// Parses a stable name back.
+    pub fn parse(s: &str) -> Option<NodeKind> {
+        NodeKind::ALL.into_iter().find(|k| k.as_str() == s)
+    }
+}
+
+impl std::fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Key derivation
+// ---------------------------------------------------------------------
+
+fn feed(d: &mut DigestBuilder, upstream: Digest) {
+    d.update(&upstream.0.to_le_bytes());
+}
+
+/// The compiled-program key: the source key plus every build option that
+/// changes the emitted bytecode (or its provenance).
+pub fn compiled_key(
+    source: Digest,
+    backend_name: &str,
+    backend_version: &str,
+    opt_level: u8,
+    asan: bool,
+    debug: bool,
+) -> Digest {
+    let mut d = DigestBuilder::new();
+    feed(&mut d, source);
+    d.update_str(backend_name).update_str(backend_version);
+    d.update(&[opt_level, u8::from(asan), u8::from(debug)]);
+    d.finish()
+}
+
+/// The decoded-program key: the compiled key plus the peephole pass mask
+/// and the cost-model fingerprint. A cost-model knob change dirties every
+/// decoded program (block cycle totals are pre-summed at decode time) but
+/// no compiled program.
+pub fn decoded_key(compiled: Digest, pass_bits: u8, cost_fingerprint: u64) -> Digest {
+    let mut d = DigestBuilder::new();
+    feed(&mut d, compiled);
+    d.update(&[pass_bits]);
+    d.update(&cost_fingerprint.to_le_bytes());
+    d.finish()
+}
+
+/// One run unit's key: the decoded key plus the unit's full coordinates —
+/// its derived seed, thread count, repetition tag (`None` is distinct
+/// from every `Some(_)`), workload input and arguments, and the
+/// resilience instruction budget (the only policy knob that can change a
+/// clean run's outcome).
+///
+/// Deliberately excluded: `--jobs`, `--chunk`, the MRU fast path and the
+/// decode cache (all proven result-neutral by the differential suites),
+/// the measurement tool (extraction happens at collect time from the same
+/// [`RunResult`]), and the retry attempt (only first attempts are
+/// cached).
+pub fn unit_key(
+    decoded: Digest,
+    unit_seed: u64,
+    threads: usize,
+    rep: Option<usize>,
+    input: &str,
+    args: &[i64],
+    run_budget: Option<u64>,
+) -> Digest {
+    let mut d = DigestBuilder::new();
+    feed(&mut d, decoded);
+    d.update(&unit_seed.to_le_bytes());
+    d.update(&(threads as u64).to_le_bytes());
+    d.update(&rep.map_or(0u64, |r| r as u64 + 1).to_le_bytes());
+    d.update_str(input);
+    for a in args {
+        d.update(&a.to_le_bytes());
+    }
+    d.update(&run_budget.map_or(0u64, |b| b + 1).to_le_bytes());
+    d.finish()
+}
+
+/// The aggregate-frame key: every run-unit key in matrix order plus the
+/// policies that shape the frame from the same runs.
+pub fn aggregate_key(units: &[Digest], repetitions: &str, tool: &str) -> Digest {
+    let mut d = DigestBuilder::new();
+    for u in units {
+        feed(&mut d, *u);
+    }
+    d.update_str(repetitions).update_str(tool);
+    d.finish()
+}
+
+// ---------------------------------------------------------------------
+// The on-disk node cache
+// ---------------------------------------------------------------------
+
+/// One line of the graph index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphIndexEntry {
+    /// Monotonic sequence number (insertion order).
+    pub seq: u64,
+    /// The node's key (`fex256:…`).
+    pub digest: String,
+    /// What the node is.
+    pub kind: NodeKind,
+    /// Digest of the payload bytes as written — `fex lab fsck`
+    /// recomputes this to catch silently-edited or torn payloads.
+    pub payload_digest: String,
+}
+
+impl GraphIndexEntry {
+    pub(crate) fn to_json(&self) -> String {
+        let mut w = JsonLine::object("digest", &self.digest);
+        w.num("seq", self.seq as i64)
+            .str("kind", self.kind.as_str())
+            .str("payload", &self.payload_digest);
+        w.finish()
+    }
+
+    pub(crate) fn parse(line: &str) -> Result<GraphIndexEntry> {
+        let bad = |i: journal::ParseIssue| FexError::Data(format!("corrupt graph index: {i}"));
+        let map = journal::parse_flat_object(line).map_err(bad)?;
+        let kind_name = journal::get_str(&map, "kind").map_err(bad)?;
+        let kind = NodeKind::parse(kind_name).ok_or_else(|| {
+            FexError::Data(format!("corrupt graph index: unknown kind `{kind_name}`"))
+        })?;
+        Ok(GraphIndexEntry {
+            seq: journal::get_u64(&map, "seq").map_err(bad)?,
+            digest: journal::get_str(&map, "digest").map_err(bad)?.to_string(),
+            kind,
+            payload_digest: journal::get_str(&map, "payload").map_err(bad)?.to_string(),
+        })
+    }
+}
+
+/// The artifact graph's node cache, rooted at `<lab>/graph/`.
+///
+/// Layout mirrors the run store:
+///
+/// ```text
+/// <lab>/graph/
+///   index.json                   # one flat JSON object per line
+///   nodes/<digest>/payload.json  # the node's cached payload
+/// ```
+#[derive(Debug)]
+pub struct ArtifactGraph {
+    root: PathBuf,
+    /// digest value → kind, for O(1) lookups.
+    index: HashMap<u128, NodeKind>,
+    next_seq: u64,
+    warnings: Vec<String>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ArtifactGraph {
+    /// The graph's directory name under the lab root.
+    pub const SUBDIR: &'static str = "graph";
+
+    /// Opens (creating if necessary) the graph under the lab rooted at
+    /// `lab_root`. Corrupt index lines are skipped with a warning, the
+    /// same per-line fault isolation as the run store.
+    ///
+    /// # Errors
+    ///
+    /// [`FexError::Data`] when the directory cannot be created.
+    pub fn open(lab_root: impl AsRef<Path>) -> Result<Self> {
+        let root = lab_root.as_ref().join(Self::SUBDIR);
+        fs::create_dir_all(root.join("nodes")).map_err(|e| {
+            FexError::Data(format!("cannot create graph at `{}`: {e}", root.display()))
+        })?;
+        let (entries, warnings) = Self::scan_at(&root);
+        let next_seq = entries.iter().map(|e| e.seq).max().map_or(0, |m| m + 1);
+        let index =
+            entries.iter().filter_map(|e| parse_digest(&e.digest).map(|d| (d.0, e.kind))).collect();
+        Ok(ArtifactGraph { root, index, next_seq, warnings, hits: 0, misses: 0 })
+    }
+
+    /// The graph's root directory (`<lab>/graph`).
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Reads a graph index with per-line fault isolation: every parseable
+    /// entry plus one warning per skipped line.
+    pub fn scan_at(root: &Path) -> (Vec<GraphIndexEntry>, Vec<String>) {
+        let Ok(text) = fs::read_to_string(root.join("index.json")) else {
+            return (Vec::new(), Vec::new());
+        };
+        let mut entries = Vec::new();
+        let mut warnings = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match GraphIndexEntry::parse(line) {
+                Ok(e) => entries.push(e),
+                Err(e) => warnings.push(format!("skipping graph index line {}: {e}", i + 1)),
+            }
+        }
+        (entries, warnings)
+    }
+
+    /// Warnings accumulated while opening (corrupt index lines).
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
+    }
+
+    /// Whether a node with this key exists.
+    pub fn contains(&self, digest: &Digest) -> bool {
+        self.index.contains_key(&digest.0)
+    }
+
+    /// Nodes currently indexed.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the graph holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Run units served from the cache this session.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Run-unit lookups that found no (usable) node this session.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Looks up a cached run-unit result, counting a session hit or miss.
+    /// Unreadable or torn payloads degrade to a miss — the unit simply
+    /// re-executes — never an error.
+    pub fn lookup_run(&mut self, digest: &Digest) -> Option<RunResult> {
+        let served = match self.index.get(&digest.0) {
+            Some(NodeKind::RunUnit) => fs::read_to_string(self.payload_path(digest))
+                .ok()
+                .and_then(|text| run_from_json(text.trim())),
+            _ => None,
+        };
+        match served {
+            Some(run) => {
+                self.hits += 1;
+                Some(run)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a clean run unit's result under its key. Idempotent: a key
+    /// already present is left untouched (content-addressed nodes are
+    /// immutable).
+    ///
+    /// # Errors
+    ///
+    /// [`FexError::Data`] on filesystem failures.
+    pub fn store_run(&mut self, digest: &Digest, run: &RunResult) -> Result<()> {
+        self.store_node(NodeKind::RunUnit, digest, &run_to_json(run))
+    }
+
+    /// Stores an arbitrary node payload (source/compiled/decoded
+    /// provenance, aggregate frames). Idempotent like [`store_run`].
+    ///
+    /// [`store_run`]: ArtifactGraph::store_run
+    ///
+    /// # Errors
+    ///
+    /// [`FexError::Data`] on filesystem failures.
+    pub fn store_node(&mut self, kind: NodeKind, digest: &Digest, payload: &str) -> Result<()> {
+        if self.contains(digest) {
+            return Ok(());
+        }
+        let io = |e: std::io::Error| FexError::Data(format!("graph write failed: {e}"));
+        let dir = self.node_dir(digest);
+        fs::create_dir_all(&dir).map_err(io)?;
+        fs::write(dir.join("payload.json"), payload).map_err(io)?;
+        let entry = GraphIndexEntry {
+            seq: self.next_seq,
+            digest: digest.to_string(),
+            kind,
+            payload_digest: digest_bytes(payload.as_bytes()).to_string(),
+        };
+        let mut index = fs::read_to_string(self.index_path()).unwrap_or_default();
+        if !index.is_empty() && !index.ends_with('\n') {
+            // A previous append was torn mid-line (crash); seal the torn
+            // fragment onto its own line so the new entry stays parseable.
+            index.push('\n');
+        }
+        index.push_str(&entry.to_json());
+        index.push('\n');
+        fs::write(self.index_path(), index).map_err(io)?;
+        self.index.insert(digest.0, kind);
+        self.next_seq += 1;
+        Ok(())
+    }
+
+    /// Node counts per kind, for `fex graph stats`.
+    pub fn node_counts(&self) -> BTreeMap<NodeKind, usize> {
+        let mut counts = BTreeMap::new();
+        for kind in self.index.values() {
+            *counts.entry(*kind).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Renders `fex graph stats` output.
+    pub fn render_stats(&self) -> String {
+        let mut s = format!("artifact graph at `{}`\n", self.root.display());
+        let counts = self.node_counts();
+        let _ = writeln!(s, "{:<10} {:>6}", "kind", "nodes");
+        for kind in NodeKind::ALL {
+            let _ =
+                writeln!(s, "{:<10} {:>6}", kind.as_str(), counts.get(&kind).copied().unwrap_or(0));
+        }
+        let _ = writeln!(s, "{:<10} {:>6}", "total", self.len());
+        for w in &self.warnings {
+            let _ = writeln!(s, "warning: {w}");
+        }
+        s
+    }
+
+    pub(crate) fn index_path(&self) -> PathBuf {
+        self.root.join("index.json")
+    }
+
+    fn node_dir(&self, digest: &Digest) -> PathBuf {
+        node_dir_at(&self.root, &digest.to_string())
+    }
+
+    fn payload_path(&self, digest: &Digest) -> PathBuf {
+        self.node_dir(digest).join("payload.json")
+    }
+}
+
+/// The node directory for a digest string, under a graph root.
+pub(crate) fn node_dir_at(root: &Path, digest: &str) -> PathBuf {
+    root.join("nodes").join(digest.trim_start_matches("fex256:"))
+}
+
+/// Parses a `fex256:<hex>` digest string back into a [`Digest`].
+pub(crate) fn parse_digest(s: &str) -> Option<Digest> {
+    u128::from_str_radix(s.strip_prefix("fex256:")?, 16).ok().map(Digest)
+}
+
+// ---------------------------------------------------------------------
+// Run-unit payload (de)serialization
+// ---------------------------------------------------------------------
+
+/// Serializes a clean run's measured result as one flat JSON line.
+///
+/// `wall_seconds` is stored as its IEEE bit pattern so the round trip is
+/// bit-exact; `per_core`, `attack_events` and `hijacks` are *not* stored —
+/// only fault-free units are cached (the latter two are empty by the
+/// cacheability check) and nothing downstream of the collector reads
+/// per-core counters.
+fn run_to_json(run: &RunResult) -> String {
+    let c = &run.counters;
+    let h = &run.heap;
+    let mut w = JsonLine::object("node", NodeKind::RunUnit.as_str());
+    w.num("exit", run.exit)
+        .str("stdout", &run.stdout)
+        .num("elapsed_cycles", run.elapsed_cycles as i64)
+        .num("wall_seconds_bits", run.wall_seconds.to_bits() as i64)
+        .num("maxrss_bytes", run.maxrss_bytes as i64)
+        .num("ctr_instructions", c.instructions as i64)
+        .num("ctr_cycles", c.cycles as i64)
+        .num("ctr_loads", c.loads as i64)
+        .num("ctr_stores", c.stores as i64)
+        .num("ctr_branches", c.branches as i64)
+        .num("ctr_branch_mispredicts", c.branch_mispredicts as i64)
+        .num("ctr_l1_misses", c.l1_misses as i64)
+        .num("ctr_l2_misses", c.l2_misses as i64)
+        .num("ctr_llc_misses", c.llc_misses as i64)
+        .num("ctr_l1_accesses", c.l1_accesses as i64)
+        .num("ctr_calls", c.calls as i64)
+        .num("ctr_allocs", c.allocs as i64)
+        .num("ctr_alloc_bytes", c.alloc_bytes as i64)
+        .num("ctr_asan_checks", c.asan_checks as i64)
+        .num("heap_allocs", h.allocs as i64)
+        .num("heap_frees", h.frees as i64)
+        .num("heap_payload_bytes", h.payload_bytes as i64)
+        .num("heap_redzone_bytes", h.redzone_bytes as i64)
+        .num("heap_peak_reserved", h.peak_reserved as i64)
+        .num("l1_accesses", run.l1.accesses as i64)
+        .num("l1_hits", run.l1.hits as i64)
+        .num("l2_accesses", run.l2.accesses as i64)
+        .num("l2_hits", run.l2.hits as i64)
+        .num("llc_accesses", run.llc.accesses as i64)
+        .num("llc_hits", run.llc.hits as i64);
+    w.finish()
+}
+
+/// Parses a cached run payload back. `None` on any damage — the caller
+/// treats that as a miss and re-executes.
+fn run_from_json(line: &str) -> Option<RunResult> {
+    let map = journal::parse_flat_object(line).ok()?;
+    let int = |k: &str| journal::get_i64(&map, k).ok();
+    let uint = |k: &str| journal::get_u64(&map, k).ok();
+    Some(RunResult {
+        exit: int("exit")?,
+        stdout: journal::get_str(&map, "stdout").ok()?.to_string(),
+        counters: PerfCounters {
+            instructions: uint("ctr_instructions")?,
+            cycles: uint("ctr_cycles")?,
+            loads: uint("ctr_loads")?,
+            stores: uint("ctr_stores")?,
+            branches: uint("ctr_branches")?,
+            branch_mispredicts: uint("ctr_branch_mispredicts")?,
+            l1_misses: uint("ctr_l1_misses")?,
+            l2_misses: uint("ctr_l2_misses")?,
+            llc_misses: uint("ctr_llc_misses")?,
+            l1_accesses: uint("ctr_l1_accesses")?,
+            calls: uint("ctr_calls")?,
+            allocs: uint("ctr_allocs")?,
+            alloc_bytes: uint("ctr_alloc_bytes")?,
+            asan_checks: uint("ctr_asan_checks")?,
+        },
+        per_core: Vec::new(),
+        elapsed_cycles: uint("elapsed_cycles")?,
+        wall_seconds: f64::from_bits(int("wall_seconds_bits")? as u64),
+        heap: HeapStats {
+            allocs: uint("heap_allocs")?,
+            frees: uint("heap_frees")?,
+            payload_bytes: uint("heap_payload_bytes")?,
+            redzone_bytes: uint("heap_redzone_bytes")?,
+            peak_reserved: uint("heap_peak_reserved")?,
+        },
+        maxrss_bytes: uint("maxrss_bytes")?,
+        l1: CacheStats { accesses: uint("l1_accesses")?, hits: uint("l1_hits")? },
+        l2: CacheStats { accesses: uint("l2_accesses")?, hits: uint("l2_hits")? },
+        llc: CacheStats { accesses: uint("llc_accesses")?, hits: uint("llc_hits")? },
+        attack_events: Vec::new(),
+        hijacks: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_lab(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fex-graph-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_run() -> RunResult {
+        RunResult {
+            exit: 7,
+            stdout: "norm: 3.5\n".into(),
+            counters: PerfCounters {
+                instructions: 1000,
+                cycles: 2500,
+                loads: 120,
+                stores: 80,
+                branches: 200,
+                branch_mispredicts: 12,
+                l1_misses: 10,
+                l2_misses: 4,
+                llc_misses: 2,
+                l1_accesses: 200,
+                calls: 9,
+                allocs: 3,
+                alloc_bytes: 192,
+                asan_checks: 0,
+            },
+            per_core: Vec::new(),
+            elapsed_cycles: 2500,
+            wall_seconds: 2500.0 / 3.0e9,
+            heap: HeapStats {
+                allocs: 3,
+                frees: 3,
+                payload_bytes: 192,
+                redzone_bytes: 0,
+                peak_reserved: 256,
+            },
+            maxrss_bytes: 65536,
+            l1: CacheStats { accesses: 200, hits: 190 },
+            l2: CacheStats { accesses: 10, hits: 6 },
+            llc: CacheStats { accesses: 4, hits: 2 },
+            attack_events: Vec::new(),
+            hijacks: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn key_derivation_layers_dirty_exactly_their_subtree() {
+        let src = fex_cc::source_digest("fft", "fn main() -> int { return 0; }");
+        let compiled = compiled_key(src, "gcc", "6.1.0", 2, false, false);
+        let decoded = decoded_key(compiled, 0b111, 42);
+        let unit = unit_key(decoded, 7, 2, Some(0), "native", &[64], None);
+
+        // Same inputs, same keys: pure functions.
+        assert_eq!(compiled, compiled_key(src, "gcc", "6.1.0", 2, false, false));
+        assert_eq!(decoded, decoded_key(compiled, 0b111, 42));
+        assert_eq!(unit, unit_key(decoded, 7, 2, Some(0), "native", &[64], None));
+
+        // Source edits dirty the whole chain.
+        let src2 = fex_cc::source_digest("fft", "fn main() -> int { return 1; }");
+        assert_ne!(src, src2);
+        assert_ne!(compiled, compiled_key(src2, "gcc", "6.1.0", 2, false, false));
+
+        // Build options dirty compiled and below, not source.
+        assert_ne!(compiled, compiled_key(src, "clang", "3.8.0", 2, false, false));
+        assert_ne!(compiled, compiled_key(src, "gcc", "6.1.0", 2, true, false));
+
+        // Pass mask and cost model dirty decoded and below, not compiled.
+        assert_ne!(decoded, decoded_key(compiled, 0b011, 42));
+        assert_ne!(decoded, decoded_key(compiled, 0b111, 43));
+
+        // Every unit coordinate matters, and rep None ≠ rep Some(0).
+        assert_ne!(unit, unit_key(decoded, 8, 2, Some(0), "native", &[64], None));
+        assert_ne!(unit, unit_key(decoded, 7, 4, Some(0), "native", &[64], None));
+        assert_ne!(unit, unit_key(decoded, 7, 2, Some(1), "native", &[64], None));
+        assert_ne!(unit, unit_key(decoded, 7, 2, None, "native", &[64], None));
+        assert_ne!(unit, unit_key(decoded, 7, 2, Some(0), "test", &[64], None));
+        assert_ne!(unit, unit_key(decoded, 7, 2, Some(0), "native", &[32], None));
+        assert_ne!(unit, unit_key(decoded, 7, 2, Some(0), "native", &[64], Some(50_000)));
+
+        // Aggregate keys see unit order and policy.
+        let a = aggregate_key(&[compiled, decoded], "Fixed(3)", "perf_stat");
+        assert_ne!(a, aggregate_key(&[decoded, compiled], "Fixed(3)", "perf_stat"));
+        assert_ne!(a, aggregate_key(&[compiled, decoded], "Fixed(5)", "perf_stat"));
+        assert_ne!(a, aggregate_key(&[compiled, decoded], "Fixed(3)", "time"));
+    }
+
+    #[test]
+    fn run_payload_round_trips_bit_exact() {
+        let run = sample_run();
+        let back = run_from_json(&run_to_json(&run)).expect("parses");
+        assert_eq!(run, back);
+        assert_eq!(run.wall_seconds.to_bits(), back.wall_seconds.to_bits());
+    }
+
+    #[test]
+    fn store_and_lookup_roundtrip_with_session_accounting() {
+        let lab = temp_lab("roundtrip");
+        let mut g = ArtifactGraph::open(&lab).unwrap();
+        let key = unit_key(Digest(1), 7, 1, Some(0), "native", &[], None);
+        assert!(g.lookup_run(&key).is_none());
+        assert_eq!((g.hits(), g.misses()), (0, 1));
+
+        let run = sample_run();
+        g.store_run(&key, &run).unwrap();
+        assert_eq!(g.lookup_run(&key), Some(run.clone()));
+        assert_eq!((g.hits(), g.misses()), (1, 1));
+
+        // Storing again is an idempotent no-op.
+        g.store_run(&key, &run).unwrap();
+        assert_eq!(g.len(), 1);
+
+        // A fresh open replays the index from disk.
+        let mut g2 = ArtifactGraph::open(&lab).unwrap();
+        assert!(g2.warnings().is_empty());
+        assert_eq!(g2.lookup_run(&key), Some(run));
+        assert_eq!(g2.node_counts().get(&NodeKind::RunUnit), Some(&1));
+        assert!(g2.render_stats().contains("run_unit"));
+        let _ = fs::remove_dir_all(&lab);
+    }
+
+    #[test]
+    fn torn_index_and_payload_degrade_to_misses_not_errors() {
+        let lab = temp_lab("torn");
+        let mut g = ArtifactGraph::open(&lab).unwrap();
+        let key_a = unit_key(Digest(1), 1, 1, None, "native", &[], None);
+        let key_b = unit_key(Digest(2), 2, 1, None, "native", &[], None);
+        g.store_run(&key_a, &sample_run()).unwrap();
+        g.store_run(&key_b, &sample_run()).unwrap();
+
+        // Tear the last index append mid-line.
+        let index_path = g.index_path();
+        let index = fs::read_to_string(&index_path).unwrap();
+        fs::write(&index_path, &index[..index.len() - 9]).unwrap();
+
+        let mut g2 = ArtifactGraph::open(&lab).unwrap();
+        assert_eq!(g2.warnings().len(), 1, "{:?}", g2.warnings());
+        assert!(g2.lookup_run(&key_a).is_some(), "intact node survives");
+        assert!(g2.lookup_run(&key_b).is_none(), "torn entry is a miss");
+        // Appends still work after the torn line is sealed.
+        g2.store_run(&key_b, &sample_run()).unwrap();
+        assert!(ArtifactGraph::open(&lab).unwrap().lookup_run(&key_b).is_some());
+
+        // A torn payload is a miss too, never a panic or error.
+        let payload = node_dir_at(g2.root(), &key_a.to_string()).join("payload.json");
+        let bytes = fs::read_to_string(&payload).unwrap();
+        fs::write(&payload, &bytes[..bytes.len() / 2]).unwrap();
+        let mut g3 = ArtifactGraph::open(&lab).unwrap();
+        assert!(g3.lookup_run(&key_a).is_none());
+        let _ = fs::remove_dir_all(&lab);
+    }
+
+    #[test]
+    fn seq_is_monotonic_across_reopens() {
+        let lab = temp_lab("seq");
+        let mut g = ArtifactGraph::open(&lab).unwrap();
+        g.store_run(&Digest(10), &sample_run()).unwrap();
+        let mut g2 = ArtifactGraph::open(&lab).unwrap();
+        g2.store_run(&Digest(11), &sample_run()).unwrap();
+        let (entries, _) = ArtifactGraph::scan_at(g2.root());
+        let seqs: Vec<u64> = entries.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1]);
+        let _ = fs::remove_dir_all(&lab);
+    }
+}

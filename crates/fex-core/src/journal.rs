@@ -46,8 +46,9 @@ use fex_vm::{RunResult, UnitCounters};
 /// future readers can dispatch on schema changes.
 ///
 /// Version 2 added the `store_write` event (the run was archived into
-/// the result store).
-pub const JOURNAL_VERSION: u64 = 2;
+/// the result store). Version 3 added the `graph_hit`/`graph_miss` pair
+/// (artifact-graph lookups in front of run-unit execution).
+pub const JOURNAL_VERSION: u64 = 3;
 
 /// One typed journal event. Field names match the JSON keys.
 #[derive(Debug, Clone, PartialEq)]
@@ -156,6 +157,32 @@ pub enum JournalEvent {
         /// Build type whose runs were skipped.
         build_type: String,
     },
+    /// The artifact graph served this run unit's cached result; the VM
+    /// was not entered. Whether a unit hits or misses is cache state, not
+    /// behaviour, so `normalize()` rewrites hits to misses — warm and
+    /// cold normalized streams are byte-identical.
+    GraphHit {
+        /// Benchmark name.
+        benchmark: String,
+        /// Build type.
+        build_type: String,
+        /// Thread (core) count.
+        threads: usize,
+        /// Repetition index; `None` for dry runs.
+        rep: Option<usize>,
+    },
+    /// The artifact graph had no node for this run unit; it executed on
+    /// the VM (and, when clean, was stored for the next warm run).
+    GraphMiss {
+        /// Benchmark name.
+        benchmark: String,
+        /// Build type.
+        build_type: String,
+        /// Thread (core) count.
+        threads: usize,
+        /// Repetition index; `None` for dry runs.
+        rep: Option<usize>,
+    },
     /// Decoded-artifact cache accounting for the whole experiment.
     DecodeCache {
         /// Decode passes performed.
@@ -201,6 +228,8 @@ impl JournalEvent {
             JournalEvent::RunFault { .. } => "run_fault",
             JournalEvent::UnitOutcome { .. } => "unit_outcome",
             JournalEvent::QuarantineSkip { .. } => "quarantine_skip",
+            JournalEvent::GraphHit { .. } => "graph_hit",
+            JournalEvent::GraphMiss { .. } => "graph_miss",
             JournalEvent::DecodeCache { .. } => "decode_cache",
             JournalEvent::StoreWrite { .. } => "store_write",
             JournalEvent::PhaseEnd { .. } => "phase_end",
@@ -243,6 +272,23 @@ impl JournalEvent {
             JournalEvent::UnitClaim { worker, .. } => *worker = 0,
             JournalEvent::PhaseEnd { wall_ns, .. } => *wall_ns = 0,
             JournalEvent::ExperimentEnd { wall_ns, .. } => *wall_ns = 0,
+            // The store sequence number records where in the index the
+            // run landed — history, not run behaviour: an archival rerun
+            // appends at a later position while producing identical
+            // artifacts.
+            JournalEvent::StoreWrite { seq, .. } => *seq = 0,
+            // Hit-vs-miss is artifact-cache state, not run behaviour: a
+            // warm run that serves a unit from the graph is
+            // observationally identical to the cold run that computed it,
+            // so normalized streams erase the distinction.
+            JournalEvent::GraphHit { benchmark, build_type, threads, rep } => {
+                *self = JournalEvent::GraphMiss {
+                    benchmark: std::mem::take(benchmark),
+                    build_type: std::mem::take(build_type),
+                    threads: *threads,
+                    rep: *rep,
+                };
+            }
             _ => {}
         }
     }
@@ -323,6 +369,13 @@ impl JournalEvent {
             }
             JournalEvent::QuarantineSkip { benchmark, build_type } => {
                 w.str("benchmark", benchmark).str("build_type", build_type);
+            }
+            JournalEvent::GraphHit { benchmark, build_type, threads, rep }
+            | JournalEvent::GraphMiss { benchmark, build_type, threads, rep } => {
+                w.str("benchmark", benchmark)
+                    .str("build_type", build_type)
+                    .num("threads", *threads as i64)
+                    .opt_num("rep", rep.map(|r| r as i64));
             }
             JournalEvent::DecodeCache { decodes, served } => {
                 w.num("decodes", *decodes as i64).num("served", *served as i64);
@@ -426,6 +479,18 @@ pub fn parse_line(line: &str) -> std::result::Result<JournalEvent, ParseIssue> {
         "quarantine_skip" => JournalEvent::QuarantineSkip {
             benchmark: get_str(&map, "benchmark")?.to_string(),
             build_type: get_str(&map, "build_type")?.to_string(),
+        },
+        "graph_hit" => JournalEvent::GraphHit {
+            benchmark: get_str(&map, "benchmark")?.to_string(),
+            build_type: get_str(&map, "build_type")?.to_string(),
+            threads: get_u64(&map, "threads")? as usize,
+            rep: get_opt_u64(&map, "rep")?.map(|r| r as usize),
+        },
+        "graph_miss" => JournalEvent::GraphMiss {
+            benchmark: get_str(&map, "benchmark")?.to_string(),
+            build_type: get_str(&map, "build_type")?.to_string(),
+            threads: get_u64(&map, "threads")? as usize,
+            rep: get_opt_u64(&map, "rep")?.map(|r| r as usize),
         },
         "decode_cache" => JournalEvent::DecodeCache {
             decodes: get_u64(&map, "decodes")? as usize,
@@ -575,6 +640,10 @@ pub struct Metrics {
     pub decodes: usize,
     /// Executions served a pre-decoded program.
     pub decode_served: usize,
+    /// Run units served a cached result by the artifact graph.
+    pub graph_hits: usize,
+    /// Run units the artifact graph had no node for.
+    pub graph_misses: usize,
     /// attempts → number of units that settled with that many attempts.
     pub retry_histogram: BTreeMap<usize, usize>,
     /// outcome name → unit count.
@@ -623,6 +692,8 @@ impl Metrics {
                         m.quarantined.push(benchmark.clone());
                     }
                 }
+                JournalEvent::GraphHit { .. } => m.graph_hits += 1,
+                JournalEvent::GraphMiss { .. } => m.graph_misses += 1,
                 JournalEvent::DecodeCache { decodes, served } => {
                     m.decodes = *decodes;
                     m.decode_served = *served;
@@ -653,6 +724,17 @@ impl Metrics {
         }
     }
 
+    /// Artifact-graph hit rate in `[0, 1]`: the fraction of graph lookups
+    /// that served a cached run-unit result.
+    pub fn graph_hit_rate(&self) -> f64 {
+        let lookups = self.graph_hits + self.graph_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.graph_hits as f64 / lookups as f64
+        }
+    }
+
     /// Serializes as stable, human-diffable JSON. Keys ending in `_ns`
     /// carry wall times and are the only volatile fields; golden tests
     /// normalize them to 0.
@@ -672,6 +754,11 @@ impl Metrics {
         let _ = writeln!(s, "    \"decodes\": {},", self.decodes);
         let _ = writeln!(s, "    \"served\": {},", self.decode_served);
         let _ = writeln!(s, "    \"hit_rate\": {:.4}", self.decode_hit_rate());
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"artifact_graph\": {{");
+        let _ = writeln!(s, "    \"hits\": {},", self.graph_hits);
+        let _ = writeln!(s, "    \"misses\": {},", self.graph_misses);
+        let _ = writeln!(s, "    \"hit_rate\": {:.4}", self.graph_hit_rate());
         let _ = writeln!(s, "  }},");
         let _ = writeln!(s, "  \"retry_histogram\": {{");
         write_map(&mut s, self.retry_histogram.iter().map(|(k, v)| (k.to_string(), v.to_string())));
@@ -787,6 +874,15 @@ pub fn render_report(jsonl: &str) -> RenderedReport {
             m.decodes,
             m.decode_served,
             100.0 * m.decode_hit_rate()
+        );
+    }
+    if m.graph_hits + m.graph_misses > 0 {
+        let _ = writeln!(
+            out,
+            "artifact graph: {} hits / {} misses ({:.1}% hit rate)",
+            m.graph_hits,
+            m.graph_misses,
+            100.0 * m.graph_hit_rate()
         );
     }
     if !m.quarantined.is_empty() {
@@ -1108,6 +1204,12 @@ mod tests {
                 cache_hit: false,
                 wall_ns: 1200,
             },
+            JournalEvent::GraphMiss {
+                benchmark: "arrayread".into(),
+                build_type: "gcc_native".into(),
+                threads: 2,
+                rep: Some(0),
+            },
             JournalEvent::UnitClaim {
                 benchmark: "arrayread".into(),
                 build_type: "gcc_native".into(),
@@ -1251,7 +1353,8 @@ mod tests {
         let m = Metrics::from_journal(&sample_events());
         assert_eq!(m.experiment, "micro");
         assert_eq!(m.jobs, 4);
-        assert_eq!(m.events, 11);
+        assert_eq!(m.events, 12);
+        assert_eq!((m.graph_hits, m.graph_misses), (0, 1));
         assert_eq!(m.retry_histogram.get(&1), Some(&1));
         assert_eq!(m.unit_outcomes.get("clean"), Some(&1));
         assert_eq!(m.builds, 1);
@@ -1287,6 +1390,33 @@ mod tests {
     }
 
     #[test]
+    fn graph_events_round_trip_and_normalize_to_misses() {
+        let hit = JournalEvent::GraphHit {
+            benchmark: "fft".into(),
+            build_type: "gcc_native".into(),
+            threads: 2,
+            rep: None,
+        };
+        let miss = JournalEvent::GraphMiss {
+            benchmark: "fft".into(),
+            build_type: "gcc_native".into(),
+            threads: 2,
+            rep: None,
+        };
+        assert_eq!((hit.kind(), miss.kind()), ("graph_hit", "graph_miss"));
+        assert_eq!(parse_line(&hit.to_json()).unwrap(), hit);
+        assert_eq!(parse_line(&miss.to_json()).unwrap(), miss);
+        // Warm runs differ from cold only in hit-vs-miss; normalization
+        // must erase exactly that and nothing else.
+        let mut normalized = hit.clone();
+        normalized.normalize();
+        assert_eq!(normalized, miss);
+        let mut miss_normalized = miss.clone();
+        miss_normalized.normalize();
+        assert_eq!(miss_normalized, miss);
+    }
+
+    #[test]
     fn report_renders_phases_and_per_unit_history_from_jsonl_alone() {
         let jsonl: String = sample_events().iter().map(|e| e.to_json() + "\n").collect::<String>();
         let rendered = render_report(&jsonl);
@@ -1312,7 +1442,7 @@ mod tests {
         jsonl.push('\n');
         jsonl.push_str("{\"event\": \"from_the_future\", \"x\": 1}\n");
         jsonl.push('\n'); // blank lines are fine
-        jsonl.push_str(&sample_events()[10].to_json());
+        jsonl.push_str(&sample_events()[11].to_json());
         jsonl.push('\n');
         let rendered = render_report(&jsonl);
         assert_eq!(rendered.warnings.len(), 2, "{:?}", rendered.warnings);

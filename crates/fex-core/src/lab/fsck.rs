@@ -18,6 +18,7 @@ use std::fmt;
 use std::fs;
 
 use crate::error::{FexError, Result};
+use crate::graph;
 use crate::journal::{self, Json};
 
 use super::store::{IndexEntry, RunStore};
@@ -39,6 +40,29 @@ pub enum IssueKind {
     CorruptRecord,
     /// A `runs/` directory no surviving index entry references.
     OrphanRunDir,
+    /// A graph index line that does not parse (torn append).
+    CorruptGraphIndexLine,
+    /// A graph index entry whose node payload is gone.
+    MissingGraphNode,
+    /// Node payload bytes that no longer hash to the indexed payload
+    /// digest (the node was edited or torn behind the graph's back).
+    GraphDigestMismatch,
+    /// A `graph/nodes/` directory no surviving index entry references.
+    OrphanGraphNode,
+}
+
+impl IssueKind {
+    /// Whether this issue lives in the artifact graph (subjects are node
+    /// digests) rather than the run store (subjects are run ids).
+    fn is_graph(self) -> bool {
+        matches!(
+            self,
+            IssueKind::CorruptGraphIndexLine
+                | IssueKind::MissingGraphNode
+                | IssueKind::GraphDigestMismatch
+                | IssueKind::OrphanGraphNode
+        )
+    }
 }
 
 impl fmt::Display for IssueKind {
@@ -51,6 +75,10 @@ impl fmt::Display for IssueKind {
             IssueKind::CountMismatch => "count-mismatch",
             IssueKind::CorruptRecord => "corrupt-record",
             IssueKind::OrphanRunDir => "orphan-run-dir",
+            IssueKind::CorruptGraphIndexLine => "corrupt-graph-index-line",
+            IssueKind::MissingGraphNode => "missing-graph-node",
+            IssueKind::GraphDigestMismatch => "graph-digest-mismatch",
+            IssueKind::OrphanGraphNode => "orphan-graph-node",
         })
     }
 }
@@ -71,6 +99,8 @@ pub struct FsckIssue {
 pub struct FsckReport {
     /// Index entries examined.
     pub entries_checked: usize,
+    /// Artifact-graph nodes examined (0 when the lab has no graph).
+    pub graph_nodes_checked: usize,
     /// Everything found wrong, in detection order.
     pub issues: Vec<FsckIssue>,
     /// Run ids (and orphan directory names) moved to `quarantine/`.
@@ -86,12 +116,15 @@ impl FsckReport {
     /// Renders the `fex lab fsck` output.
     pub fn render(&self) -> String {
         let mut s = format!("checked {} index entries\n", self.entries_checked);
+        if self.graph_nodes_checked > 0 {
+            s.push_str(&format!("checked {} graph nodes\n", self.graph_nodes_checked));
+        }
         for issue in &self.issues {
             s.push_str(&format!("{}: {} ({})\n", issue.kind, issue.subject, issue.detail));
         }
         if !self.quarantined.is_empty() {
             s.push_str(&format!(
-                "quarantined {} corrupt runs (moved under quarantine/)\n",
+                "quarantined {} corrupt entries (moved under quarantine/)\n",
                 self.quarantined.len()
             ));
         }
@@ -144,7 +177,70 @@ pub fn check(store: &RunStore) -> FsckReport {
             });
         }
     }
+    check_graph(store, &mut report);
     report
+}
+
+/// The artifact-graph pass: same invariants as the run store, applied to
+/// `<root>/graph/`. A lab without a graph (pre-graph labs, `--no-graph`
+/// runs) skips silently.
+fn check_graph(store: &RunStore, report: &mut FsckReport) {
+    let groot = store.root().join(graph::ArtifactGraph::SUBDIR);
+    if !groot.is_dir() {
+        return;
+    }
+    let index_lines = fs::read_to_string(groot.join("index.json")).unwrap_or_default();
+    for (i, line) in index_lines.lines().enumerate() {
+        if !line.trim().is_empty() && graph::GraphIndexEntry::parse(line).is_err() {
+            report.issues.push(FsckIssue {
+                kind: IssueKind::CorruptGraphIndexLine,
+                subject: format!("graph index line {}", i + 1),
+                detail: "unparseable".into(),
+            });
+        }
+    }
+    let (entries, _) = graph::ArtifactGraph::scan_at(&groot);
+    report.graph_nodes_checked = entries.len();
+    for entry in &entries {
+        let payload_path = graph::node_dir_at(&groot, &entry.digest).join("payload.json");
+        match fs::read_to_string(&payload_path) {
+            Err(e) => report.issues.push(FsckIssue {
+                kind: IssueKind::MissingGraphNode,
+                subject: entry.digest.clone(),
+                detail: format!("cannot read `payload.json`: {e}"),
+            }),
+            Ok(payload) => {
+                let recomputed = fex_container::digest_bytes(payload.as_bytes()).to_string();
+                if recomputed != entry.payload_digest {
+                    report.issues.push(FsckIssue {
+                        kind: IssueKind::GraphDigestMismatch,
+                        subject: entry.digest.clone(),
+                        detail: format!(
+                            "payload hashes to {recomputed}; the node was edited or torn"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    // Orphans: node directories no parseable graph entry references.
+    let referenced: std::collections::BTreeSet<String> =
+        entries.iter().map(|e| e.digest.trim_start_matches("fex256:").to_string()).collect();
+    if let Ok(dirs) = fs::read_dir(groot.join("nodes")) {
+        let mut orphans: Vec<String> = dirs
+            .filter_map(|d| d.ok())
+            .map(|d| d.file_name().to_string_lossy().into_owned())
+            .filter(|name| !referenced.contains(name))
+            .collect();
+        orphans.sort();
+        for name in orphans {
+            report.issues.push(FsckIssue {
+                kind: IssueKind::OrphanGraphNode,
+                subject: format!("fex256:{name}"),
+                detail: "no graph index entry references this node".into(),
+            });
+        }
+    }
 }
 
 fn check_entry(store: &RunStore, entry: &IndexEntry, report: &mut FsckReport) {
@@ -228,7 +324,7 @@ pub fn fsck(store: &RunStore, quarantine: bool) -> Result<FsckReport> {
     let bad_runs: std::collections::BTreeSet<&str> = report
         .issues
         .iter()
-        .filter(|i| i.kind != IssueKind::CorruptIndexLine)
+        .filter(|i| i.kind != IssueKind::CorruptIndexLine && !i.kind.is_graph())
         .map(|i| i.subject.as_str())
         .collect();
     for run_id in &bad_runs {
@@ -250,6 +346,36 @@ pub fn fsck(store: &RunStore, quarantine: bool) -> Result<FsckReport> {
         .collect();
     fs::write(store.index_path(), survivors)
         .map_err(|e| FexError::Data(format!("store write failed: {e}")))?;
+    // The graph gets the same treatment: bad node directories move under
+    // `quarantine/graph-<digest>` and the graph index is rewritten to
+    // its survivors.
+    let groot = store.root().join(graph::ArtifactGraph::SUBDIR);
+    if groot.is_dir() && report.issues.iter().any(|i| i.kind.is_graph()) {
+        let bad_nodes: std::collections::BTreeSet<&str> = report
+            .issues
+            .iter()
+            .filter(|i| i.kind.is_graph() && i.kind != IssueKind::CorruptGraphIndexLine)
+            .map(|i| i.subject.as_str())
+            .collect();
+        for digest in &bad_nodes {
+            let short = digest.trim_start_matches("fex256:");
+            let src = graph::node_dir_at(&groot, digest);
+            if src.is_dir() {
+                fs::rename(&src, qdir.join(format!("graph-{short}"))).map_err(|e| {
+                    FexError::Data(format!("cannot quarantine `{}`: {e}", src.display()))
+                })?;
+            }
+            report.quarantined.push((*digest).to_string());
+        }
+        let (entries, _) = graph::ArtifactGraph::scan_at(&groot);
+        let survivors: String = entries
+            .iter()
+            .filter(|e| !bad_nodes.contains(e.digest.as_str()))
+            .map(|e| e.to_json() + "\n")
+            .collect();
+        fs::write(groot.join("index.json"), survivors)
+            .map_err(|e| FexError::Data(format!("graph index write failed: {e}")))?;
+    }
     Ok(report)
 }
 
@@ -334,6 +460,93 @@ pub fn inject(store: &RunStore, corruption: Corruption) -> Result<()> {
         }
         Corruption::MissingMetrics => {
             fs::remove_file(dir.join("metrics.json")).map_err(io)?;
+        }
+    }
+    Ok(())
+}
+
+/// A deterministic artifact-graph corruption. Kept separate from
+/// [`Corruption`] — the fuzzer's seeded dice index into
+/// [`Corruption::ALL`] by position, so that array must never grow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphCorruption {
+    /// Tear the final graph index append mid-record.
+    TruncatedGraphIndex,
+    /// Append a non-JSON line to the graph index.
+    GarbageGraphIndexLine,
+    /// Delete the newest node's `payload.json`.
+    MissingNodePayload,
+    /// Append bytes to the newest node's payload (silent edit).
+    EditedNodePayload,
+    /// Drop an unreferenced node directory into `graph/nodes/`.
+    OrphanNodeDir,
+}
+
+impl GraphCorruption {
+    /// Every injectable graph corruption, in a stable order.
+    pub const ALL: [GraphCorruption; 5] = [
+        GraphCorruption::TruncatedGraphIndex,
+        GraphCorruption::GarbageGraphIndexLine,
+        GraphCorruption::MissingNodePayload,
+        GraphCorruption::EditedNodePayload,
+        GraphCorruption::OrphanNodeDir,
+    ];
+}
+
+impl fmt::Display for GraphCorruption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            GraphCorruption::TruncatedGraphIndex => "truncated-graph-index",
+            GraphCorruption::GarbageGraphIndexLine => "garbage-graph-index-line",
+            GraphCorruption::MissingNodePayload => "missing-node-payload",
+            GraphCorruption::EditedNodePayload => "edited-node-payload",
+            GraphCorruption::OrphanNodeDir => "orphan-node-dir",
+        })
+    }
+}
+
+/// Applies `corruption` to the newest node of `store`'s artifact graph.
+///
+/// # Errors
+///
+/// [`FexError::Data`] when the graph is missing or empty, or the
+/// filesystem refuses.
+pub fn inject_graph(store: &RunStore, corruption: GraphCorruption) -> Result<()> {
+    let groot = store.root().join(graph::ArtifactGraph::SUBDIR);
+    let index_path = groot.join("index.json");
+    let io = |e: std::io::Error| FexError::Data(format!("graph fault injection failed: {e}"));
+    let (entries, _) = graph::ArtifactGraph::scan_at(&groot);
+    let newest = || {
+        entries
+            .iter()
+            .max_by_key(|e| e.seq)
+            .ok_or_else(|| FexError::Data("the artifact graph is empty".into()))
+    };
+    match corruption {
+        GraphCorruption::TruncatedGraphIndex => {
+            let index = fs::read_to_string(&index_path).map_err(io)?;
+            let torn = index.len().saturating_sub(9);
+            fs::write(&index_path, &index[..torn]).map_err(io)?;
+        }
+        GraphCorruption::GarbageGraphIndexLine => {
+            let mut index = fs::read_to_string(&index_path).map_err(io)?;
+            index.push_str("{\"digest\": 42, definitely not a graph entry\n");
+            fs::write(&index_path, index).map_err(io)?;
+        }
+        GraphCorruption::MissingNodePayload => {
+            let dir = graph::node_dir_at(&groot, &newest()?.digest);
+            fs::remove_file(dir.join("payload.json")).map_err(io)?;
+        }
+        GraphCorruption::EditedNodePayload => {
+            let path = graph::node_dir_at(&groot, &newest()?.digest).join("payload.json");
+            let mut payload = fs::read_to_string(&path).map_err(io)?;
+            payload.push_str("# tampered\n");
+            fs::write(&path, payload).map_err(io)?;
+        }
+        GraphCorruption::OrphanNodeDir => {
+            let dir = groot.join("nodes").join("00000000000000000000000000000bad");
+            fs::create_dir_all(&dir).map_err(io)?;
+            fs::write(dir.join("payload.json"), "{\"node\":\"stray\"}\n").map_err(io)?;
         }
     }
     Ok(())
@@ -427,6 +640,80 @@ mod tests {
         let after = check(&store);
         assert!(after.clean(), "{}", after.render());
         assert_eq!(after.entries_checked, 1, "the intact run survived");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    /// A populated store with a small artifact graph beside it: one node
+    /// per kind layer, stored through the real graph API so index lines
+    /// and payload digests are genuine.
+    fn populated_with_graph(tag: &str) -> RunStore {
+        use fex_container::Digest;
+        let store = populated(tag);
+        let mut g = graph::ArtifactGraph::open(store.root()).unwrap();
+        g.store_node(graph::NodeKind::Source, &Digest(1), "{\"node\":\"source\"}\n").unwrap();
+        g.store_node(graph::NodeKind::Compiled, &Digest(2), "{\"node\":\"compiled\"}\n").unwrap();
+        g.store_node(graph::NodeKind::RunUnit, &Digest(3), "{\"node\":\"run\"}\n").unwrap();
+        store
+    }
+
+    #[test]
+    fn clean_graph_passes() {
+        let store = populated_with_graph("graph-clean");
+        let report = check(&store);
+        assert!(report.clean(), "{}", report.render());
+        assert_eq!(report.graph_nodes_checked, 3);
+        assert!(report.render().contains("checked 3 graph nodes"));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn every_injected_graph_corruption_is_detected() {
+        for corruption in GraphCorruption::ALL {
+            let store = populated_with_graph(&format!("graph-inject-{corruption}"));
+            inject_graph(&store, corruption).unwrap();
+            let report = check(&store);
+            assert!(!report.clean(), "{corruption} went undetected");
+            let expected = match corruption {
+                GraphCorruption::TruncatedGraphIndex => IssueKind::CorruptGraphIndexLine,
+                GraphCorruption::GarbageGraphIndexLine => IssueKind::CorruptGraphIndexLine,
+                GraphCorruption::MissingNodePayload => IssueKind::MissingGraphNode,
+                GraphCorruption::EditedNodePayload => IssueKind::GraphDigestMismatch,
+                GraphCorruption::OrphanNodeDir => IssueKind::OrphanGraphNode,
+            };
+            assert!(
+                report.issues.iter().any(|i| i.kind == expected),
+                "{corruption}: wanted {expected}, got {}",
+                report.render()
+            );
+            let _ = fs::remove_dir_all(store.root());
+        }
+    }
+
+    #[test]
+    fn graph_quarantine_restores_a_clean_store() {
+        for corruption in GraphCorruption::ALL {
+            let store = populated_with_graph(&format!("graph-quarantine-{corruption}"));
+            inject_graph(&store, corruption).unwrap();
+            let report = fsck(&store, true).unwrap();
+            assert!(!report.clean(), "{corruption}");
+            let after = check(&store);
+            assert!(after.clean(), "{corruption}: {}", after.render());
+            // Graph damage must never quarantine run directories: the two
+            // intact runs survive every graph corruption.
+            assert_eq!(after.entries_checked, 2, "{corruption} touched the run store");
+            let _ = fs::remove_dir_all(store.root());
+        }
+    }
+
+    #[test]
+    fn graph_quarantine_preserves_evidence() {
+        let store = populated_with_graph("graph-evidence");
+        inject_graph(&store, GraphCorruption::EditedNodePayload).unwrap();
+        let report = fsck(&store, true).unwrap();
+        assert_eq!(report.quarantined.len(), 1);
+        let short = report.quarantined[0].trim_start_matches("fex256:");
+        let moved = store.root().join("quarantine").join(format!("graph-{short}"));
+        assert!(moved.join("payload.json").is_file(), "edited payload kept as evidence");
         let _ = fs::remove_dir_all(store.root());
     }
 

@@ -25,5 +25,5 @@ pub mod fsck;
 pub mod store;
 
 pub use compare::{CellComparison, Comparison, SampleStats, Verdict};
-pub use fsck::{Corruption, FsckIssue, FsckReport, IssueKind};
+pub use fsck::{Corruption, FsckIssue, FsckReport, GraphCorruption, IssueKind};
 pub use store::{IndexEntry, RunArtifacts, RunStore};

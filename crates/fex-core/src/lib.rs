@@ -21,6 +21,8 @@
 //! * [`journal`] — the structured run journal (`journal.jsonl` +
 //!   `metrics.json` next to the results CSV) and the `fex report`
 //!   renderer,
+//! * [`graph`] — the content-addressed artifact graph: incremental
+//!   evaluation with dirty-cell reuse on warm re-runs,
 //! * [`lab`] — the persistent content-addressed result store, the
 //!   adaptive repetition policy's statistics, the `fex compare`
 //!   regression gate and the `fex lab fsck` integrity checker,
@@ -63,6 +65,7 @@ pub mod edd;
 pub mod env;
 mod error;
 pub mod fuzz;
+pub mod graph;
 pub mod install;
 pub mod journal;
 pub mod lab;
@@ -76,6 +79,7 @@ pub mod workflow;
 pub use config::{ExperimentConfig, Repetitions};
 pub use error::{FexError, Result};
 pub use fuzz::{BreakMode, FuzzOptions, FuzzReport};
+pub use graph::{ArtifactGraph, NodeKind};
 pub use journal::{Journal, JournalEvent, Metrics};
 pub use lab::{Comparison, RunStore, Verdict};
 pub use resilience::{FailureRecord, FailureReport, RunOutcome, RunPolicy};

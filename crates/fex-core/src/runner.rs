@@ -16,14 +16,17 @@ use fex_cc::BuildOptions;
 use fex_netsim::{ServerBuild, ServerKind, Simulation, Workload};
 use fex_ripe::{run_testbed, TestbedConfig};
 use fex_suites::{BenchProgram, InputSize, Suite};
-use fex_vm::{Machine, MachineConfig};
+use fex_vm::{Machine, MachineConfig, RunResult};
+
+use fex_container::Digest;
 
 use crate::build::{Artifact, BuildSystem};
 use crate::collect::{Collector, DataFrame};
 use crate::config::{input_name, ExperimentConfig};
 use crate::env::environment_for;
 use crate::error::{FexError, Result};
-use crate::journal::{Journal, JournalEvent};
+use crate::graph::{ArtifactGraph, NodeKind};
+use crate::journal::{Journal, JournalEvent, JsonLine};
 use crate::resilience::{
     execute_with_retry, AttemptLog, FailureRecord, FailureReport, QuarantineBook, RunOutcome,
 };
@@ -49,6 +52,11 @@ pub struct RunContext<'a> {
     /// and never read it back, so CSVs are byte-identical with it on or
     /// off.
     pub journal: Journal,
+    /// The artifact graph serving cached clean run units, attached by the
+    /// workflow when `--lab` is active and `--no-graph` was not given.
+    /// `None` keeps every lookup and store a no-op, so graph-less runs
+    /// are untouched.
+    pub graph: Option<ArtifactGraph>,
 }
 
 impl<'a> RunContext<'a> {
@@ -65,6 +73,7 @@ impl<'a> RunContext<'a> {
             attempt: 0,
             failures: FailureReport::default(),
             journal: Journal::new(config.journal),
+            graph: None,
         }
     }
 
@@ -207,6 +216,56 @@ fn settle(
             }
         }
         Err(e) => Err(e),
+    }
+}
+
+/// One artifact-graph lookup event (hit or miss) for one run unit.
+fn graph_event(
+    hit: bool,
+    bench: &str,
+    ty: &str,
+    threads: usize,
+    rep: Option<usize>,
+) -> JournalEvent {
+    if hit {
+        JournalEvent::GraphHit {
+            benchmark: bench.to_string(),
+            build_type: ty.to_string(),
+            threads,
+            rep,
+        }
+    } else {
+        JournalEvent::GraphMiss {
+            benchmark: bench.to_string(),
+            build_type: ty.to_string(),
+            threads,
+            rep,
+        }
+    }
+}
+
+/// The outcome a graph hit synthesizes in place of worker execution: a
+/// clean single-attempt log carrying the cached result, with the event
+/// triple (hit, claim, execution) the worker would have emitted. Only
+/// clean first-attempt results are ever stored, so the synthesized log
+/// is exactly what executing the unit would have produced.
+fn served_outcome(unit: &RunUnit, run: RunResult, journal: bool) -> UnitOutcome {
+    let mut events = Vec::new();
+    if journal {
+        events.push(graph_event(true, &unit.bench, &unit.ty, unit.threads, unit.rep));
+        events.push(JournalEvent::UnitClaim {
+            benchmark: unit.bench.clone(),
+            build_type: unit.ty.clone(),
+            threads: unit.threads,
+            rep: unit.rep,
+            worker: 0,
+        });
+        events.push(JournalEvent::vm_exec(&unit.bench, &unit.ty, unit.threads, unit.rep, &run));
+    }
+    UnitOutcome {
+        log: AttemptLog { attempts: 1, backoff_cycles: 0, errors: Vec::new(), result: Ok(()) },
+        result: Some(run),
+        events,
     }
 }
 
@@ -402,6 +461,20 @@ impl SuiteRunner {
             .get(&(ty.to_string(), bench.to_string()))
             .cloned()
             .ok_or_else(|| FexError::Config(format!("`{bench}` was not built for `{ty}`")))?;
+        // Artifact-graph lookup: first attempts of fault-free units only,
+        // so retry and quarantine behaviour is identical cold and warm.
+        let graph_key = if ctx.graph.is_some() && ctx.config.graph && ctx.attempt == 0 {
+            self.unit_graph_key(ctx.config, ty, bench, threads, rep, input_name(input), &args)
+        } else {
+            None
+        };
+        let mut cached = None;
+        if let (Some(key), Some(g)) = (&graph_key, ctx.graph.as_mut()) {
+            cached = g.lookup_run(key);
+            if ctx.journal.enabled() {
+                ctx.journal.emit(graph_event(cached.is_some(), bench, ty, threads, rep));
+            }
+        }
         // The journal's claim marks the unit being picked up, once — not
         // once per retry attempt — mirroring the worker pool, where the
         // claim precedes the whole retry loop. The sequential loop is
@@ -415,17 +488,28 @@ impl SuiteRunner {
                 worker: 0,
             });
         }
-        let machine = Machine::new(ctx.machine_config_for(ty, bench, threads, rep));
-        let mut instance = if ctx.config.decode_cache {
-            machine.load_with(&artifact.program, &artifact.decoded)
-        } else {
-            machine.load(&artifact.program)
+        let run = match cached {
+            // Served from the graph: the VM is skipped entirely, the
+            // cached result is bit-identical to a fresh execution.
+            Some(run) => run,
+            None => {
+                let machine = Machine::new(ctx.machine_config_for(ty, bench, threads, rep));
+                let mut instance = if ctx.config.decode_cache {
+                    machine.load_with(&artifact.program, &artifact.decoded)
+                } else {
+                    machine.load(&artifact.program)
+                };
+                let run = instance.run_entry(&args).map_err(|source| FexError::Run {
+                    benchmark: bench.to_string(),
+                    build_type: ty.to_string(),
+                    source,
+                })?;
+                if let (Some(key), Some(g)) = (&graph_key, ctx.graph.as_mut()) {
+                    g.store_run(key, &run)?;
+                }
+                run
+            }
         };
-        let run = instance.run_entry(&args).map_err(|source| FexError::Run {
-            benchmark: bench.to_string(),
-            build_type: ty.to_string(),
-            source,
-        })?;
         if ctx.journal.enabled() {
             ctx.journal.emit(JournalEvent::vm_exec(bench, ty, threads, rep, &run));
         }
@@ -466,6 +550,37 @@ impl SuiteRunner {
             args,
             config: ctx.config.unit_machine_config(bench, ty, threads, rep, 0),
         })
+    }
+
+    /// The content-addressed graph key for one run unit, or `None` when
+    /// the unit is not cacheable: benchmarks with a fault plan armed
+    /// bypass the graph entirely (their retry and quarantine behaviour
+    /// must replay identically on warm runs), as do units whose artifact
+    /// is missing (the build step will error first anyway).
+    #[allow(clippy::too_many_arguments)] // one parameter per matrix coordinate
+    fn unit_graph_key(
+        &self,
+        config: &ExperimentConfig,
+        ty: &str,
+        bench: &str,
+        threads: usize,
+        rep: Option<usize>,
+        input: &str,
+        args: &[i64],
+    ) -> Option<Digest> {
+        if config.fault_plan_for(bench).is_some() {
+            return None;
+        }
+        let artifact = self.artifacts.get(&(ty.to_string(), bench.to_string()))?;
+        Some(crate::graph::unit_key(
+            artifact.digest,
+            config.unit_seed(bench, ty, threads, rep),
+            threads,
+            rep,
+            input,
+            args,
+            config.resilience.run_budget,
+        ))
     }
 
     /// The parallel experiment loop (`--jobs N`, N > 1): builds
@@ -649,13 +764,79 @@ impl SuiteRunner {
                 }
                 ctx.log(format!("scheduler: adaptive round {round}: {} run units", batch.len()));
             }
-            let outcomes =
-                execute_units(&batch, &policy, jobs, ctx.journal.enabled(), ctx.config.chunk);
-            executed_with_decode += batch
+            // Artifact-graph partition: serve cached clean units without
+            // executing them; everything else goes to the worker pool.
+            // Served outcomes synthesize the same event shape the worker
+            // would emit, so the merged journal is identical cold and
+            // warm.
+            let journal_on = ctx.journal.enabled();
+            let graph_on = ctx.graph.is_some() && ctx.config.graph;
+            let mut keys: Vec<Option<Digest>> = Vec::with_capacity(batch.len());
+            for unit in &batch {
+                keys.push(match &unit.work {
+                    Some(work) if graph_on => self.unit_graph_key(
+                        ctx.config,
+                        &unit.ty,
+                        &unit.bench,
+                        unit.threads,
+                        unit.rep,
+                        unit.input,
+                        &work.args,
+                    ),
+                    _ => None,
+                });
+            }
+            let mut slots: Vec<Option<(RunUnit, UnitOutcome)>> = Vec::with_capacity(batch.len());
+            let mut exec_units: Vec<RunUnit> = Vec::new();
+            let mut exec_slots: Vec<usize> = Vec::new();
+            let mut exec_keys: Vec<Option<Digest>> = Vec::new();
+            for (i, unit) in batch.into_iter().enumerate() {
+                let cached = match (&keys[i], ctx.graph.as_mut()) {
+                    (Some(key), Some(g)) => g.lookup_run(key),
+                    _ => None,
+                };
+                match cached {
+                    Some(run) => {
+                        let outcome = served_outcome(&unit, run, journal_on);
+                        slots.push(Some((unit, outcome)));
+                    }
+                    None => {
+                        exec_slots.push(i);
+                        exec_keys.push(keys[i]);
+                        exec_units.push(unit);
+                        slots.push(None);
+                    }
+                }
+            }
+            let outcomes = execute_units(&exec_units, &policy, jobs, journal_on, ctx.config.chunk);
+            executed_with_decode += exec_units
                 .iter()
                 .filter(|u| u.work.as_ref().is_some_and(|w| w.decoded.is_some()))
                 .count();
-            for ((unit, outcome), origin) in batch.into_iter().zip(outcomes).zip(origins) {
+            for (((unit, mut outcome), slot), key) in
+                exec_units.into_iter().zip(outcomes).zip(exec_slots).zip(exec_keys)
+            {
+                if let Some(key) = key {
+                    // A looked-up unit that missed: record the miss ahead
+                    // of the worker's claim, and store its clean
+                    // first-attempt result for the next warm run.
+                    if journal_on {
+                        outcome.events.insert(
+                            0,
+                            graph_event(false, &unit.bench, &unit.ty, unit.threads, unit.rep),
+                        );
+                    }
+                    if outcome.log.attempts == 1 && outcome.log.errors.is_empty() {
+                        if let (Some(run), Some(g)) = (&outcome.result, ctx.graph.as_mut()) {
+                            g.store_run(&key, run)?;
+                        }
+                    }
+                }
+                slots[slot] = Some((unit, outcome));
+            }
+            for (slot, origin) in slots.into_iter().zip(origins) {
+                let (unit, outcome) =
+                    slot.expect("every unit is either served from the graph or executed");
                 match origin {
                     Origin::Dry(g) => groups[g].dry = Some((unit, outcome)),
                     Origin::Rep(ci) => {
@@ -799,6 +980,33 @@ impl Runner for SuiteRunner {
                     cache_hit: builds_after == builds_before,
                     wall_ns: started.elapsed().as_nanos() as u64,
                 });
+            }
+            // Record the artifact's provenance chain as graph nodes —
+            // source → compiled → decoded — so `fex graph stats` and
+            // `fex lab fsck` see the whole derivation, not just run
+            // units. Stores are idempotent: warm re-runs re-derive the
+            // same keys and skip the writes.
+            let graph_on = ctx.config.graph;
+            if let Some(g) = ctx.graph.as_mut().filter(|_| graph_on) {
+                let opts = ctx.build.makefiles().build_options(ty, ctx.config.debug)?;
+                let source_key = fex_cc::source_digest(&bench, prog.source);
+                let compiled_key = crate::graph::compiled_key(
+                    source_key,
+                    opts.backend.name,
+                    opts.backend.version,
+                    opts.opt_level,
+                    opts.asan,
+                    opts.debug,
+                );
+                let mut src = JsonLine::object("node", "source");
+                src.str("benchmark", &bench);
+                g.store_node(NodeKind::Source, &source_key, &src.finish())?;
+                let mut comp = JsonLine::object("node", "compiled");
+                comp.str("benchmark", &bench).str("build_info", &artifact.build_info);
+                g.store_node(NodeKind::Compiled, &compiled_key, &comp.finish())?;
+                let mut dec = JsonLine::object("node", "decoded");
+                dec.str("benchmark", &bench).str("build_type", ty);
+                g.store_node(NodeKind::Decoded, &artifact.digest, &dec.finish())?;
             }
             self.artifacts.insert((ty.to_string(), bench), artifact);
         }

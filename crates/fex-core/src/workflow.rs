@@ -194,8 +194,16 @@ impl Fex {
 
         let experiment_started = std::time::Instant::now();
         let (_, decodes_before) = self.build.work_performed();
-        let (frame, failures, mut journal) = {
+        let (frame, failures, mut journal, graph) = {
             let mut ctx = RunContext::new(config, &mut self.build, &mut self.log);
+            // Attach the artifact graph when a lab directory is active
+            // and `--no-graph` was not given: run units whose whole
+            // derivation is unchanged are served from the node cache.
+            if config.graph {
+                if let Some(dir) = &config.lab {
+                    ctx.graph = Some(crate::graph::ArtifactGraph::open(dir)?);
+                }
+            }
             ctx.journal.emit(JournalEvent::ExperimentStart {
                 name: config.name.clone(),
                 jobs: config.effective_jobs(),
@@ -205,8 +213,27 @@ impl Fex {
             ctx.journal.phase_start("run");
             let frame = runner.run(&mut ctx)?;
             ctx.journal.phase_end("run");
-            (frame, std::mem::take(&mut ctx.failures), std::mem::take(&mut ctx.journal))
+            (
+                frame,
+                std::mem::take(&mut ctx.failures),
+                std::mem::take(&mut ctx.journal),
+                ctx.graph.take(),
+            )
         };
+        if let Some(g) = &graph {
+            for warning in g.warnings() {
+                self.log.push(format!("artifact graph: {warning}"));
+            }
+            let lookups = g.hits() + g.misses();
+            if lookups > 0 {
+                self.log.push(format!(
+                    "artifact graph: {} hits / {} misses ({:.1}% unit hit rate)",
+                    g.hits(),
+                    g.misses(),
+                    100.0 * g.hits() as f64 / lookups as f64
+                ));
+            }
+        }
         if !failures.is_clean() {
             self.log.push(failures.summary());
         }
@@ -284,6 +311,24 @@ impl Fex {
                 entry.seq,
                 store.root().display()
             ));
+        }
+        if let Some(mut g) = graph {
+            // The aggregate node closes the derivation chain: keyed by
+            // the same content digest as the lab store's run id, so one
+            // aggregate node exists per distinct result set. Idempotent
+            // on warm re-runs.
+            let art = crate::lab::RunArtifacts {
+                results_csv: &results_csv,
+                failures_csv: &failures_csv,
+                metrics_json: None,
+                journal_digest: None,
+            };
+            let run_id = crate::lab::RunStore::run_id(config, &art);
+            if let Some(key) = crate::graph::parse_digest(&run_id) {
+                let mut w = crate::journal::JsonLine::object("node", "aggregate");
+                w.str("experiment", &config.name).num("rows", frame.len() as i64);
+                g.store_node(crate::graph::NodeKind::Aggregate, &key, &w.finish())?;
+            }
         }
         self.container
             .fs_mut()

@@ -75,6 +75,40 @@ impl Default for CostModel {
 }
 
 impl CostModel {
+    /// A stable fingerprint over every latency knob, mixed
+    /// splitmix64-style. Decoded artifacts are keyed by this (any knob
+    /// change must dirty every decoded program and downstream run unit),
+    /// so the fold must cover all fields — add new knobs here.
+    pub fn fingerprint(&self) -> u64 {
+        let fields = [
+            self.alu,
+            self.imul,
+            self.idiv,
+            self.fadd,
+            self.fmul,
+            self.fdiv,
+            self.fma,
+            self.fsqrt,
+            self.ftrans,
+            self.branch,
+            self.branch_mispredict,
+            self.call,
+            self.mem_base,
+            self.syscall,
+            self.barrier_per_core,
+            self.asan_check,
+            self.alloc,
+        ];
+        let mut h: u64 = 0x5115_7c05_7c05_7c05;
+        for f in fields {
+            h = h.wrapping_add(0x9e37_79b9_7f4a_7c15).wrapping_add(f);
+            h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            h ^= h >> 31;
+        }
+        h
+    }
+
     /// The non-memory cycle cost of one instruction. Memory instructions
     /// return only their base cost; the interpreter adds cache latency.
     pub fn instr_cycles(&self, instr: &Instr) -> u64 {
@@ -135,5 +169,35 @@ mod tests {
         // this is what makes the gcc backend's FMA pass measurable.
         assert!(fma < fmul + fadd);
         assert_eq!(m.instr_cycles(&Instr::Nop), 0);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_knob_sensitive() {
+        let base = CostModel::default();
+        assert_eq!(base.fingerprint(), CostModel::default().fingerprint());
+        // Every knob must feed the fold, including ones whose default
+        // value collides with a neighbour's (fmul == fma == 4).
+        let bumped = [
+            CostModel { alu: base.alu + 1, ..base },
+            CostModel { imul: base.imul + 1, ..base },
+            CostModel { idiv: base.idiv + 1, ..base },
+            CostModel { fadd: base.fadd + 1, ..base },
+            CostModel { fmul: base.fmul + 1, ..base },
+            CostModel { fdiv: base.fdiv + 1, ..base },
+            CostModel { fma: base.fma + 1, ..base },
+            CostModel { fsqrt: base.fsqrt + 1, ..base },
+            CostModel { ftrans: base.ftrans + 1, ..base },
+            CostModel { branch: base.branch + 1, ..base },
+            CostModel { branch_mispredict: base.branch_mispredict + 1, ..base },
+            CostModel { call: base.call + 1, ..base },
+            CostModel { mem_base: base.mem_base + 1, ..base },
+            CostModel { syscall: base.syscall + 1, ..base },
+            CostModel { barrier_per_core: base.barrier_per_core + 1, ..base },
+            CostModel { asan_check: base.asan_check + 1, ..base },
+            CostModel { alloc: base.alloc + 1, ..base },
+        ];
+        for m in bumped {
+            assert_ne!(m.fingerprint(), base.fingerprint(), "{m:?}");
+        }
     }
 }
