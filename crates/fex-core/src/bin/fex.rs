@@ -145,6 +145,27 @@ fn run(args: &[String]) -> Result<ExitCode, FexError> {
                 return Ok(ExitCode::FAILURE);
             }
         }
+        Action::Serve { opts } => {
+            let handle = fex_core::Server::start(opts)?;
+            eprintln!("fex serve: listening on {}", handle.socket().display());
+            eprintln!("fex serve: send {{\"op\": \"shutdown\"}} to drain and exit");
+            let summary = handle.wait()?;
+            println!(
+                "served {} submissions ({} completed, {} store hits, {} evicted) \
+                 across {} tenants",
+                summary.submissions,
+                summary.completed,
+                summary.store_hits,
+                summary.evictions,
+                summary.tenants.len()
+            );
+            for (tenant, stats) in &summary.tenants {
+                println!(
+                    "  {tenant}: {} submissions, {} store hits, {} graph hits, {} graph misses",
+                    stats.submissions, stats.store_hits, stats.graph_hits, stats.graph_misses
+                );
+            }
+        }
         Action::Compare { baseline, candidate, dir, metric, svg } => {
             let store = RunStore::open(&dir)?;
             let (base_label, base_csv) = load_side(&store, &baseline)?;

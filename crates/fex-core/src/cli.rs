@@ -85,6 +85,13 @@ pub enum Action {
         /// Where the SVG comparison plot is written (`--svg`).
         svg: Option<String>,
     },
+    /// `fex serve`: run the multi-tenant experiment daemon until a
+    /// client sends `{"op": "shutdown"}`.
+    Serve {
+        /// Daemon options (socket path, lab dir, worker count, queue
+        /// capacity).
+        opts: crate::serve::ServeOptions,
+    },
 }
 
 /// A `fex lab` subcommand.
@@ -132,6 +139,9 @@ actions:
                                   runs; exits 2 on significant regression
   fuzz [opts]                     seeded scenario fuzzing with an invariant
                                   oracle; exits 1 on an oracle violation
+  serve [opts]                    multi-tenant experiment daemon on a local
+                                  socket; identical submissions are served
+                                  from the shared graph/store cache
 
 run options:
   -t <type>...   build types (default gcc_native)
@@ -171,6 +181,13 @@ fuzz options:
   --bundle <dir>      repro bundle directory (default target/fex-fuzz)
   --max-shrink <n>    shrink-candidate evaluation cap (default 48)
   --regressions <f>   replay `<seed> <case>` lines from a file instead
+
+serve options:
+  --socket <path>  Unix socket to listen on (default .fex-serve.sock)
+  --lab <dir>      shared store + artifact graph (default .fex-lab)
+  --workers <n>    worker threads draining the queue (default 2)
+  --queue <n>      bounded queue capacity; overflow submissions are
+                   refused and journaled as evictions (default 64)
 
 compare selectors are CSV paths, archived run-id prefixes, `latest`, or
 `prev` (the two newest store entries).
@@ -316,6 +333,38 @@ pub fn parse(args: &[String]) -> Result<Action> {
                 }
             }
             Ok(Action::Fuzz { opts, regressions })
+        }
+        "serve" => {
+            let mut opts = crate::serve::ServeOptions::default();
+            while let Some(tok) = it.next() {
+                let value = |it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
+                             flag: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| FexError::Config(format!("{flag} needs a value")))
+                };
+                match tok.as_str() {
+                    "--socket" => opts.socket = value(&mut it, "--socket")?.into(),
+                    "--lab" => opts.lab = value(&mut it, "--lab")?,
+                    "--workers" => {
+                        let v = value(&mut it, "--workers")?;
+                        opts.workers = v
+                            .parse()
+                            .map_err(|_| FexError::Config(format!("bad worker count `{v}`")))?;
+                    }
+                    "--queue" => {
+                        let v = value(&mut it, "--queue")?;
+                        opts.queue_cap = v
+                            .parse()
+                            .map_err(|_| FexError::Config(format!("bad queue capacity `{v}`")))?;
+                    }
+                    other => return Err(FexError::Config(format!("unknown serve flag `{other}`"))),
+                }
+            }
+            if opts.queue_cap == 0 {
+                return Err(FexError::Config("--queue must be at least 1".into()));
+            }
+            Ok(Action::Serve { opts })
         }
         "compare" => {
             let mut dir = String::from(".fex-lab");
@@ -847,6 +896,32 @@ mod tests {
             Action::Report { journal: Some("target/fex-results/micro.journal.jsonl".into()) }
         );
         assert!(parse(&argv("report a.jsonl b.jsonl")).is_err(), "at most one journal");
+    }
+
+    #[test]
+    fn serve_defaults_and_flags_parse() {
+        let Action::Serve { opts } = parse(&argv("serve")).unwrap() else {
+            panic!("expected serve");
+        };
+        assert_eq!(opts, crate::serve::ServeOptions::default());
+        let Action::Serve { opts } =
+            parse(&argv("serve --socket /tmp/s.sock --lab /tmp/lab --workers 4 --queue 9"))
+                .unwrap()
+        else {
+            panic!("expected serve");
+        };
+        assert_eq!(opts.socket, std::path::PathBuf::from("/tmp/s.sock"));
+        assert_eq!(opts.lab, "/tmp/lab");
+        assert_eq!(opts.workers, 4);
+        assert_eq!(opts.queue_cap, 9);
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags_and_degenerate_queues() {
+        assert!(parse(&argv("serve --port 80")).is_err());
+        assert!(parse(&argv("serve --workers many")).is_err());
+        assert!(parse(&argv("serve --queue 0")).is_err(), "a zero-capacity queue serves nobody");
+        assert!(parse(&argv("serve --socket")).is_err(), "--socket needs a value");
     }
 
     #[test]

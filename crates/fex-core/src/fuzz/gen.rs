@@ -140,6 +140,10 @@ pub struct Scenario {
     /// program's source gets a semantically neutral trailing newline)
     /// against the populated artifact graph.
     pub dirty_rerun: bool,
+    /// Whether the `serve` oracle also pushes the scenario through an
+    /// in-process `fex serve` daemon twice (two tenants) and compares
+    /// against the direct pipeline output.
+    pub serve: bool,
 }
 
 /// All standard build types the generator samples from.
@@ -190,6 +194,7 @@ impl Scenario {
         let passes = PassMask::from_bits(r.below(8) as u8);
         let chunk = r.below(5) as usize;
         let dirty_rerun = r.chance(1, 3);
+        let serve = r.chance(1, 4);
 
         Scenario {
             case_seed: cs,
@@ -204,6 +209,7 @@ impl Scenario {
             passes,
             chunk,
             dirty_rerun,
+            serve,
         }
     }
 
@@ -258,7 +264,8 @@ impl Scenario {
     pub fn describe(&self) -> String {
         let mut s = format!(
             "case seed {:#018x}: {} program(s), types {:?}, threads {:?}, reps {:?}, \
-             jobs {}, chunk {}, passes {}, tool {}, experiment seed {}, dirty rerun {}\n",
+             jobs {}, chunk {}, passes {}, tool {}, experiment seed {}, dirty rerun {}, \
+             serve {}\n",
             self.case_seed,
             self.programs.len(),
             self.build_types,
@@ -270,6 +277,7 @@ impl Scenario {
             self.tool,
             self.experiment_seed,
             self.dirty_rerun,
+            self.serve,
         );
         match &self.fault {
             Some(f) => s.push_str(&format!(
@@ -715,6 +723,8 @@ mod tests {
         assert!(scenarios.iter().any(|s| s.chunk > 0));
         assert!(scenarios.iter().any(|s| s.dirty_rerun));
         assert!(scenarios.iter().any(|s| !s.dirty_rerun));
+        assert!(scenarios.iter().any(|s| s.serve));
+        assert!(scenarios.iter().any(|s| !s.serve));
     }
 
     #[test]

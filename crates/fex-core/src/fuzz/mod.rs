@@ -22,6 +22,9 @@
 //! |            | a semantically neutral source edit                              |
 //! | `recovery` | every injected disk corruption is detected by `fex lab fsck`    |
 //! |            | and quarantine restores a clean store                           |
+//! | `serve`    | the scenario submitted through an in-process `fex serve` daemon |
+//! |            | matches the direct pipeline output byte-for-byte, and an        |
+//! |            | identical cross-tenant resubmission is 100% cache-served        |
 //!
 //! A failing case is **shrunk** — programs, build types, statement
 //! blocks, helper functions, faults and repetition policies are greedily
@@ -108,8 +111,8 @@ impl Default for FuzzOptions {
 #[derive(Debug, Clone)]
 pub struct OracleFailure {
     /// Which oracle fired (`toggles`, `jobs`, `metrics`, `store`,
-    /// `warm`, `recovery`, or `pipeline` for a scenario that errored
-    /// the pipeline outright).
+    /// `warm`, `recovery`, `serve`, or `pipeline` for a scenario that
+    /// errored the pipeline outright).
     pub oracle: &'static str,
     /// What disagreed.
     pub detail: String,
@@ -397,7 +400,109 @@ pub fn check_case(
     let _ = fs::remove_dir_all(&lab_dir);
     let verdict = store_and_recovery_oracles(scenario, &suite, &base, &lab_dir);
     let _ = fs::remove_dir_all(&lab_dir);
+    if let Ok(None) = &verdict {
+        // Oracle `serve`: the daemon is a transport + cache layer in
+        // front of the same pipeline, so serving the scenario must not
+        // move a byte, and an identical cross-tenant resubmission must
+        // come wholly from the cache.
+        if scenario.serve {
+            let serve_dir = std::env::temp_dir().join(format!(
+                "fex-fuzz-serve-{}-{:x}",
+                std::process::id(),
+                scenario.case_seed
+            ));
+            let _ = fs::remove_dir_all(&serve_dir);
+            let serve_verdict = serve_oracle(scenario, &serve_dir);
+            let _ = fs::remove_dir_all(&serve_dir);
+            return serve_verdict;
+        }
+    }
     verdict
+}
+
+/// Translates a fuzzed scenario into a serve-protocol [`Submission`]:
+/// inline programs carry the generated sources, the repetition policy
+/// flattens to the protocol's integer fields, and the fault plan is
+/// deliberately *not* transmitted — faults are a pipeline-internal
+/// debugging axis the protocol does not model, and fault-armed units
+/// bypass the artifact graph, which would make the 100%-cache-serve
+/// invariant vacuous.
+fn serve_submission(scenario: &Scenario) -> crate::serve::Submission {
+    let mut sub = crate::serve::Submission::new("a", "inline");
+    sub.programs = scenario.programs.iter().map(|p| (p.name.clone(), p.source())).collect();
+    sub.build_types = scenario.build_types.iter().map(|s| s.to_string()).collect();
+    sub.threads = scenario.threads.clone();
+    match scenario.repetitions {
+        Repetitions::Fixed(n) => sub.reps = n,
+        Repetitions::Adaptive { min, max, rel_precision } => {
+            sub.reps = min;
+            sub.max_reps = max;
+            sub.precision_permille = (rel_precision * 1000.0).round() as u64;
+        }
+    }
+    sub.seed = scenario.experiment_seed;
+    sub.jobs = scenario.jobs;
+    sub.budget = gen::FUZZ_INSTRUCTION_BUDGET;
+    sub.tool = scenario.tool.name().to_string();
+    sub
+}
+
+/// Oracle `serve`: both the daemon-side and the direct reference run
+/// derive from the *same* [`Submission`] (one `f64` reconstruction of
+/// the adaptive precision, one program emission), so any byte of drift
+/// is the daemon's fault, not an encoding artifact.
+fn serve_oracle(scenario: &Scenario, dir: &Path) -> Result<Option<OracleFailure>> {
+    use crate::serve::{self, ServeOptions, Server};
+    let fail = |detail: String| Ok(Some(OracleFailure { oracle: "serve", detail }));
+    let sub = serve_submission(scenario);
+
+    // Direct reference: the same submission pushed straight through the
+    // pipeline, no daemon, no lab.
+    let cfg = sub.config(None);
+    let mut fex = Fex::new();
+    fex.run_suite(&cfg, sub.suite()?)?;
+    let direct_results = fex.result_csv(&cfg.name).unwrap_or_default();
+    let direct_failures = fex.failure_csv(&cfg.name).unwrap_or_default();
+
+    let opts = ServeOptions {
+        socket: dir.join("serve.sock"),
+        lab: dir.join("lab").to_string_lossy().into_owned(),
+        workers: 2,
+        queue_cap: 8,
+    };
+    let handle = Server::start(opts)?;
+    let socket = handle.socket().to_path_buf();
+    let first = serve::submit(&socket, &sub);
+    let mut resub = sub.clone();
+    resub.tenant = "b".into();
+    let second = serve::submit(&socket, &resub);
+    serve::shutdown(&socket)?;
+    let summary = handle.wait()?;
+    let (first, second) = (first?, second?);
+
+    if first.results_csv != direct_results {
+        return fail(first_diff("served results.csv", &first.results_csv, &direct_results));
+    }
+    if first.failures_csv != direct_failures {
+        return fail(first_diff("served failures.csv", &first.failures_csv, &direct_failures));
+    }
+    if !second.store_hit {
+        return fail("identical cross-tenant resubmission was not store-served".into());
+    }
+    if second.results_csv != first.results_csv || second.failures_csv != first.failures_csv {
+        return fail(first_diff(
+            "cache-served results.csv",
+            &second.results_csv,
+            &first.results_csv,
+        ));
+    }
+    if summary.store_hits != 1 || summary.completed != 2 {
+        return fail(format!(
+            "daemon accounting drifted: {} store hits / {} completed (want 1 / 2)",
+            summary.store_hits, summary.completed
+        ));
+    }
+    Ok(None)
 }
 
 /// Oracle `store` (archival round-trip + rerun identity + quiet compare
@@ -629,6 +734,12 @@ fn shrink_candidates(s: &Scenario) -> Vec<Scenario> {
     if s.dirty_rerun {
         let mut c = s.clone();
         c.dirty_rerun = false;
+        out.push(c);
+    }
+    // Skip the serve round-trip.
+    if s.serve {
+        let mut c = s.clone();
+        c.serve = false;
         out.push(c);
     }
     // Drop statement blocks from each program's `main` (the fixed

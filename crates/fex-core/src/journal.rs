@@ -47,8 +47,11 @@ use fex_vm::{RunResult, UnitCounters};
 ///
 /// Version 2 added the `store_write` event (the run was archived into
 /// the result store). Version 3 added the `graph_hit`/`graph_miss` pair
-/// (artifact-graph lookups in front of run-unit execution).
-pub const JOURNAL_VERSION: u64 = 3;
+/// (artifact-graph lookups in front of run-unit execution). Version 4
+/// added the `serve_*` family (`serve_submit`, `serve_enqueue`,
+/// `serve_dispatch`, `serve_stream`, `serve_evict`) emitted by the
+/// `fex serve` daemon's own journal.
+pub const JOURNAL_VERSION: u64 = 4;
 
 /// One typed journal event. Field names match the JSON keys.
 #[derive(Debug, Clone, PartialEq)]
@@ -199,6 +202,63 @@ pub enum JournalEvent {
         /// Monotonic sequence number assigned by the store index.
         seq: u64,
     },
+    /// A tenant's experiment submission arrived over the serve socket.
+    ServeSubmit {
+        /// Tenant identity, as claimed by the client (volatile across
+        /// runs; normalized).
+        tenant: String,
+        /// Daemon-assigned submission sequence number (volatile;
+        /// normalized).
+        submission: u64,
+        /// Content-addressed submission key (`fex256:…` over the suite
+        /// sources and every config axis).
+        key: String,
+    },
+    /// The submission entered the bounded priority/FIFO queue.
+    ServeEnqueue {
+        /// Submission sequence number (volatile; normalized).
+        submission: u64,
+        /// Client-requested priority (higher dispatches first).
+        priority: i64,
+        /// Queue depth after insertion (volatile; normalized).
+        depth: usize,
+    },
+    /// A serve worker pulled the submission off the queue.
+    ServeDispatch {
+        /// Submission sequence number (volatile; normalized).
+        submission: u64,
+        /// Worker index that claimed it (volatile; normalized).
+        worker: usize,
+        /// Queue latency: enqueue → dispatch wall time (volatile;
+        /// normalized).
+        wait_ns: u64,
+    },
+    /// The submission's result stream went back to its client, with the
+    /// per-tenant cache accounting.
+    ServeStream {
+        /// Tenant identity (volatile; normalized).
+        tenant: String,
+        /// Submission sequence number (volatile; normalized).
+        submission: u64,
+        /// Journal events streamed live over the connection.
+        events: usize,
+        /// Run units the shared artifact graph served from cache
+        /// (cache state, not behaviour; normalized).
+        graph_hits: usize,
+        /// Run units the graph had to execute (cache state; normalized).
+        graph_misses: usize,
+        /// Whether the whole submission was served from the store layer
+        /// without running anything (cache state; normalized).
+        store_hit: bool,
+    },
+    /// A submission was evicted instead of queued (bounded queue
+    /// overflow, or the daemon was draining).
+    ServeEvict {
+        /// Submission sequence number (volatile; normalized).
+        submission: u64,
+        /// Why it was turned away.
+        reason: String,
+    },
     /// A pipeline phase finished.
     PhaseEnd {
         /// Phase name (`run`, `collect`).
@@ -232,6 +292,11 @@ impl JournalEvent {
             JournalEvent::GraphMiss { .. } => "graph_miss",
             JournalEvent::DecodeCache { .. } => "decode_cache",
             JournalEvent::StoreWrite { .. } => "store_write",
+            JournalEvent::ServeSubmit { .. } => "serve_submit",
+            JournalEvent::ServeEnqueue { .. } => "serve_enqueue",
+            JournalEvent::ServeDispatch { .. } => "serve_dispatch",
+            JournalEvent::ServeStream { .. } => "serve_stream",
+            JournalEvent::ServeEvict { .. } => "serve_evict",
             JournalEvent::PhaseEnd { .. } => "phase_end",
             JournalEvent::ExperimentEnd { .. } => "experiment_end",
         }
@@ -289,6 +354,43 @@ impl JournalEvent {
                     rep: *rep,
                 };
             }
+            // Serve-side nondeterminism: tenant identity, the daemon's
+            // submission counter, queue depth/latency and worker ids are
+            // all scheduling history, not run behaviour — two clients
+            // submitting the same work in any order must normalize to the
+            // same event, the same way StoreWrite's seq is zeroed.
+            JournalEvent::ServeSubmit { tenant, submission, .. } => {
+                tenant.clear();
+                *submission = 0;
+            }
+            JournalEvent::ServeEnqueue { submission, depth, .. } => {
+                *submission = 0;
+                *depth = 0;
+            }
+            JournalEvent::ServeDispatch { submission, worker, wait_ns } => {
+                *submission = 0;
+                *worker = 0;
+                *wait_ns = 0;
+            }
+            // Cache accounting is cache state, not behaviour (a warm
+            // serve is observationally identical to the cold run that
+            // populated it), mirroring the GraphHit→GraphMiss rewrite.
+            JournalEvent::ServeStream {
+                tenant,
+                submission,
+                events,
+                graph_hits,
+                graph_misses,
+                store_hit,
+            } => {
+                tenant.clear();
+                *submission = 0;
+                *events = 0;
+                *graph_hits = 0;
+                *graph_misses = 0;
+                *store_hit = false;
+            }
+            JournalEvent::ServeEvict { submission, .. } => *submission = 0,
             _ => {}
         }
     }
@@ -382,6 +484,37 @@ impl JournalEvent {
             }
             JournalEvent::StoreWrite { experiment, run_id, seq } => {
                 w.str("experiment", experiment).str("run_id", run_id).num("seq", *seq as i64);
+            }
+            JournalEvent::ServeSubmit { tenant, submission, key } => {
+                w.str("tenant", tenant).num("submission", *submission as i64).str("key", key);
+            }
+            JournalEvent::ServeEnqueue { submission, priority, depth } => {
+                w.num("submission", *submission as i64)
+                    .num("priority", *priority)
+                    .num("depth", *depth as i64);
+            }
+            JournalEvent::ServeDispatch { submission, worker, wait_ns } => {
+                w.num("submission", *submission as i64)
+                    .num("worker", *worker as i64)
+                    .num("wait_ns", *wait_ns as i64);
+            }
+            JournalEvent::ServeStream {
+                tenant,
+                submission,
+                events,
+                graph_hits,
+                graph_misses,
+                store_hit,
+            } => {
+                w.str("tenant", tenant)
+                    .num("submission", *submission as i64)
+                    .num("events", *events as i64)
+                    .num("graph_hits", *graph_hits as i64)
+                    .num("graph_misses", *graph_misses as i64)
+                    .bool("store_hit", *store_hit);
+            }
+            JournalEvent::ServeEvict { submission, reason } => {
+                w.num("submission", *submission as i64).str("reason", reason);
             }
             JournalEvent::PhaseEnd { phase, wall_ns } => {
                 w.str("phase", phase).num("wall_ns", *wall_ns as i64);
@@ -500,6 +633,33 @@ pub fn parse_line(line: &str) -> std::result::Result<JournalEvent, ParseIssue> {
             experiment: get_str(&map, "experiment")?.to_string(),
             run_id: get_str(&map, "run_id")?.to_string(),
             seq: get_u64(&map, "seq")?,
+        },
+        "serve_submit" => JournalEvent::ServeSubmit {
+            tenant: get_str(&map, "tenant")?.to_string(),
+            submission: get_u64(&map, "submission")?,
+            key: get_str(&map, "key")?.to_string(),
+        },
+        "serve_enqueue" => JournalEvent::ServeEnqueue {
+            submission: get_u64(&map, "submission")?,
+            priority: get_i64(&map, "priority")?,
+            depth: get_u64(&map, "depth")? as usize,
+        },
+        "serve_dispatch" => JournalEvent::ServeDispatch {
+            submission: get_u64(&map, "submission")?,
+            worker: get_u64(&map, "worker")? as usize,
+            wait_ns: get_u64(&map, "wait_ns")?,
+        },
+        "serve_stream" => JournalEvent::ServeStream {
+            tenant: get_str(&map, "tenant")?.to_string(),
+            submission: get_u64(&map, "submission")?,
+            events: get_u64(&map, "events")? as usize,
+            graph_hits: get_u64(&map, "graph_hits")? as usize,
+            graph_misses: get_u64(&map, "graph_misses")? as usize,
+            store_hit: get_bool(&map, "store_hit")?,
+        },
+        "serve_evict" => JournalEvent::ServeEvict {
+            submission: get_u64(&map, "submission")?,
+            reason: get_str(&map, "reason")?.to_string(),
         },
         "phase_end" => JournalEvent::PhaseEnd {
             phase: get_str(&map, "phase")?.to_string(),
@@ -1414,6 +1574,75 @@ mod tests {
         let mut miss_normalized = miss.clone();
         miss_normalized.normalize();
         assert_eq!(miss_normalized, miss);
+    }
+
+    fn serve_events() -> Vec<JournalEvent> {
+        vec![
+            JournalEvent::ServeSubmit {
+                tenant: "alice".into(),
+                submission: 3,
+                key: "fex256:00000000000000000000000000000abc".into(),
+            },
+            JournalEvent::ServeEnqueue { submission: 3, priority: 5, depth: 2 },
+            JournalEvent::ServeDispatch { submission: 3, worker: 1, wait_ns: 120_000 },
+            JournalEvent::ServeStream {
+                tenant: "alice".into(),
+                submission: 3,
+                events: 17,
+                graph_hits: 8,
+                graph_misses: 0,
+                store_hit: true,
+            },
+            JournalEvent::ServeEvict { submission: 4, reason: "queue full".into() },
+        ]
+    }
+
+    #[test]
+    fn serve_events_round_trip_through_json() {
+        let kinds: Vec<&str> = serve_events().iter().map(|e| e.kind()).collect();
+        assert_eq!(
+            kinds,
+            ["serve_submit", "serve_enqueue", "serve_dispatch", "serve_stream", "serve_evict"]
+        );
+        for e in serve_events() {
+            let line = e.to_json();
+            let back = parse_line(&line).unwrap_or_else(|i| panic!("{i} for {line}"));
+            assert_eq!(e, back, "round trip of {line}");
+        }
+    }
+
+    #[test]
+    fn serve_normalization_erases_tenant_queue_and_cache_state() {
+        // Two tenants submitting the same work in any order, served hot
+        // or cold, must normalize to identical serve streams — the same
+        // order-invariance contract StoreWrite's zeroed seq provides.
+        let mut normalized = serve_events();
+        for e in &mut normalized {
+            e.normalize();
+        }
+        assert_eq!(
+            normalized,
+            vec![
+                JournalEvent::ServeSubmit {
+                    tenant: String::new(),
+                    submission: 0,
+                    key: "fex256:00000000000000000000000000000abc".into(),
+                },
+                JournalEvent::ServeEnqueue { submission: 0, priority: 5, depth: 0 },
+                JournalEvent::ServeDispatch { submission: 0, worker: 0, wait_ns: 0 },
+                JournalEvent::ServeStream {
+                    tenant: String::new(),
+                    submission: 0,
+                    events: 0,
+                    graph_hits: 0,
+                    graph_misses: 0,
+                    store_hit: false,
+                },
+                JournalEvent::ServeEvict { submission: 0, reason: "queue full".into() },
+            ]
+        );
+        // The content-addressed key and the client-chosen priority are
+        // submission identity, not scheduling history — they survive.
     }
 
     #[test]

@@ -29,6 +29,9 @@
 //! * [`fuzz`] — `fex fuzz`: seeded scenario fuzzing of the whole
 //!   pipeline against a golden-free invariant oracle, with shrinking
 //!   and repro bundles,
+//! * [`serve`] — the `fex serve` daemon: a multi-tenant experiment
+//!   service with a bounded priority queue, cross-tenant graph/store
+//!   cache reuse and a simulated-fleet mode with host-loss recovery,
 //! * [`workflow`] — the [`Fex`] orchestrator (`fex.py`), running
 //!   everything inside the simulated [`fex-container`](fex_container)
 //!   with pinned-version [install scripts](install),
@@ -74,6 +77,7 @@ pub mod registry;
 pub mod resilience;
 pub mod runner;
 pub mod sched;
+pub mod serve;
 pub mod workflow;
 
 pub use config::{ExperimentConfig, Repetitions};
@@ -83,4 +87,5 @@ pub use graph::{ArtifactGraph, NodeKind};
 pub use journal::{Journal, JournalEvent, Metrics};
 pub use lab::{Comparison, RunStore, Verdict};
 pub use resilience::{FailureRecord, FailureReport, RunOutcome, RunPolicy};
+pub use serve::{ServeOptions, ServeOutcome, ServeSummary, Server, ServerHandle, Submission};
 pub use workflow::{Fex, PlotRequest};
