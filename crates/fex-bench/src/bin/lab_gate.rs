@@ -29,7 +29,7 @@ fn main() {
 
     let store = RunStore::open(&dir).expect("open store");
     let entries = store.list().expect("index parses");
-    println!("{}", RunStore::render_list(&entries));
+    println!("{}", store.render_list(&entries));
     assert_eq!(entries.len(), 2, "two archived runs");
 
     let base_csv = store.results_csv(&store.resolve("prev").expect("prev")).expect("baseline csv");

@@ -37,6 +37,13 @@ fn run(args: &[String]) -> Result<ExitCode, FexError> {
             for warning in &rendered.warnings {
                 eprintln!("fex: warning: {warning}");
             }
+            if rendered.events == 0 {
+                return Err(FexError::Data(format!(
+                    "journal `{path}` contains no parseable events \
+                     ({} malformed line(s) skipped)",
+                    rendered.warnings.len()
+                )));
+            }
             print!("{}", rendered.report);
         }
         Action::Report { journal: None } => print!("{}", fex.report()),
@@ -95,12 +102,16 @@ fn run(args: &[String]) -> Result<ExitCode, FexError> {
         Action::Lab { cmd, dir } => {
             let store = RunStore::open(&dir)?;
             match cmd {
-                LabCommand::List => {
+                LabCommand::List { json } => {
                     let (entries, warnings) = store.scan();
                     for w in &warnings {
                         eprintln!("fex: warning: {w}");
                     }
-                    print!("{}", RunStore::render_list(&entries));
+                    if json {
+                        print!("{}", store.render_list_json(&entries));
+                    } else {
+                        print!("{}", store.render_list(&entries));
+                    }
                 }
                 LabCommand::Show { selector } => {
                     let entry = store.resolve(&selector)?;
@@ -185,6 +196,44 @@ fn run(args: &[String]) -> Result<ExitCode, FexError> {
             eprintln!("comparison plot: {svg_path}");
             if cmp.has_regression() {
                 eprintln!("fex: significant regression detected");
+                return Ok(ExitCode::from(2));
+            }
+        }
+        Action::Diag { journal, lab, format, config, jobs, rules, deny } => {
+            let mut diag_config = match &config {
+                // An explicit --config must exist; a missing default
+                // fex.toml just means defaults.
+                Some(path) => fex_core::DiagConfig::load(path)?.ok_or_else(|| {
+                    FexError::Data(format!("cannot read config `{path}`: no such file"))
+                })?,
+                None => fex_core::DiagConfig::load("fex.toml")?.unwrap_or_default(),
+            };
+            for id in rules.iter().chain(&deny) {
+                if !fex_core::diag::rules::known_rule(id) {
+                    return Err(FexError::Config(format!("unknown diag rule `{id}`")));
+                }
+            }
+            if !rules.is_empty() {
+                diag_config.allow = Some(rules);
+            }
+            diag_config.deny.extend(deny);
+            let ctx = fex_core::DiagCtx {
+                journal: journal.as_deref().map(fex_core::diag::JournalSource::load).transpose()?,
+                store: lab.as_deref().map(fex_core::diag::StoreSource::open).transpose()?,
+                config: diag_config,
+            };
+            if let Some(store) = &ctx.store {
+                for w in &store.index_warnings {
+                    eprintln!("fex: warning: {w}");
+                }
+            }
+            let report = fex_core::diag::run_diag(&ctx, jobs);
+            print!("{}", fex_core::diag::output::render(&report, format));
+            if report.worst() == Some(fex_core::Severity::Error) {
+                eprintln!(
+                    "fex: {} error-severity finding(s)",
+                    report.count(fex_core::Severity::Error)
+                );
                 return Ok(ExitCode::from(2));
             }
         }

@@ -92,13 +92,37 @@ pub enum Action {
         /// capacity).
         opts: crate::serve::ServeOptions,
     },
+    /// `fex diag [journal] [--lab [dir]]`: run the diagnostics rule
+    /// registry over a journal and/or the lab store. Exits 2 on any
+    /// error-severity finding, 1 on unreadable input, 0 otherwise.
+    Diag {
+        /// Journal path to audit.
+        journal: Option<String>,
+        /// Lab store to audit (`--lab`, optional value, default
+        /// `.fex-lab`).
+        lab: Option<String>,
+        /// Output format (`--format`, default human).
+        format: crate::diag::DiagFormat,
+        /// Explicit config file (`--config`); default: `fex.toml` in the
+        /// working directory when present.
+        config: Option<String>,
+        /// Rule-evaluation workers (`--jobs`, 0 = auto).
+        jobs: usize,
+        /// Allow-list override (`--rules`, comma-separated ids).
+        rules: Vec<String>,
+        /// Deny-list additions (`--deny`, comma-separated ids).
+        deny: Vec<String>,
+    },
 }
 
 /// A `fex lab` subcommand.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LabCommand {
     /// `fex lab list`: one line per archived run.
-    List,
+    List {
+        /// Emit one flat-JSON object per line instead of the table.
+        json: bool,
+    },
     /// `fex lab show <selector>`: summary statistics of one run.
     Show {
         /// Run-id prefix, `latest` or `prev`.
@@ -142,6 +166,9 @@ actions:
   serve [opts]                    multi-tenant experiment daemon on a local
                                   socket; identical submissions are served
                                   from the shared graph/store cache
+  diag [journal] [--lab [dir]]    audit a run journal and/or the lab store
+                                  with the diagnostics rule registry;
+                                  exits 2 on an error-severity finding
 
 run options:
   -t <type>...   build types (default gcc_native)
@@ -169,6 +196,8 @@ run options:
 
 lab / compare options:
   --lab <dir>    result store directory (default .fex-lab)
+  --json         lab list: one flat-JSON object per line instead of the
+                 table (fields + the repro score, CI-consumable)
   --keep <n>     lab gc: runs kept per experiment key (default 1)
   --quarantine   lab fsck: move damaged runs aside and rewrite the index
   --metric <m>   compare: metric column to test (default time)
@@ -188,6 +217,17 @@ serve options:
   --workers <n>    worker threads draining the queue (default 2)
   --queue <n>      bounded queue capacity; overflow submissions are
                    refused and journaled as evictions (default 64)
+
+diag options:
+  --lab [dir]      audit this lab store (default .fex-lab); history rules
+                   (regression, cache drop) need at least two stored runs
+  --format <f>     human | sarif | github (default human)
+  --config <path>  read [diag] presets/thresholds from this fex.toml
+                   (default: ./fex.toml when present)
+  --rules <ids>    comma-separated allow-list; only these rules run
+  --deny <ids>     comma-separated deny-list; these rules never run
+  --jobs <n>       rule-evaluation workers, 0 = auto (output is identical
+                   for every value)
 
 compare selectors are CSV paths, archived run-id prefixes, `latest`, or
 `prev` (the two newest store entries).
@@ -237,10 +277,12 @@ pub fn parse(args: &[String]) -> Result<Action> {
             let mut dir = String::from(".fex-lab");
             let mut keep: Option<usize> = None;
             let mut quarantine = false;
+            let mut json = false;
             let mut positional: Vec<String> = Vec::new();
             while let Some(tok) = it.next() {
                 match tok.as_str() {
                     "--quarantine" => quarantine = true,
+                    "--json" => json = true,
                     "--lab" => {
                         dir = it
                             .next()
@@ -261,7 +303,7 @@ pub fn parse(args: &[String]) -> Result<Action> {
                 }
             }
             let cmd = match sub.as_str() {
-                "list" => LabCommand::List,
+                "list" => LabCommand::List { json },
                 "show" => {
                     let selector = positional
                         .pop()
@@ -365,6 +407,75 @@ pub fn parse(args: &[String]) -> Result<Action> {
                 return Err(FexError::Config("--queue must be at least 1".into()));
             }
             Ok(Action::Serve { opts })
+        }
+        "diag" => {
+            let mut journal: Option<String> = None;
+            let mut lab: Option<String> = None;
+            let mut format = crate::diag::DiagFormat::Human;
+            let mut config: Option<String> = None;
+            let mut jobs = 0usize;
+            let mut rules: Vec<String> = Vec::new();
+            let mut deny: Vec<String> = Vec::new();
+            let ids = |list: &str| -> Vec<String> {
+                list.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect()
+            };
+            while let Some(tok) = it.next() {
+                match tok.as_str() {
+                    "--lab" => {
+                        lab = Some(match it.peek() {
+                            Some(v) if !v.starts_with('-') => it.next().expect("peeked").clone(),
+                            _ => String::from(".fex-lab"),
+                        });
+                    }
+                    "--format" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| FexError::Config("--format needs a name".into()))?;
+                        format = crate::diag::DiagFormat::parse(v)?;
+                    }
+                    "--config" => {
+                        config = Some(
+                            it.next()
+                                .cloned()
+                                .ok_or_else(|| FexError::Config("--config needs a path".into()))?,
+                        );
+                    }
+                    "--jobs" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| FexError::Config("--jobs needs a count".into()))?;
+                        jobs = v
+                            .parse()
+                            .map_err(|_| FexError::Config(format!("bad job count `{v}`")))?;
+                    }
+                    "--rules" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| FexError::Config("--rules needs rule ids".into()))?;
+                        rules.extend(ids(v));
+                    }
+                    "--deny" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| FexError::Config("--deny needs rule ids".into()))?;
+                        deny.extend(ids(v));
+                    }
+                    other if !other.starts_with('-') => {
+                        if journal.replace(other.to_string()).is_some() {
+                            return Err(FexError::Config(format!(
+                                "diag takes one journal path; unexpected `{other}`"
+                            )));
+                        }
+                    }
+                    other => return Err(FexError::Config(format!("unknown diag flag `{other}`"))),
+                }
+            }
+            if journal.is_none() && lab.is_none() {
+                return Err(FexError::Config(
+                    "diag needs a journal path and/or --lab <dir>".into(),
+                ));
+            }
+            Ok(Action::Diag { journal, lab, format, config, jobs, rules, deny })
         }
         "compare" => {
             let mut dir = String::from(".fex-lab");
@@ -740,7 +851,11 @@ mod tests {
     fn parses_lab_subcommands() {
         assert_eq!(
             parse(&argv("lab list")).unwrap(),
-            Action::Lab { cmd: LabCommand::List, dir: ".fex-lab".into() }
+            Action::Lab { cmd: LabCommand::List { json: false }, dir: ".fex-lab".into() }
+        );
+        assert_eq!(
+            parse(&argv("lab list --json --lab /tmp/store")).unwrap(),
+            Action::Lab { cmd: LabCommand::List { json: true }, dir: "/tmp/store".into() }
         );
         assert_eq!(
             parse(&argv("lab show latest --lab /tmp/store")).unwrap(),
@@ -770,6 +885,57 @@ mod tests {
             Action::Lab { cmd: LabCommand::Fsck { quarantine: true }, dir: "/tmp/store".into() }
         );
         assert!(parse(&argv("lab fsck extra")).is_err());
+    }
+
+    #[test]
+    fn parses_diag() {
+        let Action::Diag { journal, lab, format, config, jobs, rules, deny } =
+            parse(&argv("diag target/fex-results/micro.journal.jsonl")).unwrap()
+        else {
+            panic!("expected diag");
+        };
+        assert_eq!(journal.as_deref(), Some("target/fex-results/micro.journal.jsonl"));
+        assert_eq!(lab, None);
+        assert_eq!(format, crate::diag::DiagFormat::Human);
+        assert_eq!(config, None);
+        assert_eq!(jobs, 0);
+        assert!(rules.is_empty() && deny.is_empty());
+    }
+
+    #[test]
+    fn parses_diag_flags() {
+        let Action::Diag { journal, lab, format, config, jobs, rules, deny } = parse(&argv(
+            "diag j.jsonl --lab /tmp/store --format sarif --config fex.toml --jobs 3 \
+             --rules flakiness,variance-anomaly --deny variance-anomaly",
+        ))
+        .unwrap() else {
+            panic!("expected diag");
+        };
+        assert_eq!(journal.as_deref(), Some("j.jsonl"));
+        assert_eq!(lab.as_deref(), Some("/tmp/store"));
+        assert_eq!(format, crate::diag::DiagFormat::Sarif);
+        assert_eq!(config.as_deref(), Some("fex.toml"));
+        assert_eq!(jobs, 3);
+        assert_eq!(rules, vec!["flakiness".to_string(), "variance-anomaly".to_string()]);
+        assert_eq!(deny, vec!["variance-anomaly".to_string()]);
+    }
+
+    #[test]
+    fn diag_lab_takes_an_optional_value() {
+        let Action::Diag { journal, lab, .. } = parse(&argv("diag --lab --format github")).unwrap()
+        else {
+            panic!("expected diag");
+        };
+        assert_eq!(journal, None);
+        assert_eq!(lab.as_deref(), Some(".fex-lab"), "bare --lab defaults");
+    }
+
+    #[test]
+    fn diag_rejects_bad_invocations() {
+        assert!(parse(&argv("diag")).is_err(), "needs a journal or --lab");
+        assert!(parse(&argv("diag a.jsonl b.jsonl")).is_err(), "one journal only");
+        assert!(parse(&argv("diag j.jsonl --format xml")).is_err());
+        assert!(parse(&argv("diag j.jsonl --frobnicate")).is_err());
     }
 
     #[test]

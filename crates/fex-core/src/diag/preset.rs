@@ -1,0 +1,313 @@
+//! `fex.toml` `[diag]` configuration: rule allow/deny lists, named
+//! presets, and per-rule thresholds.
+//!
+//! The parser is a deliberate TOML subset (sections, `key = value`
+//! with quoted strings, numbers, booleans, and flat string arrays) —
+//! the same hand-rolled philosophy as the journal's flat-JSON reader,
+//! and enough for diag's needs without a dependency. Sections other
+//! than `[diag]` / `[diag.thresholds]` are ignored so a future
+//! `fex.toml` can grow non-diag tables freely.
+//!
+//! Resolution order, weakest first: built-in defaults ← `preset = ...`
+//! ← explicit file keys ← CLI `--rules` / `--deny` flags.
+
+use crate::error::{FexError, Result};
+
+use super::rules::known_rule;
+
+/// Effective diagnostics configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagConfig {
+    /// When set, only these rule ids run.
+    pub allow: Option<Vec<String>>,
+    /// Rule ids that never run (applied after `allow`).
+    pub deny: Vec<String>,
+    /// Metric column the regression rule compares.
+    pub metric: String,
+    /// Flakiness gate: extra attempts per settled unit.
+    pub max_retry_rate: f64,
+    /// Flakiness gate: quarantined benchmarks tolerated.
+    pub max_quarantined: usize,
+    /// Variance rule: coefficient-of-variation ceiling.
+    pub max_cv: f64,
+    /// Cache rule: tolerated hit-rate drop (in rate points, 0–1).
+    pub max_hit_rate_drop: f64,
+}
+
+impl Default for DiagConfig {
+    fn default() -> Self {
+        DiagConfig {
+            allow: None,
+            deny: Vec::new(),
+            metric: "time".into(),
+            max_retry_rate: 0.0,
+            max_quarantined: 0,
+            max_cv: 0.25,
+            max_hit_rate_drop: 0.25,
+        }
+    }
+}
+
+impl DiagConfig {
+    /// The named built-in presets.
+    ///
+    /// # Errors
+    ///
+    /// [`FexError::Config`] on an unknown preset name.
+    pub fn preset(name: &str) -> Result<DiagConfig> {
+        match name {
+            "default" => Ok(DiagConfig::default()),
+            "strict" => {
+                Ok(DiagConfig { max_cv: 0.10, max_hit_rate_drop: 0.10, ..DiagConfig::default() })
+            }
+            "lenient" => Ok(DiagConfig {
+                max_retry_rate: 0.25,
+                max_quarantined: 1,
+                max_cv: 0.50,
+                max_hit_rate_drop: 0.50,
+                ..DiagConfig::default()
+            }),
+            other => Err(FexError::Config(format!(
+                "unknown diag preset `{other}` (expected default, strict or lenient)"
+            ))),
+        }
+    }
+
+    /// True when rule `id` should run under this configuration.
+    pub fn enables(&self, id: &str) -> bool {
+        if self.deny.iter().any(|d| d == id) {
+            return false;
+        }
+        match &self.allow {
+            Some(allow) => allow.iter().any(|a| a == id),
+            None => true,
+        }
+    }
+
+    /// Loads the `[diag]` configuration from a `fex.toml` file, or
+    /// `None` when the file does not exist.
+    ///
+    /// # Errors
+    ///
+    /// [`FexError::Data`] when the file exists but cannot be read;
+    /// [`FexError::Config`] on parse errors, unknown keys, unknown rule
+    /// names, or an unknown preset.
+    pub fn load(path: &str) -> Result<Option<DiagConfig>> {
+        if !std::path::Path::new(path).exists() {
+            return Ok(None);
+        }
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| FexError::Data(format!("cannot read config `{path}`: {e}")))?;
+        DiagConfig::from_toml(&text).map(Some)
+    }
+
+    /// Parses the `[diag]` / `[diag.thresholds]` tables out of a TOML
+    /// document. See the module docs for the supported subset.
+    ///
+    /// # Errors
+    ///
+    /// [`FexError::Config`] on malformed lines, unknown keys in diag
+    /// tables, unknown rule names in allow/deny, or unknown presets.
+    pub fn from_toml(text: &str) -> Result<DiagConfig> {
+        let mut config = DiagConfig::default();
+        let mut section = String::new();
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                continue;
+            }
+            if section != "diag" && section != "diag.thresholds" {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(FexError::Config(format!(
+                    "fex.toml line {lineno}: expected `key = value`, got `{line}`"
+                )));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            let bad = |what: &str| {
+                FexError::Config(format!("fex.toml line {lineno}: {what} for `{key}`: `{value}`"))
+            };
+            match (section.as_str(), key) {
+                ("diag", "preset") => {
+                    let name = parse_string(value).ok_or_else(|| bad("expected a string"))?;
+                    // The preset resets everything configured so far in
+                    // this table; file keys below it still override.
+                    let allow = config.allow.take();
+                    let deny = std::mem::take(&mut config.deny);
+                    config = DiagConfig::preset(&name)?;
+                    config.allow = allow.or(config.allow.take());
+                    if !deny.is_empty() {
+                        config.deny = deny;
+                    }
+                }
+                ("diag", "allow") => {
+                    let rules =
+                        parse_string_array(value).ok_or_else(|| bad("expected an array"))?;
+                    validate_rules(&rules, lineno)?;
+                    config.allow = Some(rules);
+                }
+                ("diag", "deny") => {
+                    let rules =
+                        parse_string_array(value).ok_or_else(|| bad("expected an array"))?;
+                    validate_rules(&rules, lineno)?;
+                    config.deny = rules;
+                }
+                ("diag", "metric") => {
+                    config.metric = parse_string(value).ok_or_else(|| bad("expected a string"))?;
+                }
+                ("diag.thresholds", "max_retry_rate") => {
+                    config.max_retry_rate = value.parse().map_err(|_| bad("expected a number"))?;
+                }
+                ("diag.thresholds", "max_quarantined") => {
+                    config.max_quarantined =
+                        value.parse().map_err(|_| bad("expected an integer"))?;
+                }
+                ("diag.thresholds", "max_cv") => {
+                    config.max_cv = value.parse().map_err(|_| bad("expected a number"))?;
+                }
+                ("diag.thresholds", "max_hit_rate_drop") => {
+                    config.max_hit_rate_drop =
+                        value.parse().map_err(|_| bad("expected a number"))?;
+                }
+                (_, key) => {
+                    return Err(FexError::Config(format!(
+                        "fex.toml line {lineno}: unknown key `{key}` in [{section}]"
+                    )));
+                }
+            }
+        }
+        Ok(config)
+    }
+}
+
+fn validate_rules(rules: &[String], lineno: usize) -> Result<()> {
+    for r in rules {
+        if !known_rule(r) {
+            return Err(FexError::Config(format!(
+                "fex.toml line {lineno}: unknown diag rule `{r}`"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Strips a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses a `"quoted string"` value.
+fn parse_string(value: &str) -> Option<String> {
+    let inner = value.strip_prefix('"')?.strip_suffix('"')?;
+    (!inner.contains('"')).then(|| inner.to_string())
+}
+
+/// Parses a flat `["a", "b"]` string-array value.
+fn parse_string_array(value: &str) -> Option<Vec<String>> {
+    let inner = value.strip_prefix('[')?.strip_suffix(']')?.trim();
+    if inner.is_empty() {
+        return Some(Vec::new());
+    }
+    inner.split(',').map(|item| parse_string(item.trim())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_run_every_rule() {
+        let config = DiagConfig::default();
+        assert!(config.enables("flakiness"));
+        assert!(config.enables("journal-integrity"));
+    }
+
+    #[test]
+    fn allow_and_deny_filter_rules() {
+        let config = DiagConfig {
+            allow: Some(vec!["flakiness".into(), "variance-anomaly".into()]),
+            deny: vec!["variance-anomaly".into()],
+            ..DiagConfig::default()
+        };
+        assert!(config.enables("flakiness"));
+        assert!(!config.enables("variance-anomaly"), "deny beats allow");
+        assert!(!config.enables("journal-integrity"), "not in allow list");
+    }
+
+    #[test]
+    fn presets_resolve() {
+        assert_eq!(DiagConfig::preset("default").unwrap(), DiagConfig::default());
+        let strict = DiagConfig::preset("strict").unwrap();
+        assert!(strict.max_cv < DiagConfig::default().max_cv);
+        let lenient = DiagConfig::preset("lenient").unwrap();
+        assert!(lenient.max_retry_rate > 0.0);
+        assert!(DiagConfig::preset("chaotic").is_err());
+    }
+
+    #[test]
+    fn toml_subset_parses_sections_and_values() {
+        let config = DiagConfig::from_toml(
+            r#"
+# top comment
+[experiment]          # an unrelated table is ignored
+reps = 99
+
+[diag]
+preset = "lenient"
+deny = ["variance-anomaly"]  # trailing comment
+metric = "cycles"
+
+[diag.thresholds]
+max_retry_rate = 0.5
+max_quarantined = 2
+"#,
+        )
+        .unwrap();
+        assert_eq!(config.metric, "cycles");
+        assert_eq!(config.deny, vec!["variance-anomaly".to_string()]);
+        assert_eq!(config.max_retry_rate, 0.5);
+        assert_eq!(config.max_quarantined, 2);
+        assert_eq!(config.max_cv, 0.50, "untouched lenient threshold survives");
+        assert!(!config.enables("variance-anomaly"));
+    }
+
+    #[test]
+    fn file_keys_override_a_later_preset_only_when_written_below_it() {
+        let below =
+            DiagConfig::from_toml("[diag]\npreset = \"strict\"\n[diag.thresholds]\nmax_cv = 0.4\n")
+                .unwrap();
+        assert_eq!(below.max_cv, 0.4, "explicit key below preset wins");
+        let lists_kept =
+            DiagConfig::from_toml("[diag]\nallow = [\"flakiness\"]\npreset = \"strict\"\n")
+                .unwrap();
+        assert_eq!(lists_kept.allow, Some(vec!["flakiness".to_string()]));
+    }
+
+    #[test]
+    fn unknown_keys_rules_and_presets_are_rejected() {
+        assert!(DiagConfig::from_toml("[diag]\nspeed = 11\n").is_err());
+        assert!(DiagConfig::from_toml("[diag]\nallow = [\"sparkles\"]\n").is_err());
+        assert!(DiagConfig::from_toml("[diag]\npreset = \"chaotic\"\n").is_err());
+        assert!(DiagConfig::from_toml("[diag.thresholds]\nmax_cv = \"high\"\n").is_err());
+        assert!(DiagConfig::from_toml("[diag]\njust a line\n").is_err());
+    }
+
+    #[test]
+    fn load_returns_none_for_a_missing_file() {
+        assert_eq!(DiagConfig::load("/nonexistent/fex.toml").unwrap(), None);
+    }
+}

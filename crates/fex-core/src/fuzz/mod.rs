@@ -22,6 +22,9 @@
 //! |            | a semantically neutral source edit                              |
 //! | `recovery` | every injected disk corruption is detected by `fex lab fsck`    |
 //! |            | and quarantine restores a clean store                           |
+//! | `diag`     | the journal re-parses under the diagnostics reader with zero    |
+//! |            | journal-integrity findings (`fex diag` never flags a journal    |
+//! |            | the real pipeline wrote)                                        |
 //! | `serve`    | the scenario submitted through an in-process `fex serve` daemon |
 //! |            | matches the direct pipeline output byte-for-byte, and an        |
 //! |            | identical cross-tenant resubmission is 100% cache-served        |
@@ -110,9 +113,9 @@ impl Default for FuzzOptions {
 /// One oracle violation.
 #[derive(Debug, Clone)]
 pub struct OracleFailure {
-    /// Which oracle fired (`toggles`, `jobs`, `metrics`, `store`,
-    /// `warm`, `recovery`, `serve`, or `pipeline` for a scenario that
-    /// errored the pipeline outright).
+    /// Which oracle fired (`toggles`, `jobs`, `metrics`, `diag`,
+    /// `store`, `warm`, `recovery`, `serve`, or `pipeline` for a
+    /// scenario that errored the pipeline outright).
     pub oracle: &'static str,
     /// What disagreed.
     pub detail: String,
@@ -389,6 +392,26 @@ pub fn check_case(
                 m_n.rows, m_n.failure_records
             ),
         );
+    }
+
+    // Oracle `diag`: every generated scenario's journal must round-trip
+    // through the diagnostics reader with zero journal-integrity
+    // findings — fex's own auditor must never flag a journal the real
+    // pipeline just wrote.
+    {
+        let jsonl: String = base.events.iter().map(|e| e.to_json() + "\n").collect();
+        let source = crate::diag::JournalSource::parse("fuzz.journal.jsonl", &jsonl);
+        if !source.issues.is_empty() {
+            let (line, issue) = &source.issues[0];
+            return fail("diag", format!("journal line {line} did not re-parse: {issue}"));
+        }
+        let findings = crate::diag::check_journal_integrity(&source);
+        if let Some(f) = findings.first() {
+            return fail(
+                "diag",
+                format!("journal-integrity finding on a pipeline journal: {}", f.message),
+            );
+        }
     }
 
     // Oracles `store` and `recovery` work on a throwaway lab directory.

@@ -965,6 +965,9 @@ pub struct RenderedReport {
     pub report: String,
     /// One warning per skipped line (malformed JSON or unknown event).
     pub warnings: Vec<String>,
+    /// Events that parsed. `0` means the journal was empty or entirely
+    /// malformed — callers should refuse to render such a report.
+    pub events: usize,
 }
 
 /// Formats a nanosecond wall time for the phase table.
@@ -1097,7 +1100,7 @@ pub fn render_report(jsonl: &str) -> RenderedReport {
             _ => {}
         }
     }
-    RenderedReport { report: out, warnings }
+    RenderedReport { report: out, warnings, events: events.len() }
 }
 
 // ---------------------------------------------------------------------

@@ -326,21 +326,51 @@ impl RunStore {
         Ok(removed)
     }
 
-    /// Renders `fex lab list` output.
-    pub fn render_list(entries: &[IndexEntry]) -> String {
+    /// Renders `fex lab list` output. The `repro` column is the
+    /// [`ReproScore`](crate::diag::ReproScore) — readiness + outcome out
+    /// of 100 — so stored runs rank by reproducibility health.
+    pub fn render_list(&self, entries: &[IndexEntry]) -> String {
         if entries.is_empty() {
             return "(store is empty)\n".to_string();
         }
         let mut s = format!(
-            "{:<5} {:<40} {:<12} {:>6} {:>9}\n",
-            "seq", "run id", "experiment", "rows", "failures"
+            "{:<5} {:<40} {:<12} {:>6} {:>9} {:>8}\n",
+            "seq", "run id", "experiment", "rows", "failures", "repro"
         );
         for e in entries {
+            let score = crate::diag::repro_score(self, e);
             let _ = writeln!(
                 s,
-                "{:<5} {:<40} {:<12} {:>6} {:>9}",
-                e.seq, e.run_id, e.experiment, e.rows, e.failures
+                "{:<5} {:<40} {:<12} {:>6} {:>9} {:>8}",
+                e.seq,
+                e.run_id,
+                e.experiment,
+                e.rows,
+                e.failures,
+                score.render()
             );
+        }
+        s
+    }
+
+    /// Renders `fex lab list --json`: one flat-JSON object per line with
+    /// the table's fields plus the split repro score, so CI scripts can
+    /// consume the store without screen-scraping.
+    pub fn render_list_json(&self, entries: &[IndexEntry]) -> String {
+        let mut s = String::new();
+        for e in entries {
+            let score = crate::diag::repro_score(self, e);
+            let mut w = JsonLine::object("run_id", &e.run_id);
+            w.num("seq", e.seq as i64)
+                .str("experiment", &e.experiment)
+                .str("key", &e.key)
+                .num("rows", e.rows as i64)
+                .num("failures", e.failures as i64)
+                .num("repro", score.total() as i64)
+                .num("readiness", score.readiness as i64)
+                .num("outcome", score.outcome as i64);
+            s.push_str(&w.finish());
+            s.push('\n');
         }
         s
     }
@@ -512,7 +542,7 @@ mod tests {
         assert!(store.list().unwrap().is_empty());
         let err = store.resolve("latest").unwrap_err().to_string();
         assert!(err.contains("empty"), "{err}");
-        assert!(RunStore::render_list(&[]).contains("empty"));
+        assert!(store.render_list(&[]).contains("empty"));
         let _ = fs::remove_dir_all(store.root());
     }
 }

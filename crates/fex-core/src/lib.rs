@@ -63,6 +63,7 @@ pub mod build;
 pub mod cli;
 pub mod collect;
 pub mod config;
+pub mod diag;
 pub mod distributed;
 pub mod edd;
 pub mod env;
@@ -81,6 +82,7 @@ pub mod serve;
 pub mod workflow;
 
 pub use config::{ExperimentConfig, Repetitions};
+pub use diag::{DiagConfig, DiagCtx, DiagFormat, DiagReport, Finding, ReproScore, Severity};
 pub use error::{FexError, Result};
 pub use fuzz::{BreakMode, FuzzOptions, FuzzReport};
 pub use graph::{ArtifactGraph, NodeKind};
